@@ -1,0 +1,74 @@
+// Substrate microbenchmarks (google-benchmark): throughput of the ROBDD
+// package operations the ordering algorithms sit on — construction from
+// truth tables, ITE, satcount — plus the chain-compaction size oracle and
+// a full FS run.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "bdd/manager.hpp"
+#include "core/minimize.hpp"
+#include "tt/function_zoo.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+void BM_BddFromTruthTable(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ovo::util::Xoshiro256 rng(1);
+  const ovo::tt::TruthTable t = ovo::tt::random_function(n, rng);
+  for (auto _ : state) {
+    ovo::bdd::Manager m(n);
+    benchmark::DoNotOptimize(m.from_truth_table(t));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_BddFromTruthTable)->DenseRange(8, 16, 2);
+
+void BM_BddIte(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ovo::util::Xoshiro256 rng(2);
+  const ovo::tt::TruthTable ta = ovo::tt::random_function(n, rng);
+  const ovo::tt::TruthTable tb = ovo::tt::random_function(n, rng);
+  for (auto _ : state) {
+    ovo::bdd::Manager m(n);
+    const auto a = m.from_truth_table(ta);
+    const auto b = m.from_truth_table(tb);
+    benchmark::DoNotOptimize(m.apply_xor(a, b));
+  }
+}
+BENCHMARK(BM_BddIte)->DenseRange(8, 14, 2);
+
+void BM_BddSatcount(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ovo::util::Xoshiro256 rng(3);
+  ovo::bdd::Manager m(n);
+  const auto f = m.from_truth_table(ovo::tt::random_function(n, rng));
+  for (auto _ : state) benchmark::DoNotOptimize(m.satcount(f));
+}
+BENCHMARK(BM_BddSatcount)->DenseRange(8, 16, 4);
+
+void BM_SizeOracle(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ovo::util::Xoshiro256 rng(4);
+  const ovo::tt::TruthTable t = ovo::tt::random_function(n, rng);
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(ovo::core::diagram_size_for_order(t, order));
+}
+BENCHMARK(BM_SizeOracle)->DenseRange(8, 16, 2);
+
+void BM_FsMinimize(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ovo::util::Xoshiro256 rng(5);
+  const ovo::tt::TruthTable t = ovo::tt::random_function(n, rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(ovo::core::fs_minimize(t));
+}
+BENCHMARK(BM_FsMinimize)->DenseRange(6, 12, 2)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Dynamic (in-place, DAG-level) reordering vs the paper's exact targets:
+// the production mechanism real BDD packages use, judged — as the paper's
+// introduction prescribes — against the exact optimum.  Also measures the
+// cost profile of adjacent level swaps.
+
+#include <cinttypes>
+#include <cstdio>
+#include <numeric>
+
+#include "bdd/dynamic_reorder.hpp"
+#include "core/minimize.hpp"
+#include "tt/function_zoo.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace ovo;
+  util::Xoshiro256 rng(17);
+
+  struct Case {
+    const char* name;
+    tt::TruthTable t;
+    std::vector<int> start_order;
+  };
+  std::vector<Case> cases;
+  {
+    std::vector<int> id10(10);
+    std::iota(id10.begin(), id10.end(), 0);
+    cases.push_back({"pair_sum(5) interleaved", tt::pair_sum(5),
+                     tt::pair_sum_interleaved_order(5)});
+    cases.push_back({"hwb(10)", tt::hidden_weighted_bit(10), id10});
+    cases.push_back({"adder_carry(10)", tt::adder_carry(10), id10});
+    cases.push_back({"mult_mid(10)", tt::multiplier_middle_bit(10), id10});
+    cases.push_back({"random(10)", tt::random_function(10, rng), id10});
+  }
+
+  std::printf("In-place DAG sifting vs exact optimum\n\n");
+  std::printf("%-24s %8s %8s %8s %8s %10s %10s\n", "function", "start",
+              "sifted", "exact", "gap", "swaps", "time(ms)");
+  bool sound = true;
+  for (const Case& c : cases) {
+    bdd::Manager m(c.t.num_vars(), c.start_order);
+    const bdd::NodeId root = m.from_truth_table(c.t);
+    util::Timer timer;
+    const bdd::SiftResult s = bdd::sift_in_place(m, {root});
+    const double ms = timer.millis();
+    const std::uint64_t exact =
+        core::fs_minimize(c.t).min_internal_nodes;
+    sound &= s.final_nodes >= exact && s.final_nodes <= s.initial_nodes;
+    std::printf("%-24s %8" PRIu64 " %8" PRIu64 " %8" PRIu64 " %7.2fx %10"
+                PRIu64 " %10.1f\n",
+                c.name, s.initial_nodes, s.final_nodes, exact,
+                exact == 0 ? 1.0
+                           : static_cast<double>(s.final_nodes) /
+                                 static_cast<double>(exact),
+                s.swaps, ms);
+  }
+
+  std::printf("\nresult: %s\n",
+              sound ? "dynamic sifting sound; exact optimum quantifies "
+                      "its remaining gap"
+                    : "MISMATCH: sifting left the sound envelope");
+  return sound ? 0 : 1;
+}

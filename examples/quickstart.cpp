@@ -1,0 +1,61 @@
+// Quickstart: parse a Boolean formula, find its optimal variable ordering
+// with the exact Friedman–Supowit algorithm, and inspect the resulting
+// minimum OBDD.
+//
+//   $ ./quickstart                        # uses the paper's Fig. 1 formula
+//   $ ./quickstart "x1 & (x2 | !x3)"      # or any formula (1-based vars)
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+#include "bdd/manager.hpp"
+#include "core/minimize.hpp"
+#include "tt/expr.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ovo;
+  const std::string formula =
+      argc > 1 ? argv[1] : "x1 & x2 | x3 & x4 | x5 & x6";
+
+  // 1. Parse and tabulate (Corollary 2: any poly-evaluable representation
+  //    can be turned into a truth table in O*(2^n)).
+  const tt::ExprPtr expr = tt::parse_expr(formula);
+  const int n = tt::expr_num_vars(*expr);
+  if (n == 0 || n > 16) {
+    std::fprintf(stderr, "need 1..16 variables, got %d\n", n);
+    return 1;
+  }
+  const tt::TruthTable f = tt::expr_to_truth_table(*expr, n);
+  std::printf("formula : %s\n", formula.c_str());
+  std::printf("vars    : %d   satisfying assignments: %" PRIu64 "/%" PRIu64
+              "\n",
+              n, f.count_ones(), f.size());
+
+  // 2. Exact minimization (Theorem 5: O*(3^n) time).
+  const core::MinimizeResult r = core::fs_minimize(f);
+  std::printf("minimum OBDD: %" PRIu64 " internal nodes (+2 terminals)\n",
+              r.min_internal_nodes);
+  std::printf("optimal read order (root first):");
+  for (const int v : r.order_root_first) std::printf(" x%d", v + 1);
+  std::printf("\n");
+
+  // 3. Build the diagram under the optimal order and under the identity
+  //    order to see the difference.
+  bdd::Manager best(n, r.order_root_first);
+  const bdd::NodeId root = best.from_truth_table(f);
+  bdd::Manager ident(n);
+  const std::uint64_t ident_size = ident.size(ident.from_truth_table(f));
+  std::printf("identity-order OBDD: %" PRIu64 " internal nodes (%.2fx of "
+              "optimal)\n",
+              ident_size,
+              r.min_internal_nodes == 0
+                  ? 1.0
+                  : static_cast<double>(ident_size) /
+                        static_cast<double>(r.min_internal_nodes));
+
+  // 4. Export Graphviz for the minimum diagram.
+  std::printf("\nGraphviz of the minimum OBDD:\n%s",
+              best.to_dot(root, "minimum").c_str());
+  return 0;
+}

@@ -1,0 +1,210 @@
+#include "bdd/algorithms.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace ovo::bdd {
+
+namespace {
+
+/// Models of u over levels [level(u), n), memoized.
+class ModelCounter {
+ public:
+  explicit ModelCounter(const Manager& m) : m_(m) {}
+
+  std::uint64_t count(NodeId u) {
+    if (u == kFalse) return 0;
+    if (u == kTrue) return 1;
+    if (const auto it = memo_.find(u); it != memo_.end()) return it->second;
+    const Node& un = m_.node(u);
+    const std::uint64_t c = below(un.lo, un.level) + below(un.hi, un.level);
+    memo_.emplace(u, c);
+    return c;
+  }
+
+  /// Models of child `v` counted over levels (parent_level, n).
+  std::uint64_t below(NodeId v, int parent_level) {
+    const int child_level = m_.node(v).level;
+    return count(v) << (child_level - parent_level - 1);
+  }
+
+ private:
+  const Manager& m_;
+  std::unordered_map<NodeId, std::uint64_t> memo_;
+};
+
+}  // namespace
+
+std::uint64_t for_each_model(const Manager& m, NodeId f,
+                             const std::function<bool(std::uint64_t)>& fn) {
+  const std::vector<std::uint64_t> models = all_models(m, f);
+  std::uint64_t visited = 0;
+  for (const std::uint64_t a : models) {
+    ++visited;
+    if (!fn(a)) break;
+  }
+  return visited;
+}
+
+std::vector<std::uint64_t> all_models(const Manager& m, NodeId f,
+                                      std::uint64_t limit) {
+  OVO_CHECK_MSG(m.satcount(f) <= limit,
+                "all_models: onset exceeds the enumeration limit");
+  std::vector<std::uint64_t> out;
+  const int n = m.num_vars();
+  auto rec = [&](auto&& self, NodeId u, int level,
+                 std::uint64_t acc) -> void {
+    if (u == kFalse) return;
+    if (level == n) {
+      out.push_back(acc);
+      return;
+    }
+    const int var = m.var_at_level(level);
+    const Node& un = m.node(u);
+    if (m.is_terminal(u) || un.level > level) {
+      // Free variable at this level: both values extend every model.
+      self(self, u, level + 1, acc);
+      self(self, u, level + 1, acc | (std::uint64_t{1} << var));
+    } else {
+      self(self, un.lo, level + 1, acc);
+      self(self, un.hi, level + 1, acc | (std::uint64_t{1} << var));
+    }
+  };
+  rec(rec, f, 0, 0);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::optional<std::uint64_t> sample_model(const Manager& m, NodeId f,
+                                          util::Xoshiro256& rng) {
+  if (f == kFalse) return std::nullopt;
+  ModelCounter counter(m);
+  std::uint64_t acc = 0;
+  NodeId u = f;
+  const int n = m.num_vars();
+  for (int level = 0; level < n; ++level) {
+    const int var = m.var_at_level(level);
+    const Node& un = m.node(u);
+    if (m.is_terminal(u) || un.level > level) {
+      if (rng.coin()) acc |= std::uint64_t{1} << var;  // free variable
+      continue;
+    }
+    const std::uint64_t c0 = counter.below(un.lo, level);
+    const std::uint64_t c1 = counter.below(un.hi, level);
+    OVO_DCHECK(c0 + c1 > 0);
+    if (rng.below(c0 + c1) < c0) {
+      u = un.lo;
+    } else {
+      acc |= std::uint64_t{1} << var;
+      u = un.hi;
+    }
+  }
+  OVO_CHECK(u == kTrue);
+  return acc;
+}
+
+std::optional<WeightedModel> min_weight_model(
+    const Manager& m, NodeId f, const std::vector<double>& weight) {
+  const int n = m.num_vars();
+  OVO_CHECK_MSG(static_cast<int>(weight.size()) == n,
+                "min_weight_model: weight vector arity mismatch");
+  if (f == kFalse) return std::nullopt;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Contribution of freely-choosable levels in (from, to): pick each
+  // variable's cheaper polarity.
+  const auto free_gain = [&](int from, int to) {
+    double g = 0.0;
+    for (int l = from + 1; l < to; ++l)
+      g += std::min(0.0, weight[static_cast<std::size_t>(m.var_at_level(l))]);
+    return g;
+  };
+
+  std::unordered_map<NodeId, double> memo;
+  auto best = [&](auto&& self, NodeId u) -> double {
+    if (u == kFalse) return kInf;
+    if (u == kTrue) return 0.0;
+    if (const auto it = memo.find(u); it != memo.end()) return it->second;
+    const Node& un = m.node(u);
+    const double w =
+        weight[static_cast<std::size_t>(m.var_at_level(un.level))];
+    const double via_lo =
+        self(self, un.lo) + free_gain(un.level, m.node(un.lo).level);
+    const double via_hi =
+        self(self, un.hi) + free_gain(un.level, m.node(un.hi).level) + w;
+    const double b = std::min(via_lo, via_hi);
+    memo.emplace(u, b);
+    return b;
+  };
+  const double total =
+      best(best, f) + free_gain(-1, m.node(f).level);
+  if (total == kInf) return std::nullopt;
+
+  // Reconstruct one optimal assignment by re-descending.
+  WeightedModel out;
+  out.weight = total;
+  NodeId u = f;
+  for (int level = 0; level < n; ++level) {
+    const int var = m.var_at_level(level);
+    const double w = weight[static_cast<std::size_t>(var)];
+    const Node& un = m.node(u);
+    if (m.is_terminal(u) || un.level > level) {
+      if (w < 0.0) out.assignment |= std::uint64_t{1} << var;
+      continue;
+    }
+    const double via_lo =
+        best(best, un.lo) + free_gain(un.level, m.node(un.lo).level);
+    const double via_hi =
+        best(best, un.hi) + free_gain(un.level, m.node(un.hi).level) + w;
+    if (via_hi < via_lo) {
+      out.assignment |= std::uint64_t{1} << var;
+      u = un.hi;
+    } else {
+      u = un.lo;
+    }
+  }
+  return out;
+}
+
+double density(const Manager& m, NodeId f) {
+  return static_cast<double>(m.satcount(f)) /
+         static_cast<double>(std::uint64_t{1} << m.num_vars());
+}
+
+std::optional<Cube> shortest_cube(const Manager& m, NodeId f) {
+  if (f == kFalse) return std::nullopt;
+  constexpr int kInf = std::numeric_limits<int>::max() / 2;
+  std::unordered_map<NodeId, int> memo;
+  auto depth = [&](auto&& self, NodeId u) -> int {
+    if (u == kFalse) return kInf;
+    if (u == kTrue) return 0;
+    if (const auto it = memo.find(u); it != memo.end()) return it->second;
+    const Node& un = m.node(u);
+    const int d = 1 + std::min(self(self, un.lo), self(self, un.hi));
+    memo.emplace(u, d);
+    return d;
+  };
+  (void)depth(depth, f);
+
+  Cube cube;
+  NodeId u = f;
+  while (u != kTrue) {
+    const Node& un = m.node(u);
+    const int var = m.var_at_level(un.level);
+    const int d_lo = depth(depth, un.lo);
+    const int d_hi = depth(depth, un.hi);
+    cube.care |= util::Mask{1} << var;
+    if (d_hi < d_lo) {
+      cube.values |= std::uint64_t{1} << var;
+      u = un.hi;
+    } else {
+      u = un.lo;
+    }
+  }
+  return cube;
+}
+
+}  // namespace ovo::bdd

@@ -1,0 +1,55 @@
+#pragma once
+// Query algorithms over ROBDDs beyond the Manager's core operations:
+// model enumeration, uniform model sampling, weighted optimization over
+// the onset, and density/probability computation.  These are the standard
+// library surface downstream users of a BDD package expect.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "bdd/manager.hpp"
+#include "util/rng.hpp"
+
+namespace ovo::bdd {
+
+/// Calls fn(assignment) for every satisfying assignment of f, in
+/// increasing numeric order.  Intended for small onsets; returns the
+/// number of models visited. If fn returns false, enumeration stops early.
+std::uint64_t for_each_model(const Manager& m, NodeId f,
+                             const std::function<bool(std::uint64_t)>& fn);
+
+/// All satisfying assignments (ascending). Guarded against onsets larger
+/// than `limit` (throws CheckError).
+std::vector<std::uint64_t> all_models(const Manager& m, NodeId f,
+                                      std::uint64_t limit = 1u << 20);
+
+/// Uniform random satisfying assignment, drawn by weighted descent over
+/// model counts. Returns nullopt if f is unsatisfiable.
+std::optional<std::uint64_t> sample_model(const Manager& m, NodeId f,
+                                          util::Xoshiro256& rng);
+
+/// Minimizes sum of weight[v] over variables assigned 1, over all
+/// satisfying assignments (a shortest-path sweep over the DAG; weights
+/// may be negative). Returns nullopt if f is unsatisfiable.
+struct WeightedModel {
+  std::uint64_t assignment = 0;
+  double weight = 0.0;
+};
+std::optional<WeightedModel> min_weight_model(
+    const Manager& m, NodeId f, const std::vector<double>& weight);
+
+/// Fraction of the 2^n inputs on which f is true.
+double density(const Manager& m, NodeId f);
+
+/// Prime-implicant-style shortest cube: a smallest partial assignment
+/// (as var mask + values) forcing f to true; nullopt if unsatisfiable.
+struct Cube {
+  util::Mask care = 0;    ///< variables fixed by the cube
+  std::uint64_t values = 0;  ///< their values (within care positions)
+  int literals() const { return util::popcount(care); }
+};
+std::optional<Cube> shortest_cube(const Manager& m, NodeId f);
+
+}  // namespace ovo::bdd

@@ -1,0 +1,90 @@
+#include "bdd/dynamic_reorder.hpp"
+
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace ovo::bdd {
+
+std::size_t swap_adjacent_levels(Manager& m, int level) {
+  return m.swap_adjacent_levels(level);
+}
+
+void move_level(Manager& m, int from_level, int to_level) {
+  OVO_CHECK(from_level >= 0 && from_level < m.num_vars());
+  OVO_CHECK(to_level >= 0 && to_level < m.num_vars());
+  while (from_level < to_level) {
+    m.swap_adjacent_levels(from_level);
+    ++from_level;
+  }
+  while (from_level > to_level) {
+    m.swap_adjacent_levels(from_level - 1);
+    --from_level;
+  }
+}
+
+std::uint64_t shared_reachable_size(const Manager& m,
+                                    const std::vector<NodeId>& roots) {
+  std::unordered_set<NodeId> seen;
+  std::vector<NodeId> stack(roots.begin(), roots.end());
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    if (m.is_terminal(u) || !seen.insert(u).second) continue;
+    stack.push_back(m.node(u).lo);
+    stack.push_back(m.node(u).hi);
+  }
+  return seen.size();
+}
+
+SiftResult sift_in_place(Manager& m, const std::vector<NodeId>& roots,
+                         int max_passes) {
+  const int n = m.num_vars();
+  SiftResult r;
+  r.initial_nodes = shared_reachable_size(m, roots);
+  r.final_nodes = r.initial_nodes;
+  if (n < 2) return r;
+
+  for (int pass = 0; pass < max_passes; ++pass) {
+    ++r.passes;
+    bool improved = false;
+    for (int var = 0; var < n; ++var) {
+      const int start = m.level_of_var(var);
+      std::uint64_t best_size = shared_reachable_size(m, roots);
+      int best_level = start;
+      // Sweep down to the bottom...
+      for (int l = start; l + 1 < n; ++l) {
+        m.swap_adjacent_levels(l);
+        ++r.swaps;
+        const std::uint64_t s = shared_reachable_size(m, roots);
+        if (s < best_size) {
+          best_size = s;
+          best_level = l + 1;
+        }
+      }
+      // ...then up to the top...
+      for (int l = n - 1; l > 0; --l) {
+        m.swap_adjacent_levels(l - 1);
+        ++r.swaps;
+        const std::uint64_t s = shared_reachable_size(m, roots);
+        if (s < best_size) {
+          best_size = s;
+          best_level = l - 1;
+        }
+      }
+      // ...and settle at the best level seen.
+      move_level(m, 0, best_level);
+      r.swaps += static_cast<std::uint64_t>(best_level);
+      const std::uint64_t settled = shared_reachable_size(m, roots);
+      if (settled < r.final_nodes) {
+        r.final_nodes = settled;
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+  r.final_nodes = shared_reachable_size(m, roots);
+  return r;
+}
+
+}  // namespace ovo::bdd

@@ -1,0 +1,395 @@
+#include "bdd/manager.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "util/combinatorics.hpp"
+
+namespace ovo::bdd {
+
+Manager::Manager(int num_vars) : Manager(num_vars, [num_vars] {
+  std::vector<int> id(static_cast<std::size_t>(num_vars));
+  std::iota(id.begin(), id.end(), 0);
+  return id;
+}()) {}
+
+Manager::Manager(int num_vars, std::vector<int> order)
+    : n_(num_vars), order_(std::move(order)) {
+  // Truth-table conversion is limited to tt::TruthTable::kMaxVars, but
+  // apply-based construction works up to 63 variables (satcount shifts).
+  OVO_CHECK_MSG(num_vars >= 0 && num_vars <= 63,
+                "Manager: num_vars out of range");
+  OVO_CHECK_MSG(static_cast<int>(order_.size()) == n_,
+                "Manager: order length mismatch");
+  OVO_CHECK_MSG(util::is_permutation(order_), "Manager: order not a permutation");
+  var_to_level_ = util::inverse_permutation(order_);
+  pool_.push_back(Node{n_, kFalse, kFalse});  // id 0: false terminal
+  pool_.push_back(Node{n_, kTrue, kTrue});    // id 1: true terminal
+  unique_.resize(static_cast<std::size_t>(n_));
+}
+
+NodeId Manager::var_node(int var) { return literal(var, true); }
+
+NodeId Manager::literal(int var, bool positive) {
+  const int level = level_of_var(var);
+  return positive ? make(level, kFalse, kTrue) : make(level, kTrue, kFalse);
+}
+
+NodeId Manager::make(int level, NodeId lo, NodeId hi) {
+  OVO_CHECK(level >= 0 && level < n_);
+  OVO_DCHECK(lo < pool_.size() && hi < pool_.size());
+  OVO_DCHECK(pool_[lo].level > level && pool_[hi].level > level);
+  if (lo == hi) return lo;  // reduction rule (a)
+  auto& table = unique_[static_cast<std::size_t>(level)];
+  const std::uint64_t key = (std::uint64_t{lo} << 32) | hi;
+  const auto it = table.find(key);
+  if (it != table.end()) return it->second;  // rule (b): hash consing
+  const NodeId id = static_cast<NodeId>(pool_.size());
+  pool_.push_back(Node{level, lo, hi});
+  table.emplace(key, id);
+  return id;
+}
+
+NodeId Manager::from_truth_table(const tt::TruthTable& t) {
+  OVO_CHECK_MSG(t.num_vars() == n_, "from_truth_table: arity mismatch");
+  if (n_ == 0) return t.get(0) ? kTrue : kFalse;
+
+  // cells[i] = node for the subfunction under the i-th assignment to the
+  // not-yet-processed variables order_[0..p], packed densely (bit j of i is
+  // the value of order_[j]).
+  std::vector<NodeId> cells(t.size());
+  for (std::uint64_t a = 0; a < t.size(); ++a) {
+    // Map the dense index (per order_) to the truth-table assignment.
+    std::uint64_t assignment = 0;
+    for (int j = 0; j < n_; ++j)
+      assignment |= ((a >> j) & 1u) << order_[static_cast<std::size_t>(j)];
+    cells[a] = t.get(assignment) ? kTrue : kFalse;
+  }
+  // Compact bottom-up: process the last-read level first.
+  for (int level = n_ - 1; level >= 0; --level) {
+    const std::uint64_t half = std::uint64_t{1} << level;
+    std::vector<NodeId> next(half);
+    for (std::uint64_t a = 0; a < half; ++a)
+      next[a] = make(level, cells[a], cells[a | half]);
+    cells = std::move(next);
+  }
+  return cells[0];
+}
+
+Manager::Stats Manager::stats() const {
+  Stats s;
+  s.pool_nodes = pool_.size();
+  for (const auto& table : unique_) s.unique_entries += table.size();
+  s.cache_entries = ite_cache_.size();
+  return s;
+}
+
+std::size_t Manager::collect_garbage(std::vector<NodeId>* roots) {
+  OVO_CHECK(roots != nullptr);
+  std::vector<Node> new_pool;
+  new_pool.push_back(Node{n_, kFalse, kFalse});
+  new_pool.push_back(Node{n_, kTrue, kTrue});
+  std::vector<std::unordered_map<std::uint64_t, NodeId, PairHash>>
+      new_unique(static_cast<std::size_t>(n_));
+  std::unordered_map<NodeId, NodeId> remap{{kFalse, kFalse},
+                                           {kTrue, kTrue}};
+  auto rec = [&](auto&& self, NodeId u) -> NodeId {
+    if (const auto it = remap.find(u); it != remap.end()) return it->second;
+    const Node& un = pool_[u];
+    const NodeId lo = self(self, un.lo);
+    const NodeId hi = self(self, un.hi);
+    const NodeId id = static_cast<NodeId>(new_pool.size());
+    new_pool.push_back(Node{un.level, lo, hi});
+    new_unique[static_cast<std::size_t>(un.level)].emplace(
+        (std::uint64_t{lo} << 32) | hi, id);
+    remap.emplace(u, id);
+    return id;
+  };
+  for (NodeId& root : *roots) root = rec(rec, root);
+  const std::size_t dropped = pool_.size() - new_pool.size();
+  pool_ = std::move(new_pool);
+  unique_ = std::move(new_unique);
+  ite_cache_.clear();
+  return dropped;
+}
+
+std::size_t Manager::swap_adjacent_levels(int level) {
+  OVO_CHECK_MSG(level >= 0 && level + 1 < n_,
+                "swap_adjacent_levels: level out of range");
+  const int upper = level;      // holds variable x before, y after
+  const int lower = level + 1;  // holds variable y before, x after
+
+  // Snapshot the two affected level populations (pool may grow below).
+  std::vector<NodeId> xs, ys;
+  std::unordered_map<NodeId, bool> is_y;
+  for (NodeId id = 2; id < pool_.size(); ++id) {
+    if (pool_[id].level == upper) xs.push_back(id);
+    if (pool_[id].level == lower) {
+      ys.push_back(id);
+      is_y.emplace(id, true);
+    }
+  }
+
+  unique_[static_cast<std::size_t>(upper)].clear();
+  unique_[static_cast<std::size_t>(lower)].clear();
+  ite_cache_.clear();  // cached results reference the old level geometry
+
+  // y nodes keep their identity and children; they migrate to the upper
+  // level. Distinct canonical nodes stay distinct, so re-registration
+  // cannot collide.
+  for (const NodeId y : ys) {
+    pool_[y].level = upper;
+    const std::uint64_t key =
+        (std::uint64_t{pool_[y].lo} << 32) | pool_[y].hi;
+    unique_[static_cast<std::size_t>(upper)].emplace(key, y);
+  }
+
+  const std::size_t before = pool_.size();
+  // Phase 1: x nodes independent of y migrate down unchanged. This must
+  // happen before any rewrite: a rewrite's make(lower, ...) could
+  // otherwise create a fresh node with the same (lo, hi) as a
+  // not-yet-migrated x node, breaking canonicity.
+  for (const NodeId x : xs) {
+    const NodeId lo = pool_[x].lo;
+    const NodeId hi = pool_[x].hi;
+    if (is_y.count(lo) != 0 || is_y.count(hi) != 0) continue;
+    pool_[x].level = lower;
+    const std::uint64_t key = (std::uint64_t{lo} << 32) | hi;
+    unique_[static_cast<std::size_t>(lower)].emplace(key, x);
+  }
+  // Phase 2: x nodes depending on y are rewritten in place as y nodes.
+  for (const NodeId x : xs) {
+    const NodeId lo = pool_[x].lo;
+    const NodeId hi = pool_[x].hi;
+    const bool lo_y = is_y.count(lo) != 0;
+    const bool hi_y = is_y.count(hi) != 0;
+    if (!lo_y && !hi_y) continue;  // migrated in phase 1
+    // Cofactors f_{x y}.
+    const NodeId f00 = lo_y ? pool_[lo].lo : lo;
+    const NodeId f01 = lo_y ? pool_[lo].hi : lo;
+    const NodeId f10 = hi_y ? pool_[hi].lo : hi;
+    const NodeId f11 = hi_y ? pool_[hi].hi : hi;
+    // New children select on x below the new top variable y. make() may
+    // reuse migrated x nodes or create fresh ones (and may grow the pool,
+    // so re-fetch pool_[x] afterwards).
+    const NodeId new_lo = make(lower, f00, f10);
+    const NodeId new_hi = make(lower, f01, f11);
+    // A node with distinct cofactors on y keeps depending on y: the
+    // rewritten children can never be equal.
+    OVO_CHECK(new_lo != new_hi);
+    Node& xn = pool_[x];
+    xn.lo = new_lo;
+    xn.hi = new_hi;
+    xn.level = upper;  // now labeled y
+    const std::uint64_t key = (std::uint64_t{new_lo} << 32) | new_hi;
+    unique_[static_cast<std::size_t>(upper)].emplace(key, x);
+  }
+
+  std::swap(order_[static_cast<std::size_t>(upper)],
+            order_[static_cast<std::size_t>(lower)]);
+  var_to_level_ = util::inverse_permutation(order_);
+  return pool_.size() - before;
+}
+
+int Manager::top_level(NodeId f, NodeId g, NodeId h) const {
+  return std::min({pool_[f].level, pool_[g].level, pool_[h].level});
+}
+
+NodeId Manager::ite(NodeId f, NodeId g, NodeId h) {
+  // Terminal rules.
+  if (f == kTrue) return g;
+  if (f == kFalse) return h;
+  if (g == h) return g;
+  if (g == kTrue && h == kFalse) return f;
+  const TripleKey key{f, g, h};
+  if (const auto it = ite_cache_.find(key); it != ite_cache_.end())
+    return it->second;
+  const int level = top_level(f, g, h);
+  const auto cof = [&](NodeId u, bool hi_branch) {
+    const Node& un = pool_[u];
+    if (un.level != level) return u;
+    return hi_branch ? un.hi : un.lo;
+  };
+  const NodeId lo = ite(cof(f, false), cof(g, false), cof(h, false));
+  const NodeId hi = ite(cof(f, true), cof(g, true), cof(h, true));
+  const NodeId out = make(level, lo, hi);
+  ite_cache_.emplace(key, out);
+  return out;
+}
+
+NodeId Manager::restrict_rec(NodeId f, int level, bool val,
+                             std::unordered_map<NodeId, NodeId>& memo) {
+  const Node& fn = pool_[f];
+  if (fn.level > level) return f;  // below the restricted level or terminal
+  if (const auto it = memo.find(f); it != memo.end()) return it->second;
+  NodeId out;
+  if (fn.level == level) {
+    out = val ? fn.hi : fn.lo;
+  } else {
+    const NodeId lo = restrict_rec(fn.lo, level, val, memo);
+    const NodeId hi = restrict_rec(fn.hi, level, val, memo);
+    out = make(fn.level, lo, hi);
+  }
+  memo.emplace(f, out);
+  return out;
+}
+
+NodeId Manager::restrict_var(NodeId f, int var, bool val) {
+  std::unordered_map<NodeId, NodeId> memo;
+  return restrict_rec(f, level_of_var(var), val, memo);
+}
+
+NodeId Manager::exists(NodeId f, int var) {
+  return apply_or(restrict_var(f, var, false), restrict_var(f, var, true));
+}
+
+NodeId Manager::forall(NodeId f, int var) {
+  return apply_and(restrict_var(f, var, false), restrict_var(f, var, true));
+}
+
+NodeId Manager::compose(NodeId f, int var, NodeId g) {
+  return ite(g, restrict_var(f, var, true), restrict_var(f, var, false));
+}
+
+bool Manager::eval(NodeId f, std::uint64_t assignment) const {
+  while (!is_terminal(f)) {
+    const Node& fn = pool_[f];
+    const int var = order_[static_cast<std::size_t>(fn.level)];
+    f = ((assignment >> var) & 1u) ? fn.hi : fn.lo;
+  }
+  return f == kTrue;
+}
+
+tt::TruthTable Manager::to_truth_table(NodeId f) const {
+  OVO_CHECK_MSG(n_ <= tt::TruthTable::kMaxVars,
+                "to_truth_table: too many variables to tabulate");
+  return tt::TruthTable::tabulate(
+      n_, [&](std::uint64_t a) { return eval(f, a); });
+}
+
+std::uint64_t Manager::satcount(NodeId f) const {
+  std::unordered_map<NodeId, std::uint64_t> memo;
+  // count(u) = satisfying assignments over levels [level(u), n).
+  auto rec = [&](auto&& self, NodeId u) -> std::uint64_t {
+    if (u == kFalse) return 0;
+    if (u == kTrue) return 1;
+    if (const auto it = memo.find(u); it != memo.end()) return it->second;
+    const Node& un = pool_[u];
+    const auto weight = [&](NodeId child) -> std::uint64_t {
+      const int child_level = pool_[child].level;
+      return self(self, child)
+             << (child_level - un.level - 1);  // skipped levels double count
+    };
+    const std::uint64_t c = weight(un.lo) + weight(un.hi);
+    memo.emplace(u, c);
+    return c;
+  };
+  if (f == kFalse) return 0;
+  const int top = pool_[f].level;
+  return rec(rec, f) << top;
+}
+
+std::uint64_t Manager::size(NodeId f) const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t w : level_widths(f)) total += w;
+  return total;
+}
+
+std::vector<std::uint64_t> Manager::level_widths(NodeId f) const {
+  std::vector<std::uint64_t> widths(static_cast<std::size_t>(n_), 0);
+  std::vector<NodeId> stack;
+  std::unordered_map<NodeId, bool> seen;
+  if (!is_terminal(f)) stack.push_back(f);
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    if (seen.count(u)) continue;
+    seen.emplace(u, true);
+    const Node& un = pool_[u];
+    ++widths[static_cast<std::size_t>(un.level)];
+    if (!is_terminal(un.lo)) stack.push_back(un.lo);
+    if (!is_terminal(un.hi)) stack.push_back(un.hi);
+  }
+  return widths;
+}
+
+util::Mask Manager::support(NodeId f) const {
+  util::Mask m = 0;
+  std::vector<NodeId> stack{f};
+  std::unordered_map<NodeId, bool> seen;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    if (is_terminal(u) || seen.count(u)) continue;
+    seen.emplace(u, true);
+    const Node& un = pool_[u];
+    m |= util::Mask{1} << order_[static_cast<std::size_t>(un.level)];
+    stack.push_back(un.lo);
+    stack.push_back(un.hi);
+  }
+  return m;
+}
+
+bool Manager::find_sat_assignment(NodeId f, std::uint64_t* assignment) const {
+  OVO_CHECK(assignment != nullptr);
+  if (f == kFalse) return false;
+  std::uint64_t a = 0;
+  while (!is_terminal(f)) {
+    const Node& fn = pool_[f];
+    const int var = order_[static_cast<std::size_t>(fn.level)];
+    if (fn.lo != kFalse) {
+      f = fn.lo;
+    } else {
+      a |= std::uint64_t{1} << var;
+      f = fn.hi;
+    }
+  }
+  OVO_CHECK(f == kTrue);
+  *assignment = a;
+  return true;
+}
+
+std::string Manager::to_dot(NodeId f, const std::string& name) const {
+  std::ostringstream os;
+  os << "digraph " << name << " {\n";
+  os << "  rankdir=TB;\n";
+  os << "  node_0 [label=\"F\", shape=box];\n";
+  os << "  node_1 [label=\"T\", shape=box];\n";
+  std::vector<NodeId> stack{f};
+  std::unordered_map<NodeId, bool> seen;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    if (is_terminal(u) || seen.count(u)) continue;
+    seen.emplace(u, true);
+    const Node& un = pool_[u];
+    os << "  node_" << u << " [label=\"x"
+       << order_[static_cast<std::size_t>(un.level)] + 1 << "\", shape=circle];\n";
+    os << "  node_" << u << " -> node_" << un.lo << " [style=dotted];\n";
+    os << "  node_" << u << " -> node_" << un.hi << " [style=solid];\n";
+    stack.push_back(un.lo);
+    stack.push_back(un.hi);
+  }
+  os << "}\n";
+  return os.str();
+}
+
+bool structurally_equal(const Manager& ma, NodeId a, const Manager& mb,
+                        NodeId b) {
+  std::unordered_map<std::uint64_t, bool> memo;
+  auto rec = [&](auto&& self, NodeId x, NodeId y) -> bool {
+    if (ma.is_terminal(x) || mb.is_terminal(y)) return x == y;
+    const std::uint64_t key = (std::uint64_t{x} << 32) | y;
+    if (const auto it = memo.find(key); it != memo.end()) return it->second;
+    const Node& xn = ma.node(x);
+    const Node& yn = mb.node(y);
+    bool eq = ma.var_at_level(xn.level) == mb.var_at_level(yn.level) &&
+              self(self, xn.lo, yn.lo) && self(self, xn.hi, yn.hi);
+    memo.emplace(key, eq);
+    return eq;
+  };
+  return rec(rec, a, b);
+}
+
+}  // namespace ovo::bdd

@@ -1,0 +1,201 @@
+#pragma once
+// Reduced Ordered Binary Decision Diagram (ROBDD) package.
+//
+// A Manager owns a node pool for one fixed variable ordering (the paper's
+// pi).  Levels are numbered top-down: level 0 is read first (the root
+// level), level n-1 last; `order()[l]` is the 0-based variable read at
+// level l.  Note the paper numbers levels bottom-up (its level n is the
+// root); conversions happen in ovo::core.
+//
+// Nodes are referenced by NodeId.  Ids 0 and 1 are the false/true
+// terminals.  All diagrams in one manager are fully reduced and share
+// structure, so two NodeIds are equal iff they represent the same function
+// (canonicity).  Nodes are never freed (arena style); managers are cheap
+// to create per task, which is how the ordering search uses them.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tt/truth_table.hpp"
+#include "util/check.hpp"
+
+namespace ovo::bdd {
+
+using NodeId = std::uint32_t;
+
+inline constexpr NodeId kFalse = 0;
+inline constexpr NodeId kTrue = 1;
+
+struct Node {
+  std::int32_t level;  ///< top-down level; terminals use level = n
+  NodeId lo = kFalse;  ///< 0-edge destination
+  NodeId hi = kFalse;  ///< 1-edge destination
+};
+
+class Manager {
+ public:
+  /// Identity ordering: variable i at level i.
+  explicit Manager(int num_vars);
+
+  /// `order[l]` = variable read at level l (a permutation of 0..n-1).
+  Manager(int num_vars, std::vector<int> order);
+
+  int num_vars() const { return n_; }
+  const std::vector<int>& order() const { return order_; }
+
+  /// Level of variable v in this manager's ordering.
+  int level_of_var(int var) const {
+    OVO_CHECK(var >= 0 && var < n_);
+    return var_to_level_[static_cast<std::size_t>(var)];
+  }
+  /// Variable at level l.
+  int var_at_level(int level) const {
+    OVO_CHECK(level >= 0 && level < n_);
+    return order_[static_cast<std::size_t>(level)];
+  }
+
+  bool is_terminal(NodeId id) const { return id <= kTrue; }
+  const Node& node(NodeId id) const {
+    OVO_DCHECK(id < pool_.size());
+    return pool_[id];
+  }
+
+  /// Total nodes ever created (including the two terminals).
+  std::size_t pool_size() const { return pool_.size(); }
+
+  struct Stats {
+    std::size_t pool_nodes = 0;      ///< arena size incl. terminals
+    std::size_t unique_entries = 0;  ///< hash-consing table entries
+    std::size_t cache_entries = 0;   ///< ITE computed-table entries
+  };
+  Stats stats() const;
+
+  /// Garbage-collects the arena: drops every node unreachable from
+  /// `roots`, renumbers the survivors densely, rebuilds the unique
+  /// tables, and clears the operation cache.  Each entry of `roots` is
+  /// rewritten to its new id; all other NodeIds become invalid.  Returns
+  /// the number of nodes discarded.  (The main source of garbage is
+  /// dynamic reordering.)
+  std::size_t collect_garbage(std::vector<NodeId>* roots);
+
+  // --- construction -------------------------------------------------------
+
+  NodeId constant(bool v) const { return v ? kTrue : kFalse; }
+
+  /// The single-variable function x_var.
+  NodeId var_node(int var);
+
+  /// The literal x_var or !x_var.
+  NodeId literal(int var, bool positive);
+
+  /// Reduced unique node with the given children at `level`; applies
+  /// reduction rule (a) (lo == hi) and hash-consing (rule (b)).
+  /// Children must live at strictly greater levels.
+  NodeId make(int level, NodeId lo, NodeId hi);
+
+  /// Builds the ROBDD of a truth table under this manager's ordering by
+  /// bottom-up table compaction; O(2^n) time.
+  NodeId from_truth_table(const tt::TruthTable& t);
+
+  /// In-place swap of the variables at `level` and `level + 1` (dynamic
+  /// reordering primitive). Every existing NodeId keeps denoting the same
+  /// Boolean function; superseded nodes become arena garbage. Returns the
+  /// number of nodes created. See bdd/dynamic_reorder.hpp for the sifting
+  /// driver built on top.
+  std::size_t swap_adjacent_levels(int level);
+
+  // --- Boolean operations --------------------------------------------------
+
+  /// If-then-else: the workhorse; all binary ops route through it.
+  NodeId ite(NodeId f, NodeId g, NodeId h);
+
+  NodeId apply_not(NodeId f) { return ite(f, kFalse, kTrue); }
+  NodeId apply_and(NodeId f, NodeId g) { return ite(f, g, kFalse); }
+  NodeId apply_or(NodeId f, NodeId g) { return ite(f, kTrue, g); }
+  NodeId apply_xor(NodeId f, NodeId g) { return ite(f, apply_not(g), g); }
+  NodeId apply_xnor(NodeId f, NodeId g) { return apply_not(apply_xor(f, g)); }
+  NodeId apply_implies(NodeId f, NodeId g) { return ite(f, g, kTrue); }
+
+  /// f with x_var fixed to val.
+  NodeId restrict_var(NodeId f, int var, bool val);
+
+  /// Existential / universal quantification of one variable.
+  NodeId exists(NodeId f, int var);
+  NodeId forall(NodeId f, int var);
+
+  /// Functional composition: f with x_var replaced by g.
+  NodeId compose(NodeId f, int var, NodeId g);
+
+  // --- queries --------------------------------------------------------------
+
+  bool eval(NodeId f, std::uint64_t assignment) const;
+
+  tt::TruthTable to_truth_table(NodeId f) const;
+
+  /// Number of satisfying assignments over all n variables.
+  std::uint64_t satcount(NodeId f) const;
+
+  /// Non-terminal nodes reachable from f (the paper's OBDD size counts
+  /// non-terminals; add 2 for the paper's |B(f, pi)| including terminals).
+  std::uint64_t size(NodeId f) const;
+
+  /// Nodes per level reachable from f — the paper's Cost profile, indexed
+  /// top-down by level.
+  std::vector<std::uint64_t> level_widths(NodeId f) const;
+
+  /// Variables f depends on, as a mask.
+  util::Mask support(NodeId f) const;
+
+  /// One satisfying assignment, if any. Returns false if f == kFalse.
+  bool find_sat_assignment(NodeId f, std::uint64_t* assignment) const;
+
+  /// Graphviz rendering for debugging / documentation.
+  std::string to_dot(NodeId f, const std::string& name = "bdd") const;
+
+ private:
+  struct PairHash {
+    std::size_t operator()(std::uint64_t k) const {
+      k ^= k >> 33;
+      k *= 0xff51afd7ed558ccdull;
+      k ^= k >> 33;
+      return static_cast<std::size_t>(k);
+    }
+  };
+  struct TripleKey {
+    NodeId f, g, h;
+    bool operator==(const TripleKey&) const = default;
+  };
+  struct TripleHash {
+    std::size_t operator()(const TripleKey& k) const {
+      std::uint64_t x = (std::uint64_t{k.f} << 32) ^ (std::uint64_t{k.g} << 16) ^
+                        k.h;
+      x ^= x >> 30;
+      x *= 0xbf58476d1ce4e5b9ull;
+      x ^= x >> 27;
+      return static_cast<std::size_t>(x);
+    }
+  };
+
+  int top_level(NodeId f, NodeId g, NodeId h) const;
+
+  NodeId restrict_rec(NodeId f, int level, bool val,
+                      std::unordered_map<NodeId, NodeId>& memo);
+
+  int n_;
+  std::vector<int> order_;
+  std::vector<int> var_to_level_;
+  std::vector<Node> pool_;
+  /// Per-level unique tables keyed by (lo, hi).
+  std::vector<std::unordered_map<std::uint64_t, NodeId, PairHash>> unique_;
+  std::unordered_map<TripleKey, NodeId, TripleHash> ite_cache_;
+};
+
+/// Structural isomorphism across managers (levels must carry the same
+/// variables). Used by tests to compare diagrams built under the same
+/// ordering by different construction paths.
+bool structurally_equal(const Manager& ma, NodeId a, const Manager& mb,
+                        NodeId b);
+
+}  // namespace ovo::bdd

@@ -1,0 +1,80 @@
+#include "bdd/serialize.hpp"
+
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ovo::bdd {
+
+std::string save_bdd(const Manager& m, NodeId root) {
+  // Dense renumbering by DFS post-order so children precede parents.
+  std::unordered_map<NodeId, std::uint32_t> index{{kFalse, 0}, {kTrue, 1}};
+  std::vector<NodeId> ordered;  // non-terminals in emission order
+  auto rec = [&](auto&& self, NodeId u) -> void {
+    if (index.count(u)) return;
+    const Node& un = m.node(u);
+    self(self, un.lo);
+    self(self, un.hi);
+    index.emplace(u, static_cast<std::uint32_t>(2 + ordered.size()));
+    ordered.push_back(u);
+  };
+  rec(rec, root);
+
+  std::ostringstream os;
+  os << "ovo-bdd 1\n";
+  os << "n " << m.num_vars() << "\n";
+  os << "order";
+  for (const int v : m.order()) os << ' ' << v;
+  os << "\n";
+  os << "nodes " << ordered.size() << "\n";
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    const Node& un = m.node(ordered[i]);
+    os << (2 + i) << ' ' << un.level << ' ' << index.at(un.lo) << ' '
+       << index.at(un.hi) << "\n";
+  }
+  os << "root " << index.at(root) << "\n";
+  return os.str();
+}
+
+LoadedBdd load_bdd(const std::string& text) {
+  std::istringstream is(text);
+  std::string word;
+  int version = 0;
+  OVO_CHECK_MSG((is >> word >> version) && word == "ovo-bdd" && version == 1,
+                "load_bdd: bad header");
+  int n = 0;
+  OVO_CHECK_MSG((is >> word >> n) && word == "n" && n >= 0,
+                "load_bdd: bad variable count");
+  OVO_CHECK_MSG((is >> word) && word == "order", "load_bdd: missing order");
+  std::vector<int> order(static_cast<std::size_t>(n));
+  for (int& v : order) OVO_CHECK_MSG(static_cast<bool>(is >> v),
+                                     "load_bdd: truncated order");
+  std::size_t count = 0;
+  OVO_CHECK_MSG((is >> word >> count) && word == "nodes",
+                "load_bdd: missing node count");
+
+  LoadedBdd out{Manager(n, order), kFalse};
+  std::vector<NodeId> id_map{kFalse, kTrue};
+  id_map.reserve(count + 2);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::size_t idx = 0;
+    int level = 0;
+    std::size_t lo = 0, hi = 0;
+    OVO_CHECK_MSG(static_cast<bool>(is >> idx >> level >> lo >> hi),
+                  "load_bdd: truncated node table");
+    OVO_CHECK_MSG(idx == 2 + i, "load_bdd: node indices must be dense");
+    OVO_CHECK_MSG(lo < id_map.size() && hi < id_map.size(),
+                  "load_bdd: dangling child reference");
+    id_map.push_back(out.manager.make(level, id_map[lo], id_map[hi]));
+  }
+  std::size_t root_idx = 0;
+  OVO_CHECK_MSG((is >> word >> root_idx) && word == "root",
+                "load_bdd: missing root");
+  OVO_CHECK_MSG(root_idx < id_map.size(), "load_bdd: dangling root");
+  out.root = id_map[root_idx];
+  return out;
+}
+
+}  // namespace ovo::bdd

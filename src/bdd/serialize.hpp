@@ -1,0 +1,32 @@
+#pragma once
+// Text serialization of ROBDDs: a small versioned format that survives
+// round-trips across processes.  Node ids are compacted to a dense
+// post-order numbering on save; load re-interns them through make(), so a
+// loaded diagram is reduced and canonical by construction.
+//
+//   ovo-bdd 1
+//   n <num_vars>
+//   order <v0> <v1> ... (root level first)
+//   nodes <count>
+//   <idx> <level> <lo> <hi>     (idx dense from 2; 0/1 are terminals)
+//   root <idx>
+
+#include <string>
+
+#include "bdd/manager.hpp"
+
+namespace ovo::bdd {
+
+/// Serializes the diagram rooted at `root`.
+std::string save_bdd(const Manager& m, NodeId root);
+
+struct LoadedBdd {
+  Manager manager;
+  NodeId root;
+};
+
+/// Parses a diagram saved by save_bdd. Throws util::CheckError on
+/// malformed input (bad header, dangling references, level violations).
+LoadedBdd load_bdd(const std::string& text);
+
+}  // namespace ovo::bdd

@@ -1,0 +1,27 @@
+#include "bdd/transfer.hpp"
+
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace ovo::bdd {
+
+NodeId transfer(const Manager& src, NodeId f, Manager& dst) {
+  OVO_CHECK_MSG(src.num_vars() == dst.num_vars(),
+                "transfer: variable universes differ");
+  std::unordered_map<NodeId, NodeId> memo;
+  auto rec = [&](auto&& self, NodeId u) -> NodeId {
+    if (src.is_terminal(u)) return u;  // terminal ids coincide
+    if (const auto it = memo.find(u); it != memo.end()) return it->second;
+    const Node& un = src.node(u);
+    const int var = src.var_at_level(un.level);
+    // Shannon expansion re-interpreted in the destination ordering.
+    const NodeId out = dst.ite(dst.var_node(var), self(self, un.hi),
+                               self(self, un.lo));
+    memo.emplace(u, out);
+    return out;
+  };
+  return rec(rec, f);
+}
+
+}  // namespace ovo::bdd

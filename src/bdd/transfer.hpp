@@ -1,0 +1,20 @@
+#pragma once
+// Cross-manager diagram transfer: rebuilds a function under a different
+// variable ordering symbolically (via ITE in the destination manager),
+// without materializing a truth table — the order-migration primitive a
+// BDD package needs once orders are being optimized.
+//
+// Cost is O(|src diagram| * |dst diagram|) in the worst case (the classic
+// bound for reordering by transfer), which is exactly why the paper's
+// exact ordering algorithms matter: you want to migrate once, to the
+// right order.
+
+#include "bdd/manager.hpp"
+
+namespace ovo::bdd {
+
+/// Rebuilds `f` (a diagram in `src`) inside `dst` (same variable universe,
+/// any ordering). Returns the canonical root in `dst`.
+NodeId transfer(const Manager& src, NodeId f, Manager& dst);
+
+}  // namespace ovo::bdd

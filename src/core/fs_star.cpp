@@ -1,0 +1,90 @@
+#include "core/fs_star.hpp"
+
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace ovo::core {
+
+FsStarResult fs_star(const PrefixTable& base, util::Mask J, int stop_k,
+                     DiagramKind kind, OpCounter* ops) {
+  OVO_CHECK_MSG((base.vars & J) == 0, "fs_star: J overlaps prefix I");
+  OVO_CHECK_MSG(util::is_subset(J, util::full_mask(base.n)),
+                "fs_star: J outside variable universe");
+  const int j_size = util::popcount(J);
+  OVO_CHECK_MSG(stop_k >= 0 && stop_k <= j_size, "fs_star: bad stop layer");
+
+  const std::vector<int> j_vars = util::bits_of(J);
+
+  FsStarResult result;
+  result.mincost.emplace(util::Mask{0}, base.mincost());
+
+  std::unordered_map<util::Mask, PrefixTable> prev;
+  prev.emplace(util::Mask{0}, base);
+
+  std::uint64_t prev_resident = base.cells.size();
+  for (int layer = 1; layer <= stop_k; ++layer) {
+    std::unordered_map<util::Mask, PrefixTable> cur;
+    std::uint64_t cur_resident = 0;
+    // Enumerate K ⊆ J with |K| = layer via dense combinations of J's bits.
+    util::for_each_subset_of_size(j_size, layer, [&](util::Mask dense) {
+      util::Mask K = 0;
+      util::for_each_bit(dense, [&](int b) {
+        K |= util::Mask{1} << j_vars[static_cast<std::size_t>(b)];
+      });
+      PrefixTable best;
+      std::uint64_t best_cost = std::numeric_limits<std::uint64_t>::max();
+      int best_var = -1;
+      util::for_each_bit(K, [&](int k) {
+        const auto it = prev.find(K & ~(util::Mask{1} << k));
+        OVO_CHECK_MSG(it != prev.end(), "fs_star: missing predecessor table");
+        PrefixTable cand = compact(it->second, k, kind, ops);
+        const std::uint64_t cost = cand.mincost();
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_var = k;
+          best = std::move(cand);
+        }
+      });
+      OVO_CHECK(best_var >= 0);
+      result.best_last.emplace(K, best_var);
+      result.mincost.emplace(K, best_cost);
+      cur_resident += best.cells.size();
+      cur.emplace(K, std::move(best));
+    });
+    // Remark 1: both layers are resident while the next one is built.
+    if (ops != nullptr) ops->observe_resident(prev_resident + cur_resident);
+    prev_resident = cur_resident;
+    prev = std::move(cur);
+  }
+
+  result.tables = std::move(prev);
+  return result;
+}
+
+PrefixTable fs_star_full(const PrefixTable& base, util::Mask J,
+                         DiagramKind kind, OpCounter* ops,
+                         std::vector<int>* block_order_bottom_up) {
+  FsStarResult r = fs_star(base, J, util::popcount(J), kind, ops);
+  if (block_order_bottom_up != nullptr)
+    *block_order_bottom_up = reconstruct_block_order(r, J);
+  auto it = r.tables.find(J);
+  OVO_CHECK(it != r.tables.end());
+  return std::move(it->second);
+}
+
+std::vector<int> reconstruct_block_order(const FsStarResult& r,
+                                         util::Mask J) {
+  std::vector<int> top_down;
+  util::Mask K = J;
+  while (K != 0) {
+    const auto it = r.best_last.find(K);
+    OVO_CHECK_MSG(it != r.best_last.end(),
+                  "reconstruct_block_order: missing back-pointer");
+    top_down.push_back(it->second);
+    K &= ~(util::Mask{1} << it->second);
+  }
+  return {top_down.rbegin(), top_down.rend()};  // bottom-up
+}
+
+}  // namespace ovo::core

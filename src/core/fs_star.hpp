@@ -1,0 +1,47 @@
+#pragma once
+// Algorithm FS* (paper Lemma 8 / Appendix D): the composable form of the
+// Friedman–Supowit dynamic program.  Starting from FS(I) (a PrefixTable for
+// prefix set I), it computes FS(<I, K>) for all K ⊆ J of a given
+// cardinality — or FS(<I, J>) when run to completion.  Algorithm FS itself
+// (Theorem 5) is the special case I = ∅, J = [n], run to completion; see
+// minimize.hpp for that entry point.
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/prefix_table.hpp"
+
+namespace ovo::core {
+
+struct FsStarResult {
+  /// Tables at the stop layer: one entry per K ⊆ J with |K| = stop_k
+  /// (a single entry with key J when run to completion). Keys are variable
+  /// masks; each table's chain cost is table.mincost().
+  std::unordered_map<util::Mask, PrefixTable> tables;
+
+  /// For every K ⊆ J with 1 <= |K| <= stop_k: the variable placed at the
+  /// top level of the block, i.e. pi_{<I,K>}[|I|+|K|] (Lemma 7's argmin).
+  std::unordered_map<util::Mask, int> best_last;
+
+  /// MINCOST_{<I,K>} (chain totals, including the base's mincost) for every
+  /// K ⊆ J with |K| <= stop_k.
+  std::unordered_map<util::Mask, std::uint64_t> mincost;
+};
+
+/// Runs the FS* DP from `base` over block J (disjoint from base.vars),
+/// stopping after layer `stop_k` (0 <= stop_k <= |J|).
+FsStarResult fs_star(const PrefixTable& base, util::Mask J, int stop_k,
+                     DiagramKind kind, OpCounter* ops = nullptr);
+
+/// Convenience: run to completion and return the single FS(<I, J>) table.
+PrefixTable fs_star_full(const PrefixTable& base, util::Mask J,
+                         DiagramKind kind, OpCounter* ops = nullptr,
+                         std::vector<int>* block_order_bottom_up = nullptr);
+
+/// Recovers the optimal within-block variable order of J from the DP
+/// back-pointers: result[0] is the variable at the lowest level of the
+/// block, result[|J|-1] the one at its top (the paper's pi restricted to
+/// the block, bottom-up).
+std::vector<int> reconstruct_block_order(const FsStarResult& r, util::Mask J);
+
+}  // namespace ovo::core

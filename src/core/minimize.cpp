@@ -1,0 +1,82 @@
+#include "core/minimize.hpp"
+
+#include <algorithm>
+
+#include "core/fs_star.hpp"
+#include "util/check.hpp"
+#include "util/combinatorics.hpp"
+
+namespace ovo::core {
+
+namespace {
+
+MinimizeResult minimize_from_base(const PrefixTable& base, DiagramKind kind) {
+  MinimizeResult out;
+  const util::Mask all = util::full_mask(base.n);
+  std::vector<int> bottom_up;
+  const PrefixTable final_table =
+      fs_star_full(base, all, kind, &out.ops, &bottom_up);
+  out.min_internal_nodes = final_table.mincost();
+  out.order_root_first.assign(bottom_up.rbegin(), bottom_up.rend());
+  return out;
+}
+
+}  // namespace
+
+MinimizeResult fs_minimize(const tt::TruthTable& f, DiagramKind kind) {
+  OVO_CHECK_MSG(kind != DiagramKind::kMtbdd,
+                "fs_minimize: use fs_minimize_mtbdd for value tables");
+  return minimize_from_base(initial_table(f), kind);
+}
+
+MinimizeResult fs_minimize_mtbdd(const std::vector<std::int64_t>& values,
+                                 int n) {
+  return minimize_from_base(initial_table_values(values, n),
+                            DiagramKind::kMtbdd);
+}
+
+namespace {
+
+std::uint64_t chain_size(PrefixTable table,
+                         const std::vector<int>& order_root_first,
+                         DiagramKind kind, OpCounter* ops,
+                         std::vector<std::uint64_t>* profile) {
+  OVO_CHECK_MSG(static_cast<int>(order_root_first.size()) == table.n,
+                "order length mismatch");
+  OVO_CHECK_MSG(util::is_permutation(order_root_first),
+                "order not a permutation");
+  if (profile != nullptr) profile->assign(order_root_first.size(), 0);
+  // Compact bottom-up: last-read variable first.
+  for (std::size_t j = order_root_first.size(); j-- > 0;) {
+    const std::uint64_t before = table.mincost();
+    table = compact(table, order_root_first[j], kind, ops);
+    if (profile != nullptr)
+      (*profile)[order_root_first.size() - 1 - j] = table.mincost() - before;
+  }
+  return table.mincost();
+}
+
+}  // namespace
+
+std::uint64_t diagram_size_for_order(const tt::TruthTable& f,
+                                     const std::vector<int>& order_root_first,
+                                     DiagramKind kind, OpCounter* ops) {
+  return chain_size(initial_table(f), order_root_first, kind, ops, nullptr);
+}
+
+std::uint64_t diagram_size_for_order_values(
+    const std::vector<std::int64_t>& values, int n,
+    const std::vector<int>& order_root_first, OpCounter* ops) {
+  return chain_size(initial_table_values(values, n), order_root_first,
+                    DiagramKind::kMtbdd, ops, nullptr);
+}
+
+std::vector<std::uint64_t> level_profile_for_order(
+    const tt::TruthTable& f, const std::vector<int>& order_root_first,
+    DiagramKind kind) {
+  std::vector<std::uint64_t> profile;
+  chain_size(initial_table(f), order_root_first, kind, nullptr, &profile);
+  return profile;
+}
+
+}  // namespace ovo::core

@@ -1,0 +1,62 @@
+#pragma once
+// Public entry points for exact decision-diagram minimization — the paper's
+// algorithm FS (Theorem 5) specialized per diagram kind, plus order-cost
+// evaluation used by baselines and verification.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/prefix_table.hpp"
+#include "tt/truth_table.hpp"
+
+namespace ovo::core {
+
+struct MinimizeResult {
+  /// Optimal variable reading order, root first: order_root_first[0] is the
+  /// variable read first (the paper's x_{pi[n]}).
+  std::vector<int> order_root_first;
+
+  /// Internal (non-terminal) node count of the minimum diagram,
+  /// MINCOST_{[n]}. The paper's figures count terminals too: add
+  /// 2 for BDD/ZDD, the number of distinct values for MTBDD.
+  std::uint64_t min_internal_nodes = 0;
+
+  /// Work performed, in table cells processed (Theorem 5: O*(3^n)).
+  OpCounter ops;
+};
+
+/// Exact minimum OBDD ordering by the Friedman–Supowit DP; O*(3^n) time and
+/// space in the number of variables of `f`.
+MinimizeResult fs_minimize(const tt::TruthTable& f,
+                           DiagramKind kind = DiagramKind::kBdd);
+
+/// Exact minimum ZDD ordering (Appendix D adaptation).
+inline MinimizeResult fs_minimize_zdd(const tt::TruthTable& f) {
+  return fs_minimize(f, DiagramKind::kZdd);
+}
+
+/// Exact minimum MTBDD ordering for a multi-valued function given as a
+/// value table of size 2^n (Remark 2).
+MinimizeResult fs_minimize_mtbdd(const std::vector<std::int64_t>& values,
+                                 int n);
+
+/// Internal node count of the diagram for `f` under a full reading order
+/// (root first), computed by a single chain of table compactions; O(2^n).
+/// This is the exact size oracle used by the heuristic baselines.
+std::uint64_t diagram_size_for_order(const tt::TruthTable& f,
+                                     const std::vector<int>& order_root_first,
+                                     DiagramKind kind = DiagramKind::kBdd,
+                                     OpCounter* ops = nullptr);
+
+/// MTBDD variant of diagram_size_for_order.
+std::uint64_t diagram_size_for_order_values(
+    const std::vector<std::int64_t>& values, int n,
+    const std::vector<int>& order_root_first, OpCounter* ops = nullptr);
+
+/// Per-level widths (the paper's Cost_{pi[j]} profile, bottom-up: entry 0
+/// is the lowest level) under a full reading order.
+std::vector<std::uint64_t> level_profile_for_order(
+    const tt::TruthTable& f, const std::vector<int>& order_root_first,
+    DiagramKind kind = DiagramKind::kBdd);
+
+}  // namespace ovo::core

@@ -1,0 +1,69 @@
+#include "core/multi_output.hpp"
+
+#include "core/fs_star.hpp"
+#include "util/check.hpp"
+#include "util/combinatorics.hpp"
+
+namespace ovo::core {
+
+// Cells indexed by (sel, x) with sel occupying the TOP bit positions so
+// that the x variables form the low, compactable block. Outputs are padded
+// to a power of two by repeating output 0 (duplicates add no distinct
+// subfunctions).
+PrefixTable shared_initial_table(const std::vector<tt::TruthTable>& outputs,
+                                 int* num_x_vars) {
+  OVO_CHECK_MSG(!outputs.empty(), "fs_minimize_shared: no outputs");
+  const int n = outputs.front().num_vars();
+  for (const tt::TruthTable& t : outputs)
+    OVO_CHECK_MSG(t.num_vars() == n,
+                  "fs_minimize_shared: outputs must share the variable set");
+  int sel = 0;
+  while ((std::size_t{1} << sel) < outputs.size()) ++sel;
+  OVO_CHECK_MSG(n + sel <= tt::TruthTable::kMaxVars,
+                "fs_minimize_shared: too many variables + outputs");
+
+  PrefixTable t;
+  t.n = n + sel;
+  t.vars = 0;
+  t.num_terminals = 2;
+  t.next_id = 2;
+  t.cells.resize(std::uint64_t{1} << (n + sel));
+  const std::uint64_t x_cells = std::uint64_t{1} << n;
+  for (std::uint64_t s = 0; s < (std::uint64_t{1} << sel); ++s) {
+    const tt::TruthTable& out =
+        outputs[s < outputs.size() ? s : 0];
+    for (std::uint64_t a = 0; a < x_cells; ++a)
+      t.cells[(s << n) | a] = out.get(a) ? 1u : 0u;
+  }
+  *num_x_vars = n;
+  return t;
+}
+
+MultiMinimizeResult fs_minimize_shared(
+    const std::vector<tt::TruthTable>& outputs, DiagramKind kind) {
+  MultiMinimizeResult r;
+  int n = 0;
+  const PrefixTable base = shared_initial_table(outputs, &n);
+  std::vector<int> bottom_up;
+  const PrefixTable final_table = fs_star_full(
+      base, util::full_mask(n), kind, &r.ops, &bottom_up);
+  r.min_internal_nodes = final_table.mincost();
+  r.order_root_first.assign(bottom_up.rbegin(), bottom_up.rend());
+  return r;
+}
+
+std::uint64_t shared_size_for_order(const std::vector<tt::TruthTable>& outputs,
+                                    const std::vector<int>& order_root_first,
+                                    DiagramKind kind) {
+  int n = 0;
+  PrefixTable t = shared_initial_table(outputs, &n);
+  OVO_CHECK_MSG(static_cast<int>(order_root_first.size()) == n,
+                "shared_size_for_order: order length mismatch");
+  OVO_CHECK_MSG(util::is_permutation(order_root_first),
+                "shared_size_for_order: order not a permutation");
+  for (std::size_t j = order_root_first.size(); j-- > 0;)
+    t = compact(t, order_root_first[j], kind);
+  return t.mincost();
+}
+
+}  // namespace ovo::core

@@ -1,0 +1,53 @@
+#pragma once
+// Exact ordering for shared (multi-rooted) OBDDs — the multi-output
+// circuit setting from the paper's VLSI motivation (and the object whose
+// ordering NP-hardness [THY96] the related-work section discusses).
+//
+// A shared OBDD for f_1..f_m over common variables x_1..x_n stores, per
+// level, the distinct subfunctions arising across *all* outputs.  This
+// reduces cleanly to the single-function DP: introduce s = ceil(log2 m)
+// selector variables and define F(sel, x) = f_{sel}(x); the distinct
+// subfunctions of F over a bottom set B ⊆ {x vars} are exactly the union
+// of the outputs' subfunctions over B, so running FS* with block J
+// restricted to the x variables (selectors pinned to the free/top part)
+// minimizes the shared diagram's total width.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/prefix_table.hpp"
+#include "tt/truth_table.hpp"
+
+namespace ovo::core {
+
+struct MultiMinimizeResult {
+  /// Optimal reading order over the *function* variables, root first.
+  std::vector<int> order_root_first;
+  /// Internal node count of the minimum shared diagram (all roots).
+  std::uint64_t min_internal_nodes = 0;
+  OpCounter ops;
+};
+
+/// Exact minimum shared-OBDD ordering for outputs[0..m-1], all over the
+/// same n variables. O*(3^n) time (the selector variables only scale the
+/// table width by m, a constant factor).
+MultiMinimizeResult fs_minimize_shared(
+    const std::vector<tt::TruthTable>& outputs,
+    DiagramKind kind = DiagramKind::kBdd);
+
+/// Shared-diagram size under a fixed reading order (root first) — the
+/// multi-output counterpart of diagram_size_for_order.
+std::uint64_t shared_size_for_order(const std::vector<tt::TruthTable>& outputs,
+                                    const std::vector<int>& order_root_first,
+                                    DiagramKind kind = DiagramKind::kBdd);
+
+/// The selector-extended initial table underlying the reduction: a
+/// PrefixTable over n + ceil(log2 m) variables whose low n variables are
+/// the function variables (the compactable block) and whose top selector
+/// variables choose the output. `num_x_vars` receives n. Exposed so other
+/// engines (e.g. the quantum divide-and-conquer) can run on shared
+/// diagrams too.
+PrefixTable shared_initial_table(const std::vector<tt::TruthTable>& outputs,
+                                 int* num_x_vars);
+
+}  // namespace ovo::core

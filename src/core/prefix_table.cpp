@@ -1,0 +1,126 @@
+#include "core/prefix_table.hpp"
+
+#include "util/check.hpp"
+
+namespace ovo::core {
+
+namespace {
+
+struct PairHash {
+  std::size_t operator()(std::uint64_t k) const {
+    k ^= k >> 33;
+    k *= 0xff51afd7ed558ccdull;
+    k ^= k >> 33;
+    return static_cast<std::size_t>(k);
+  }
+};
+
+/// Shared cell sweep for compact() / compaction_width(). Emit receives
+/// (dense cell index in the new table, u0, u1) for every new-table cell.
+template <typename Emit>
+void sweep_pairs(const PrefixTable& t, int var, Emit&& emit) {
+  OVO_CHECK(var >= 0 && var < t.n);
+  const util::Mask bit = util::Mask{1} << var;
+  OVO_CHECK_MSG((t.vars & bit) == 0, "compact: variable already in prefix");
+  const util::Mask free = t.free_mask();
+  // Rank of `var` among the free variables (ascending index) = its bit
+  // position within the dense cell index.
+  const int pos = util::popcount(free & (bit - 1));
+  const std::uint64_t low = (std::uint64_t{1} << pos) - 1;
+  const std::uint64_t half = t.cells.size() >> 1;
+  for (std::uint64_t b = 0; b < half; ++b) {
+    const std::uint64_t idx0 = ((b & ~low) << 1) | (b & low);
+    const std::uint64_t idx1 = idx0 | (std::uint64_t{1} << pos);
+    emit(b, t.cells[idx0], t.cells[idx1]);
+  }
+}
+
+bool cell_passes_through(DiagramKind kind, std::uint32_t u0,
+                         std::uint32_t u1) {
+  // BDD/MTBDD reduction rule (a): equal children — no node.
+  // ZDD zero-suppression: 1-child is the false terminal (id 0) — no node.
+  return kind == DiagramKind::kZdd ? (u1 == 0) : (u0 == u1);
+}
+
+}  // namespace
+
+PrefixTable initial_table(const tt::TruthTable& f) {
+  PrefixTable t;
+  t.n = f.num_vars();
+  t.vars = 0;
+  t.num_terminals = 2;
+  t.next_id = 2;
+  t.cells.resize(f.size());
+  for (std::uint64_t a = 0; a < f.size(); ++a)
+    t.cells[a] = f.get(a) ? 1u : 0u;
+  return t;
+}
+
+PrefixTable initial_table_values(const std::vector<std::int64_t>& values,
+                                 int n,
+                                 std::vector<std::int64_t>* terminal_values) {
+  OVO_CHECK_MSG(n >= 0 && n <= tt::TruthTable::kMaxVars,
+                "initial_table_values: n out of range");
+  OVO_CHECK_MSG(values.size() == (std::uint64_t{1} << n),
+                "initial_table_values: size must be 2^n");
+  PrefixTable t;
+  t.n = n;
+  t.vars = 0;
+  t.cells.resize(values.size());
+  std::unordered_map<std::int64_t, std::uint32_t> intern;
+  std::vector<std::int64_t> interned;
+  for (std::uint64_t a = 0; a < values.size(); ++a) {
+    const auto [it, inserted] =
+        intern.emplace(values[a], static_cast<std::uint32_t>(intern.size()));
+    if (inserted) interned.push_back(values[a]);
+    t.cells[a] = it->second;
+  }
+  t.num_terminals = static_cast<std::uint32_t>(intern.size());
+  t.next_id = t.num_terminals;
+  if (terminal_values != nullptr) *terminal_values = std::move(interned);
+  return t;
+}
+
+PrefixTable compact(const PrefixTable& t, int var, DiagramKind kind,
+                    OpCounter* ops) {
+  PrefixTable out;
+  out.n = t.n;
+  out.vars = t.vars | (util::Mask{1} << var);
+  out.num_terminals = t.num_terminals;
+  out.next_id = t.next_id;
+  out.cells.resize(t.cells.size() >> 1);
+  std::unordered_map<std::uint64_t, std::uint32_t, PairHash> dedup;
+  sweep_pairs(t, var, [&](std::uint64_t b, std::uint32_t u0,
+                          std::uint32_t u1) {
+    if (cell_passes_through(kind, u0, u1)) {
+      out.cells[b] = u0;
+      return;
+    }
+    const std::uint64_t key = (std::uint64_t{u0} << 32) | u1;
+    const auto [it, inserted] = dedup.emplace(key, out.next_id);
+    if (inserted) ++out.next_id;
+    out.cells[b] = it->second;
+  });
+  if (ops != nullptr) {
+    ops->table_cells += t.cells.size();
+    ++ops->compactions;
+  }
+  return out;
+}
+
+std::uint64_t compaction_width(const PrefixTable& t, int var,
+                               DiagramKind kind, OpCounter* ops) {
+  std::unordered_map<std::uint64_t, std::uint32_t, PairHash> dedup;
+  sweep_pairs(t, var,
+              [&](std::uint64_t, std::uint32_t u0, std::uint32_t u1) {
+                if (cell_passes_through(kind, u0, u1)) return;
+                dedup.emplace((std::uint64_t{u0} << 32) | u1, 0u);
+              });
+  if (ops != nullptr) {
+    ops->table_cells += t.cells.size();
+    ++ops->compactions;
+  }
+  return dedup.size();
+}
+
+}  // namespace ovo::core

@@ -1,0 +1,94 @@
+#pragma once
+// The Friedman–Supowit dynamic-programming state and the table-compaction
+// primitive (paper Sec. 2.3.1/2.3.2 and Appendix D's COMPACT).
+//
+// A PrefixTable is the paper's (TABLE_I, MINCOST_I) pair for a prefix set I
+// of variables — the variables occupying the *bottom* |I| levels of the
+// OBDD.  TABLE_I has one cell per assignment to the free variables
+// [n] \ I (packed densely, ascending variable index), holding the id of
+// the node representing the corresponding subfunction f|_{x_{[n]\I}=b}.
+//
+// Node ids are the paper's scheme: ids < num_terminals are terminals
+// (0 = false, 1 = true for BDD/ZDD; interned value indices for MTBDD) and
+// each created node takes the next free integer, so MINCOST_I equals
+// next_id - num_terminals.  Within one chain of compactions the ids are
+// canonical: two cells hold the same id iff their subfunctions are equal.
+//
+// NODE_I note: the paper stores the set NODE_I of all created triples and
+// membership-tests (u0, u1) against the whole set.  Node equivalence
+// (Sec. 2.2 rule (b)) requires var(u) = var(v), and a compaction with
+// respect to x_k can never collide with a triple created for another
+// variable (no triple with var = k exists before the compaction, and ids
+// are canonical), so the membership test reduces to a map local to the
+// current compaction.  We exploit that: the local map replaces NODE_I,
+// which keeps the same O*(2^{n-|I|}) complexity with a much smaller
+// constant.  (A literal whole-set (u0,u1) lookup ignoring var(u) would
+// actually be incorrect: e.g. f = (x1 xor x2 plugged at x4=0) and
+// (x1 xor x3 at x4=1) makes the pair (id(x1), id(!x1)) appear under both
+// x2 and x3 — distinct functions that must not be merged.)
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "tt/truth_table.hpp"
+#include "util/bits.hpp"
+
+namespace ovo::core {
+
+/// Which reduction rule the compaction applies (paper Sec. 2.3.2 for BDDs,
+/// Appendix D's two-line modification for ZDDs, Remark 2 for MTBDDs).
+enum class DiagramKind { kBdd, kZdd, kMtbdd };
+
+/// Work accounting: the paper measures time as table cells processed (each
+/// compaction is linear in the table size up to log factors), and Remark 1
+/// observes that space is of the same order — peak_cells tracks the
+/// largest number of table cells simultaneously alive in the DP.
+struct OpCounter {
+  std::uint64_t table_cells = 0;  ///< cells read by compactions
+  std::uint64_t compactions = 0;  ///< number of COMPACT invocations
+  std::uint64_t peak_cells = 0;   ///< max cells resident at once (Remark 1)
+
+  void observe_resident(std::uint64_t cells) {
+    if (cells > peak_cells) peak_cells = cells;
+  }
+  void reset() { *this = OpCounter{}; }
+};
+
+struct PrefixTable {
+  int n = 0;                         ///< total number of variables
+  util::Mask vars = 0;               ///< the prefix set I
+  std::uint32_t num_terminals = 2;   ///< ids below this are terminals
+  std::uint32_t next_id = 2;         ///< next fresh node id
+  std::vector<std::uint32_t> cells;  ///< TABLE_I, size 2^{n - |I|}
+
+  /// MINCOST_I along this chain: number of nodes created so far.
+  std::uint64_t mincost() const { return next_id - num_terminals; }
+
+  int free_count() const { return n - util::popcount(vars); }
+  util::Mask free_mask() const { return util::full_mask(n) & ~vars; }
+};
+
+/// TABLE_{emptyset}: the truth table itself (paper Sec. 2.3.1).
+PrefixTable initial_table(const tt::TruthTable& f);
+
+/// MTBDD variant: TABLE_{emptyset} over a value table of size 2^n; distinct
+/// values are interned as terminal ids 0..t-1 in order of first appearance.
+/// `terminal_values` (optional out) receives the interned values.
+PrefixTable initial_table_values(const std::vector<std::int64_t>& values,
+                                 int n,
+                                 std::vector<std::int64_t>* terminal_values =
+                                     nullptr);
+
+/// The paper's COMPACT: produces (TABLE_{(I,k)}, MINCOST_{(I,k)}) from
+/// (TABLE_I, MINCOST_I) by compacting with respect to variable `var`
+/// (which must be free in `t`).  Linear in |TABLE_I|.
+PrefixTable compact(const PrefixTable& t, int var, DiagramKind kind,
+                    OpCounter* ops = nullptr);
+
+/// The width Cost_var(f, pi_{(I,var)}) this compaction would add, without
+/// materializing the new table (same cost; used when only the size matters).
+std::uint64_t compaction_width(const PrefixTable& t, int var,
+                               DiagramKind kind, OpCounter* ops = nullptr);
+
+}  // namespace ovo::core

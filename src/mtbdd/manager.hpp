@@ -1,0 +1,116 @@
+#pragma once
+// Multi-terminal BDD (MTBDD / ADD) package for functions
+// f: {0,1}^n -> Z (Remark 2 of the paper: the FS machinery minimizes these
+// with the truth table replaced by a value table).
+//
+// Terminals are interned per distinct value; internal nodes follow the BDD
+// reduction rules (lo == hi merged, hash consing).
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/bits.hpp"
+#include "util/check.hpp"
+
+namespace ovo::mtbdd {
+
+using NodeId = std::uint32_t;
+using Value = std::int64_t;
+
+struct Node {
+  std::int32_t level;   ///< n for terminals
+  NodeId lo = 0;
+  NodeId hi = 0;
+  Value value = 0;      ///< meaningful for terminals only
+};
+
+class Manager {
+ public:
+  explicit Manager(int num_vars);
+  Manager(int num_vars, std::vector<int> order);
+
+  int num_vars() const { return n_; }
+  const std::vector<int>& order() const { return order_; }
+  int level_of_var(int var) const {
+    OVO_CHECK(var >= 0 && var < n_);
+    return var_to_level_[static_cast<std::size_t>(var)];
+  }
+
+  bool is_terminal(NodeId id) const { return pool_[id].level == n_; }
+  const Node& node(NodeId id) const {
+    OVO_DCHECK(id < pool_.size());
+    return pool_[id];
+  }
+
+  /// Interned terminal for `v`.
+  NodeId terminal(Value v);
+
+  /// Number of distinct terminal values created so far.
+  std::size_t num_terminals() const { return terminals_.size(); }
+
+  /// Reduced unique internal node.
+  NodeId make(int level, NodeId lo, NodeId hi);
+
+  /// Builds the MTBDD of the value table `values` (size 2^n, cell a =
+  /// f(assignment a), assignment bit i = variable i).
+  NodeId from_value_table(const std::vector<Value>& values);
+
+  /// Pointwise combination h(a) = op(f(a), g(a)).
+  template <typename Op>
+  NodeId apply(NodeId f, NodeId g, Op&& op) {
+    std::unordered_map<std::uint64_t, NodeId> memo;
+    return apply_rec(f, g, op, memo);
+  }
+
+  Value eval(NodeId f, std::uint64_t assignment) const;
+
+  std::vector<Value> to_value_table(NodeId f) const;
+
+  /// Non-terminal nodes reachable from f.
+  std::uint64_t size(NodeId f) const;
+
+  std::vector<std::uint64_t> level_widths(NodeId f) const;
+
+  std::string to_dot(NodeId f, const std::string& name = "mtbdd") const;
+
+ private:
+  struct PairHash {
+    std::size_t operator()(std::uint64_t k) const {
+      k ^= k >> 33;
+      k *= 0xff51afd7ed558ccdull;
+      k ^= k >> 33;
+      return static_cast<std::size_t>(k);
+    }
+  };
+
+  template <typename Op>
+  NodeId apply_rec(NodeId f, NodeId g, Op&& op,
+                   std::unordered_map<std::uint64_t, NodeId>& memo) {
+    if (is_terminal(f) && is_terminal(g))
+      return terminal(op(pool_[f].value, pool_[g].value));
+    const std::uint64_t key = (std::uint64_t{f} << 32) | g;
+    if (const auto it = memo.find(key); it != memo.end()) return it->second;
+    const int level = std::min(pool_[f].level, pool_[g].level);
+    const auto cof = [&](NodeId u, bool hi_branch) {
+      const Node& un = pool_[u];
+      if (un.level != level) return u;
+      return hi_branch ? un.hi : un.lo;
+    };
+    const NodeId lo = apply_rec(cof(f, false), cof(g, false), op, memo);
+    const NodeId hi = apply_rec(cof(f, true), cof(g, true), op, memo);
+    const NodeId out = make(level, lo, hi);
+    memo.emplace(key, out);
+    return out;
+  }
+
+  int n_;
+  std::vector<int> order_;
+  std::vector<int> var_to_level_;
+  std::vector<Node> pool_;
+  std::unordered_map<Value, NodeId> terminals_;
+  std::vector<std::unordered_map<std::uint64_t, NodeId, PairHash>> unique_;
+};
+
+}  // namespace ovo::mtbdd

@@ -1,0 +1,44 @@
+#pragma once
+// Closed-form evaluation of the paper's cost recurrences with exact
+// binomials — the predicted operation counts that the scaling benchmarks
+// plot next to the measured ones.
+//
+//   * FS (Theorem 5):  sum_k C(n,k) * k * 2^{n-k+1}  ~ O*(3^n)
+//   * brute force:     n! * 2^{n+1}                  ~ O*(n! 2^n)
+//   * OptOBDD (Eqs. 5-7): preprocess + the sqrt-weighted stage recurrence.
+
+#include <vector>
+
+namespace ovo::quantum {
+
+/// Table cells processed by the full FS dynamic program on n variables
+/// (every subset I, every last-variable candidate, table size 2^{n-|I|+1}).
+double fs_total_cells(int n);
+
+/// Table cells processed by brute force over all n! orders (each order is
+/// one chain of compactions costing ~2^{n+1} cells).
+double brute_force_total_cells(int n);
+
+/// Peak table cells simultaneously resident in the FS DP (Remark 1: space
+/// is of the same order as time): max over layers k of the two adjacent
+/// layers' total table sizes C(n,k-1) 2^{n-k+1} + C(n,k) 2^{n-k}.
+double fs_peak_cells(int n);
+
+/// Cells processed by FS* extending a prefix of size `prefix` by a block of
+/// size `block` on an n-variable function (Lemma 8).
+double fs_star_cells(int n, int prefix, int block);
+
+struct PredictedCost {
+  double preprocess_cells = 0.0;
+  double quantum_cells = 0.0;  ///< the L_{k+1} term
+  double total = 0.0;
+};
+
+/// Evaluates the Theorem 10 recurrence for realized integer boundaries
+/// k_1 <= ... <= k_m on n variables. `log_inv_eps` is the Lemma 6
+/// repetition factor applied to each sqrt(N) (the paper hides it in O*).
+PredictedCost opt_obdd_predicted_cells(int n,
+                                       const std::vector<int>& boundaries,
+                                       double log_inv_eps = 1.0);
+
+}  // namespace ovo::quantum

@@ -1,0 +1,97 @@
+#include "quantum/circuit.hpp"
+
+#include "util/bits.hpp"
+#include "util/check.hpp"
+
+namespace ovo::quantum {
+
+QCircuit::QCircuit(int qubits) : qubits_(qubits) {
+  OVO_CHECK_MSG(qubits >= 1 && qubits <= 24, "QCircuit: qubit count");
+}
+
+QCircuit& QCircuit::h(int q) {
+  OVO_CHECK(q >= 0 && q < qubits_);
+  gates_.push_back(QGateInst{QGate::kH, q, -1, 0, nullptr});
+  return *this;
+}
+
+QCircuit& QCircuit::x(int q) {
+  OVO_CHECK(q >= 0 && q < qubits_);
+  gates_.push_back(QGateInst{QGate::kX, q, -1, 0, nullptr});
+  return *this;
+}
+
+QCircuit& QCircuit::z(int q) {
+  OVO_CHECK(q >= 0 && q < qubits_);
+  gates_.push_back(QGateInst{QGate::kZ, q, -1, 0, nullptr});
+  return *this;
+}
+
+QCircuit& QCircuit::cz(int a, int b) {
+  OVO_CHECK(a >= 0 && a < qubits_ && b >= 0 && b < qubits_ && a != b);
+  gates_.push_back(QGateInst{QGate::kCZ, a, b, 0, nullptr});
+  return *this;
+}
+
+QCircuit& QCircuit::mcz(std::uint64_t mask) {
+  OVO_CHECK_MSG(mask != 0 && (mask >> qubits_) == 0, "mcz: bad mask");
+  gates_.push_back(QGateInst{QGate::kMCZ, -1, -1, mask, nullptr});
+  return *this;
+}
+
+QCircuit& QCircuit::oracle(std::function<bool(std::uint64_t)> marked) {
+  OVO_CHECK(marked != nullptr);
+  gates_.push_back(
+      QGateInst{QGate::kPhaseOracle, -1, -1, 0, std::move(marked)});
+  return *this;
+}
+
+QCircuit& QCircuit::grover_diffusion() {
+  for (int q = 0; q < qubits_; ++q) h(q);
+  for (int q = 0; q < qubits_; ++q) x(q);
+  mcz(util::full_mask(qubits_));
+  for (int q = 0; q < qubits_; ++q) x(q);
+  for (int q = 0; q < qubits_; ++q) h(q);
+  return *this;
+}
+
+QCircuit& QCircuit::grover_rounds(
+    std::function<bool(std::uint64_t)> marked, int iterations) {
+  OVO_CHECK(iterations >= 0);
+  for (int i = 0; i < iterations; ++i) {
+    oracle(marked);
+    grover_diffusion();
+  }
+  return *this;
+}
+
+std::uint64_t QCircuit::run(Statevector& psi) const {
+  OVO_CHECK_MSG(psi.qubits() == qubits_, "run: qubit count mismatch");
+  std::uint64_t oracle_calls = 0;
+  for (const QGateInst& g : gates_) {
+    switch (g.gate) {
+      case QGate::kH:
+        psi.apply_h(g.a);
+        break;
+      case QGate::kX:
+        psi.apply_x(g.a);
+        break;
+      case QGate::kZ:
+        psi.apply_z(g.a);
+        break;
+      case QGate::kCZ:
+        psi.apply_cz(g.a, g.b);
+        break;
+      case QGate::kMCZ:
+        psi.apply_mcz(g.mask);
+        break;
+      case QGate::kPhaseOracle:
+        psi.apply_phase_oracle(g.marked);
+        ++oracle_calls;
+        break;
+    }
+  }
+  return oracle_calls;
+}
+
+}  // namespace ovo::quantum

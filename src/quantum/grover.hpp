@@ -1,0 +1,44 @@
+#pragma once
+// Grover search with an unknown number of marked items (the BBHT schedule)
+// and Dürr–Høyer quantum minimum finding on top of it — the Lemma 6
+// primitive of the paper, executed on the amplitude-level simulator so that
+// query counts and failure statistics are the real ones.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ovo::quantum {
+
+struct GroverStats {
+  std::uint64_t oracle_queries = 0;   ///< Grover iterations performed
+  std::uint64_t measurements = 0;     ///< verification measurements
+};
+
+/// Searches for any x in [0, space) with marked(x), using the
+/// Boyer–Brassard–Høyer–Tapp schedule for an unknown number of solutions.
+/// Returns nullopt if the iteration budget is exhausted without a verified
+/// hit (possible both when no solution exists and, with small probability,
+/// when one does).
+std::optional<std::uint64_t> grover_search(
+    std::uint64_t space, const std::function<bool(std::uint64_t)>& marked,
+    util::Xoshiro256& rng, GroverStats* stats = nullptr);
+
+struct MinFindResult {
+  std::size_t best_index = 0;
+  std::uint64_t oracle_queries = 0;
+  std::uint64_t rounds = 0;
+};
+
+/// Dürr–Høyer minimum finding over an explicit value array, boosted by
+/// independent repetition: each round runs the DH threshold descent; the
+/// final answer is the best index seen across `rounds` rounds, so the
+/// failure probability decays exponentially in `rounds` (the
+/// log(1/epsilon) factor of Lemma 6).
+MinFindResult durr_hoyer_min(const std::vector<std::int64_t>& values,
+                             util::Xoshiro256& rng, int rounds = 3);
+
+}  // namespace ovo::quantum

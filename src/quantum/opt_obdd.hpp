@@ -1,0 +1,97 @@
+#pragma once
+// The paper's quantum algorithms, simulated:
+//
+//  * OptOBDD(k, alpha)        — Sec. 3 divide-and-conquer (Theorem 10):
+//    split the ordering at boundaries k_1 < ... < k_m (fractions alpha of
+//    n), quantum-minimum-find the best variable subset at each boundary,
+//    and run FS* between boundaries.
+//
+//  * OptOBDD*_Gamma(k, alpha) — Sec. 4 composition (Theorem 13): the same
+//    divide-and-conquer, but the block-extension subroutine Gamma is itself
+//    an OptOBDD* instance instead of FS*; towers of these drive the bound
+//    from 2.83728^n down to 2.77286^n.
+//
+// The quantum minimum finding is a MinimumFinder (accounting model or
+// amplitude-level Dürr–Høyer; see min_find.hpp).  The simulation evaluates
+// every candidate classically (that is what simulating quantum search
+// costs); the returned query counts are what a quantum computer would
+// spend, which is the quantity the complexity claims are about.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/fs_star.hpp"
+#include "core/minimize.hpp"
+#include "quantum/min_find.hpp"
+#include "tt/truth_table.hpp"
+
+namespace ovo::quantum {
+
+struct QuantumStats {
+  double quantum_queries = 0.0;  ///< total charged/actual oracle queries
+  int min_find_calls = 0;
+  int min_find_failures = 0;     ///< calls that returned a non-minimum
+  std::uint64_t candidates_evaluated = 0;
+  /// Estimated table cells a quantum computer would process: the paper's
+  /// recurrence L_{j+1} = sqrt(N) (L_j + extension cost), evaluated with
+  /// the *measured* per-candidate costs and the finder's actual query
+  /// counts, plus the classical preprocess cost. This is the number to
+  /// compare against classical_ops.table_cells (FS processes ~3^n cells;
+  /// this should grow like gamma^n).
+  double quantum_charged_cells = 0.0;
+};
+
+struct OptObddResult {
+  std::vector<int> order_root_first;
+  std::uint64_t min_internal_nodes = 0;
+  core::OpCounter classical_ops;  ///< simulation work in table cells
+  QuantumStats quantum;
+  std::vector<int> boundaries;    ///< realized k_1..k_m for the top call
+};
+
+struct OptObddOptions {
+  core::DiagramKind kind = core::DiagramKind::kBdd;
+  /// Division-point fractions 0 < alpha_1 < ... < alpha_m < 1 (Theorem 10's
+  /// alpha vector). Boundaries are round(alpha_j * n), clamped monotone.
+  std::vector<double> alphas;
+  MinimumFinder* finder = nullptr;  ///< required; non-owning
+  /// Sec. 3.1 ablation: with the classical preprocess (default, the
+  /// gamma_1 = 2.97625 regime and better) the first-boundary prefixes are
+  /// precomputed once; without it (the gamma_0 = 2.98581 regime) each
+  /// leaf recomputes FS of its prefix inside the quantum search.
+  bool use_preprocess = true;
+};
+
+/// OptOBDD(k, alpha) on a truth table (Theorem 10 when finder errors are
+/// negligible: output equals FS's minimum).
+OptObddResult opt_obdd_minimize(const tt::TruthTable& f,
+                                const OptObddOptions& options);
+
+/// OptOBDD over a shared multi-rooted diagram (selector-variable
+/// reduction, see core/multi_output.hpp): the quantum algorithm applies
+/// unchanged because the selector variables simply stay in the free part
+/// of every prefix table.
+OptObddResult opt_obdd_minimize_shared(
+    const std::vector<tt::TruthTable>& outputs,
+    const OptObddOptions& options);
+
+/// Multi-level composition tower (Sec. 4.2): alpha_levels.front() is the
+/// innermost OptOBDD*_{FS*} instance, each subsequent level wraps the
+/// previous as its Gamma subroutine; the last level is the algorithm run
+/// on the full problem.
+struct TowerOptions {
+  core::DiagramKind kind = core::DiagramKind::kBdd;
+  std::vector<std::vector<double>> alpha_levels;
+  MinimumFinder* finder = nullptr;
+};
+
+OptObddResult tower_minimize(const tt::TruthTable& f,
+                             const TowerOptions& options);
+
+/// The realized integer division points for a block of `block_size`
+/// variables (exposed for tests/benches).
+std::vector<int> realize_boundaries(const std::vector<double>& alphas,
+                                    int block_size);
+
+}  // namespace ovo::quantum

@@ -1,0 +1,200 @@
+#include "quantum/params.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+#include "util/combinatorics.hpp"
+
+namespace ovo::quantum {
+
+namespace {
+
+constexpr double kInvalid = std::numeric_limits<double>::quiet_NaN();
+
+double entropy(double d) {
+  if (d <= 0.0 || d >= 1.0) return 0.0;
+  return -d * std::log2(d) - (1.0 - d) * std::log2(1.0 - d);
+}
+
+/// Forward-chains the alpha sequence from (a1, a2): Eq. (9) solved for
+/// alpha_{j+1} (g_c is linear in its second argument).  The chain is a
+/// shooting problem and numerically unstable (deviations in a2 amplify at
+/// every step), so instead of returning NaN on failure we classify *how*
+/// it failed, which gives bisection a usable sign on the whole interval:
+///   sign < 0: the sequence stopped increasing (undershoot — the landing
+///             value would fall below 1);
+///   sign > 0: some alpha_j reached 1 early (overshoot);
+///   sign = 0: chain completed; `landing` holds alpha_{k+1}.
+struct ChainShot {
+  int sign = 0;
+  double landing = kInvalid;
+  std::vector<double> a;  ///< a[1..k] valid when sign == 0
+};
+
+ChainShot chain(double a1, double a2, int k, double c) {
+  ChainShot shot;
+  shot.a.assign(static_cast<std::size_t>(k) + 2, kInvalid);
+  shot.a[1] = a1;
+  shot.a[2] = a2;
+  if (!(a2 > a1)) {
+    shot.sign = -1;
+    return shot;
+  }
+  for (int j = 2; j <= k; ++j) {
+    const double prev = shot.a[static_cast<std::size_t>(j) - 1];
+    const double cur = shot.a[static_cast<std::size_t>(j)];
+    if (cur >= 1.0) {
+      shot.sign = 1;
+      return shot;
+    }
+    const double F = balance_f(prev, cur, c);
+    const double next = (F - 1.0 + c * cur) / (c - 1.0);
+    if (!(next > cur)) {
+      shot.sign = -1;
+      return shot;
+    }
+    shot.a[static_cast<std::size_t>(j) + 1] = next;
+  }
+  shot.landing = shot.a[static_cast<std::size_t>(k) + 1];
+  return shot;
+}
+
+/// Bisection on fn over [lo, hi]; requires a sign change.
+template <typename Fn>
+double bisect(Fn&& fn, double lo, double hi, int iters = 200) {
+  double flo = fn(lo);
+  OVO_CHECK_MSG(std::isfinite(flo), "bisect: invalid bracket");
+  for (int i = 0; i < iters; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fm = fn(mid);
+    if (!std::isfinite(fm) || (flo < 0) == (fm < 0)) {
+      lo = mid;
+      if (std::isfinite(fm)) flo = fm;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+/// Scans [lo, hi] for a sign change of fn and bisects it.
+template <typename Fn>
+double find_root(Fn&& fn, double lo, double hi, int samples = 400) {
+  double prev_x = kInvalid;
+  double prev_f = kInvalid;
+  for (int i = 0; i <= samples; ++i) {
+    const double x = lo + (hi - lo) * i / samples;
+    const double fx = fn(x);
+    if (!std::isfinite(fx)) {
+      prev_x = kInvalid;
+      continue;
+    }
+    if (std::isfinite(prev_f) && (prev_f < 0) != (fx < 0))
+      return bisect(fn, prev_x, x);
+    prev_x = x;
+    prev_f = fx;
+  }
+  OVO_CHECK_MSG(false, "find_root: no sign change found");
+  return kInvalid;
+}
+
+}  // namespace
+
+double balance_g(double x, double y, double c) {
+  return (1.0 - y) + (y - x) * c;
+}
+
+double balance_f(double x, double y, double c) {
+  return 0.5 * y * entropy(x / y) + balance_g(x, y, c);
+}
+
+double gamma_no_preprocess() {
+  // Sec. 3.1 without preprocess: balance (1-a) + a c = (1-a) c, then the
+  // exponent is H(a)/2 + (1-a) + a c, with c = log2 3.
+  const double c = std::log2(3.0);
+  const double a = (c - 1.0) / (2.0 * c - 1.0);
+  const double exponent = 0.5 * entropy(a) + (1.0 - a) + a * c;
+  return std::exp2(exponent);
+}
+
+ChainSolution solve_alphas(int k, double gamma_sub) {
+  OVO_CHECK_MSG(k >= 1, "solve_alphas: k must be >= 1");
+  OVO_CHECK_MSG(gamma_sub > 2.0, "solve_alphas: gamma_sub must exceed 2");
+  const double c = std::log2(gamma_sub);
+
+  if (k == 1) {
+    // Single equation: 1 - a + H(a) = f_c(a, 1).
+    const double a1 = find_root(
+        [&](double a) {
+          return (1.0 - a + entropy(a)) - balance_f(a, 1.0, c);
+        },
+        1e-4, 0.4999);
+    ChainSolution s;
+    s.alphas = {a1};
+    s.gamma = std::exp2(1.0 - a1 + entropy(a1));
+    return s;
+  }
+
+  // Two-dimensional system in (a1, a2): the chain must land on
+  // alpha_{k+1} = 1, and Eq. (8) must hold for the resulting alpha_k.
+  // The inner problem (find a2 given a1) is a shooting problem solved by
+  // sign-aware bisection: the landing value is monotone increasing in a2,
+  // and ChainShot classifies early failures with the correct sign, so the
+  // bracket never needs finite samples.
+  const auto shoot = [&](double a1, double a2) -> double {
+    const ChainShot s = chain(a1, a2, k, c);
+    if (s.sign != 0) return s.sign > 0 ? 1.0 : -1.0;
+    return s.landing - 1.0;
+  };
+  const auto a2_for = [&](double a1) {
+    double lo = a1 * (1.0 + 1e-15);
+    double hi = 1.0;
+    OVO_CHECK_MSG(shoot(a1, lo) < 0.0 && shoot(a1, hi) > 0.0,
+                  "solve_alphas: inner bracket has no sign change");
+    for (int i = 0; i < 200; ++i) {
+      const double mid = 0.5 * (lo + hi);
+      if (shoot(a1, mid) < 0.0)
+        lo = mid;
+      else
+        hi = mid;
+    }
+    return 0.5 * (lo + hi);
+  };
+  const double a1 = find_root(
+      [&](double a1_cand) -> double {
+        double a2;
+        try {
+          a2 = a2_for(a1_cand);
+        } catch (const util::CheckError&) {
+          return kInvalid;
+        }
+        const ChainShot s = chain(a1_cand, a2, k, c);
+        if (s.sign != 0) return kInvalid;
+        const double ak = s.a[static_cast<std::size_t>(k)];
+        return (1.0 - a1_cand + entropy(a1_cand)) - balance_f(ak, 1.0, c);
+      },
+      1e-3, 0.3333);
+
+  const double a2 = a2_for(a1);
+  const ChainShot s_final = chain(a1, a2, k, c);
+  OVO_CHECK_MSG(s_final.sign == 0, "solve_alphas: final chain invalid");
+  ChainSolution s;
+  s.alphas.assign(s_final.a.begin() + 1, s_final.a.begin() + 1 + k);
+  s.gamma = std::exp2(1.0 - a1 + entropy(a1));
+  return s;
+}
+
+std::vector<ChainSolution> composition_tower(int k, int iterations) {
+  OVO_CHECK(iterations >= 1);
+  std::vector<ChainSolution> rows;
+  double gamma = 3.0;
+  for (int i = 0; i < iterations; ++i) {
+    ChainSolution s = solve_alphas(k, gamma);
+    gamma = s.gamma;
+    rows.push_back(std::move(s));
+  }
+  return rows;
+}
+
+}  // namespace ovo::quantum

@@ -1,0 +1,44 @@
+#pragma once
+// Numerical optimization of the division-point fractions alpha — the
+// machinery behind the paper's Tables 1 and 2 and its headline constants.
+//
+// Notation (paper Sec. 3.2 / Sec. 4.1), with c = log2(gamma_sub) the
+// exponent base of the block-extension subroutine (gamma_sub = 3 for FS*):
+//
+//   g_c(x, y) = (1 - y) + (y - x) * c
+//   f_c(x, y) = (y / 2) * H(x / y) + g_c(x, y)
+//
+// The optimal alphas satisfy the balance system
+//   1 - alpha_1 + H(alpha_1) = f_c(alpha_k, 1)            (Eq. 8 / 14)
+//   f_c(alpha_{j-1}, alpha_j) = g_c(alpha_j, alpha_{j+1})  (Eq. 9 / 15)
+// with alpha_{k+1} = 1, and the resulting time exponent is
+//   log2(gamma_k) = 1 - alpha_1 + H(alpha_1).
+
+#include <vector>
+
+namespace ovo::quantum {
+
+struct ChainSolution {
+  double gamma = 0.0;          ///< resulting growth base (2^{1-a1+H(a1)})
+  std::vector<double> alphas;  ///< optimal alpha_1..alpha_k
+};
+
+/// The f and g balance functions (exposed for tests).
+double balance_g(double x, double y, double c);
+double balance_f(double x, double y, double c);
+
+/// gamma_0: the Sec. 3.1 bound *without* the classical preprocess
+/// (single division point, no precomputed layer): 2.98581...
+double gamma_no_preprocess();
+
+/// Solves the k-point system for a subroutine with base `gamma_sub`
+/// (Table 1 uses gamma_sub = 3). Throws util::CheckError if the solver
+/// cannot bracket a root.
+ChainSolution solve_alphas(int k, double gamma_sub = 3.0);
+
+/// The Sec. 4.2 composition tower: starting from gamma_sub = 3, repeatedly
+/// solve the k-point system and feed the resulting gamma back in as the
+/// subroutine base.  Returns one entry per iteration (Table 2's rows).
+std::vector<ChainSolution> composition_tower(int k, int iterations);
+
+}  // namespace ovo::quantum

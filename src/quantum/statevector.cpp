@@ -1,0 +1,97 @@
+#include "quantum/statevector.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ovo::quantum {
+
+Statevector::Statevector(int qubits) : qubits_(qubits) {
+  OVO_CHECK_MSG(qubits >= 0 && qubits <= 24,
+                "Statevector: qubit count out of range");
+  amps_.resize(std::uint64_t{1} << qubits);
+  reset_uniform();
+}
+
+void Statevector::reset_uniform() {
+  const double a = 1.0 / std::sqrt(static_cast<double>(amps_.size()));
+  for (auto& amp : amps_) amp = a;
+}
+
+void Statevector::apply_diffusion() {
+  std::complex<double> mean{0.0, 0.0};
+  for (const auto& amp : amps_) mean += amp;
+  mean /= static_cast<double>(amps_.size());
+  for (auto& amp : amps_) amp = 2.0 * mean - amp;
+}
+
+void Statevector::apply_h(int q) {
+  OVO_CHECK(q >= 0 && q < qubits_);
+  const std::uint64_t bit = std::uint64_t{1} << q;
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  for (std::uint64_t x = 0; x < amps_.size(); ++x) {
+    if (x & bit) continue;
+    const std::complex<double> a0 = amps_[x];
+    const std::complex<double> a1 = amps_[x | bit];
+    amps_[x] = (a0 + a1) * inv_sqrt2;
+    amps_[x | bit] = (a0 - a1) * inv_sqrt2;
+  }
+}
+
+void Statevector::apply_x(int q) {
+  OVO_CHECK(q >= 0 && q < qubits_);
+  const std::uint64_t bit = std::uint64_t{1} << q;
+  for (std::uint64_t x = 0; x < amps_.size(); ++x)
+    if ((x & bit) == 0) std::swap(amps_[x], amps_[x | bit]);
+}
+
+void Statevector::apply_z(int q) {
+  OVO_CHECK(q >= 0 && q < qubits_);
+  const std::uint64_t bit = std::uint64_t{1} << q;
+  for (std::uint64_t x = 0; x < amps_.size(); ++x)
+    if (x & bit) amps_[x] = -amps_[x];
+}
+
+void Statevector::apply_cz(int a, int b) {
+  OVO_CHECK(a >= 0 && a < qubits_ && b >= 0 && b < qubits_ && a != b);
+  apply_mcz((std::uint64_t{1} << a) | (std::uint64_t{1} << b));
+}
+
+void Statevector::apply_mcz(std::uint64_t mask) {
+  OVO_CHECK_MSG(mask != 0 && (mask >> qubits_) == 0,
+                "apply_mcz: bad control mask");
+  for (std::uint64_t x = 0; x < amps_.size(); ++x)
+    if ((x & mask) == mask) amps_[x] = -amps_[x];
+}
+
+void Statevector::set_basis_state(std::uint64_t x) {
+  OVO_CHECK(x < amps_.size());
+  for (auto& amp : amps_) amp = 0.0;
+  amps_[x] = 1.0;
+}
+
+double Statevector::overlap_magnitude(const Statevector& other) const {
+  OVO_CHECK(qubits_ == other.qubits_);
+  std::complex<double> dot{0.0, 0.0};
+  for (std::uint64_t x = 0; x < amps_.size(); ++x)
+    dot += std::conj(amps_[x]) * other.amps_[x];
+  return std::abs(dot);
+}
+
+double Statevector::norm_squared() const {
+  double s = 0.0;
+  for (const auto& amp : amps_) s += std::norm(amp);
+  return s;
+}
+
+std::uint64_t Statevector::measure(util::Xoshiro256& rng) const {
+  const double r = rng.uniform() * norm_squared();
+  double acc = 0.0;
+  for (std::uint64_t x = 0; x < amps_.size(); ++x) {
+    acc += std::norm(amps_[x]);
+    if (r < acc) return x;
+  }
+  return amps_.size() - 1;  // numerical edge: return the last state
+}
+
+}  // namespace ovo::quantum

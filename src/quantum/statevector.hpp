@@ -1,0 +1,89 @@
+#pragma once
+// Minimal amplitude-level quantum statevector simulator — the "quantum
+// computer" substrate (QRAM model substitution, see DESIGN.md).  It
+// implements exactly the two operators Grover's algorithm needs:
+//
+//   * a phase oracle  O_f |x> = (-1)^{f(x)} |x>, and
+//   * the diffusion operator  D = 2|s><s| - I  (inversion about the mean),
+//
+// plus projective measurement in the computational basis.  Applying the
+// operators directly to the amplitude vector is unitarily identical to the
+// standard gate decompositions, so query counts and success probabilities
+// are exact.
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ovo::quantum {
+
+class Statevector {
+ public:
+  /// Uniform superposition over 2^qubits basis states.
+  explicit Statevector(int qubits);
+
+  int qubits() const { return qubits_; }
+  std::uint64_t dimension() const { return std::uint64_t{1} << qubits_; }
+
+  /// Resets to the uniform superposition.
+  void reset_uniform();
+
+  /// Phase oracle: flips the sign of every basis state x with marked(x).
+  template <typename Pred>
+  void apply_phase_oracle(Pred&& marked) {
+    for (std::uint64_t x = 0; x < amps_.size(); ++x)
+      if (marked(x)) amps_[x] = -amps_[x];
+  }
+
+  /// Grover diffusion (inversion about the mean).
+  void apply_diffusion();
+
+  // --- elementary gates (for the gate-level circuit layer) -----------------
+
+  /// Hadamard on qubit q.
+  void apply_h(int q);
+  /// Pauli-X on qubit q.
+  void apply_x(int q);
+  /// Pauli-Z on qubit q.
+  void apply_z(int q);
+  /// Controlled-Z between two qubits.
+  void apply_cz(int a, int b);
+  /// Multi-controlled Z: flips the phase of basis states where all qubits
+  /// in `mask` are 1 (mask must be non-empty).
+  void apply_mcz(std::uint64_t mask);
+
+  /// Sets the state to the basis state |x> (used as circuit input).
+  void set_basis_state(std::uint64_t x);
+
+  /// Fidelity-style comparison ignoring global phase:
+  /// |<this|other>| ~ 1.
+  double overlap_magnitude(const Statevector& other) const;
+
+  /// Probability that a measurement yields a state satisfying pred.
+  template <typename Pred>
+  double probability_of(Pred&& pred) const {
+    double p = 0.0;
+    for (std::uint64_t x = 0; x < amps_.size(); ++x)
+      if (pred(x)) p += std::norm(amps_[x]);
+    return p;
+  }
+
+  /// Squared L2 norm (should stay 1 up to rounding; tests check this).
+  double norm_squared() const;
+
+  /// Projective measurement of all qubits; does not collapse the state
+  /// (callers reset before reuse, matching Grover's restart structure).
+  std::uint64_t measure(util::Xoshiro256& rng) const;
+
+  const std::vector<std::complex<double>>& amplitudes() const {
+    return amps_;
+  }
+
+ private:
+  int qubits_;
+  std::vector<std::complex<double>> amps_;
+};
+
+}  // namespace ovo::quantum

@@ -1,0 +1,61 @@
+#include "reorder/annealing.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "core/minimize.hpp"
+#include "util/check.hpp"
+#include "util/combinatorics.hpp"
+
+namespace ovo::reorder {
+
+AnnealResult simulated_annealing(const tt::TruthTable& f,
+                                 std::vector<int> order,
+                                 const AnnealOptions& options,
+                                 util::Xoshiro256& rng) {
+  const int n = f.num_vars();
+  OVO_CHECK_MSG(static_cast<int>(order.size()) == n,
+                "annealing: order length mismatch");
+  OVO_CHECK_MSG(util::is_permutation(order), "annealing: not a permutation");
+  OVO_CHECK(options.initial_temperature > 0.0);
+  OVO_CHECK(options.cooling > 0.0 && options.cooling < 1.0);
+
+  AnnealResult r;
+  std::uint64_t current =
+      core::diagram_size_for_order(f, order, options.kind);
+  ++r.orders_evaluated;
+  r.internal_nodes = current;
+  r.order_root_first = order;
+
+  double temperature = options.initial_temperature;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    for (int move = 0; move < options.moves_per_epoch; ++move) {
+      if (n < 2) break;
+      const std::size_t i = rng.below(static_cast<std::uint64_t>(n));
+      std::size_t j = rng.below(static_cast<std::uint64_t>(n));
+      if (i == j) j = (j + 1) % static_cast<std::size_t>(n);
+      std::swap(order[i], order[j]);
+      const std::uint64_t cand =
+          core::diagram_size_for_order(f, order, options.kind);
+      ++r.orders_evaluated;
+      const double delta = static_cast<double>(cand) -
+                           static_cast<double>(current);
+      const bool accept =
+          delta <= 0.0 || rng.uniform() < std::exp(-delta / temperature);
+      if (accept) {
+        current = cand;
+        ++r.moves_accepted;
+        if (current < r.internal_nodes) {
+          r.internal_nodes = current;
+          r.order_root_first = order;
+        }
+      } else {
+        std::swap(order[i], order[j]);  // revert
+      }
+    }
+    temperature *= options.cooling;
+  }
+  return r;
+}
+
+}  // namespace ovo::reorder

@@ -1,0 +1,38 @@
+#pragma once
+// Simulated annealing over reading orders — the classic stochastic
+// heuristic for BDD variable ordering (Bollig/Löbbing/Wegener-style
+// neighborhood of transpositions), evaluated with the exact chain
+// oracle.  Complements sifting/window as a baseline whose quality the
+// exact algorithms judge.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/prefix_table.hpp"
+#include "tt/truth_table.hpp"
+#include "util/rng.hpp"
+
+namespace ovo::reorder {
+
+struct AnnealOptions {
+  double initial_temperature = 4.0;
+  double cooling = 0.95;      ///< geometric per-epoch factor
+  int epochs = 60;
+  int moves_per_epoch = 20;   ///< proposed transpositions per epoch
+  core::DiagramKind kind = core::DiagramKind::kBdd;
+};
+
+struct AnnealResult {
+  std::vector<int> order_root_first;
+  std::uint64_t internal_nodes = 0;
+  std::uint64_t orders_evaluated = 0;
+  std::uint64_t moves_accepted = 0;
+};
+
+/// Anneals from `initial_order` (root first). Deterministic given `rng`.
+AnnealResult simulated_annealing(const tt::TruthTable& f,
+                                 std::vector<int> initial_order,
+                                 const AnnealOptions& options,
+                                 util::Xoshiro256& rng);
+
+}  // namespace ovo::reorder

@@ -1,0 +1,149 @@
+#include "reorder/baselines.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "core/minimize.hpp"
+#include "util/check.hpp"
+#include "util/combinatorics.hpp"
+
+namespace ovo::reorder {
+
+namespace {
+
+std::uint64_t size_of(const tt::TruthTable& f, const std::vector<int>& order,
+                      core::DiagramKind kind) {
+  return core::diagram_size_for_order(f, order, kind);
+}
+
+}  // namespace
+
+OrderSearchResult brute_force_minimize(const tt::TruthTable& f,
+                                       core::DiagramKind kind) {
+  const int n = f.num_vars();
+  OVO_CHECK_MSG(n >= 1 && n <= 10, "brute_force_minimize: n must be in [1,10]");
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  OrderSearchResult best;
+  best.internal_nodes = std::numeric_limits<std::uint64_t>::max();
+  best.worst_internal_nodes = 0;
+  do {
+    const std::uint64_t s = size_of(f, order, kind);
+    ++best.orders_evaluated;
+    if (s < best.internal_nodes) {
+      best.internal_nodes = s;
+      best.order_root_first = order;
+    }
+    best.worst_internal_nodes = std::max(best.worst_internal_nodes, s);
+  } while (std::next_permutation(order.begin(), order.end()));
+  return best;
+}
+
+OrderSearchResult sift(const tt::TruthTable& f,
+                       std::vector<int> order,
+                       core::DiagramKind kind, int max_passes) {
+  const int n = f.num_vars();
+  OVO_CHECK_MSG(static_cast<int>(order.size()) == n, "sift: order length");
+  OVO_CHECK_MSG(util::is_permutation(order), "sift: not a permutation");
+  OrderSearchResult r;
+  r.internal_nodes = size_of(f, order, kind);
+  ++r.orders_evaluated;
+  for (int pass = 0; pass < max_passes; ++pass) {
+    bool improved = false;
+    for (int v = 0; v < n; ++v) {
+      // Current position of variable v.
+      const auto it = std::find(order.begin(), order.end(), v);
+      std::size_t pos = static_cast<std::size_t>(it - order.begin());
+      // Try every insertion position; keep the best.
+      std::vector<int> work = order;
+      work.erase(work.begin() + static_cast<std::ptrdiff_t>(pos));
+      std::size_t best_pos = pos;
+      std::uint64_t best_size = r.internal_nodes;
+      for (std::size_t p = 0; p <= work.size(); ++p) {
+        std::vector<int> cand = work;
+        cand.insert(cand.begin() + static_cast<std::ptrdiff_t>(p), v);
+        const std::uint64_t s = size_of(f, cand, kind);
+        ++r.orders_evaluated;
+        if (s < best_size) {
+          best_size = s;
+          best_pos = p;
+        }
+      }
+      if (best_size < r.internal_nodes) {
+        work.insert(work.begin() + static_cast<std::ptrdiff_t>(best_pos), v);
+        order = std::move(work);
+        r.internal_nodes = best_size;
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+  r.order_root_first = std::move(order);
+  return r;
+}
+
+OrderSearchResult window_permute(const tt::TruthTable& f,
+                                 std::vector<int> order, int window,
+                                 core::DiagramKind kind, int max_passes) {
+  const int n = f.num_vars();
+  OVO_CHECK_MSG(static_cast<int>(order.size()) == n, "window: order length");
+  OVO_CHECK_MSG(util::is_permutation(order), "window: not a permutation");
+  OVO_CHECK_MSG(window >= 2 && window <= 5, "window: size must be in [2,5]");
+  OrderSearchResult r;
+  r.internal_nodes = size_of(f, order, kind);
+  ++r.orders_evaluated;
+  if (window > n) window = n;
+  for (int pass = 0; pass < max_passes; ++pass) {
+    bool improved = false;
+    for (int s = 0; s + window <= n; ++s) {
+      std::vector<int> slot(order.begin() + s, order.begin() + s + window);
+      std::sort(slot.begin(), slot.end());
+      std::vector<int> best_slot(order.begin() + s,
+                                 order.begin() + s + window);
+      std::uint64_t best_size = r.internal_nodes;
+      do {
+        std::vector<int> cand = order;
+        std::copy(slot.begin(), slot.end(), cand.begin() + s);
+        const std::uint64_t sz = size_of(f, cand, kind);
+        ++r.orders_evaluated;
+        if (sz < best_size) {
+          best_size = sz;
+          best_slot = slot;
+        }
+      } while (std::next_permutation(slot.begin(), slot.end()));
+      if (best_size < r.internal_nodes) {
+        std::copy(best_slot.begin(), best_slot.end(), order.begin() + s);
+        r.internal_nodes = best_size;
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+  r.order_root_first = std::move(order);
+  return r;
+}
+
+OrderSearchResult random_restart(const tt::TruthTable& f, int restarts,
+                                 util::Xoshiro256& rng,
+                                 core::DiagramKind kind) {
+  const int n = f.num_vars();
+  OrderSearchResult best;
+  best.internal_nodes = std::numeric_limits<std::uint64_t>::max();
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  for (int t = 0; t < restarts; ++t) {
+    for (int i = n - 1; i > 0; --i)
+      std::swap(order[static_cast<std::size_t>(i)],
+                order[rng.below(static_cast<std::uint64_t>(i) + 1)]);
+    const std::uint64_t s = size_of(f, order, kind);
+    ++best.orders_evaluated;
+    if (s < best.internal_nodes) {
+      best.internal_nodes = s;
+      best.order_root_first = order;
+    }
+  }
+  return best;
+}
+
+}  // namespace ovo::reorder

@@ -1,0 +1,57 @@
+#pragma once
+// Baseline ordering searches the paper compares against (explicitly or
+// implicitly):
+//   * brute force over all n! orderings — the paper's trivial O*(n! 2^n)
+//     bound;
+//   * Rudell-style sifting and window permutation — the classic heuristics
+//     whose optimization quality exact methods are meant to judge
+//     (paper Sec. 1.1, citing [MT98, Sec. 9.2.2]);
+//   * random restarts.
+// All evaluate candidate orders with the exact O(2^n) chain-compaction
+// size oracle (core::diagram_size_for_order).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/prefix_table.hpp"
+#include "tt/truth_table.hpp"
+#include "util/rng.hpp"
+
+namespace ovo::reorder {
+
+struct OrderSearchResult {
+  std::vector<int> order_root_first;
+  std::uint64_t internal_nodes = 0;
+  std::uint64_t orders_evaluated = 0;
+  /// Brute force also reports the pessimal ordering's size (the spread
+  /// that motivates the whole problem — cf. the paper's Fig. 1).
+  std::uint64_t worst_internal_nodes = 0;
+};
+
+/// Exhaustive search over all n! reading orders. Guarded to n <= 10.
+OrderSearchResult brute_force_minimize(
+    const tt::TruthTable& f, core::DiagramKind kind = core::DiagramKind::kBdd);
+
+/// Rudell sifting: repeatedly move each variable to its locally best
+/// position, until a fixpoint or `max_passes`.
+OrderSearchResult sift(const tt::TruthTable& f,
+                       std::vector<int> initial_order_root_first,
+                       core::DiagramKind kind = core::DiagramKind::kBdd,
+                       int max_passes = 8);
+
+/// Window permutation: exhaustively permute every window of `window`
+/// adjacent levels, sliding left to right, until a fixpoint.
+OrderSearchResult window_permute(const tt::TruthTable& f,
+                                 std::vector<int> initial_order_root_first,
+                                 int window,
+                                 core::DiagramKind kind =
+                                     core::DiagramKind::kBdd,
+                                 int max_passes = 8);
+
+/// Best of `restarts` uniformly random orderings.
+OrderSearchResult random_restart(const tt::TruthTable& f, int restarts,
+                                 util::Xoshiro256& rng,
+                                 core::DiagramKind kind =
+                                     core::DiagramKind::kBdd);
+
+}  // namespace ovo::reorder

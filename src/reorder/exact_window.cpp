@@ -1,0 +1,66 @@
+#include "reorder/exact_window.hpp"
+
+#include <algorithm>
+
+#include "core/fs_star.hpp"
+#include "core/minimize.hpp"
+#include "util/check.hpp"
+#include "util/combinatorics.hpp"
+
+namespace ovo::reorder {
+
+ExactWindowResult exact_window(const tt::TruthTable& f,
+                               std::vector<int> order, int window,
+                               core::DiagramKind kind, int max_passes) {
+  const int n = f.num_vars();
+  OVO_CHECK_MSG(static_cast<int>(order.size()) == n,
+                "exact_window: order length mismatch");
+  OVO_CHECK_MSG(util::is_permutation(order),
+                "exact_window: not a permutation");
+  OVO_CHECK_MSG(window >= 2 && window <= 16, "exact_window: window in [2,16]");
+  window = std::min(window, n);
+
+  ExactWindowResult r;
+  r.internal_nodes = core::diagram_size_for_order(f, order, kind, &r.ops);
+
+  for (int pass = 0; pass < max_passes; ++pass) {
+    ++r.passes;
+    bool improved = false;
+    for (int s = 0; s + window <= n; ++s) {
+      // Prefix table of the levels strictly below the window.
+      core::PrefixTable base = core::initial_table(f);
+      for (int p = n - 1; p >= s + window; --p)
+        base = core::compact(base, order[static_cast<std::size_t>(p)], kind,
+                             &r.ops);
+      // Cost of the current arrangement of the window.
+      core::PrefixTable current = base;
+      for (int p = s + window - 1; p >= s; --p)
+        current = core::compact(current,
+                                order[static_cast<std::size_t>(p)], kind,
+                                &r.ops);
+      // Exact optimum over the window's variable set (Lemma 3: levels
+      // above the window are unaffected by the within-window order).
+      util::Mask J = 0;
+      for (int p = s; p < s + window; ++p)
+        J |= util::Mask{1} << order[static_cast<std::size_t>(p)];
+      std::vector<int> block_bottom_up;
+      const core::PrefixTable best =
+          core::fs_star_full(base, J, kind, &r.ops, &block_bottom_up);
+      ++r.windows_optimized;
+      if (best.mincost() < current.mincost()) {
+        for (int i = 0; i < window; ++i)
+          order[static_cast<std::size_t>(s + i)] =
+              block_bottom_up[static_cast<std::size_t>(window - 1 - i)];
+        r.internal_nodes -= current.mincost() - best.mincost();
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+  OVO_DCHECK(core::diagram_size_for_order(f, order, kind) ==
+             r.internal_nodes);
+  r.order_root_first = std::move(order);
+  return r;
+}
+
+}  // namespace ovo::reorder

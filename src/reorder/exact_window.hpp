@@ -1,0 +1,37 @@
+#pragma once
+// Hybrid exact/heuristic reordering — the use case the paper's Sec. 1.1
+// quotes from [MT98, Sec. 9.2.2]: "apply such (exact) methods at least to
+// parts of the OBDDs within a heuristics procedure".
+//
+// exact_window slides a window of `window` adjacent levels over the
+// ordering and replaces each window's arrangement with the *exact*
+// optimum computed by the FS* dynamic program on that block (O*(3^w) per
+// window instead of w! chain evaluations — Lemma 3 guarantees the levels
+// outside the window are unaffected).  Iterates to a fixpoint.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/prefix_table.hpp"
+#include "tt/truth_table.hpp"
+
+namespace ovo::reorder {
+
+struct ExactWindowResult {
+  std::vector<int> order_root_first;
+  std::uint64_t internal_nodes = 0;
+  int passes = 0;
+  std::uint64_t windows_optimized = 0;
+  core::OpCounter ops;
+};
+
+/// Optimizes `initial_order` (root first) with exact windows of size
+/// `window` (2..16), until a full pass makes no improvement or
+/// `max_passes` is reached.
+ExactWindowResult exact_window(const tt::TruthTable& f,
+                               std::vector<int> initial_order, int window,
+                               core::DiagramKind kind =
+                                   core::DiagramKind::kBdd,
+                               int max_passes = 8);
+
+}  // namespace ovo::reorder

@@ -1,0 +1,202 @@
+#include "tt/blif.hpp"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "util/check.hpp"
+
+namespace ovo::tt {
+
+namespace {
+
+[[noreturn]] void fail(int line_no, const std::string& msg) {
+  OVO_CHECK_MSG(false,
+                "BLIF line " + std::to_string(line_no) + ": " + msg);
+  __builtin_unreachable();
+}
+
+std::vector<std::string> split_ws(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+/// Evaluation context: memoized recursive evaluation with cycle detection.
+class Evaluator {
+ public:
+  Evaluator(const BlifModel& model, std::uint64_t assignment)
+      : model_(model), assignment_(assignment) {
+    for (std::size_t i = 0; i < model.inputs.size(); ++i)
+      input_index_.emplace(model.inputs[i], static_cast<int>(i));
+    for (const BlifCover& c : model.covers)
+      cover_of_.emplace(c.output, &c);
+  }
+
+  bool eval(const std::string& signal) {
+    if (const auto it = input_index_.find(signal);
+        it != input_index_.end())
+      return ((assignment_ >> it->second) & 1u) != 0;
+    if (const auto it = value_.find(signal); it != value_.end())
+      return it->second;
+    const auto cit = cover_of_.find(signal);
+    OVO_CHECK_MSG(cit != cover_of_.end(),
+                  "BLIF: undefined signal '" + signal + "'");
+    OVO_CHECK_MSG(in_progress_.insert(signal).second,
+                  "BLIF: combinational cycle through '" + signal + "'");
+    const BlifCover& cover = *cit->second;
+    bool covered = false;
+    for (const std::string& cube : cover.cubes) {
+      bool hit = true;
+      for (std::size_t i = 0; i < cover.fanins.size(); ++i) {
+        const char c = cube[i];
+        if (c == '-') continue;
+        if (eval(cover.fanins[i]) != (c == '1')) {
+          hit = false;
+          break;
+        }
+      }
+      if (hit) {
+        covered = true;
+        break;
+      }
+    }
+    const bool v = cover.out_value == '1' ? covered : !covered;
+    in_progress_.erase(signal);
+    value_.emplace(signal, v);
+    return v;
+  }
+
+ private:
+  const BlifModel& model_;
+  std::uint64_t assignment_;
+  std::unordered_map<std::string, int> input_index_;
+  std::unordered_map<std::string, const BlifCover*> cover_of_;
+  std::unordered_map<std::string, bool> value_;
+  std::unordered_set<std::string> in_progress_;
+};
+
+}  // namespace
+
+bool BlifModel::eval(const std::string& signal,
+                     std::uint64_t assignment) const {
+  Evaluator ev(*this, assignment);
+  return ev.eval(signal);
+}
+
+TruthTable BlifModel::output_table(const std::string& output) const {
+  OVO_CHECK_MSG(static_cast<int>(inputs.size()) <= TruthTable::kMaxVars,
+                "BLIF: too many primary inputs to tabulate");
+  return TruthTable::tabulate(
+      static_cast<int>(inputs.size()),
+      [&](std::uint64_t a) { return eval(output, a); });
+}
+
+std::vector<TruthTable> BlifModel::output_tables() const {
+  std::vector<TruthTable> out;
+  out.reserve(outputs.size());
+  for (const std::string& o : outputs) out.push_back(output_table(o));
+  return out;
+}
+
+BlifModel parse_blif(const std::string& text) {
+  BlifModel model;
+  bool ended = false;
+  BlifCover* current = nullptr;
+
+  // Pre-join continuation lines.
+  std::vector<std::pair<int, std::string>> lines;
+  {
+    std::istringstream is(text);
+    std::string raw;
+    int line_no = 0;
+    std::string pending;
+    int pending_line = 0;
+    while (std::getline(is, raw)) {
+      ++line_no;
+      const std::size_t hash = raw.find('#');
+      if (hash != std::string::npos) raw.resize(hash);
+      if (!raw.empty() && raw.back() == '\\') {
+        raw.pop_back();
+        if (pending.empty()) pending_line = line_no;
+        pending += raw + ' ';
+        continue;
+      }
+      if (!pending.empty()) {
+        lines.emplace_back(pending_line, pending + raw);
+        pending.clear();
+      } else {
+        lines.emplace_back(line_no, raw);
+      }
+    }
+    if (!pending.empty()) lines.emplace_back(pending_line, pending);
+  }
+
+  for (const auto& [line_no, line] : lines) {
+    const std::vector<std::string> tok = split_ws(line);
+    if (tok.empty()) continue;
+    if (ended) fail(line_no, "content after .end");
+
+    if (tok[0] == ".model") {
+      if (tok.size() >= 2) model.name = tok[1];
+      current = nullptr;
+    } else if (tok[0] == ".inputs") {
+      model.inputs.insert(model.inputs.end(), tok.begin() + 1, tok.end());
+      current = nullptr;
+    } else if (tok[0] == ".outputs") {
+      model.outputs.insert(model.outputs.end(), tok.begin() + 1, tok.end());
+      current = nullptr;
+    } else if (tok[0] == ".names") {
+      if (tok.size() < 2) fail(line_no, ".names needs an output signal");
+      BlifCover cover;
+      cover.fanins.assign(tok.begin() + 1, tok.end() - 1);
+      cover.output = tok.back();
+      model.covers.push_back(std::move(cover));
+      current = &model.covers.back();
+    } else if (tok[0] == ".end") {
+      ended = true;
+      current = nullptr;
+    } else if (tok[0] == ".latch" || tok[0] == ".subckt" ||
+               tok[0] == ".gate") {
+      fail(line_no, "sequential/hierarchical BLIF is not supported");
+    } else if (tok[0][0] == '.') {
+      fail(line_no, "unsupported directive '" + tok[0] + "'");
+    } else {
+      // Cover row.
+      if (current == nullptr) fail(line_no, "cover row outside .names");
+      std::string plane;
+      char out_char;
+      if (current->fanins.empty()) {
+        if (tok.size() != 1 || tok[0].size() != 1)
+          fail(line_no, "constant cover row must be a single 0/1");
+        plane = "";
+        out_char = tok[0][0];
+      } else {
+        if (tok.size() != 2)
+          fail(line_no, "cover row needs <plane> <output>");
+        plane = tok[0];
+        if (tok[1].size() != 1) fail(line_no, "output column must be 0/1");
+        out_char = tok[1][0];
+      }
+      if (out_char != '0' && out_char != '1')
+        fail(line_no, "output column must be 0/1");
+      if (plane.size() != current->fanins.size())
+        fail(line_no, "cover row width disagrees with .names fanins");
+      for (const char c : plane)
+        if (c != '0' && c != '1' && c != '-')
+          fail(line_no, "invalid cover character");
+      if (current->cubes.empty()) {
+        current->out_value = out_char;
+      } else if (current->out_value != out_char) {
+        fail(line_no, "mixed output values in one cover");
+      }
+      current->cubes.push_back(plane);
+    }
+  }
+  OVO_CHECK_MSG(!model.inputs.empty(), "BLIF: no .inputs");
+  OVO_CHECK_MSG(!model.outputs.empty(), "BLIF: no .outputs");
+  return model;
+}
+
+}  // namespace ovo::tt

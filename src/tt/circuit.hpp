@@ -1,0 +1,66 @@
+#pragma once
+// Gate-level combinational circuits (netlists) — the remaining Corollary 2
+// input representation.  Signals are numbered 0..num_inputs-1 for primary
+// inputs, then one id per gate in topological order.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tt/truth_table.hpp"
+
+namespace ovo::tt {
+
+enum class GateOp { kAnd, kOr, kXor, kNand, kNor, kXnor, kNot, kBuf };
+
+struct Gate {
+  GateOp op = GateOp::kAnd;
+  int a = -1;  ///< first fanin signal id
+  int b = -1;  ///< second fanin signal id (-1 for kNot/kBuf)
+};
+
+/// A single-output combinational circuit.
+class Circuit {
+ public:
+  explicit Circuit(int num_inputs);
+
+  int num_inputs() const { return num_inputs_; }
+  int num_gates() const { return static_cast<int>(gates_.size()); }
+
+  /// Gate feeding signal id `num_inputs() + index`.
+  const Gate& gate(int index) const {
+    OVO_CHECK(index >= 0 && index < num_gates());
+    return gates_[static_cast<std::size_t>(index)];
+  }
+
+  /// Adds a gate; fanins must reference existing signals. Returns the new
+  /// signal id.
+  int add_gate(GateOp op, int a, int b = -1);
+
+  /// Marks the output signal (defaults to the last added gate).
+  void set_output(int signal);
+  int output() const;
+
+  /// Evaluate under an input assignment (bit i = input i).
+  bool eval(std::uint64_t assignment) const;
+
+  /// O*(2^n) tabulation (Corollary 2).
+  TruthTable to_truth_table() const;
+
+  /// Builds a ripple-carry adder comparison circuit: true iff
+  /// u + v == w for (bits)-bit operands packed u | v<<bits | w<<(2*bits+1)?
+  /// See the factory functions below for concrete layouts.
+
+  /// Factory: (half n)-bit ripple-carry adder carry-out, blocked operands.
+  static Circuit ripple_carry_out(int operand_bits);
+
+  /// Factory: equality comparator u == v on operand_bits-bit operands.
+  static Circuit comparator_eq(int operand_bits);
+
+ private:
+  int num_inputs_;
+  std::vector<Gate> gates_;
+  int output_ = -1;
+};
+
+}  // namespace ovo::tt

@@ -1,0 +1,220 @@
+#include "tt/expr.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace ovo::tt {
+
+namespace {
+
+ExprPtr node(Expr e) { return std::make_shared<const Expr>(std::move(e)); }
+
+}  // namespace
+
+ExprPtr make_var(int var) {
+  OVO_CHECK(var >= 0);
+  Expr e;
+  e.op = ExprOp::kVar;
+  e.var = var;
+  return node(std::move(e));
+}
+
+ExprPtr make_const(bool value) {
+  Expr e;
+  e.op = ExprOp::kConst;
+  e.value = value;
+  return node(std::move(e));
+}
+
+ExprPtr make_not(ExprPtr a) {
+  OVO_CHECK(a != nullptr);
+  Expr e;
+  e.op = ExprOp::kNot;
+  e.lhs = std::move(a);
+  return node(std::move(e));
+}
+
+namespace {
+ExprPtr binary(ExprOp op, ExprPtr a, ExprPtr b) {
+  OVO_CHECK(a != nullptr && b != nullptr);
+  Expr e;
+  e.op = op;
+  e.lhs = std::move(a);
+  e.rhs = std::move(b);
+  return node(std::move(e));
+}
+}  // namespace
+
+ExprPtr make_and(ExprPtr a, ExprPtr b) {
+  return binary(ExprOp::kAnd, std::move(a), std::move(b));
+}
+ExprPtr make_or(ExprPtr a, ExprPtr b) {
+  return binary(ExprOp::kOr, std::move(a), std::move(b));
+}
+ExprPtr make_xor(ExprPtr a, ExprPtr b) {
+  return binary(ExprOp::kXor, std::move(a), std::move(b));
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  ExprPtr parse() {
+    ExprPtr e = parse_or();
+    skip_ws();
+    OVO_CHECK_MSG(pos_ == text_.size(), "parse_expr: trailing input");
+    return e;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n'))
+      ++pos_;
+  }
+
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  ExprPtr parse_or() {
+    ExprPtr e = parse_xor();
+    while (eat('|')) e = make_or(std::move(e), parse_xor());
+    return e;
+  }
+
+  ExprPtr parse_xor() {
+    ExprPtr e = parse_and();
+    while (eat('^')) e = make_xor(std::move(e), parse_and());
+    return e;
+  }
+
+  ExprPtr parse_and() {
+    ExprPtr e = parse_factor();
+    while (eat('&')) e = make_and(std::move(e), parse_factor());
+    return e;
+  }
+
+  ExprPtr parse_factor() {
+    skip_ws();
+    OVO_CHECK_MSG(pos_ < text_.size(), "parse_expr: unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '!') {
+      ++pos_;
+      return make_not(parse_factor());
+    }
+    if (c == '(') {
+      ++pos_;
+      ExprPtr e = parse_or();
+      OVO_CHECK_MSG(eat(')'), "parse_expr: expected ')'");
+      return e;
+    }
+    if (c == '0' || c == '1') {
+      ++pos_;
+      return make_const(c == '1');
+    }
+    if (c == 'x') {
+      ++pos_;
+      std::size_t start = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')
+        ++pos_;
+      OVO_CHECK_MSG(pos_ > start, "parse_expr: expected variable number");
+      const int idx = std::stoi(text_.substr(start, pos_ - start));
+      OVO_CHECK_MSG(idx >= 1, "parse_expr: variables are 1-based (x1, x2, ...)");
+      return make_var(idx - 1);
+    }
+    OVO_CHECK_MSG(false, std::string("parse_expr: unexpected character '") +
+                             c + "'");
+    return nullptr;  // unreachable
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+ExprPtr parse_expr(const std::string& text) { return Parser(text).parse(); }
+
+bool eval_expr(const Expr& e, std::uint64_t assignment) {
+  switch (e.op) {
+    case ExprOp::kVar:
+      return ((assignment >> e.var) & 1u) != 0;
+    case ExprOp::kConst:
+      return e.value;
+    case ExprOp::kNot:
+      return !eval_expr(*e.lhs, assignment);
+    case ExprOp::kAnd:
+      return eval_expr(*e.lhs, assignment) && eval_expr(*e.rhs, assignment);
+    case ExprOp::kOr:
+      return eval_expr(*e.lhs, assignment) || eval_expr(*e.rhs, assignment);
+    case ExprOp::kXor:
+      return eval_expr(*e.lhs, assignment) != eval_expr(*e.rhs, assignment);
+  }
+  OVO_CHECK(false);
+  return false;
+}
+
+int expr_num_vars(const Expr& e) {
+  switch (e.op) {
+    case ExprOp::kVar:
+      return e.var + 1;
+    case ExprOp::kConst:
+      return 0;
+    case ExprOp::kNot:
+      return expr_num_vars(*e.lhs);
+    default:
+      return std::max(expr_num_vars(*e.lhs), expr_num_vars(*e.rhs));
+  }
+}
+
+std::size_t expr_size(const Expr& e) {
+  switch (e.op) {
+    case ExprOp::kVar:
+    case ExprOp::kConst:
+      return 1;
+    case ExprOp::kNot:
+      return 1 + expr_size(*e.lhs);
+    default:
+      return 1 + expr_size(*e.lhs) + expr_size(*e.rhs);
+  }
+}
+
+std::string expr_to_string(const Expr& e) {
+  switch (e.op) {
+    case ExprOp::kVar:
+      return "x" + std::to_string(e.var + 1);
+    case ExprOp::kConst:
+      return e.value ? "1" : "0";
+    case ExprOp::kNot:
+      return "!(" + expr_to_string(*e.lhs) + ")";
+    case ExprOp::kAnd:
+      return "(" + expr_to_string(*e.lhs) + " & " + expr_to_string(*e.rhs) +
+             ")";
+    case ExprOp::kOr:
+      return "(" + expr_to_string(*e.lhs) + " | " + expr_to_string(*e.rhs) +
+             ")";
+    case ExprOp::kXor:
+      return "(" + expr_to_string(*e.lhs) + " ^ " + expr_to_string(*e.rhs) +
+             ")";
+  }
+  OVO_CHECK(false);
+  return {};
+}
+
+TruthTable expr_to_truth_table(const Expr& e, int n) {
+  OVO_CHECK_MSG(n >= expr_num_vars(e),
+                "expr_to_truth_table: n smaller than expression support");
+  return TruthTable::tabulate(
+      n, [&e](std::uint64_t a) { return eval_expr(e, a); });
+}
+
+}  // namespace ovo::tt

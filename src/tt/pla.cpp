@@ -1,0 +1,173 @@
+#include "tt/pla.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace ovo::tt {
+
+namespace {
+
+std::vector<std::string> split_ws(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) out.push_back(tok);
+  return out;
+}
+
+[[noreturn]] void fail(int line_no, const std::string& msg) {
+  OVO_CHECK_MSG(false,
+                "PLA line " + std::to_string(line_no) + ": " + msg);
+  __builtin_unreachable();
+}
+
+}  // namespace
+
+bool Pla::cube_covers(std::size_t product, std::uint64_t assignment) const {
+  OVO_DCHECK(product < cubes.size());
+  const std::string& cube = cubes[product];
+  for (int i = 0; i < num_inputs; ++i) {
+    const char c = cube[static_cast<std::size_t>(i)];
+    if (c == '-') continue;
+    const bool bit = ((assignment >> i) & 1u) != 0;
+    if (bit != (c == '1')) return false;
+  }
+  return true;
+}
+
+TruthTable Pla::output_table(int output) const {
+  OVO_CHECK(output >= 0 && output < num_outputs);
+  return TruthTable::tabulate(num_inputs, [&](std::uint64_t a) {
+    for (std::size_t p = 0; p < cubes.size(); ++p)
+      if (outputs[p][static_cast<std::size_t>(output)] && cube_covers(p, a))
+        return true;
+    return false;
+  });
+}
+
+std::vector<TruthTable> Pla::output_tables() const {
+  std::vector<TruthTable> out;
+  out.reserve(static_cast<std::size_t>(num_outputs));
+  for (int o = 0; o < num_outputs; ++o) out.push_back(output_table(o));
+  return out;
+}
+
+Dnf Pla::output_dnf(int output) const {
+  OVO_CHECK(output >= 0 && output < num_outputs);
+  Dnf d;
+  d.num_vars = num_inputs;
+  for (std::size_t p = 0; p < cubes.size(); ++p) {
+    if (!outputs[p][static_cast<std::size_t>(output)]) continue;
+    Clause term;
+    for (int i = 0; i < num_inputs; ++i) {
+      const char c = cubes[p][static_cast<std::size_t>(i)];
+      if (c == '-') continue;
+      term.push_back(Literal{i, c == '1'});
+    }
+    d.terms.push_back(std::move(term));
+  }
+  return d;
+}
+
+Pla parse_pla(const std::string& text) {
+  Pla pla;
+  bool saw_i = false, saw_o = false, ended = false;
+  long declared_products = -1;
+  std::istringstream is(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    // Strip comments.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const std::vector<std::string> tok = split_ws(line);
+    if (tok.empty()) continue;
+    if (ended) fail(line_no, "content after .e/.end");
+
+    if (tok[0] == ".i") {
+      if (tok.size() != 2) fail(line_no, ".i needs one argument");
+      pla.num_inputs = std::stoi(tok[1]);
+      if (pla.num_inputs < 1 || pla.num_inputs > TruthTable::kMaxVars)
+        fail(line_no, "unsupported input count");
+      saw_i = true;
+    } else if (tok[0] == ".o") {
+      if (tok.size() != 2) fail(line_no, ".o needs one argument");
+      pla.num_outputs = std::stoi(tok[1]);
+      if (pla.num_outputs < 1) fail(line_no, "unsupported output count");
+      saw_o = true;
+    } else if (tok[0] == ".p") {
+      if (tok.size() != 2) fail(line_no, ".p needs one argument");
+      declared_products = std::stol(tok[1]);
+    } else if (tok[0] == ".ilb") {
+      pla.input_names.assign(tok.begin() + 1, tok.end());
+    } else if (tok[0] == ".ob") {
+      pla.output_names.assign(tok.begin() + 1, tok.end());
+    } else if (tok[0] == ".e" || tok[0] == ".end") {
+      ended = true;
+    } else if (tok[0][0] == '.') {
+      fail(line_no, "unsupported directive '" + tok[0] + "'");
+    } else {
+      // Product line.
+      if (!saw_i || !saw_o) fail(line_no, "product before .i/.o header");
+      if (tok.size() != 2)
+        fail(line_no, "product line needs <inputs> <outputs>");
+      const std::string& cube = tok[0];
+      const std::string& outs = tok[1];
+      if (static_cast<int>(cube.size()) != pla.num_inputs)
+        fail(line_no, "input cube has wrong width");
+      if (static_cast<int>(outs.size()) != pla.num_outputs)
+        fail(line_no, "output part has wrong width");
+      for (const char c : cube)
+        if (c != '0' && c != '1' && c != '-')
+          fail(line_no, "invalid input cube character");
+      std::vector<bool> on(static_cast<std::size_t>(pla.num_outputs));
+      for (int o = 0; o < pla.num_outputs; ++o) {
+        const char c = outs[static_cast<std::size_t>(o)];
+        if (c != '0' && c != '1' && c != '-' && c != '~')
+          fail(line_no, "invalid output character");
+        on[static_cast<std::size_t>(o)] = (c == '1');
+      }
+      pla.cubes.push_back(cube);
+      pla.outputs.push_back(std::move(on));
+    }
+  }
+  if (!saw_i || !saw_o) fail(line_no, "missing .i/.o header");
+  if (declared_products >= 0 &&
+      declared_products != static_cast<long>(pla.cubes.size()))
+    fail(line_no, ".p count disagrees with product lines");
+  if (!pla.input_names.empty() &&
+      static_cast<int>(pla.input_names.size()) != pla.num_inputs)
+    fail(line_no, ".ilb count disagrees with .i");
+  if (!pla.output_names.empty() &&
+      static_cast<int>(pla.output_names.size()) != pla.num_outputs)
+    fail(line_no, ".ob count disagrees with .o");
+  return pla;
+}
+
+std::string to_pla(const Pla& pla) {
+  std::ostringstream os;
+  os << ".i " << pla.num_inputs << "\n";
+  os << ".o " << pla.num_outputs << "\n";
+  if (!pla.input_names.empty()) {
+    os << ".ilb";
+    for (const std::string& n : pla.input_names) os << ' ' << n;
+    os << "\n";
+  }
+  if (!pla.output_names.empty()) {
+    os << ".ob";
+    for (const std::string& n : pla.output_names) os << ' ' << n;
+    os << "\n";
+  }
+  os << ".p " << pla.cubes.size() << "\n";
+  for (std::size_t p = 0; p < pla.cubes.size(); ++p) {
+    os << pla.cubes[p] << ' ';
+    for (const bool b : pla.outputs[p]) os << (b ? '1' : '0');
+    os << "\n";
+  }
+  os << ".e\n";
+  return os.str();
+}
+
+}  // namespace ovo::tt

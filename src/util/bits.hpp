@@ -1,0 +1,136 @@
+#pragma once
+// Bit-manipulation utilities for subset-indexed dynamic programming.
+//
+// Subsets of [n] = {1, ..., n} (the paper's variable index set) are encoded
+// as 64-bit masks where bit (i-1) represents element i.  All subset
+// enumeration needed by the Friedman–Supowit DP (fixed-cardinality sweeps,
+// subset-of-mask sweeps) lives here.
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ovo::util {
+
+using Mask = std::uint64_t;
+
+/// Number of set bits.
+inline int popcount(Mask m) { return std::popcount(m); }
+
+/// Index (0-based) of the lowest set bit. Precondition: m != 0.
+inline int lowest_bit(Mask m) {
+  OVO_DCHECK(m != 0);
+  return std::countr_zero(m);
+}
+
+/// Mask with the n lowest bits set (n in [0, 64]).
+inline Mask full_mask(int n) {
+  OVO_DCHECK(n >= 0 && n <= 64);
+  return n >= 64 ? ~Mask{0} : ((Mask{1} << n) - 1);
+}
+
+/// True if `sub` is a subset of `super`.
+inline bool is_subset(Mask sub, Mask super) { return (sub & ~super) == 0; }
+
+/// Gosper's hack: next mask with the same popcount, in increasing numeric
+/// order. Returns 0 when the sequence within `full_mask(n)` is exhausted
+/// (callers must bound iteration themselves).
+inline Mask next_same_popcount(Mask m) {
+  OVO_DCHECK(m != 0);
+  const Mask c = m & (~m + 1);  // lowest set bit
+  const Mask r = m + c;
+  return (((r ^ m) >> 2) / c) | r;
+}
+
+/// Enumerate all masks of cardinality k within universe [0, n).
+/// Calls fn(mask) for each, in increasing numeric order.
+template <typename Fn>
+void for_each_subset_of_size(int n, int k, Fn&& fn) {
+  OVO_DCHECK(n >= 0 && n <= 63);
+  OVO_DCHECK(k >= 0 && k <= n);
+  if (k == 0) {
+    fn(Mask{0});
+    return;
+  }
+  const Mask limit = full_mask(n);
+  Mask m = full_mask(k);
+  while (m <= limit) {
+    fn(m);
+    if (m == 0) break;
+    const Mask next = next_same_popcount(m);
+    if (next <= m) break;  // overflow wrapped
+    m = next;
+  }
+}
+
+/// Enumerate all subsets of `super` (including 0 and super itself).
+template <typename Fn>
+void for_each_subset_of(Mask super, Fn&& fn) {
+  Mask sub = super;
+  while (true) {
+    fn(sub);
+    if (sub == 0) break;
+    sub = (sub - 1) & super;
+  }
+}
+
+/// Enumerate the individual set bits of m as 0-based positions.
+template <typename Fn>
+void for_each_bit(Mask m, Fn&& fn) {
+  while (m != 0) {
+    const int b = std::countr_zero(m);
+    fn(b);
+    m &= m - 1;
+  }
+}
+
+/// The 0-based positions of set bits, ascending.
+inline std::vector<int> bits_of(Mask m) {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(popcount(m)));
+  for_each_bit(m, [&](int b) { out.push_back(b); });
+  return out;
+}
+
+/// Mask from a list of 0-based bit positions.
+inline Mask mask_of(const std::vector<int>& bits) {
+  Mask m = 0;
+  for (int b : bits) {
+    OVO_DCHECK(b >= 0 && b < 64);
+    m |= Mask{1} << b;
+  }
+  return m;
+}
+
+/// PDEP-style bit scatter: distributes the low popcount(mask) bits of
+/// `value` into the set-bit positions of `mask` (ascending).  Used to index
+/// truth-table cells by assignments to a variable subset.
+inline std::uint64_t scatter_bits(std::uint64_t value, Mask mask) {
+  std::uint64_t out = 0;
+  int src = 0;
+  while (mask != 0) {
+    const int b = std::countr_zero(mask);
+    out |= ((value >> src) & 1u) << b;
+    ++src;
+    mask &= mask - 1;
+  }
+  return out;
+}
+
+/// Inverse of scatter_bits: gathers bits of `value` at set positions of
+/// `mask` into a dense low-order field (ascending).
+inline std::uint64_t gather_bits(std::uint64_t value, Mask mask) {
+  std::uint64_t out = 0;
+  int dst = 0;
+  while (mask != 0) {
+    const int b = std::countr_zero(mask);
+    out |= ((value >> b) & 1u) << dst;
+    ++dst;
+    mask &= mask - 1;
+  }
+  return out;
+}
+
+}  // namespace ovo::util

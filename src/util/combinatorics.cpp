@@ -1,0 +1,133 @@
+#include "util/combinatorics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace ovo::util {
+
+double binomial(int n, int k) {
+  if (k < 0 || k > n) return 0.0;
+  k = std::min(k, n - k);
+  double r = 1.0;
+  for (int i = 1; i <= k; ++i) {
+    r *= static_cast<double>(n - k + i);
+    r /= static_cast<double>(i);
+  }
+  return r;
+}
+
+std::uint64_t binomial_u64(int n, int k) {
+  if (k < 0 || k > n) return 0;
+  k = std::min(k, n - k);
+  std::uint64_t r = 1;
+  for (int i = 1; i <= k; ++i) {
+    // r * (n-k+i) / i is always integral at this point; guard the multiply.
+    const std::uint64_t num = static_cast<std::uint64_t>(n - k + i);
+    OVO_CHECK_MSG(r <= std::numeric_limits<std::uint64_t>::max() / num,
+                  "binomial_u64 overflow");
+    r = r * num / static_cast<std::uint64_t>(i);
+  }
+  return r;
+}
+
+double binary_entropy(double d) {
+  OVO_CHECK(d >= 0.0 && d <= 1.0);
+  if (d == 0.0 || d == 1.0) return 0.0;
+  return -d * std::log2(d) - (1.0 - d) * std::log2(1.0 - d);
+}
+
+double entropy_bound(int n, int k) {
+  OVO_CHECK(n >= 0 && k >= 0 && k <= n);
+  if (n == 0) return 1.0;
+  return std::exp2(n * binary_entropy(static_cast<double>(k) / n));
+}
+
+std::uint64_t combination_rank(Mask m) {
+  std::uint64_t rank = 0;
+  int i = 1;  // how many elements seen so far
+  for_each_bit(m, [&](int b) {
+    rank += binomial_u64(b, i);
+    ++i;
+  });
+  return rank;
+}
+
+Mask combination_unrank(int n, int k, std::uint64_t rank) {
+  OVO_CHECK(k >= 0 && k <= n);
+  Mask m = 0;
+  for (int i = k; i >= 1; --i) {
+    // Largest b with binom(b, i) <= rank.
+    int b = i - 1;
+    while (b + 1 < n && binomial_u64(b + 1, i) <= rank) ++b;
+    OVO_CHECK_MSG(b < n, "combination_unrank: rank out of range");
+    m |= Mask{1} << b;
+    rank -= binomial_u64(b, i);
+    n = b;  // subsequent elements must be below b
+  }
+  OVO_CHECK_MSG(rank == 0, "combination_unrank: rank out of range");
+  return m;
+}
+
+double factorial(int n) {
+  double r = 1.0;
+  for (int i = 2; i <= n; ++i) r *= i;
+  return r;
+}
+
+std::vector<std::vector<int>> all_permutations(int n) {
+  OVO_CHECK_MSG(n >= 0 && n <= 10, "all_permutations: n too large");
+  std::vector<int> p(static_cast<std::size_t>(n));
+  std::iota(p.begin(), p.end(), 0);
+  std::vector<std::vector<int>> out;
+  do {
+    out.push_back(p);
+  } while (std::next_permutation(p.begin(), p.end()));
+  return out;
+}
+
+std::vector<int> permutation_unrank(int n, std::uint64_t rank) {
+  std::vector<int> pool(static_cast<std::size_t>(n));
+  std::iota(pool.begin(), pool.end(), 0);
+  std::vector<std::uint64_t> fact(static_cast<std::size_t>(n) + 1, 1);
+  for (int i = 1; i <= n; ++i)
+    fact[static_cast<std::size_t>(i)] =
+        fact[static_cast<std::size_t>(i) - 1] * static_cast<std::uint64_t>(i);
+  OVO_CHECK_MSG(rank < fact[static_cast<std::size_t>(n)],
+                "permutation_unrank: rank out of range");
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = n; i >= 1; --i) {
+    const std::uint64_t f = fact[static_cast<std::size_t>(i) - 1];
+    const std::size_t idx = static_cast<std::size_t>(rank / f);
+    rank %= f;
+    out.push_back(pool[idx]);
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(idx));
+  }
+  return out;
+}
+
+std::vector<int> inverse_permutation(const std::vector<int>& perm) {
+  std::vector<int> inv(perm.size(), -1);
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    const int v = perm[i];
+    OVO_CHECK(v >= 0 && static_cast<std::size_t>(v) < perm.size());
+    inv[static_cast<std::size_t>(v)] = static_cast<int>(i);
+  }
+  return inv;
+}
+
+bool is_permutation(const std::vector<int>& perm) {
+  std::vector<bool> seen(perm.size(), false);
+  for (int v : perm) {
+    if (v < 0 || static_cast<std::size_t>(v) >= perm.size()) return false;
+    if (seen[static_cast<std::size_t>(v)]) return false;
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+  return true;
+}
+
+}  // namespace ovo::util

@@ -1,0 +1,51 @@
+#pragma once
+// Combinatorial helpers used by the complexity analysis and the DP:
+// binomial coefficients, binary entropy (and the bound
+// binom(n,k) <= 2^{n H(k/n)} from Sec. 2.1 of the paper), combination
+// ranking, and permutation utilities.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bits.hpp"
+
+namespace ovo::util {
+
+/// binom(n, k) as a double (exact for the ranges used here, n <= 64).
+double binomial(int n, int k);
+
+/// binom(n, k) as an exact unsigned 64-bit value; throws CheckError on
+/// overflow. Valid for all n <= 61 and many larger cases.
+std::uint64_t binomial_u64(int n, int k);
+
+/// Binary entropy H(d) = -d log2 d - (1-d) log2 (1-d); H(0) = H(1) = 0.
+/// Precondition: d in [0, 1].
+double binary_entropy(double d);
+
+/// The paper's Sec. 2.1 bound: 2^{n H(k/n)} (an upper bound on binom(n,k)).
+double entropy_bound(int n, int k);
+
+/// Colexicographic rank of a k-subset mask among all k-subsets of [0, n).
+/// rank is in [0, binom(n,k)).
+std::uint64_t combination_rank(Mask m);
+
+/// Inverse of combination_rank: the k-subset of rank `rank` (colex order).
+Mask combination_unrank(int n, int k, std::uint64_t rank);
+
+/// n! as a double.
+double factorial(int n);
+
+/// All permutations of {0,...,n-1}; intended for small n (n <= 8 or so).
+std::vector<std::vector<int>> all_permutations(int n);
+
+/// Lehmer-code unranking: the `rank`-th permutation of {0,...,n-1} in
+/// lexicographic order. rank in [0, n!).
+std::vector<int> permutation_unrank(int n, std::uint64_t rank);
+
+/// Inverse permutation: out[perm[i]] = i.
+std::vector<int> inverse_permutation(const std::vector<int>& perm);
+
+/// True if `perm` is a permutation of {0,...,n-1}.
+bool is_permutation(const std::vector<int>& perm);
+
+}  // namespace ovo::util

@@ -1,0 +1,45 @@
+#include "util/fit.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace ovo::util {
+
+ExponentFit fit_exponent(const std::vector<int>& n,
+                         const std::vector<double>& y) {
+  OVO_CHECK(n.size() == y.size());
+  OVO_CHECK_MSG(n.size() >= 2, "fit_exponent needs >= 2 samples");
+  const double m = static_cast<double>(n.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < n.size(); ++i) {
+    OVO_CHECK_MSG(y[i] > 0.0, "fit_exponent: y must be positive");
+    const double x = static_cast<double>(n[i]);
+    const double ly = std::log2(y[i]);
+    sx += x;
+    sy += ly;
+    sxx += x * x;
+    sxy += x * ly;
+  }
+  const double denom = m * sxx - sx * sx;
+  OVO_CHECK_MSG(denom != 0.0, "fit_exponent: degenerate n values");
+  ExponentFit fit;
+  fit.log2_coeff = (m * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.log2_coeff * sx) / m;
+  fit.base = std::exp2(fit.log2_coeff);
+
+  // R^2 on the log scale.
+  const double mean_y = sy / m;
+  double ss_tot = 0, ss_res = 0;
+  for (std::size_t i = 0; i < n.size(); ++i) {
+    const double ly = std::log2(y[i]);
+    const double pred =
+        fit.intercept + fit.log2_coeff * static_cast<double>(n[i]);
+    ss_tot += (ly - mean_y) * (ly - mean_y);
+    ss_res += (ly - pred) * (ly - pred);
+  }
+  fit.r_squared = ss_tot == 0.0 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+}  // namespace ovo::util

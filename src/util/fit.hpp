@@ -1,0 +1,21 @@
+#pragma once
+// Exponential-growth fitting for the scaling benchmarks: given samples
+// (n_i, y_i) with y ~ c * base^n, estimate `base` by least squares on
+// log2(y) = log2(c) + n log2(base).
+
+#include <vector>
+
+namespace ovo::util {
+
+struct ExponentFit {
+  double base = 0.0;       ///< estimated growth base (e.g. ~3.0 for FS)
+  double log2_coeff = 0.0; ///< slope: log2(base)
+  double intercept = 0.0;  ///< log2(c)
+  double r_squared = 0.0;  ///< goodness of fit on the log scale
+};
+
+/// Fit y ~ c * base^n. All y must be > 0 and at least two samples given.
+ExponentFit fit_exponent(const std::vector<int>& n,
+                         const std::vector<double>& y);
+
+}  // namespace ovo::util

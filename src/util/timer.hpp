@@ -1,0 +1,26 @@
+#pragma once
+// Monotonic wall-clock timer for the benchmark harness.
+
+#include <chrono>
+
+namespace ovo::util {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ovo::util

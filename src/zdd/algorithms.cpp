@@ -1,0 +1,238 @@
+#include "zdd/algorithms.hpp"
+
+#include <limits>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace ovo::zdd {
+
+namespace {
+
+struct PairHash {
+  std::size_t operator()(std::uint64_t k) const {
+    k ^= k >> 33;
+    k *= 0xff51afd7ed558ccdull;
+    k ^= k >> 33;
+    return static_cast<std::size_t>(k);
+  }
+};
+
+using Memo = std::unordered_map<std::uint64_t, NodeId, PairHash>;
+
+std::uint64_t key(NodeId p, NodeId q) {
+  return (std::uint64_t{p} << 32) | q;
+}
+
+NodeId join_rec(Manager& m, NodeId p, NodeId q, Memo& memo) {
+  if (p == kEmpty || q == kEmpty) return kEmpty;
+  if (p == kUnit) return q;
+  if (q == kUnit) return p;
+  if (p > q) std::swap(p, q);  // commutative
+  if (const auto it = memo.find(key(p, q)); it != memo.end())
+    return it->second;
+  const Node& pn = m.node(p);
+  const Node& qn = m.node(q);
+  NodeId out;
+  if (pn.level < qn.level) {
+    out = m.make(pn.level, join_rec(m, pn.lo, q, memo),
+                 join_rec(m, pn.hi, q, memo));
+  } else if (pn.level > qn.level) {
+    out = m.make(qn.level, join_rec(m, p, qn.lo, memo),
+                 join_rec(m, p, qn.hi, memo));
+  } else {
+    const NodeId hi = m.family_union(
+        m.family_union(join_rec(m, pn.hi, qn.hi, memo),
+                       join_rec(m, pn.hi, qn.lo, memo)),
+        join_rec(m, pn.lo, qn.hi, memo));
+    out = m.make(pn.level, join_rec(m, pn.lo, qn.lo, memo), hi);
+  }
+  memo.emplace(key(p, q), out);
+  return out;
+}
+
+NodeId meet_rec(Manager& m, NodeId p, NodeId q, Memo& memo) {
+  if (p == kEmpty || q == kEmpty) return kEmpty;
+  if (p == kUnit || q == kUnit) return kUnit;
+  if (p > q) std::swap(p, q);
+  if (const auto it = memo.find(key(p, q)); it != memo.end())
+    return it->second;
+  const Node& pn = m.node(p);
+  const Node& qn = m.node(q);
+  NodeId out;
+  if (pn.level < qn.level) {
+    out = meet_rec(m, m.family_union(pn.lo, pn.hi), q, memo);
+  } else if (pn.level > qn.level) {
+    out = meet_rec(m, p, m.family_union(qn.lo, qn.hi), memo);
+  } else {
+    const NodeId lo = m.family_union(
+        m.family_union(meet_rec(m, pn.lo, qn.lo, memo),
+                       meet_rec(m, pn.lo, qn.hi, memo)),
+        meet_rec(m, pn.hi, qn.lo, memo));
+    out = m.make(pn.level, lo, meet_rec(m, pn.hi, qn.hi, memo));
+  }
+  memo.emplace(key(p, q), out);
+  return out;
+}
+
+NodeId nonsubsets_rec(Manager& m, NodeId p, NodeId q, Memo& memo);
+NodeId nonsupersets_rec(Manager& m, NodeId p, NodeId q, Memo& memo);
+
+NodeId nonsubsets_rec(Manager& m, NodeId p, NodeId q, Memo& memo) {
+  if (q == kEmpty) return p;
+  if (p == kEmpty || p == kUnit) return kEmpty;  // empty set ⊆ any B ∈ q
+  if (p == q) return kEmpty;
+  if (const auto it = memo.find(key(p, q)); it != memo.end())
+    return it->second;
+  const Node& pn = m.node(p);
+  NodeId out;
+  if (q == kUnit) {
+    // Only ∅ is a subset of ∅; p's node members all contain a variable.
+    // Members of pn.lo must still be checked against {∅} recursively.
+    out = m.make(pn.level, nonsubsets_rec(m, pn.lo, kUnit, memo), pn.hi);
+  } else {
+    const Node& qn = m.node(q);
+    if (pn.level < qn.level) {
+      // Members containing var(pn.level) cannot be subsets of any B ∈ q.
+      out = m.make(pn.level, nonsubsets_rec(m, pn.lo, q, memo), pn.hi);
+    } else if (pn.level > qn.level) {
+      out = nonsubsets_rec(m, p, m.family_union(qn.lo, qn.hi), memo);
+    } else {
+      out = m.make(pn.level,
+                   nonsubsets_rec(m, pn.lo,
+                                  m.family_union(qn.lo, qn.hi), memo),
+                   nonsubsets_rec(m, pn.hi, qn.hi, memo));
+    }
+  }
+  memo.emplace(key(p, q), out);
+  return out;
+}
+
+NodeId nonsupersets_rec(Manager& m, NodeId p, NodeId q, Memo& memo) {
+  if (q == kEmpty) return p;
+  if (q == kUnit || p == kEmpty) return kEmpty;  // ∅ ⊆ every member of p
+  if (p == q) return kEmpty;
+  if (const auto it = memo.find(key(p, q)); it != memo.end())
+    return it->second;
+  NodeId out;
+  if (p == kUnit) {
+    // A = ∅ is a superset only of ∅, and q does not contain ∅ at this
+    // point only if every path... q may still contain ∅ through lo-chains.
+    NodeId walk = q;
+    while (!m.is_terminal(walk)) walk = m.node(walk).lo;
+    out = walk == kUnit ? kEmpty : kUnit;
+  } else {
+    const Node& pn = m.node(p);
+    const Node& qn = m.node(q);
+    if (pn.level < qn.level) {
+      out = m.make(pn.level, nonsupersets_rec(m, pn.lo, q, memo),
+                   nonsupersets_rec(m, pn.hi, q, memo));
+    } else if (pn.level > qn.level) {
+      // No member of p contains var(qn.level): members B containing it
+      // can never be subsets; only qn.lo matters.
+      out = nonsupersets_rec(m, p, qn.lo, memo);
+    } else {
+      const NodeId hi =
+          m.family_intersection(nonsupersets_rec(m, pn.hi, qn.lo, memo),
+                                nonsupersets_rec(m, pn.hi, qn.hi, memo));
+      out = m.make(pn.level, nonsupersets_rec(m, pn.lo, qn.lo, memo), hi);
+    }
+  }
+  memo.emplace(key(p, q), out);
+  return out;
+}
+
+NodeId maximal_rec(Manager& m, NodeId p, Memo& memo, Memo& ns_memo) {
+  if (m.is_terminal(p)) return p;
+  if (const auto it = memo.find(key(p, 0)); it != memo.end())
+    return it->second;
+  const Node& pn = m.node(p);
+  const NodeId hi = maximal_rec(m, pn.hi, memo, ns_memo);
+  const NodeId lo = nonsubsets_rec(
+      m, maximal_rec(m, pn.lo, memo, ns_memo), pn.hi, ns_memo);
+  const NodeId out = m.make(pn.level, lo, hi);
+  memo.emplace(key(p, 0), out);
+  return out;
+}
+
+NodeId minimal_rec(Manager& m, NodeId p, Memo& memo, Memo& ns_memo) {
+  if (m.is_terminal(p)) return p;
+  if (const auto it = memo.find(key(p, 0)); it != memo.end())
+    return it->second;
+  const Node& pn = m.node(p);
+  const NodeId lo = minimal_rec(m, pn.lo, memo, ns_memo);
+  const NodeId hi = nonsupersets_rec(
+      m, minimal_rec(m, pn.hi, memo, ns_memo), pn.lo, ns_memo);
+  const NodeId out = m.make(pn.level, lo, hi);
+  memo.emplace(key(p, 0), out);
+  return out;
+}
+
+}  // namespace
+
+NodeId family_join(Manager& m, NodeId p, NodeId q) {
+  Memo memo;
+  return join_rec(m, p, q, memo);
+}
+
+NodeId family_meet(Manager& m, NodeId p, NodeId q) {
+  Memo memo;
+  return meet_rec(m, p, q, memo);
+}
+
+NodeId maximal_sets(Manager& m, NodeId p) {
+  Memo memo, ns;
+  return maximal_rec(m, p, memo, ns);
+}
+
+NodeId minimal_sets(Manager& m, NodeId p) {
+  Memo memo, ns;
+  return minimal_rec(m, p, memo, ns);
+}
+
+NodeId nonsupersets(Manager& m, NodeId p, NodeId q) {
+  Memo memo;
+  return nonsupersets_rec(m, p, q, memo);
+}
+
+NodeId nonsubsets(Manager& m, NodeId p, NodeId q) {
+  Memo memo;
+  return nonsubsets_rec(m, p, q, memo);
+}
+
+std::optional<WeightedSet> min_weight_set(const Manager& m, NodeId p,
+                                          const std::vector<double>& weight) {
+  OVO_CHECK_MSG(static_cast<int>(weight.size()) == m.num_vars(),
+                "min_weight_set: weight arity mismatch");
+  if (p == kEmpty) return std::nullopt;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::unordered_map<NodeId, double> memo;
+  auto best = [&](auto&& self, NodeId u) -> double {
+    if (u == kEmpty) return kInf;
+    if (u == kUnit) return 0.0;
+    if (const auto it = memo.find(u); it != memo.end()) return it->second;
+    const Node& un = m.node(u);
+    const double w =
+        weight[static_cast<std::size_t>(m.var_at_level(un.level))];
+    const double b = std::min(self(self, un.lo), w + self(self, un.hi));
+    memo.emplace(u, b);
+    return b;
+  };
+  WeightedSet out;
+  out.weight = best(best, p);
+  NodeId u = p;
+  while (u != kUnit) {
+    const Node& un = m.node(u);
+    const int var = m.var_at_level(un.level);
+    const double w = weight[static_cast<std::size_t>(var)];
+    if (w + best(best, un.hi) < best(best, un.lo)) {
+      out.set |= util::Mask{1} << var;
+      u = un.hi;
+    } else {
+      u = un.lo;
+    }
+  }
+  return out;
+}
+
+}  // namespace ovo::zdd

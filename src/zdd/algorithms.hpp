@@ -1,0 +1,45 @@
+#pragma once
+// Minato's extended family algebra over ZDDs — the operator set that makes
+// ZDDs the tool of choice for combinatorial enumeration (the application
+// domain the paper's abstract highlights for its ZDD variant).
+//
+// Families are sets of subsets of the variable universe; all operators
+// are recursive with memoization over the canonical node ids.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "zdd/manager.hpp"
+
+namespace ovo::zdd {
+
+/// Join (aka cross union): { A ∪ B : A ∈ p, B ∈ q }.
+NodeId family_join(Manager& m, NodeId p, NodeId q);
+
+/// Meet (aka cross intersection): { A ∩ B : A ∈ p, B ∈ q }.
+NodeId family_meet(Manager& m, NodeId p, NodeId q);
+
+/// Members of p that are maximal (no proper superset inside p).
+NodeId maximal_sets(Manager& m, NodeId p);
+
+/// Members of p that are minimal (no proper subset inside p).
+NodeId minimal_sets(Manager& m, NodeId p);
+
+/// Members of p that are NOT a superset of any member of q.
+/// (Classic use: prune candidate solutions hitting a forbidden pattern.)
+NodeId nonsupersets(Manager& m, NodeId p, NodeId q);
+
+/// Members of p that are NOT a subset of any member of q.
+NodeId nonsubsets(Manager& m, NodeId p, NodeId q);
+
+/// Minimum total weight over the family (weights per variable, may be
+/// negative); nullopt for the empty family.
+struct WeightedSet {
+  util::Mask set = 0;
+  double weight = 0.0;
+};
+std::optional<WeightedSet> min_weight_set(const Manager& m, NodeId p,
+                                          const std::vector<double>& weight);
+
+}  // namespace ovo::zdd

@@ -1,0 +1,291 @@
+#include "zdd/manager.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "util/combinatorics.hpp"
+
+namespace ovo::zdd {
+
+namespace {
+enum OpTag : std::uint64_t { kUnion = 1, kIntersect = 2, kDiff = 3 };
+
+std::uint64_t cache_key(std::uint64_t tag, NodeId p, NodeId q) {
+  OVO_DCHECK(p < (1u << 30) && q < (1u << 30));
+  return (tag << 60) | (std::uint64_t{p} << 30) | q;
+}
+}  // namespace
+
+Manager::Manager(int num_vars) : Manager(num_vars, [num_vars] {
+  std::vector<int> id(static_cast<std::size_t>(num_vars));
+  std::iota(id.begin(), id.end(), 0);
+  return id;
+}()) {}
+
+Manager::Manager(int num_vars, std::vector<int> order)
+    : n_(num_vars), order_(std::move(order)) {
+  OVO_CHECK_MSG(num_vars >= 0 && num_vars <= tt::TruthTable::kMaxVars,
+                "zdd::Manager: num_vars out of range");
+  OVO_CHECK_MSG(static_cast<int>(order_.size()) == n_,
+                "zdd::Manager: order length mismatch");
+  OVO_CHECK_MSG(util::is_permutation(order_),
+                "zdd::Manager: order not a permutation");
+  var_to_level_ = util::inverse_permutation(order_);
+  pool_.push_back(Node{n_, kEmpty, kEmpty});
+  pool_.push_back(Node{n_, kUnit, kUnit});
+  unique_.resize(static_cast<std::size_t>(n_));
+}
+
+NodeId Manager::make(int level, NodeId lo, NodeId hi) {
+  OVO_CHECK(level >= 0 && level < n_);
+  OVO_DCHECK(pool_[lo].level > level && pool_[hi].level > level);
+  if (hi == kEmpty) return lo;  // zero-suppression rule
+  auto& table = unique_[static_cast<std::size_t>(level)];
+  const std::uint64_t key = (std::uint64_t{lo} << 32) | hi;
+  if (const auto it = table.find(key); it != table.end()) return it->second;
+  const NodeId id = static_cast<NodeId>(pool_.size());
+  pool_.push_back(Node{level, lo, hi});
+  table.emplace(key, id);
+  return id;
+}
+
+NodeId Manager::from_truth_table(const tt::TruthTable& t) {
+  OVO_CHECK_MSG(t.num_vars() == n_, "zdd: arity mismatch");
+  if (n_ == 0) return t.get(0) ? kUnit : kEmpty;
+  std::vector<NodeId> cells(t.size());
+  for (std::uint64_t a = 0; a < t.size(); ++a) {
+    std::uint64_t assignment = 0;
+    for (int j = 0; j < n_; ++j)
+      assignment |= ((a >> j) & 1u) << order_[static_cast<std::size_t>(j)];
+    cells[a] = t.get(assignment) ? kUnit : kEmpty;
+  }
+  for (int level = n_ - 1; level >= 0; --level) {
+    const std::uint64_t half = std::uint64_t{1} << level;
+    std::vector<NodeId> next(half);
+    for (std::uint64_t a = 0; a < half; ++a)
+      next[a] = make(level, cells[a], cells[a | half]);
+    cells = std::move(next);
+  }
+  return cells[0];
+}
+
+NodeId Manager::single_set(util::Mask set) {
+  OVO_CHECK(util::is_subset(set, util::full_mask(n_)));
+  // Build bottom-up over the member variables' levels (descending level).
+  std::vector<int> levels;
+  util::for_each_bit(set, [&](int v) { levels.push_back(level_of_var(v)); });
+  std::sort(levels.begin(), levels.end(), std::greater<int>());
+  NodeId f = kUnit;
+  for (int level : levels) f = make(level, kEmpty, f);
+  return f;
+}
+
+NodeId Manager::from_family(const std::vector<util::Mask>& sets) {
+  NodeId f = kEmpty;
+  for (const util::Mask s : sets) f = family_union(f, single_set(s));
+  return f;
+}
+
+NodeId Manager::family_union(NodeId p, NodeId q) {
+  if (p == kEmpty) return q;
+  if (q == kEmpty || p == q) return p;
+  const std::uint64_t key =
+      cache_key(kUnion, std::min(p, q), std::max(p, q));
+  if (const auto it = op_cache_.find(key); it != op_cache_.end())
+    return it->second;
+  const Node& pn = pool_[p];
+  const Node& qn = pool_[q];
+  NodeId out;
+  if (pn.level < qn.level) {
+    out = make(pn.level, family_union(pn.lo, q), pn.hi);
+  } else if (pn.level > qn.level) {
+    out = make(qn.level, family_union(p, qn.lo), qn.hi);
+  } else {
+    out = make(pn.level, family_union(pn.lo, qn.lo),
+               family_union(pn.hi, qn.hi));
+  }
+  op_cache_.emplace(key, out);
+  return out;
+}
+
+NodeId Manager::family_intersection(NodeId p, NodeId q) {
+  if (p == kEmpty || q == kEmpty) return kEmpty;
+  if (p == q) return p;
+  const std::uint64_t key =
+      cache_key(kIntersect, std::min(p, q), std::max(p, q));
+  if (const auto it = op_cache_.find(key); it != op_cache_.end())
+    return it->second;
+  const Node& pn = pool_[p];
+  const Node& qn = pool_[q];
+  NodeId out;
+  if (pn.level < qn.level) {
+    out = family_intersection(pn.lo, q);
+  } else if (pn.level > qn.level) {
+    out = family_intersection(p, qn.lo);
+  } else {
+    out = make(pn.level, family_intersection(pn.lo, qn.lo),
+               family_intersection(pn.hi, qn.hi));
+  }
+  op_cache_.emplace(key, out);
+  return out;
+}
+
+NodeId Manager::family_difference(NodeId p, NodeId q) {
+  if (p == kEmpty || p == q) return kEmpty;
+  if (q == kEmpty) return p;
+  const std::uint64_t key = cache_key(kDiff, p, q);
+  if (const auto it = op_cache_.find(key); it != op_cache_.end())
+    return it->second;
+  const Node& pn = pool_[p];
+  const Node& qn = pool_[q];
+  NodeId out;
+  if (pn.level < qn.level) {
+    out = make(pn.level, family_difference(pn.lo, q), pn.hi);
+  } else if (pn.level > qn.level) {
+    out = family_difference(p, qn.lo);
+  } else {
+    out = make(pn.level, family_difference(pn.lo, qn.lo),
+               family_difference(pn.hi, qn.hi));
+  }
+  op_cache_.emplace(key, out);
+  return out;
+}
+
+NodeId Manager::subset0(NodeId f, int var) {
+  const int level = level_of_var(var);
+  auto rec = [&](auto&& self, NodeId u) -> NodeId {
+    const Node& un = pool_[u];
+    if (un.level > level) return u;
+    if (un.level == level) return un.lo;
+    return make(un.level, self(self, un.lo), self(self, un.hi));
+  };
+  return rec(rec, f);
+}
+
+NodeId Manager::subset1(NodeId f, int var) {
+  const int level = level_of_var(var);
+  auto rec = [&](auto&& self, NodeId u) -> NodeId {
+    const Node& un = pool_[u];
+    if (un.level > level) return kEmpty;
+    if (un.level == level) return un.hi;
+    return make(un.level, self(self, un.lo), self(self, un.hi));
+  };
+  return rec(rec, f);
+}
+
+NodeId Manager::change(NodeId f, int var) {
+  const int level = level_of_var(var);
+  auto rec = [&](auto&& self, NodeId u) -> NodeId {
+    const Node& un = pool_[u];
+    if (un.level > level) return make(level, kEmpty, u);
+    if (un.level == level) return make(level, un.hi, un.lo);
+    return make(un.level, self(self, un.lo), self(self, un.hi));
+  };
+  return rec(rec, f);
+}
+
+bool Manager::eval(NodeId f, std::uint64_t assignment) const {
+  int level = 0;
+  while (!is_terminal(f)) {
+    const Node& fn = pool_[f];
+    for (int l = level; l < fn.level; ++l)
+      if ((assignment >> order_[static_cast<std::size_t>(l)]) & 1u)
+        return false;  // skipped level with a 1 assignment: suppressed zero
+    const int var = order_[static_cast<std::size_t>(fn.level)];
+    f = ((assignment >> var) & 1u) ? fn.hi : fn.lo;
+    level = fn.level + 1;
+  }
+  if (f == kEmpty) return false;
+  for (int l = level; l < n_; ++l)
+    if ((assignment >> order_[static_cast<std::size_t>(l)]) & 1u) return false;
+  return true;
+}
+
+tt::TruthTable Manager::to_truth_table(NodeId f) const {
+  return tt::TruthTable::tabulate(
+      n_, [&](std::uint64_t a) { return eval(f, a); });
+}
+
+std::uint64_t Manager::count(NodeId f) const {
+  std::unordered_map<NodeId, std::uint64_t> memo;
+  auto rec = [&](auto&& self, NodeId u) -> std::uint64_t {
+    if (u == kEmpty) return 0;
+    if (u == kUnit) return 1;
+    if (const auto it = memo.find(u); it != memo.end()) return it->second;
+    const Node& un = pool_[u];
+    const std::uint64_t c = self(self, un.lo) + self(self, un.hi);
+    memo.emplace(u, c);
+    return c;
+  };
+  return rec(rec, f);
+}
+
+std::vector<util::Mask> Manager::enumerate(NodeId f) const {
+  std::vector<util::Mask> out;
+  auto rec = [&](auto&& self, NodeId u, util::Mask acc) -> void {
+    if (u == kEmpty) return;
+    if (u == kUnit) {
+      out.push_back(acc);
+      return;
+    }
+    const Node& un = pool_[u];
+    const int var = order_[static_cast<std::size_t>(un.level)];
+    self(self, un.lo, acc);
+    self(self, un.hi, acc | (util::Mask{1} << var));
+  };
+  rec(rec, f, 0);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::uint64_t Manager::size(NodeId f) const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t w : level_widths(f)) total += w;
+  return total;
+}
+
+std::vector<std::uint64_t> Manager::level_widths(NodeId f) const {
+  std::vector<std::uint64_t> widths(static_cast<std::size_t>(n_), 0);
+  std::vector<NodeId> stack;
+  std::unordered_map<NodeId, bool> seen;
+  if (!is_terminal(f)) stack.push_back(f);
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    if (seen.count(u)) continue;
+    seen.emplace(u, true);
+    const Node& un = pool_[u];
+    ++widths[static_cast<std::size_t>(un.level)];
+    if (!is_terminal(un.lo)) stack.push_back(un.lo);
+    if (!is_terminal(un.hi)) stack.push_back(un.hi);
+  }
+  return widths;
+}
+
+std::string Manager::to_dot(NodeId f, const std::string& name) const {
+  std::ostringstream os;
+  os << "digraph " << name << " {\n  rankdir=TB;\n";
+  os << "  node_0 [label=\"0\", shape=box];\n";
+  os << "  node_1 [label=\"1\", shape=box];\n";
+  std::vector<NodeId> stack{f};
+  std::unordered_map<NodeId, bool> seen;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    if (is_terminal(u) || seen.count(u)) continue;
+    seen.emplace(u, true);
+    const Node& un = pool_[u];
+    os << "  node_" << u << " [label=\"x"
+       << order_[static_cast<std::size_t>(un.level)] + 1
+       << "\", shape=circle];\n";
+    os << "  node_" << u << " -> node_" << un.lo << " [style=dotted];\n";
+    os << "  node_" << u << " -> node_" << un.hi << " [style=solid];\n";
+    stack.push_back(un.lo);
+    stack.push_back(un.hi);
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace ovo::zdd

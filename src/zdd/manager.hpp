@@ -1,0 +1,115 @@
+#pragma once
+// Zero-suppressed Binary Decision Diagram (ZDD) package [Min93].
+//
+// Same arena/canonicity design as bdd::Manager, but with Minato's
+// zero-suppression rule: a node whose 1-edge points to the false terminal
+// is removed (replaced by its 0-child).  A skipped level on a path means
+// "this variable must be 0".  ZDDs canonically represent families of sets
+// (the satisfying assignments viewed as subsets of the variable set) and
+// are the paper's second minimization target (Remark 2 / Appendix D).
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "tt/truth_table.hpp"
+#include "util/check.hpp"
+
+namespace ovo::zdd {
+
+using NodeId = std::uint32_t;
+
+inline constexpr NodeId kEmpty = 0;  ///< false terminal: the empty family {}
+inline constexpr NodeId kUnit = 1;   ///< true terminal: the family { {} }
+
+struct Node {
+  std::int32_t level;
+  NodeId lo = kEmpty;
+  NodeId hi = kEmpty;
+};
+
+class Manager {
+ public:
+  explicit Manager(int num_vars);
+  Manager(int num_vars, std::vector<int> order);
+
+  int num_vars() const { return n_; }
+  const std::vector<int>& order() const { return order_; }
+  int level_of_var(int var) const {
+    OVO_CHECK(var >= 0 && var < n_);
+    return var_to_level_[static_cast<std::size_t>(var)];
+  }
+  int var_at_level(int level) const {
+    OVO_CHECK(level >= 0 && level < n_);
+    return order_[static_cast<std::size_t>(level)];
+  }
+
+  bool is_terminal(NodeId id) const { return id <= kUnit; }
+  const Node& node(NodeId id) const {
+    OVO_DCHECK(id < pool_.size());
+    return pool_[id];
+  }
+  std::size_t pool_size() const { return pool_.size(); }
+
+  /// Reduced unique node; applies the zero-suppression rule (hi == kEmpty
+  /// => lo) and hash consing.
+  NodeId make(int level, NodeId lo, NodeId hi);
+
+  /// Canonical ZDD of the characteristic function `t` under this ordering.
+  NodeId from_truth_table(const tt::TruthTable& t);
+
+  /// ZDD of an explicit family of sets (each set a variable mask).
+  NodeId from_family(const std::vector<util::Mask>& sets);
+
+  /// The family containing exactly one set.
+  NodeId single_set(util::Mask set);
+
+  // --- family algebra [Min93] ------------------------------------------------
+  NodeId family_union(NodeId p, NodeId q);
+  NodeId family_intersection(NodeId p, NodeId q);
+  NodeId family_difference(NodeId p, NodeId q);
+  /// Minato's cofactor operators: subset0 = members not containing var;
+  /// subset1 = members containing var, with var factored out (removed),
+  /// i.e. { A \ {var} : A ∈ f, var ∈ A }.
+  NodeId subset0(NodeId f, int var);
+  NodeId subset1(NodeId f, int var);
+  /// Toggles membership of var in every set.
+  NodeId change(NodeId f, int var);
+
+  // --- queries ---------------------------------------------------------------
+  bool eval(NodeId f, std::uint64_t assignment) const;
+  tt::TruthTable to_truth_table(NodeId f) const;
+
+  /// Number of sets in the family (= satisfying assignments).
+  std::uint64_t count(NodeId f) const;
+
+  /// All member sets, ascending by mask value. Intended for small families.
+  std::vector<util::Mask> enumerate(NodeId f) const;
+
+  /// Non-terminal node count reachable from f.
+  std::uint64_t size(NodeId f) const;
+
+  std::vector<std::uint64_t> level_widths(NodeId f) const;
+
+  std::string to_dot(NodeId f, const std::string& name = "zdd") const;
+
+ private:
+  struct PairHash {
+    std::size_t operator()(std::uint64_t k) const {
+      k ^= k >> 33;
+      k *= 0xff51afd7ed558ccdull;
+      k ^= k >> 33;
+      return static_cast<std::size_t>(k);
+    }
+  };
+
+  int n_;
+  std::vector<int> order_;
+  std::vector<int> var_to_level_;
+  std::vector<Node> pool_;
+  std::vector<std::unordered_map<std::uint64_t, NodeId, PairHash>> unique_;
+  std::unordered_map<std::uint64_t, NodeId, PairHash> op_cache_;
+};
+
+}  // namespace ovo::zdd

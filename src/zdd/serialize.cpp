@@ -1,0 +1,79 @@
+#include "zdd/serialize.hpp"
+
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ovo::zdd {
+
+std::string save_zdd(const Manager& m, NodeId root) {
+  std::unordered_map<NodeId, std::uint32_t> index{{kEmpty, 0}, {kUnit, 1}};
+  std::vector<NodeId> ordered;
+  auto rec = [&](auto&& self, NodeId u) -> void {
+    if (index.count(u)) return;
+    const Node& un = m.node(u);
+    self(self, un.lo);
+    self(self, un.hi);
+    index.emplace(u, static_cast<std::uint32_t>(2 + ordered.size()));
+    ordered.push_back(u);
+  };
+  rec(rec, root);
+
+  std::ostringstream os;
+  os << "ovo-zdd 1\n";
+  os << "n " << m.num_vars() << "\n";
+  os << "order";
+  for (const int v : m.order()) os << ' ' << v;
+  os << "\n";
+  os << "nodes " << ordered.size() << "\n";
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    const Node& un = m.node(ordered[i]);
+    os << (2 + i) << ' ' << un.level << ' ' << index.at(un.lo) << ' '
+       << index.at(un.hi) << "\n";
+  }
+  os << "root " << index.at(root) << "\n";
+  return os.str();
+}
+
+LoadedZdd load_zdd(const std::string& text) {
+  std::istringstream is(text);
+  std::string word;
+  int version = 0;
+  OVO_CHECK_MSG((is >> word >> version) && word == "ovo-zdd" && version == 1,
+                "load_zdd: bad header");
+  int n = 0;
+  OVO_CHECK_MSG((is >> word >> n) && word == "n" && n >= 0,
+                "load_zdd: bad variable count");
+  OVO_CHECK_MSG((is >> word) && word == "order", "load_zdd: missing order");
+  std::vector<int> order(static_cast<std::size_t>(n));
+  for (int& v : order)
+    OVO_CHECK_MSG(static_cast<bool>(is >> v), "load_zdd: truncated order");
+  std::size_t count = 0;
+  OVO_CHECK_MSG((is >> word >> count) && word == "nodes",
+                "load_zdd: missing node count");
+
+  LoadedZdd out{Manager(n, order), kEmpty};
+  std::vector<NodeId> id_map{kEmpty, kUnit};
+  id_map.reserve(count + 2);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::size_t idx = 0;
+    int level = 0;
+    std::size_t lo = 0, hi = 0;
+    OVO_CHECK_MSG(static_cast<bool>(is >> idx >> level >> lo >> hi),
+                  "load_zdd: truncated node table");
+    OVO_CHECK_MSG(idx == 2 + i, "load_zdd: node indices must be dense");
+    OVO_CHECK_MSG(lo < id_map.size() && hi < id_map.size(),
+                  "load_zdd: dangling child reference");
+    id_map.push_back(out.manager.make(level, id_map[lo], id_map[hi]));
+  }
+  std::size_t root_idx = 0;
+  OVO_CHECK_MSG((is >> word >> root_idx) && word == "root",
+                "load_zdd: missing root");
+  OVO_CHECK_MSG(root_idx < id_map.size(), "load_zdd: dangling root");
+  out.root = id_map[root_idx];
+  return out;
+}
+
+}  // namespace ovo::zdd

@@ -1,0 +1,21 @@
+#pragma once
+// Text serialization of ZDDs (format mirrors bdd/serialize.hpp with an
+// `ovo-zdd` header; loaded diagrams are re-interned through make(), so
+// they are zero-suppressed-canonical by construction).
+
+#include <string>
+
+#include "zdd/manager.hpp"
+
+namespace ovo::zdd {
+
+std::string save_zdd(const Manager& m, NodeId root);
+
+struct LoadedZdd {
+  Manager manager;
+  NodeId root;
+};
+
+LoadedZdd load_zdd(const std::string& text);
+
+}  // namespace ovo::zdd

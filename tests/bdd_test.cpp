@@ -1,0 +1,283 @@
+// Tests for the ROBDD package: canonicity, construction, Boolean
+// operations, quantification, and the level-width (Cost) profile.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <string>
+
+#include "bdd/manager.hpp"
+#include "tt/function_zoo.hpp"
+#include "util/check.hpp"
+#include "util/combinatorics.hpp"
+#include "util/rng.hpp"
+
+namespace ovo::bdd {
+namespace {
+
+TEST(BddManager, Construction) {
+  Manager m(4);
+  EXPECT_EQ(m.num_vars(), 4);
+  EXPECT_EQ(m.order(), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(m.level_of_var(2), 2);
+  EXPECT_THROW(Manager(3, {0, 0, 1}), util::CheckError);
+  EXPECT_THROW(Manager(3, {0, 1}), util::CheckError);
+}
+
+TEST(BddManager, CustomOrder) {
+  Manager m(3, {2, 0, 1});
+  EXPECT_EQ(m.var_at_level(0), 2);
+  EXPECT_EQ(m.level_of_var(2), 0);
+  EXPECT_EQ(m.level_of_var(1), 2);
+}
+
+TEST(BddManager, TerminalsAndLiterals) {
+  Manager m(2);
+  EXPECT_EQ(m.constant(false), kFalse);
+  EXPECT_EQ(m.constant(true), kTrue);
+  const NodeId x0 = m.var_node(0);
+  EXPECT_TRUE(m.eval(x0, 0b01));
+  EXPECT_FALSE(m.eval(x0, 0b10));
+  const NodeId nx0 = m.literal(0, false);
+  EXPECT_FALSE(m.eval(nx0, 0b01));
+  EXPECT_TRUE(m.eval(nx0, 0b00));
+}
+
+TEST(BddManager, MakeAppliesReductionRules) {
+  Manager m(2);
+  const NodeId x1 = m.var_node(1);
+  // Rule (a): equal children collapse.
+  EXPECT_EQ(m.make(0, x1, x1), x1);
+  // Rule (b): hash consing gives identical ids.
+  const NodeId a = m.make(0, kFalse, x1);
+  const NodeId b = m.make(0, kFalse, x1);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BddManager, CanonicityAcrossConstructionPaths) {
+  // Build pair_sum(2) once from its truth table and once via ITE ops; in
+  // one manager the roots must be the *same id*.
+  Manager m(4);
+  const NodeId from_tt = m.from_truth_table(tt::pair_sum(2));
+  const NodeId ops = m.apply_or(m.apply_and(m.var_node(0), m.var_node(1)),
+                                m.apply_and(m.var_node(2), m.var_node(3)));
+  EXPECT_EQ(from_tt, ops);
+}
+
+class BddRoundtrip
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BddRoundtrip, FromTruthTableEvaluatesBack) {
+  const auto [n, seed] = GetParam();
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(seed) * 7919 + 13);
+  const tt::TruthTable t = tt::random_function(n, rng);
+  // Random ordering as well.
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  for (int i = n - 1; i > 0; --i)
+    std::swap(order[static_cast<std::size_t>(i)],
+              order[rng.below(static_cast<std::uint64_t>(i) + 1)]);
+  Manager m(n, order);
+  const NodeId f = m.from_truth_table(t);
+  EXPECT_EQ(m.to_truth_table(f), t);
+  EXPECT_EQ(m.satcount(f), t.count_ones());
+  EXPECT_EQ(m.support(f), t.support());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BddRoundtrip,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6, 7, 8),
+                       ::testing::Range(0, 5)));
+
+class BddAlgebra : public ::testing::TestWithParam<int> {};
+
+TEST_P(BddAlgebra, OperationsMatchTruthTables) {
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) + 101);
+  const int n = 6;
+  const tt::TruthTable ta = tt::random_function(n, rng);
+  const tt::TruthTable tb = tt::random_function(n, rng);
+  Manager m(n);
+  const NodeId a = m.from_truth_table(ta);
+  const NodeId b = m.from_truth_table(tb);
+  EXPECT_EQ(m.to_truth_table(m.apply_and(a, b)), ta & tb);
+  EXPECT_EQ(m.to_truth_table(m.apply_or(a, b)), ta | tb);
+  EXPECT_EQ(m.to_truth_table(m.apply_xor(a, b)), ta ^ tb);
+  EXPECT_EQ(m.to_truth_table(m.apply_not(a)), ~ta);
+  EXPECT_EQ(m.to_truth_table(m.apply_xnor(a, b)), ~(ta ^ tb));
+  EXPECT_EQ(m.to_truth_table(m.apply_implies(a, b)), ~ta | tb);
+}
+
+TEST_P(BddAlgebra, IteMatchesMux) {
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) + 500);
+  const int n = 5;
+  const tt::TruthTable tf = tt::random_function(n, rng);
+  const tt::TruthTable tg = tt::random_function(n, rng);
+  const tt::TruthTable th = tt::random_function(n, rng);
+  Manager m(n);
+  const NodeId r = m.ite(m.from_truth_table(tf), m.from_truth_table(tg),
+                         m.from_truth_table(th));
+  EXPECT_EQ(m.to_truth_table(r), (tf & tg) | (~tf & th));
+}
+
+TEST_P(BddAlgebra, RestrictAndQuantifiers) {
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) + 900);
+  const int n = 5;
+  const tt::TruthTable t = tt::random_function(n, rng);
+  Manager m(n);
+  const NodeId f = m.from_truth_table(t);
+  for (int v = 0; v < n; ++v) {
+    const tt::TruthTable t0 = t.restrict_var(v, false);
+    const tt::TruthTable t1 = t.restrict_var(v, true);
+    EXPECT_EQ(m.to_truth_table(m.restrict_var(f, v, false)), t0);
+    EXPECT_EQ(m.to_truth_table(m.restrict_var(f, v, true)), t1);
+    EXPECT_EQ(m.to_truth_table(m.exists(f, v)), t0 | t1);
+    EXPECT_EQ(m.to_truth_table(m.forall(f, v)), t0 & t1);
+  }
+}
+
+TEST_P(BddAlgebra, ComposeMatchesSubstitution) {
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) + 1300);
+  const int n = 5;
+  const tt::TruthTable tf = tt::random_function(n, rng);
+  const tt::TruthTable tg = tt::random_function(n, rng);
+  Manager m(n);
+  const NodeId f = m.from_truth_table(tf);
+  const NodeId g = m.from_truth_table(tg);
+  const int v = 2;
+  const NodeId composed = m.compose(f, v, g);
+  // Shannon: f[v <- g] = (g & f|v=1) | (!g & f|v=0).
+  const tt::TruthTable expected = (tg & tf.restrict_var(v, true)) |
+                                  (~tg & tf.restrict_var(v, false));
+  EXPECT_EQ(m.to_truth_table(composed), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddAlgebra, ::testing::Range(0, 8));
+
+TEST(BddQueries, SizeAndLevelWidths) {
+  Manager m(6);
+  const NodeId f = m.from_truth_table(tt::pair_sum(3));
+  // Fig. 1 left: 6 internal nodes under the natural ordering.
+  EXPECT_EQ(m.size(f), 6u);
+  const auto widths = m.level_widths(f);
+  EXPECT_EQ(std::accumulate(widths.begin(), widths.end(), std::uint64_t{0}),
+            6u);
+  // Two nodes per pair except the last level of each pair shares: profile
+  // is 1,1,1,1,1,1 for the chain structure of x1x2 + x3x4 + x5x6.
+  EXPECT_EQ(widths, (std::vector<std::uint64_t>{1, 1, 1, 1, 1, 1}));
+}
+
+TEST(BddQueries, ParityHasLinearSizeUnderAllOrders) {
+  const tt::TruthTable p = tt::parity(5);
+  for (const auto& order : util::all_permutations(5)) {
+    Manager m(5, order);
+    EXPECT_EQ(m.size(m.from_truth_table(p)), 2u * 5 - 1);
+  }
+}
+
+TEST(BddQueries, SatcountOfConstants) {
+  Manager m(4);
+  EXPECT_EQ(m.satcount(kFalse), 0u);
+  EXPECT_EQ(m.satcount(kTrue), 16u);
+  EXPECT_EQ(m.satcount(m.var_node(3)), 8u);
+}
+
+TEST(BddQueries, FindSatAssignment) {
+  Manager m(4);
+  const NodeId f = m.from_truth_table(tt::conjunction(4));
+  std::uint64_t a = 0;
+  ASSERT_TRUE(m.find_sat_assignment(f, &a));
+  EXPECT_EQ(a, 0b1111u);
+  EXPECT_FALSE(m.find_sat_assignment(kFalse, &a));
+}
+
+TEST(BddQueries, DotOutputMentionsVariables) {
+  Manager m(2);
+  const NodeId f = m.apply_and(m.var_node(0), m.var_node(1));
+  const std::string dot = m.to_dot(f);
+  EXPECT_NE(dot.find("x1"), std::string::npos);
+  EXPECT_NE(dot.find("x2"), std::string::npos);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+}
+
+TEST(BddStructural, EqualAcrossManagersSameOrder) {
+  const tt::TruthTable t = tt::majority(5);
+  Manager a(5), b(5);
+  EXPECT_TRUE(structurally_equal(a, a.from_truth_table(t), b,
+                                 b.from_truth_table(t)));
+}
+
+TEST(BddStructural, DifferentFunctionsDiffer) {
+  Manager a(3), b(3);
+  EXPECT_FALSE(structurally_equal(a, a.from_truth_table(tt::parity(3)), b,
+                                  b.from_truth_table(tt::majority(3))));
+}
+
+TEST(BddStructural, SameFunctionDifferentOrderLabelsMatter) {
+  // structurally_equal compares labeled DAGs. x0 & x1 under (x0,x1) has
+  // root labeled x0; under (x1,x0) the root is labeled x1 — different
+  // labeled DAGs even though the function is the same.
+  const tt::TruthTable conj = tt::conjunction(2);
+  Manager a(2, {0, 1}), b(2, {1, 0});
+  EXPECT_FALSE(structurally_equal(a, a.from_truth_table(conj), b,
+                                  b.from_truth_table(conj)));
+  // The projection x0 is a single node labeled x0 at *some* level under
+  // either order: identical labeled DAGs.
+  const auto proj =
+      tt::TruthTable::tabulate(2, [](std::uint64_t x) { return (x & 1) != 0; });
+  EXPECT_TRUE(structurally_equal(a, a.from_truth_table(proj), b,
+                                 b.from_truth_table(proj)));
+}
+
+// The node count of the ROBDD equals the number of distinct non-constant
+// subfunctions that depend on their top variable — cross-checked against
+// the quasi-reduced distinct-subfunction counter.
+TEST(BddInvariant, WidthEqualsDependentSubfunctionCount) {
+  util::Xoshiro256 rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 6;
+    const tt::TruthTable t = tt::random_function(n, rng);
+    Manager m(n);
+    const NodeId f = m.from_truth_table(t);
+    const auto widths = m.level_widths(f);
+    for (int level = 0; level < n; ++level) {
+      // Bottom set: variables at levels > level (identity order).
+      util::Mask bottom = 0;
+      for (int l = level + 1; l < n; ++l) bottom |= util::Mask{1} << l;
+      const util::Mask with_this = bottom | (util::Mask{1} << level);
+      // Count distinct subfunctions over with_this that depend on x_level.
+      std::uint64_t depend_count = 0;
+      std::set<std::string> seen;
+      const util::Mask top = util::full_mask(n) & ~with_this;
+      for (std::uint64_t a = 0;
+           a < (std::uint64_t{1} << util::popcount(top)); ++a) {
+        const std::uint64_t top_assign = util::scatter_bits(a, top);
+        std::string sig;
+        bool depends = false;
+        for (std::uint64_t b = 0;
+             b < (std::uint64_t{1} << util::popcount(with_this)); ++b) {
+          const std::uint64_t full =
+              top_assign | util::scatter_bits(b, with_this);
+          sig.push_back(t.get(full) ? '1' : '0');
+        }
+        // Depends on x_level iff flipping that bit changes the signature.
+        const int pos = 0;  // x_level is the lowest bit of with_this
+        const std::uint64_t cells = std::uint64_t{1}
+                                    << util::popcount(with_this);
+        for (std::uint64_t b = 0; b < cells; ++b) {
+          if (((b >> pos) & 1u) == 0 &&
+              sig[b] != sig[b | (std::uint64_t{1} << pos)]) {
+            depends = true;
+            break;
+          }
+        }
+        if (depends && seen.insert(sig).second) ++depend_count;
+      }
+      EXPECT_EQ(widths[static_cast<std::size_t>(level)], depend_count)
+          << "level " << level;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ovo::bdd

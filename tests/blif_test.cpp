@@ -1,0 +1,120 @@
+// Tests for the BLIF netlist reader and its integration with the
+// ordering pipeline.
+
+#include <gtest/gtest.h>
+
+#include "core/minimize.hpp"
+#include "core/multi_output.hpp"
+#include "tt/blif.hpp"
+#include "tt/function_zoo.hpp"
+#include "util/check.hpp"
+
+namespace ovo::tt {
+namespace {
+
+const char* kFullAdder = R"(# full adder
+.model fa
+.inputs a b cin
+.outputs sum cout
+.names a b axb
+01 1
+10 1
+.names axb cin sum
+01 1
+10 1
+.names a b ab
+11 1
+.names axb cin p
+11 1
+.names ab p cout
+1- 1
+-1 1
+.end
+)";
+
+TEST(Blif, FullAdderSemantics) {
+  const BlifModel m = parse_blif(kFullAdder);
+  EXPECT_EQ(m.name, "fa");
+  EXPECT_EQ(m.inputs.size(), 3u);
+  EXPECT_EQ(m.outputs, (std::vector<std::string>{"sum", "cout"}));
+  for (std::uint64_t a = 0; a < 8; ++a) {
+    const int bits = static_cast<int>((a & 1) + ((a >> 1) & 1) + ((a >> 2) & 1));
+    EXPECT_EQ(m.eval("sum", a), (bits & 1) != 0) << a;
+    EXPECT_EQ(m.eval("cout", a), bits >= 2) << a;
+  }
+}
+
+TEST(Blif, OutputTables) {
+  const BlifModel m = parse_blif(kFullAdder);
+  const auto tables = m.output_tables();
+  ASSERT_EQ(tables.size(), 2u);
+  EXPECT_EQ(tables[0], parity(3));       // sum
+  EXPECT_EQ(tables[1], majority(3));     // carry of 3 = majority
+}
+
+TEST(Blif, OffSetCover) {
+  // NOR via OFF-set rows: output 0 when any input is 1.
+  const BlifModel m = parse_blif(
+      ".inputs a b\n.outputs f\n.names a b f\n1- 0\n-1 0\n.end\n");
+  EXPECT_TRUE(m.eval("f", 0b00));
+  EXPECT_FALSE(m.eval("f", 0b01));
+  EXPECT_FALSE(m.eval("f", 0b11));
+}
+
+TEST(Blif, Constants) {
+  const BlifModel m = parse_blif(
+      ".inputs a\n.outputs t z g\n.names t\n1\n.names z\n"
+      "\n.names a t g\n11 1\n.end\n");
+  EXPECT_TRUE(m.eval("t", 0));
+  EXPECT_FALSE(m.eval("z", 0));  // empty cover = constant 0
+  EXPECT_TRUE(m.eval("g", 1));
+  EXPECT_FALSE(m.eval("g", 0));
+}
+
+TEST(Blif, OutOfOrderDefinitionsWork) {
+  // g defined before its fanin h.
+  const BlifModel m = parse_blif(
+      ".inputs a\n.outputs g\n.names h g\n1 1\n.names a h\n0 1\n.end\n");
+  EXPECT_TRUE(m.eval("g", 0));
+  EXPECT_FALSE(m.eval("g", 1));
+}
+
+TEST(Blif, LineContinuation) {
+  const BlifModel m = parse_blif(
+      ".inputs a \\\nb\n.outputs f\n.names a b f\n11 1\n.end\n");
+  EXPECT_EQ(m.inputs.size(), 2u);
+  EXPECT_TRUE(m.eval("f", 0b11));
+}
+
+TEST(Blif, Errors) {
+  EXPECT_THROW(parse_blif(""), util::CheckError);
+  EXPECT_THROW(parse_blif(".inputs a\n.names a f\n1 1\n"),
+               util::CheckError);  // no outputs
+  EXPECT_THROW(parse_blif(".inputs a\n.outputs f\n.latch a f\n.end\n"),
+               util::CheckError);
+  EXPECT_THROW(parse_blif(".inputs a\n.outputs f\n11 1\n.end\n"),
+               util::CheckError);  // row outside .names
+  EXPECT_THROW(parse_blif(".inputs a\n.outputs f\n.names a f\n1x 1\n.end\n"),
+               util::CheckError);
+  EXPECT_THROW(
+      parse_blif(".inputs a b\n.outputs f\n.names a b f\n11 1\n1- 0\n.end\n"),
+      util::CheckError);  // mixed output column
+  const BlifModel undef = parse_blif(
+      ".inputs a\n.outputs f\n.names q f\n1 1\n.end\n");
+  EXPECT_THROW(undef.eval("f", 0), util::CheckError);
+  const BlifModel cyc = parse_blif(
+      ".inputs a\n.outputs f\n.names g f\n1 1\n.names f g\n1 1\n.end\n");
+  EXPECT_THROW(cyc.eval("f", 0), util::CheckError);
+}
+
+TEST(Blif, PipelineToOptimalOrdering) {
+  const BlifModel m = parse_blif(kFullAdder);
+  const auto shared = core::fs_minimize_shared(m.output_tables());
+  EXPECT_GT(shared.min_internal_nodes, 0u);
+  EXPECT_EQ(core::shared_size_for_order(m.output_tables(),
+                                        shared.order_root_first),
+            shared.min_internal_nodes);
+}
+
+}  // namespace
+}  // namespace ovo::tt

@@ -1,0 +1,98 @@
+// Tests for the gate-level circuit representation (Corollary 2 input form).
+
+#include <gtest/gtest.h>
+
+#include "tt/circuit.hpp"
+#include "util/check.hpp"
+
+namespace ovo::tt {
+namespace {
+
+TEST(Circuit, SingleGateOps) {
+  struct Case {
+    GateOp op;
+    bool expected[4];  // indexed by (b<<1)|a
+  };
+  const Case cases[] = {
+      {GateOp::kAnd, {false, false, false, true}},
+      {GateOp::kOr, {false, true, true, true}},
+      {GateOp::kXor, {false, true, true, false}},
+      {GateOp::kNand, {true, true, true, false}},
+      {GateOp::kNor, {true, false, false, false}},
+      {GateOp::kXnor, {true, false, false, true}},
+  };
+  for (const Case& c : cases) {
+    Circuit ckt(2);
+    ckt.add_gate(c.op, 0, 1);
+    for (std::uint64_t a = 0; a < 4; ++a)
+      EXPECT_EQ(ckt.eval(a), c.expected[a]) << static_cast<int>(c.op);
+  }
+}
+
+TEST(Circuit, UnaryGates) {
+  Circuit ckt(1);
+  ckt.add_gate(GateOp::kNot, 0);
+  EXPECT_TRUE(ckt.eval(0));
+  EXPECT_FALSE(ckt.eval(1));
+
+  Circuit buf(1);
+  buf.add_gate(GateOp::kBuf, 0);
+  EXPECT_FALSE(buf.eval(0));
+  EXPECT_TRUE(buf.eval(1));
+}
+
+TEST(Circuit, FaninValidation) {
+  Circuit ckt(2);
+  EXPECT_THROW(ckt.add_gate(GateOp::kAnd, 0, 5), util::CheckError);
+  EXPECT_THROW(ckt.add_gate(GateOp::kAnd, -1, 0), util::CheckError);
+  EXPECT_THROW(ckt.add_gate(GateOp::kNot, 0, 1), util::CheckError);
+  const int g = ckt.add_gate(GateOp::kAnd, 0, 1);
+  EXPECT_EQ(g, 2);
+  // Gates can feed later gates.
+  EXPECT_EQ(ckt.add_gate(GateOp::kOr, g, 0), 3);
+}
+
+TEST(Circuit, OutputSelection) {
+  Circuit ckt(2);
+  const int a = ckt.add_gate(GateOp::kAnd, 0, 1);
+  ckt.add_gate(GateOp::kOr, 0, 1);
+  // Default output is the last gate (the OR).
+  EXPECT_TRUE(ckt.eval(0b01));
+  ckt.set_output(a);
+  EXPECT_FALSE(ckt.eval(0b01));
+  EXPECT_THROW(ckt.set_output(9), util::CheckError);
+}
+
+TEST(Circuit, NoOutputThrows) {
+  const Circuit ckt(2);
+  EXPECT_THROW(ckt.eval(0), util::CheckError);
+}
+
+TEST(Circuit, RippleCarryOutMatchesArithmetic) {
+  for (int bits = 1; bits <= 5; ++bits) {
+    const Circuit ckt = Circuit::ripple_carry_out(bits);
+    const std::uint64_t lim = std::uint64_t{1} << bits;
+    for (std::uint64_t u = 0; u < lim; ++u)
+      for (std::uint64_t v = 0; v < lim; ++v)
+        EXPECT_EQ(ckt.eval(u | (v << bits)), ((u + v) >> bits) & 1u)
+            << "bits=" << bits << " u=" << u << " v=" << v;
+  }
+}
+
+TEST(Circuit, ComparatorEq) {
+  const Circuit ckt = Circuit::comparator_eq(3);
+  for (std::uint64_t u = 0; u < 8; ++u)
+    for (std::uint64_t v = 0; v < 8; ++v)
+      EXPECT_EQ(ckt.eval(u | (v << 3)), u == v);
+}
+
+TEST(Circuit, TabulateMatchesEval) {
+  const Circuit ckt = Circuit::ripple_carry_out(3);
+  const TruthTable t = ckt.to_truth_table();
+  EXPECT_EQ(t.num_vars(), 6);
+  for (std::uint64_t a = 0; a < t.size(); ++a)
+    EXPECT_EQ(t.get(a), ckt.eval(a));
+}
+
+}  // namespace
+}  // namespace ovo::tt

@@ -1,0 +1,163 @@
+// Tests for shared (multi-rooted) OBDD minimization — the multi-output
+// extension of the FS dynamic program.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <set>
+
+#include "bdd/manager.hpp"
+#include "core/minimize.hpp"
+#include "core/multi_output.hpp"
+#include "quantum/min_find.hpp"
+#include "quantum/opt_obdd.hpp"
+#include "tt/function_zoo.hpp"
+#include "util/combinatorics.hpp"
+#include "util/rng.hpp"
+
+namespace ovo::core {
+namespace {
+
+// Independent shared-size oracle: build all roots in one bdd::Manager and
+// count the union of reachable non-terminal nodes.
+std::uint64_t manager_shared_size(const std::vector<tt::TruthTable>& outs,
+                                  const std::vector<int>& order) {
+  bdd::Manager m(outs.front().num_vars(), order);
+  std::set<bdd::NodeId> reachable;
+  for (const tt::TruthTable& t : outs) {
+    std::vector<bdd::NodeId> stack{m.from_truth_table(t)};
+    while (!stack.empty()) {
+      const bdd::NodeId u = stack.back();
+      stack.pop_back();
+      if (m.is_terminal(u) || !reachable.insert(u).second) continue;
+      stack.push_back(m.node(u).lo);
+      stack.push_back(m.node(u).hi);
+    }
+  }
+  return reachable.size();
+}
+
+TEST(SharedOracle, MatchesManagerUnionCount) {
+  util::Xoshiro256 rng(3);
+  for (int trial = 0; trial < 8; ++trial) {
+    const int n = 5;
+    std::vector<tt::TruthTable> outs;
+    for (int i = 0; i < 3; ++i) outs.push_back(tt::random_function(n, rng));
+    for (const auto& order : {std::vector<int>{0, 1, 2, 3, 4},
+                              std::vector<int>{4, 2, 0, 3, 1}}) {
+      EXPECT_EQ(shared_size_for_order(outs, order),
+                manager_shared_size(outs, order));
+    }
+  }
+}
+
+TEST(SharedMinimize, SingleOutputReducesToFs) {
+  util::Xoshiro256 rng(5);
+  for (int trial = 0; trial < 5; ++trial) {
+    const tt::TruthTable t = tt::random_function(6, rng);
+    const auto shared = fs_minimize_shared({t});
+    const auto single = fs_minimize(t);
+    EXPECT_EQ(shared.min_internal_nodes, single.min_internal_nodes);
+  }
+}
+
+TEST(SharedMinimize, MatchesBruteForce) {
+  util::Xoshiro256 rng(7);
+  for (int trial = 0; trial < 5; ++trial) {
+    const int n = 5;
+    std::vector<tt::TruthTable> outs;
+    for (int i = 0; i < 3; ++i) outs.push_back(tt::random_function(n, rng));
+    const auto shared = fs_minimize_shared(outs);
+    std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+    std::vector<int> order(static_cast<std::size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    do {
+      best = std::min(best, shared_size_for_order(outs, order));
+    } while (std::next_permutation(order.begin(), order.end()));
+    EXPECT_EQ(shared.min_internal_nodes, best);
+    EXPECT_EQ(shared_size_for_order(outs, shared.order_root_first), best);
+  }
+}
+
+TEST(SharedMinimize, AdderAllCarryBits) {
+  // All carry bits of a 3-bit adder share structure; the shared optimum
+  // must be at most the sum of individual optima.
+  const int bits = 3;
+  const int n = 2 * bits;
+  std::vector<tt::TruthTable> outs;
+  for (int b = 1; b <= bits; ++b) {
+    outs.push_back(tt::TruthTable::tabulate(n, [=](std::uint64_t a) {
+      std::uint64_t u = 0, v = 0;
+      for (int i = 0; i < bits; ++i) {
+        u |= ((a >> (2 * i)) & 1u) << i;
+        v |= ((a >> (2 * i + 1)) & 1u) << i;
+      }
+      return ((u + v) >> b) & 1u;
+    }));
+  }
+  const auto shared = fs_minimize_shared(outs);
+  std::uint64_t sum_individual = 0;
+  for (const auto& t : outs)
+    sum_individual += fs_minimize(t).min_internal_nodes;
+  EXPECT_LE(shared.min_internal_nodes, sum_individual);
+  EXPECT_GT(shared.min_internal_nodes, 0u);
+}
+
+TEST(SharedMinimize, ZddKind) {
+  util::Xoshiro256 rng(9);
+  const int n = 5;
+  std::vector<tt::TruthTable> outs;
+  for (int i = 0; i < 2; ++i)
+    outs.push_back(tt::random_sparse_function(n, 4, rng));
+  const auto shared = fs_minimize_shared(outs, DiagramKind::kZdd);
+  std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  do {
+    best = std::min(best,
+                    shared_size_for_order(outs, order, DiagramKind::kZdd));
+  } while (std::next_permutation(order.begin(), order.end()));
+  EXPECT_EQ(shared.min_internal_nodes, best);
+}
+
+TEST(SharedMinimize, QuantumEngineAgrees) {
+  util::Xoshiro256 rng(13);
+  for (int trial = 0; trial < 3; ++trial) {
+    const int n = 5;
+    std::vector<tt::TruthTable> outs;
+    for (int i = 0; i < 3; ++i) outs.push_back(tt::random_function(n, rng));
+    const auto exact = fs_minimize_shared(outs);
+    quantum::AccountingMinimumFinder finder(static_cast<double>(n));
+    quantum::OptObddOptions opt;
+    opt.alphas = {0.3};
+    opt.finder = &finder;
+    const auto q = quantum::opt_obdd_minimize_shared(outs, opt);
+    EXPECT_EQ(q.min_internal_nodes, exact.min_internal_nodes);
+    EXPECT_EQ(shared_size_for_order(outs, q.order_root_first),
+              exact.min_internal_nodes);
+    EXPECT_GT(q.quantum.quantum_queries, 0.0);
+  }
+}
+
+TEST(SharedMinimize, ValidatesInputs) {
+  EXPECT_THROW(fs_minimize_shared({}), util::CheckError);
+  EXPECT_THROW(fs_minimize_shared({tt::parity(3), tt::parity(4)}),
+               util::CheckError);
+}
+
+TEST(SharedMinimize, NonPowerOfTwoOutputCount) {
+  util::Xoshiro256 rng(11);
+  const int n = 4;
+  std::vector<tt::TruthTable> outs;
+  for (int i = 0; i < 3; ++i) outs.push_back(tt::random_function(n, rng));
+  const auto shared = fs_minimize_shared(outs);
+  EXPECT_EQ(shared_size_for_order(outs, shared.order_root_first),
+            shared.min_internal_nodes);
+  EXPECT_EQ(shared.min_internal_nodes,
+            manager_shared_size(outs, shared.order_root_first));
+}
+
+}  // namespace
+}  // namespace ovo::core

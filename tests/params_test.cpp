@@ -1,0 +1,140 @@
+// Tests for the numerical parameter optimization — the reproduction of the
+// paper's Tables 1 and 2 and its named constants (gamma_0 = 2.98581,
+// gamma_1 = 2.97625, gamma_2 = 2.85690, gamma_6 = 2.83728, and the tower's
+// 2.77286 fixpoint).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quantum/params.hpp"
+#include "util/check.hpp"
+
+namespace ovo::quantum {
+namespace {
+
+constexpr double kTol = 2e-4;        // paper prints 6 digits; we allow ~1e-4
+constexpr double kAlphaTol = 5e-4;
+
+TEST(BalanceFunctions, MatchDefinitions) {
+  const double c = std::log2(3.0);
+  EXPECT_DOUBLE_EQ(balance_g(0.2, 0.5, c), 0.5 + 0.3 * c);
+  // f(x,y) = y/2 * H(x/y) + g(x,y); H(0.4) = 0.970950...
+  EXPECT_NEAR(balance_f(0.2, 0.5, c), 0.25 * 0.9709505944546686 +
+                                          balance_g(0.2, 0.5, c),
+              1e-12);
+}
+
+TEST(Gamma0, MatchesPaperSection31) {
+  EXPECT_NEAR(gamma_no_preprocess(), 2.98581, kTol);
+}
+
+// Table 1 of the paper: gamma_k and alpha vectors for k = 1..6.
+struct Table1Row {
+  int k;
+  double gamma;
+  std::vector<double> alphas;
+};
+
+const Table1Row kTable1[] = {
+    {1, 2.97625, {0.274862}},
+    {2, 2.85690, {0.192754, 0.334571}},
+    {3, 2.83925, {0.184664, 0.205128, 0.342677}},
+    {4, 2.83744, {0.183859, 0.186017, 0.206375, 0.343503}},
+    {5, 2.83729, {0.183795, 0.183967, 0.186125, 0.206474, 0.343569}},
+    {6,
+     2.83728,
+     {0.183791, 0.183802, 0.183974, 0.186131, 0.206480, 0.343573}},
+};
+
+class Table1 : public ::testing::TestWithParam<int> {};
+
+TEST_P(Table1, RowMatchesPaper) {
+  const Table1Row& row = kTable1[static_cast<std::size_t>(GetParam())];
+  const ChainSolution s = solve_alphas(row.k, 3.0);
+  EXPECT_NEAR(s.gamma, row.gamma, kTol) << "k=" << row.k;
+  ASSERT_EQ(s.alphas.size(), row.alphas.size());
+  for (std::size_t i = 0; i < row.alphas.size(); ++i)
+    EXPECT_NEAR(s.alphas[i], row.alphas[i], kAlphaTol)
+        << "k=" << row.k << " alpha_" << (i + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rows, Table1, ::testing::Range(0, 6));
+
+TEST(Table1Property, GammaDecreasesInK) {
+  double prev = 10.0;
+  for (int k = 1; k <= 6; ++k) {
+    const double g = solve_alphas(k, 3.0).gamma;
+    EXPECT_LT(g, prev + 1e-9) << "k=" << k;
+    prev = g;
+  }
+}
+
+TEST(Table1Property, AlphasAreIncreasingAndBelowOneThird) {
+  for (int k = 1; k <= 6; ++k) {
+    const ChainSolution s = solve_alphas(k, 3.0);
+    EXPECT_LT(s.alphas.front(), 1.0 / 3.0);
+    for (std::size_t i = 1; i < s.alphas.size(); ++i)
+      EXPECT_GE(s.alphas[i], s.alphas[i - 1] - 1e-9);
+    EXPECT_LT(s.alphas.back(), 1.0);
+  }
+}
+
+// Table 2: the composition tower's beta_6 column.
+TEST(Table2, TowerSequenceMatchesPaper) {
+  const double expected[] = {2.83728, 2.79364, 2.77981, 2.77521, 2.77366,
+                             2.77313, 2.77295, 2.77289, 2.77287, 2.77286};
+  const auto rows = composition_tower(6, 10);
+  ASSERT_EQ(rows.size(), 10u);
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    EXPECT_NEAR(rows[i].gamma, expected[i], kTol) << "iteration " << i;
+}
+
+TEST(Table2, FirstIterationAlphasMatchTable1K6) {
+  const auto rows = composition_tower(6, 1);
+  const ChainSolution direct = solve_alphas(6, 3.0);
+  ASSERT_EQ(rows[0].alphas.size(), direct.alphas.size());
+  for (std::size_t i = 0; i < direct.alphas.size(); ++i)
+    EXPECT_NEAR(rows[0].alphas[i], direct.alphas[i], 1e-9);
+}
+
+TEST(Table2, SecondRowAlphasMatchPaper) {
+  // Paper Table 2, gamma = 2.83728 row.
+  const double expected[] = {0.165753, 0.165759, 0.165857,
+                             0.167339, 0.183883, 0.312741};
+  const auto rows = composition_tower(6, 2);
+  for (std::size_t i = 0; i < 6; ++i)
+    EXPECT_NEAR(rows[1].alphas[i], expected[i], kAlphaTol);
+}
+
+TEST(Table2, ConvergesToFixpoint) {
+  const auto rows = composition_tower(6, 14);
+  const double last = rows.back().gamma;
+  const double prev = rows[rows.size() - 2].gamma;
+  EXPECT_NEAR(last, prev, 5e-5);
+  EXPECT_LT(last, 2.77287);
+  EXPECT_GT(last, 2.77);
+}
+
+TEST(Headline, Theorem13Constant) {
+  // The headline claim: some gamma <= 2.77286 is reached by the tenth
+  // composition.
+  const auto rows = composition_tower(6, 10);
+  EXPECT_LE(rows.back().gamma, 2.77286 + kTol);
+}
+
+TEST(Solver, RejectsBadArguments) {
+  EXPECT_THROW(solve_alphas(0, 3.0), util::CheckError);
+  EXPECT_THROW(solve_alphas(3, 1.5), util::CheckError);
+  EXPECT_THROW(composition_tower(6, 0), util::CheckError);
+}
+
+TEST(Solver, WorksForOtherSubroutineBases) {
+  // Using a weaker subroutine (larger gamma_sub) must give a weaker bound.
+  const double strong = solve_alphas(3, 2.9).gamma;
+  const double weak = solve_alphas(3, 3.2).gamma;
+  EXPECT_LT(strong, weak);
+}
+
+}  // namespace
+}  // namespace ovo::quantum

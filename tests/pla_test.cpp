@@ -1,0 +1,99 @@
+// Tests for the Berkeley PLA reader/writer and its integration with the
+// minimization pipeline.
+
+#include <gtest/gtest.h>
+
+#include "core/minimize.hpp"
+#include "core/multi_output.hpp"
+#include "tt/function_zoo.hpp"
+#include "tt/pla.hpp"
+#include "util/check.hpp"
+
+namespace ovo::tt {
+namespace {
+
+const char* kXorPla = R"(# 2-input xor
+.i 2
+.o 1
+.p 2
+01 1
+10 1
+.e
+)";
+
+TEST(PlaParse, XorExample) {
+  const Pla p = parse_pla(kXorPla);
+  EXPECT_EQ(p.num_inputs, 2);
+  EXPECT_EQ(p.num_outputs, 1);
+  ASSERT_EQ(p.cubes.size(), 2u);
+  EXPECT_EQ(p.output_table(0), parity(2));
+}
+
+TEST(PlaParse, DontCaresInCubes) {
+  const Pla p = parse_pla(".i 3\n.o 1\n1-0 1\n.e\n");
+  // Covers assignments with x0=1, x2=0, any x1.
+  const TruthTable t = p.output_table(0);
+  EXPECT_EQ(t.count_ones(), 2u);
+  EXPECT_TRUE(t.get(0b001));
+  EXPECT_TRUE(t.get(0b011));
+  EXPECT_FALSE(t.get(0b101));
+}
+
+TEST(PlaParse, MultiOutput) {
+  const Pla p = parse_pla(
+      ".i 2\n.o 2\n.ilb a b\n.ob f g\n11 10\n01 01\n10 01\n.e\n");
+  EXPECT_EQ(p.input_names, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(p.output_names, (std::vector<std::string>{"f", "g"}));
+  EXPECT_EQ(p.output_table(0), conjunction(2));  // f = a & b
+  EXPECT_EQ(p.output_table(1), parity(2));       // g = a ^ b
+  EXPECT_EQ(p.output_tables().size(), 2u);
+}
+
+TEST(PlaParse, OutputDnfMatchesTable) {
+  const Pla p = parse_pla(".i 3\n.o 1\n.p 2\n1-1 1\n010 1\n.e\n");
+  EXPECT_EQ(p.output_dnf(0).to_truth_table(), p.output_table(0));
+}
+
+TEST(PlaParse, Errors) {
+  EXPECT_THROW(parse_pla(""), util::CheckError);
+  EXPECT_THROW(parse_pla(".i 2\n01 1\n.e\n"), util::CheckError);  // no .o
+  EXPECT_THROW(parse_pla(".i 2\n.o 1\n011 1\n.e\n"), util::CheckError);
+  EXPECT_THROW(parse_pla(".i 2\n.o 1\n0x 1\n.e\n"), util::CheckError);
+  EXPECT_THROW(parse_pla(".i 2\n.o 1\n01 2\n.e\n"), util::CheckError);
+  EXPECT_THROW(parse_pla(".i 2\n.o 1\n.p 3\n01 1\n.e\n"),
+               util::CheckError);  // .p mismatch
+  EXPECT_THROW(parse_pla(".i 2\n.o 1\n.e\n01 1\n"), util::CheckError);
+  EXPECT_THROW(parse_pla(".i 2\n.o 1\n.ilb a\n01 1\n.e\n"),
+               util::CheckError);
+  EXPECT_THROW(parse_pla(".i 2\n.o 1\n.type fd\n01 1\n.e\n"),
+               util::CheckError);
+}
+
+TEST(PlaRoundtrip, WriteParseWrite) {
+  const Pla p = parse_pla(kXorPla);
+  const std::string text = to_pla(p);
+  const Pla q = parse_pla(text);
+  EXPECT_EQ(to_pla(q), text);
+  EXPECT_EQ(q.output_table(0), p.output_table(0));
+}
+
+TEST(PlaIntegration, MinimizeSingleOutput) {
+  // The Fig. 1 function as a PLA.
+  const Pla p = parse_pla(
+      ".i 6\n.o 1\n11---- 1\n--11-- 1\n----11 1\n.e\n");
+  EXPECT_EQ(p.output_table(0), pair_sum(3));
+  EXPECT_EQ(core::fs_minimize(p.output_table(0)).min_internal_nodes, 6u);
+}
+
+TEST(PlaIntegration, SharedMinimizationOfMultiOutputPla) {
+  const Pla p = parse_pla(
+      ".i 4\n.o 2\n11-- 10\n--11 10\n1-1- 01\n-1-1 01\n.e\n");
+  const auto shared = core::fs_minimize_shared(p.output_tables());
+  EXPECT_GT(shared.min_internal_nodes, 0u);
+  EXPECT_EQ(core::shared_size_for_order(p.output_tables(),
+                                        shared.order_root_first),
+            shared.min_internal_nodes);
+}
+
+}  // namespace
+}  // namespace ovo::tt

@@ -1,0 +1,154 @@
+// Tests for the gate-level circuit layer: elementary gate semantics,
+// agreement of the compiled diffusion with the operator-level one, and a
+// full gate-built Grover run.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quantum/circuit.hpp"
+#include "quantum/statevector.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ovo::quantum {
+namespace {
+
+TEST(Gates, HadamardInvolution) {
+  Statevector psi(3);
+  psi.set_basis_state(0b101);
+  psi.apply_h(1);
+  psi.apply_h(1);
+  EXPECT_NEAR(psi.probability_of([](std::uint64_t x) { return x == 0b101; }),
+              1.0, 1e-12);
+}
+
+TEST(Gates, HadamardCreatesUniformFromZero) {
+  Statevector psi(4);
+  psi.set_basis_state(0);
+  for (int q = 0; q < 4; ++q) psi.apply_h(q);
+  for (const auto& a : psi.amplitudes())
+    EXPECT_NEAR(std::abs(a), 0.25, 1e-12);
+}
+
+TEST(Gates, PauliX) {
+  Statevector psi(2);
+  psi.set_basis_state(0b00);
+  psi.apply_x(1);
+  EXPECT_NEAR(psi.probability_of([](std::uint64_t x) { return x == 0b10; }),
+              1.0, 1e-12);
+}
+
+TEST(Gates, PauliZPhase) {
+  Statevector psi(1);
+  psi.set_basis_state(0);
+  psi.apply_h(0);   // (|0> + |1>)/sqrt2
+  psi.apply_z(0);   // (|0> - |1>)/sqrt2
+  psi.apply_h(0);   // |1>
+  EXPECT_NEAR(psi.probability_of([](std::uint64_t x) { return x == 1; }),
+              1.0, 1e-12);
+}
+
+TEST(Gates, CzIsSymmetricAndConditional) {
+  Statevector a(2), b(2);
+  a.set_basis_state(0b11);
+  b.set_basis_state(0b11);
+  a.apply_cz(0, 1);
+  b.apply_cz(1, 0);
+  EXPECT_NEAR(a.overlap_magnitude(b), 1.0, 1e-12);
+  // CZ on |01> does nothing.
+  Statevector c(2);
+  c.set_basis_state(0b01);
+  Statevector d = c;
+  c.apply_cz(0, 1);
+  EXPECT_NEAR(c.overlap_magnitude(d), 1.0, 1e-12);
+}
+
+TEST(Gates, MczValidation) {
+  Statevector psi(3);
+  EXPECT_THROW(psi.apply_mcz(0), util::CheckError);
+  EXPECT_THROW(psi.apply_mcz(0b11111), util::CheckError);
+}
+
+TEST(Gates, NormPreservedByRandomGateStrings) {
+  util::Xoshiro256 rng(5);
+  Statevector psi(5);
+  for (int i = 0; i < 200; ++i) {
+    const int q = static_cast<int>(rng.below(5));
+    switch (rng.below(4)) {
+      case 0: psi.apply_h(q); break;
+      case 1: psi.apply_x(q); break;
+      case 2: psi.apply_z(q); break;
+      default: psi.apply_cz(q, (q + 1) % 5); break;
+    }
+    ASSERT_NEAR(psi.norm_squared(), 1.0, 1e-9);
+  }
+}
+
+TEST(Circuit, CompiledDiffusionMatchesOperator) {
+  util::Xoshiro256 rng(7);
+  for (int trial = 0; trial < 5; ++trial) {
+    // Random-ish state: uniform then a few gates.
+    Statevector a(4);
+    a.apply_phase_oracle([&](std::uint64_t x) { return (x * 2654435761u) & 8; });
+    a.apply_h(2);
+    Statevector b = a;
+
+    a.apply_diffusion();  // operator level
+    QCircuit diff(4);
+    diff.grover_diffusion();
+    diff.run(b);          // gate level
+
+    // Equal up to global phase.
+    EXPECT_NEAR(a.overlap_magnitude(b), 1.0, 1e-9);
+  }
+}
+
+TEST(Circuit, GateBuiltGroverAmplifies) {
+  const int qubits = 6;
+  const std::uint64_t target = 45;
+  const auto marked = [target](std::uint64_t x) { return x == target; };
+  // ~pi/4 * sqrt(64) = 6 iterations.
+  QCircuit grover(qubits);
+  grover.grover_rounds(marked, 6);
+  Statevector psi(qubits);  // uniform start
+  const std::uint64_t queries = grover.run(psi);
+  EXPECT_EQ(queries, 6u);
+  EXPECT_GT(psi.probability_of(marked), 0.99);
+}
+
+TEST(Circuit, GateBuiltGroverMatchesOperatorLevel) {
+  const int qubits = 5;
+  const auto marked = [](std::uint64_t x) { return x % 7 == 3; };
+  Statevector op(qubits);
+  for (int i = 0; i < 3; ++i) {
+    op.apply_phase_oracle(marked);
+    op.apply_diffusion();
+  }
+  QCircuit c(qubits);
+  c.grover_rounds(marked, 3);
+  Statevector gate(qubits);
+  c.run(gate);
+  EXPECT_NEAR(op.overlap_magnitude(gate), 1.0, 1e-9);
+}
+
+TEST(Circuit, Validation) {
+  EXPECT_THROW(QCircuit(0), util::CheckError);
+  QCircuit c(2);
+  EXPECT_THROW(c.h(5), util::CheckError);
+  EXPECT_THROW(c.cz(0, 0), util::CheckError);
+  EXPECT_THROW(c.oracle(nullptr), util::CheckError);
+  Statevector psi(3);
+  EXPECT_THROW(c.run(psi), util::CheckError);
+}
+
+TEST(Circuit, FluentCompositionCounts) {
+  QCircuit c(3);
+  c.h(0).x(1).z(2).cz(0, 1).mcz(0b111);
+  EXPECT_EQ(c.size(), 5u);
+  Statevector psi(3);
+  EXPECT_EQ(c.run(psi), 0u);  // no oracle gates
+}
+
+}  // namespace
+}  // namespace ovo::quantum

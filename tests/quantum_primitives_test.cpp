@@ -1,0 +1,187 @@
+// Tests for the quantum substrate: statevector unitarity, Grover search
+// statistics, Dürr–Høyer minimum finding, and the accounting finder's
+// query model (Lemma 6).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quantum/grover.hpp"
+#include "quantum/min_find.hpp"
+#include "quantum/statevector.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace ovo::quantum {
+namespace {
+
+TEST(Statevector, UniformInitialization) {
+  Statevector psi(4);
+  EXPECT_EQ(psi.dimension(), 16u);
+  EXPECT_NEAR(psi.norm_squared(), 1.0, 1e-12);
+  for (const auto& a : psi.amplitudes())
+    EXPECT_NEAR(std::abs(a), 0.25, 1e-12);
+}
+
+TEST(Statevector, OperatorsPreserveNorm) {
+  Statevector psi(6);
+  for (int i = 0; i < 50; ++i) {
+    psi.apply_phase_oracle([](std::uint64_t x) { return x % 5 == 2; });
+    psi.apply_diffusion();
+    ASSERT_NEAR(psi.norm_squared(), 1.0, 1e-9);
+  }
+}
+
+TEST(Statevector, GroverAmplifiesMarkedState) {
+  // One marked item among 64: after ~pi/4*8 = 6 iterations the marked
+  // probability should be near 1.
+  Statevector psi(6);
+  const std::uint64_t target = 37;
+  for (int i = 0; i < 6; ++i) {
+    psi.apply_phase_oracle([&](std::uint64_t x) { return x == target; });
+    psi.apply_diffusion();
+  }
+  EXPECT_GT(psi.probability_of([&](std::uint64_t x) { return x == target; }),
+            0.99);
+}
+
+TEST(Statevector, MeasurementFollowsAmplitudes) {
+  Statevector psi(3);
+  // Amplify state 5 strongly, then measure many times.
+  for (int i = 0; i < 2; ++i) {
+    psi.apply_phase_oracle([](std::uint64_t x) { return x == 5; });
+    psi.apply_diffusion();
+  }
+  const double p5 =
+      psi.probability_of([](std::uint64_t x) { return x == 5; });
+  util::Xoshiro256 rng(77);
+  int hits = 0;
+  const int shots = 2000;
+  for (int i = 0; i < shots; ++i) hits += (psi.measure(rng) == 5) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / shots, p5, 0.05);
+}
+
+TEST(Statevector, RejectsHugeQubitCounts) {
+  EXPECT_THROW(Statevector(30), util::CheckError);
+}
+
+TEST(Grover, FindsUniqueSolutionWithHighProbability) {
+  util::Xoshiro256 rng(11);
+  int found = 0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    const std::uint64_t target = rng.below(50);
+    const auto hit = grover_search(
+        50, [&](std::uint64_t x) { return x == target; }, rng);
+    if (hit.has_value() && *hit == target) ++found;
+  }
+  EXPECT_GE(found, trials - 2);
+}
+
+TEST(Grover, ReportsNoSolution) {
+  util::Xoshiro256 rng(13);
+  GroverStats stats;
+  const auto hit = grover_search(
+      32, [](std::uint64_t) { return false; }, rng, &stats);
+  EXPECT_FALSE(hit.has_value());
+  EXPECT_GT(stats.oracle_queries, 0u);
+}
+
+TEST(Grover, QueryCountScalesAsSqrtN) {
+  util::Xoshiro256 rng(17);
+  // Average queries for a unique solution at N and 16N should grow by
+  // roughly 4x (allowing generous slack for the randomized schedule).
+  const auto avg_queries = [&](std::uint64_t space, int trials) {
+    std::uint64_t total = 0;
+    for (int t = 0; t < trials; ++t) {
+      GroverStats stats;
+      const std::uint64_t target = rng.below(space);
+      (void)grover_search(
+          space, [&](std::uint64_t x) { return x == target; }, rng, &stats);
+      total += stats.oracle_queries;
+    }
+    return static_cast<double>(total) / trials;
+  };
+  const double q_small = avg_queries(64, 40);
+  const double q_big = avg_queries(1024, 40);
+  const double ratio = q_big / q_small;
+  EXPECT_GT(ratio, 1.6);
+  EXPECT_LT(ratio, 11.0);
+}
+
+TEST(DurrHoyer, FindsMinimumMostOfTheTime) {
+  util::Xoshiro256 rng(19);
+  int exact = 0;
+  const int trials = 25;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<std::int64_t> values(60);
+    for (auto& v : values) v = static_cast<std::int64_t>(rng.below(1000));
+    values[rng.below(60)] = -5;  // unique minimum
+    const MinFindResult r = durr_hoyer_min(values, rng, 3);
+    if (values[r.best_index] == -5) ++exact;
+    EXPECT_GT(r.oracle_queries, 0u);
+  }
+  EXPECT_GE(exact, trials - 2);
+}
+
+TEST(DurrHoyer, HandlesDuplicatesAndTinyArrays) {
+  util::Xoshiro256 rng(23);
+  const MinFindResult one = durr_hoyer_min({42}, rng);
+  EXPECT_EQ(one.best_index, 0u);
+  const MinFindResult dup = durr_hoyer_min({7, 7, 7, 7}, rng);
+  EXPECT_EQ(dup.best_index < 4, true);
+  std::vector<std::int64_t> values{3, 1, 1, 9};
+  const MinFindResult r = durr_hoyer_min(values, rng, 2);
+  EXPECT_EQ(values[r.best_index], 1);
+}
+
+TEST(AccountingFinder, ExactArgminAndQueryModel) {
+  AccountingMinimumFinder finder(/*log_inv_eps=*/6.0);
+  std::vector<std::int64_t> values{9, 2, 7, 2, 11};
+  const MinOutcome out = finder.find_min(values);
+  EXPECT_EQ(values[out.best_index], 2);
+  EXPECT_FALSE(out.failed);
+  EXPECT_NEAR(out.quantum_queries, std::sqrt(5.0) * 6.0, 1e-12);
+}
+
+TEST(AccountingFinder, FailureInjectionReturnsNonMinimum) {
+  AccountingMinimumFinder finder(1.0, /*failure_rate=*/0.999, /*seed=*/3);
+  std::vector<std::int64_t> values{5, 1, 8, 3};
+  int failures = 0;
+  for (int i = 0; i < 50; ++i) {
+    const MinOutcome out = finder.find_min(values);
+    if (out.failed) {
+      ++failures;
+      EXPECT_NE(values[out.best_index], 1);
+    }
+  }
+  EXPECT_GE(failures, 45);
+}
+
+TEST(AccountingFinder, SingleElementNeverFails) {
+  AccountingMinimumFinder finder(1.0, 0.99, 5);
+  const MinOutcome out = finder.find_min({123});
+  EXPECT_EQ(out.best_index, 0u);
+  EXPECT_FALSE(out.failed);
+}
+
+TEST(GroverFinder, AgreesWithAccountingOnSmallArrays) {
+  GroverMinimumFinder grover(4, 31);
+  std::vector<std::int64_t> values{10, 3, 5, 8, 3, 12, 20, 9};
+  int exact = 0;
+  for (int t = 0; t < 10; ++t) {
+    const MinOutcome out = grover.find_min(values);
+    if (values[out.best_index] == 3) ++exact;
+  }
+  EXPECT_GE(exact, 9);
+}
+
+TEST(Finders, RejectEmptyInput) {
+  AccountingMinimumFinder a;
+  GroverMinimumFinder g;
+  EXPECT_THROW(a.find_min({}), util::CheckError);
+  EXPECT_THROW(g.find_min({}), util::CheckError);
+}
+
+}  // namespace
+}  // namespace ovo::quantum

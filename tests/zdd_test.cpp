@@ -1,0 +1,177 @@
+// Tests for the ZDD package: zero-suppression canonicity, family algebra,
+// counting/enumeration, and the sparse-representation advantage over BDDs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "bdd/manager.hpp"
+#include "tt/function_zoo.hpp"
+#include "zdd/manager.hpp"
+#include "util/combinatorics.hpp"
+#include "util/rng.hpp"
+
+namespace ovo::zdd {
+namespace {
+
+TEST(ZddManager, Terminals) {
+  Manager m(3);
+  EXPECT_EQ(m.count(kEmpty), 0u);
+  EXPECT_EQ(m.count(kUnit), 1u);
+  EXPECT_EQ(m.enumerate(kUnit), (std::vector<util::Mask>{0}));
+}
+
+TEST(ZddManager, ZeroSuppressionRule) {
+  Manager m(2);
+  // A node whose 1-edge is empty must vanish.
+  EXPECT_EQ(m.make(0, kUnit, kEmpty), kUnit);
+  // But equal children do NOT collapse (unlike BDDs).
+  const NodeId u = m.make(1, kUnit, kUnit);
+  EXPECT_NE(u, kUnit);
+}
+
+TEST(ZddManager, SingleSet) {
+  Manager m(4);
+  const NodeId f = m.single_set(0b1010);
+  EXPECT_EQ(m.count(f), 1u);
+  EXPECT_EQ(m.enumerate(f), (std::vector<util::Mask>{0b1010}));
+  EXPECT_TRUE(m.eval(f, 0b1010));
+  EXPECT_FALSE(m.eval(f, 0b1000));
+  EXPECT_FALSE(m.eval(f, 0b1011));
+}
+
+TEST(ZddManager, FromFamilyRoundtrip) {
+  Manager m(4);
+  const std::vector<util::Mask> family{0b0000, 0b0011, 0b1010, 0b1111};
+  const NodeId f = m.from_family(family);
+  EXPECT_EQ(m.count(f), family.size());
+  EXPECT_EQ(m.enumerate(f), family);  // already sorted
+}
+
+class ZddRoundtrip : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ZddRoundtrip, FromTruthTableEvaluatesBack) {
+  const auto [n, seed] = GetParam();
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(seed) * 104729 + 7);
+  const tt::TruthTable t = tt::random_function(n, rng);
+  Manager m(n);
+  const NodeId f = m.from_truth_table(t);
+  EXPECT_EQ(m.to_truth_table(f), t);
+  EXPECT_EQ(m.count(f), t.count_ones());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ZddRoundtrip,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6, 7),
+                       ::testing::Range(0, 5)));
+
+TEST(ZddRoundtripOrders, NonIdentityOrder) {
+  util::Xoshiro256 rng(99);
+  const tt::TruthTable t = tt::random_function(5, rng);
+  for (const auto& order : util::all_permutations(5)) {
+    Manager m(5, order);
+    const NodeId f = m.from_truth_table(t);
+    ASSERT_EQ(m.to_truth_table(f), t);
+  }
+}
+
+class ZddFamilyAlgebra : public ::testing::TestWithParam<int> {};
+
+TEST_P(ZddFamilyAlgebra, MatchesSetAlgebra) {
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) + 31);
+  const int n = 6;
+  // Two random families over 6 elements.
+  std::set<util::Mask> sa, sb;
+  for (int i = 0; i < 12; ++i) sa.insert(rng.below(64));
+  for (int i = 0; i < 12; ++i) sb.insert(rng.below(64));
+  Manager m(n);
+  const NodeId a = m.from_family({sa.begin(), sa.end()});
+  const NodeId b = m.from_family({sb.begin(), sb.end()});
+
+  std::set<util::Mask> expect_union = sa;
+  expect_union.insert(sb.begin(), sb.end());
+  std::set<util::Mask> expect_inter, expect_diff;
+  std::set_intersection(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                        std::inserter(expect_inter, expect_inter.begin()));
+  std::set_difference(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                      std::inserter(expect_diff, expect_diff.begin()));
+
+  const auto as_vec = [](const std::set<util::Mask>& s) {
+    return std::vector<util::Mask>{s.begin(), s.end()};
+  };
+  EXPECT_EQ(m.enumerate(m.family_union(a, b)), as_vec(expect_union));
+  EXPECT_EQ(m.enumerate(m.family_intersection(a, b)), as_vec(expect_inter));
+  EXPECT_EQ(m.enumerate(m.family_difference(a, b)), as_vec(expect_diff));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ZddFamilyAlgebra, ::testing::Range(0, 8));
+
+TEST(ZddFamilyOps, Subset0Subset1Change) {
+  Manager m(3);
+  // Family {{}, {0}, {0,2}, {1}}.
+  const NodeId f = m.from_family({0b000, 0b001, 0b101, 0b010});
+  // subset1(var 0): sets containing 0, with 0 factored out (Minato).
+  EXPECT_EQ(m.count(m.subset1(f, 0)), 2u);
+  EXPECT_EQ(m.enumerate(m.subset1(f, 0)),
+            (std::vector<util::Mask>{0b000, 0b100}));
+  // subset0(var 0): sets not containing 0.
+  const NodeId s0 = m.subset0(f, 0);
+  EXPECT_EQ(m.enumerate(s0), (std::vector<util::Mask>{0b000, 0b010}));
+  // change(var 1): toggle membership of 1 in every set.
+  const NodeId ch = m.change(f, 1);
+  EXPECT_EQ(m.enumerate(ch),
+            (std::vector<util::Mask>{0b000, 0b010, 0b011, 0b111}));
+}
+
+TEST(ZddFamilyOps, UnionIdempotentAndCommutative) {
+  util::Xoshiro256 rng(77);
+  Manager m(5);
+  const NodeId a = m.from_truth_table(tt::random_function(5, rng));
+  const NodeId b = m.from_truth_table(tt::random_function(5, rng));
+  EXPECT_EQ(m.family_union(a, a), a);
+  EXPECT_EQ(m.family_union(a, b), m.family_union(b, a));
+  EXPECT_EQ(m.family_intersection(a, m.family_union(a, b)), a);
+  EXPECT_EQ(m.family_difference(a, a), kEmpty);
+}
+
+TEST(ZddInvariant, NoNodeHasEmptyHighChild) {
+  util::Xoshiro256 rng(13);
+  Manager m(7);
+  m.from_truth_table(tt::random_function(7, rng));
+  for (NodeId id = 2; id < m.pool_size(); ++id)
+    EXPECT_NE(m.node(id).hi, kEmpty) << "node " << id;
+}
+
+TEST(ZddVsBdd, SparseFamiliesAreSmallerAsZdd) {
+  // Characteristic function of a few scattered singletons: ZDDs shine.
+  util::Xoshiro256 rng(55);
+  const int n = 10;
+  const tt::TruthTable t = tt::random_sparse_function(n, 6, rng);
+  Manager zm(n);
+  bdd::Manager bm(n);
+  const std::uint64_t zs = zm.size(zm.from_truth_table(t));
+  const std::uint64_t bs = bm.size(bm.from_truth_table(t));
+  EXPECT_LT(zs, bs);
+}
+
+TEST(ZddQueries, LevelWidthsSumToSize) {
+  util::Xoshiro256 rng(21);
+  Manager m(6);
+  const NodeId f = m.from_truth_table(tt::random_function(6, rng));
+  const auto widths = m.level_widths(f);
+  std::uint64_t sum = 0;
+  for (const auto w : widths) sum += w;
+  EXPECT_EQ(sum, m.size(f));
+}
+
+TEST(ZddQueries, DotOutput) {
+  Manager m(2);
+  const NodeId f = m.from_family({0b01, 0b10});
+  const std::string dot = m.to_dot(f);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("x1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ovo::zdd

@@ -1,0 +1,272 @@
+// ovo — command-line front end for the optimal-variable-ordering library.
+//
+//   ovo order   [--zdd] [--engine fs|bnb|quantum] [--shared] <input>
+//   ovo size    --order v1,v2,... [--zdd] <input>
+//   ovo compare <input>                 # exact vs heuristics report
+//   ovo tables  [--k K] [--iters N]     # reproduce paper Tables 1 and 2
+//   ovo dot     <input>                 # minimum OBDD as Graphviz
+//
+// <input> is one of:
+//   - a path ending in .pla  (Berkeley PLA; first output used unless
+//     --shared, which optimizes all outputs as one shared diagram),
+//   - a path ending in .blif (combinational BLIF subset),
+//   - anything else: parsed as a Boolean formula over x1, x2, ...
+//     e.g.  ovo order "x1 & x2 | x3 & x4"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bdd/manager.hpp"
+#include "core/minimize.hpp"
+#include "core/multi_output.hpp"
+#include "quantum/min_find.hpp"
+#include "quantum/opt_obdd.hpp"
+#include "quantum/params.hpp"
+#include "reorder/baselines.hpp"
+#include "reorder/branch_and_bound.hpp"
+#include "tt/blif.hpp"
+#include "tt/expr.hpp"
+#include "tt/pla.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using namespace ovo;
+
+struct LoadedInput {
+  std::vector<tt::TruthTable> outputs;  ///< one per output
+  std::string description;
+};
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  OVO_CHECK_MSG(in.good(), "cannot open '" + path + "'");
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+LoadedInput load_input(const std::string& spec) {
+  LoadedInput out;
+  if (ends_with(spec, ".pla")) {
+    const tt::Pla pla = tt::parse_pla(read_file(spec));
+    out.outputs = pla.output_tables();
+    out.description = "PLA " + spec + " (" +
+                      std::to_string(pla.num_inputs) + " inputs, " +
+                      std::to_string(pla.num_outputs) + " outputs)";
+  } else if (ends_with(spec, ".blif")) {
+    const tt::BlifModel m = tt::parse_blif(read_file(spec));
+    out.outputs = m.output_tables();
+    out.description = "BLIF " + (m.name.empty() ? spec : m.name) + " (" +
+                      std::to_string(m.inputs.size()) + " inputs, " +
+                      std::to_string(m.outputs.size()) + " outputs)";
+  } else {
+    const tt::ExprPtr e = tt::parse_expr(spec);
+    const int n = std::max(1, tt::expr_num_vars(*e));
+    out.outputs.push_back(tt::expr_to_truth_table(*e, n));
+    out.description =
+        "formula on " + std::to_string(n) + " variables";
+  }
+  OVO_CHECK_MSG(!out.outputs.empty(), "input has no outputs");
+  return out;
+}
+
+void print_order(const std::vector<int>& order) {
+  for (std::size_t i = 0; i < order.size(); ++i)
+    std::printf("%sx%d", i == 0 ? "" : " ", order[i] + 1);
+  std::printf("\n");
+}
+
+int cmd_order(const std::vector<std::string>& args) {
+  core::DiagramKind kind = core::DiagramKind::kBdd;
+  std::string engine = "fs";
+  bool shared = false;
+  std::string input;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--zdd") {
+      kind = core::DiagramKind::kZdd;
+    } else if (args[i] == "--engine" && i + 1 < args.size()) {
+      engine = args[++i];
+    } else if (args[i] == "--shared") {
+      shared = true;
+    } else {
+      input = args[i];
+    }
+  }
+  OVO_CHECK_MSG(!input.empty(), "order: missing input");
+  const LoadedInput loaded = load_input(input);
+  std::printf("input: %s\n", loaded.description.c_str());
+
+  if (shared) {
+    const auto r = core::fs_minimize_shared(loaded.outputs, kind);
+    std::printf("shared minimum: %" PRIu64 " internal nodes\norder: ",
+                r.min_internal_nodes);
+    print_order(r.order_root_first);
+    return 0;
+  }
+
+  const tt::TruthTable& f = loaded.outputs.front();
+  if (loaded.outputs.size() > 1)
+    std::printf("note: %zu outputs; optimizing the first (use --shared "
+                "for all)\n",
+                loaded.outputs.size());
+  std::vector<int> order;
+  std::uint64_t nodes = 0;
+  if (engine == "fs") {
+    const auto r = core::fs_minimize(f, kind);
+    order = r.order_root_first;
+    nodes = r.min_internal_nodes;
+    std::printf("engine: Friedman-Supowit DP (%" PRIu64 " table cells)\n",
+                r.ops.table_cells);
+  } else if (engine == "bnb") {
+    const auto r = reorder::branch_and_bound_minimize(f, kind);
+    order = r.order_root_first;
+    nodes = r.internal_nodes;
+    std::printf("engine: branch-and-bound (%" PRIu64 " states, %" PRIu64
+                " pruned)\n",
+                r.states_expanded,
+                r.states_pruned_bound + r.states_pruned_dominance);
+  } else if (engine == "quantum") {
+    quantum::AccountingMinimumFinder finder(
+        static_cast<double>(f.num_vars()));
+    quantum::OptObddOptions opt;
+    opt.kind = kind;
+    opt.alphas = {0.27};
+    opt.finder = &finder;
+    const auto r = quantum::opt_obdd_minimize(f, opt);
+    order = r.order_root_first;
+    nodes = r.min_internal_nodes;
+    std::printf("engine: OptOBDD (simulated; %.0f quantum queries)\n",
+                r.quantum.quantum_queries);
+  } else {
+    std::fprintf(stderr, "unknown engine '%s'\n", engine.c_str());
+    return 2;
+  }
+  std::printf("minimum %s: %" PRIu64 " internal nodes\norder: ",
+              kind == core::DiagramKind::kZdd ? "ZDD" : "OBDD", nodes);
+  print_order(order);
+  return 0;
+}
+
+int cmd_size(const std::vector<std::string>& args) {
+  core::DiagramKind kind = core::DiagramKind::kBdd;
+  std::string order_spec, input;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--zdd") {
+      kind = core::DiagramKind::kZdd;
+    } else if (args[i] == "--order" && i + 1 < args.size()) {
+      order_spec = args[++i];
+    } else {
+      input = args[i];
+    }
+  }
+  OVO_CHECK_MSG(!input.empty() && !order_spec.empty(),
+                "size: need --order and an input");
+  const LoadedInput loaded = load_input(input);
+  std::vector<int> order;
+  std::stringstream ss(order_spec);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    order.push_back(std::stoi(item) - 1);  // CLI is 1-based like formulas
+  const std::uint64_t s =
+      core::diagram_size_for_order(loaded.outputs.front(), order, kind);
+  std::printf("%" PRIu64 " internal nodes\n", s);
+  return 0;
+}
+
+int cmd_compare(const std::vector<std::string>& args) {
+  OVO_CHECK_MSG(args.size() == 1, "compare: exactly one input");
+  const LoadedInput loaded = load_input(args[0]);
+  const tt::TruthTable& f = loaded.outputs.front();
+  std::printf("input: %s\n\n", loaded.description.c_str());
+  const auto exact = core::fs_minimize(f);
+  std::vector<int> id(static_cast<std::size_t>(f.num_vars()));
+  std::iota(id.begin(), id.end(), 0);
+  const auto sifted = reorder::sift(f, id);
+  const std::uint64_t identity = core::diagram_size_for_order(f, id);
+  std::printf("exact optimum : %" PRIu64 " internal nodes\n",
+              exact.min_internal_nodes);
+  std::printf("sifting       : %" PRIu64 "\n", sifted.internal_nodes);
+  std::printf("identity order: %" PRIu64 "\n", identity);
+  if (f.num_vars() <= 8) {
+    const auto bf = reorder::brute_force_minimize(f);
+    std::printf("pessimal order: %" PRIu64 "\n", bf.worst_internal_nodes);
+  }
+  return 0;
+}
+
+int cmd_tables(const std::vector<std::string>& args) {
+  int k = 6, iters = 10;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--k" && i + 1 < args.size()) k = std::stoi(args[++i]);
+    if (args[i] == "--iters" && i + 1 < args.size())
+      iters = std::stoi(args[++i]);
+  }
+  std::printf("Table 1 (gamma_k):\n");
+  for (int kk = 1; kk <= k; ++kk) {
+    const auto s = quantum::solve_alphas(kk, 3.0);
+    std::printf("  k=%d gamma=%.5f alphas:", kk, s.gamma);
+    for (const double a : s.alphas) std::printf(" %.6f", a);
+    std::printf("\n");
+  }
+  std::printf("Table 2 (composition tower, k=%d):\n", k);
+  for (const auto& row : quantum::composition_tower(k, iters))
+    std::printf("  beta=%.5f\n", row.gamma);
+  return 0;
+}
+
+int cmd_dot(const std::vector<std::string>& args) {
+  OVO_CHECK_MSG(args.size() == 1, "dot: exactly one input");
+  const LoadedInput loaded = load_input(args[0]);
+  const tt::TruthTable& f = loaded.outputs.front();
+  const auto r = core::fs_minimize(f);
+  bdd::Manager m(f.num_vars(), r.order_root_first);
+  std::printf("%s", m.to_dot(m.from_truth_table(f), "minimum").c_str());
+  return 0;
+}
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  ovo order   [--zdd] [--engine fs|bnb|quantum] [--shared] <input>\n"
+      "  ovo size    --order v1,v2,... [--zdd] <input>\n"
+      "  ovo compare <input>\n"
+      "  ovo tables  [--k K] [--iters N]\n"
+      "  ovo dot     <input>\n"
+      "<input>: file.pla | file.blif | a formula like \"x1 & x2 | x3\"\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (cmd == "order") return cmd_order(args);
+    if (cmd == "size") return cmd_size(args);
+    if (cmd == "compare") return cmd_compare(args);
+    if (cmd == "tables") return cmd_tables(args);
+    if (cmd == "dot") return cmd_dot(args);
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
