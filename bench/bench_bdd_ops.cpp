@@ -14,14 +14,28 @@
 
 namespace {
 
+/// Surfaces the ovo::ds always-on unique-table / computed-cache counters
+/// as benchmark counters (from the last iteration's manager).
+void report_store_counters(benchmark::State& state,
+                           const ovo::bdd::Manager::Stats& s) {
+  state.counters["uniq_hit%"] = 100.0 * s.unique.hit_rate();
+  state.counters["uniq_probe"] = s.unique.avg_probe_length();
+  state.counters["uniq_resizes"] = static_cast<double>(s.unique.resizes);
+  state.counters["cache_hit%"] = 100.0 * s.cache.hit_rate();
+  state.counters["cache_evict"] = static_cast<double>(s.cache.evictions);
+}
+
 void BM_BddFromTruthTable(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   ovo::util::Xoshiro256 rng(1);
   const ovo::tt::TruthTable t = ovo::tt::random_function(n, rng);
+  ovo::bdd::Manager::Stats last;
   for (auto _ : state) {
     ovo::bdd::Manager m(n);
     benchmark::DoNotOptimize(m.from_truth_table(t));
+    last = m.stats();
   }
+  report_store_counters(state, last);
   state.SetComplexityN(n);
 }
 BENCHMARK(BM_BddFromTruthTable)->DenseRange(8, 16, 2);
@@ -31,12 +45,15 @@ void BM_BddIte(benchmark::State& state) {
   ovo::util::Xoshiro256 rng(2);
   const ovo::tt::TruthTable ta = ovo::tt::random_function(n, rng);
   const ovo::tt::TruthTable tb = ovo::tt::random_function(n, rng);
+  ovo::bdd::Manager::Stats last;
   for (auto _ : state) {
     ovo::bdd::Manager m(n);
     const auto a = m.from_truth_table(ta);
     const auto b = m.from_truth_table(tb);
     benchmark::DoNotOptimize(m.apply_xor(a, b));
+    last = m.stats();
   }
+  report_store_counters(state, last);
 }
 BENCHMARK(BM_BddIte)->DenseRange(8, 14, 2);
 

@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "core/minimize.hpp"
+#include "ds/unique_table.hpp"
 #include "quantum/analysis.hpp"
 #include "reorder/baselines.hpp"
 #include "tt/function_zoo.hpp"
@@ -27,6 +28,7 @@ int main() {
 
   std::vector<int> ns;
   std::vector<double> fs_cells, fs_space;
+  ds::TableStats dedup_total;
   const int kMaxN = 13;
   const int kMaxBruteN = 8;
   bool space_matches = true;
@@ -49,6 +51,7 @@ int main() {
     ns.push_back(n);
     fs_cells.push_back(static_cast<double>(r.ops.table_cells));
     fs_space.push_back(static_cast<double>(r.ops.peak_cells));
+    dedup_total += r.ops.dedup;
     std::printf("%3d %14" PRIu64 " %14.0f %12" PRIu64 " %12.0f %12.4f "
                 "%16.0f %12s\n",
                 n, r.ops.table_cells, quantum::fs_total_cells(n),
@@ -74,6 +77,10 @@ int main() {
               cell_fit.r_squared, space_fit.r_squared);
   std::printf("measured peak space == closed form on every n: %s\n",
               space_matches ? "yes" : "NO");
+  std::printf("\nCOMPACT dedup tables (ovo::ds, all runs): lookups=%" PRIu64
+              "  hit rate=%.3f  avg probe=%.2f  resizes=%" PRIu64 "\n",
+              dedup_total.lookups, dedup_total.hit_rate(),
+              dedup_total.avg_probe_length(), dedup_total.resizes);
 
   const bool shape_ok = cell_fit.base > 2.6 && cell_fit.base < 3.4 &&
                         space_fit.base > 2.5 && space_fit.base < 3.4 &&

@@ -1,0 +1,133 @@
+// Micro-benchmark: ds::UniqueTable vs std::unordered_map on the two access
+// patterns the diagram managers generate — hash-consing during a bottom-up
+// table build (high hit rate, sequential ids) and ITE-style probing (mixed
+// hit/miss over a churning key set).  Run with --benchmark_format=json for
+// machine-readable output.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ds/hash.hpp"
+#include "ds/unique_table.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+/// The seed's hash (murmur3 finalizer without the second multiply), kept
+/// for an apples-to-apples unordered_map comparison.
+struct PairHash {
+  std::size_t operator()(std::uint64_t k) const {
+    k ^= k >> 33;
+    k *= 0xff51afd7ed558ccdull;
+    k ^= k >> 33;
+    return static_cast<std::size_t>(k);
+  }
+};
+
+/// Synthetic make() workload: `ops` find-or-insert calls over a key space
+/// of `distinct` (lo, hi) pairs — each distinct key gets the next dense id,
+/// duplicates hit.  Mirrors hash consing during from_truth_table/compact.
+std::vector<std::uint64_t> make_workload(std::uint64_t ops,
+                                         std::uint32_t distinct,
+                                         std::uint64_t seed) {
+  ovo::util::Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(ops);
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    const std::uint32_t lo = static_cast<std::uint32_t>(rng.below(distinct));
+    const std::uint32_t hi =
+        static_cast<std::uint32_t>(rng.below(distinct)) + 1;
+    keys.push_back(ovo::ds::pack_pair(lo, hi));
+  }
+  return keys;
+}
+
+void BM_UniqueTableMake(benchmark::State& state) {
+  const auto distinct = static_cast<std::uint32_t>(state.range(0));
+  const std::vector<std::uint64_t> keys =
+      make_workload(4 * std::uint64_t{distinct}, distinct, 99);
+  for (auto _ : state) {
+    ovo::ds::UniqueTable table;
+    std::uint32_t next_id = 2;
+    for (const std::uint64_t k : keys) {
+      const auto [id, inserted] = table.find_or_insert(k, next_id);
+      if (inserted) ++next_id;
+      benchmark::DoNotOptimize(id);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(keys.size()) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_UniqueTableMake)->RangeMultiplier(8)->Range(1 << 8, 1 << 17);
+
+void BM_UnorderedMapMake(benchmark::State& state) {
+  const auto distinct = static_cast<std::uint32_t>(state.range(0));
+  const std::vector<std::uint64_t> keys =
+      make_workload(4 * std::uint64_t{distinct}, distinct, 99);
+  for (auto _ : state) {
+    std::unordered_map<std::uint64_t, std::uint32_t, PairHash> table;
+    std::uint32_t next_id = 2;
+    for (const std::uint64_t k : keys) {
+      const auto [it, inserted] = table.emplace(k, next_id);
+      if (inserted) ++next_id;
+      benchmark::DoNotOptimize(it->second);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(keys.size()) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_UnorderedMapMake)->RangeMultiplier(8)->Range(1 << 8, 1 << 17);
+
+/// ITE-style workload: a warm table of `distinct` entries probed with a mix
+/// of ~50% present keys (cache hits) and ~50% absent keys.
+void BM_UniqueTableProbe(benchmark::State& state) {
+  const auto distinct = static_cast<std::uint32_t>(state.range(0));
+  const std::vector<std::uint64_t> warm = make_workload(distinct, distinct, 7);
+  const std::vector<std::uint64_t> probes =
+      make_workload(4 * std::uint64_t{distinct}, 2 * distinct, 8);
+  ovo::ds::UniqueTable table;
+  std::uint32_t next_id = 2;
+  for (const std::uint64_t k : warm) {
+    const auto [id, inserted] = table.find_or_insert(k, next_id);
+    if (inserted) ++next_id;
+  }
+  for (auto _ : state) {
+    std::uint64_t found = 0;
+    for (const std::uint64_t k : probes)
+      if (table.find(k) != nullptr) ++found;
+    benchmark::DoNotOptimize(found);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(probes.size()) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_UniqueTableProbe)->RangeMultiplier(8)->Range(1 << 8, 1 << 17);
+
+void BM_UnorderedMapProbe(benchmark::State& state) {
+  const auto distinct = static_cast<std::uint32_t>(state.range(0));
+  const std::vector<std::uint64_t> warm = make_workload(distinct, distinct, 7);
+  const std::vector<std::uint64_t> probes =
+      make_workload(4 * std::uint64_t{distinct}, 2 * distinct, 8);
+  std::unordered_map<std::uint64_t, std::uint32_t, PairHash> table;
+  std::uint32_t next_id = 2;
+  for (const std::uint64_t k : warm) {
+    const auto [it, inserted] = table.emplace(k, next_id);
+    if (inserted) ++next_id;
+    (void)it;
+  }
+  for (auto _ : state) {
+    std::uint64_t found = 0;
+    for (const std::uint64_t k : probes)
+      if (table.find(k) != table.end()) ++found;
+    benchmark::DoNotOptimize(found);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(probes.size()) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_UnorderedMapProbe)->RangeMultiplier(8)->Range(1 << 8, 1 << 17);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <unordered_map>
 
 #include "util/check.hpp"
 
@@ -10,18 +9,19 @@ namespace ovo::bdd {
 
 namespace {
 
-/// Models of u over levels [level(u), n), memoized.
+/// Models of u over levels [level(u), n), memoized densely over the arena.
 class ModelCounter {
  public:
-  explicit ModelCounter(const Manager& m) : m_(m) {}
+  explicit ModelCounter(const Manager& m)
+      : m_(m), memo_(m.pool_size(), kUnset) {}
 
   std::uint64_t count(NodeId u) {
     if (u == kFalse) return 0;
     if (u == kTrue) return 1;
-    if (const auto it = memo_.find(u); it != memo_.end()) return it->second;
-    const Node& un = m_.node(u);
+    if (memo_[u] != kUnset) return memo_[u];
+    const Node un = m_.node(u);
     const std::uint64_t c = below(un.lo, un.level) + below(un.hi, un.level);
-    memo_.emplace(u, c);
+    memo_[u] = c;
     return c;
   }
 
@@ -32,8 +32,9 @@ class ModelCounter {
   }
 
  private:
+  static constexpr std::uint64_t kUnset = ~std::uint64_t{0};
   const Manager& m_;
-  std::unordered_map<NodeId, std::uint64_t> memo_;
+  std::vector<std::uint64_t> memo_;
 };
 
 }  // namespace
@@ -123,12 +124,13 @@ std::optional<WeightedModel> min_weight_model(
     return g;
   };
 
-  std::unordered_map<NodeId, double> memo;
+  std::vector<std::uint8_t> memo_set(m.pool_size(), 0);
+  std::vector<double> memo(m.pool_size(), 0.0);
   auto best = [&](auto&& self, NodeId u) -> double {
     if (u == kFalse) return kInf;
     if (u == kTrue) return 0.0;
-    if (const auto it = memo.find(u); it != memo.end()) return it->second;
-    const Node& un = m.node(u);
+    if (memo_set[u]) return memo[u];
+    const Node un = m.node(u);
     const double w =
         weight[static_cast<std::size_t>(m.var_at_level(un.level))];
     const double via_lo =
@@ -136,7 +138,8 @@ std::optional<WeightedModel> min_weight_model(
     const double via_hi =
         self(self, un.hi) + free_gain(un.level, m.node(un.hi).level) + w;
     const double b = std::min(via_lo, via_hi);
-    memo.emplace(u, b);
+    memo_set[u] = 1;
+    memo[u] = b;
     return b;
   };
   const double total =
@@ -177,14 +180,15 @@ double density(const Manager& m, NodeId f) {
 std::optional<Cube> shortest_cube(const Manager& m, NodeId f) {
   if (f == kFalse) return std::nullopt;
   constexpr int kInf = std::numeric_limits<int>::max() / 2;
-  std::unordered_map<NodeId, int> memo;
+  constexpr int kUnset = -1;
+  std::vector<int> memo(m.pool_size(), kUnset);
   auto depth = [&](auto&& self, NodeId u) -> int {
     if (u == kFalse) return kInf;
     if (u == kTrue) return 0;
-    if (const auto it = memo.find(u); it != memo.end()) return it->second;
-    const Node& un = m.node(u);
+    if (memo[u] != kUnset) return memo[u];
+    const Node un = m.node(u);
     const int d = 1 + std::min(self(self, un.lo), self(self, un.hi));
-    memo.emplace(u, d);
+    memo[u] = d;
     return d;
   };
   (void)depth(depth, f);

@@ -1,7 +1,5 @@
 #include "bdd/dynamic_reorder.hpp"
 
-#include <unordered_set>
-
 #include "util/check.hpp"
 
 namespace ovo::bdd {
@@ -25,16 +23,22 @@ void move_level(Manager& m, int from_level, int to_level) {
 
 std::uint64_t shared_reachable_size(const Manager& m,
                                     const std::vector<NodeId>& roots) {
-  std::unordered_set<NodeId> seen;
+  // Dense seen-bitvector over the arena: this runs once per sift swap, so
+  // it must not allocate per-node like a hash set would.
+  std::vector<std::uint8_t> seen(m.pool_size(), 0);
+  std::uint64_t count = 0;
   std::vector<NodeId> stack(roots.begin(), roots.end());
   while (!stack.empty()) {
     const NodeId u = stack.back();
     stack.pop_back();
-    if (m.is_terminal(u) || !seen.insert(u).second) continue;
-    stack.push_back(m.node(u).lo);
-    stack.push_back(m.node(u).hi);
+    if (m.is_terminal(u) || seen[u]) continue;
+    seen[u] = 1;
+    ++count;
+    const Node un = m.node(u);
+    stack.push_back(un.lo);
+    stack.push_back(un.hi);
   }
-  return seen.size();
+  return count;
 }
 
 SiftResult sift_in_place(Manager& m, const std::vector<NodeId>& roots,

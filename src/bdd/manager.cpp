@@ -4,7 +4,7 @@
 #include <numeric>
 #include <sstream>
 
-#include "util/combinatorics.hpp"
+#include "ds/hash.hpp"
 
 namespace ovo::bdd {
 
@@ -14,19 +14,12 @@ Manager::Manager(int num_vars) : Manager(num_vars, [num_vars] {
   return id;
 }()) {}
 
+// Truth-table conversion is limited to tt::TruthTable::kMaxVars, but
+// apply-based construction works up to 63 variables (satcount shifts).
 Manager::Manager(int num_vars, std::vector<int> order)
-    : n_(num_vars), order_(std::move(order)) {
-  // Truth-table conversion is limited to tt::TruthTable::kMaxVars, but
-  // apply-based construction works up to 63 variables (satcount shifts).
-  OVO_CHECK_MSG(num_vars >= 0 && num_vars <= 63,
-                "Manager: num_vars out of range");
-  OVO_CHECK_MSG(static_cast<int>(order_.size()) == n_,
-                "Manager: order length mismatch");
-  OVO_CHECK_MSG(util::is_permutation(order_), "Manager: order not a permutation");
-  var_to_level_ = util::inverse_permutation(order_);
-  pool_.push_back(Node{n_, kFalse, kFalse});  // id 0: false terminal
-  pool_.push_back(Node{n_, kTrue, kTrue});    // id 1: true terminal
-  unique_.resize(static_cast<std::size_t>(n_));
+    : Base(num_vars, std::move(order), 63, "Manager") {
+  arena_.push(n_, kFalse, kFalse);  // id 0: false terminal
+  arena_.push(n_, kTrue, kTrue);    // id 1: true terminal
 }
 
 NodeId Manager::var_node(int var) { return literal(var, true); }
@@ -36,24 +29,10 @@ NodeId Manager::literal(int var, bool positive) {
   return positive ? make(level, kFalse, kTrue) : make(level, kTrue, kFalse);
 }
 
-NodeId Manager::make(int level, NodeId lo, NodeId hi) {
-  OVO_CHECK(level >= 0 && level < n_);
-  OVO_DCHECK(lo < pool_.size() && hi < pool_.size());
-  OVO_DCHECK(pool_[lo].level > level && pool_[hi].level > level);
-  if (lo == hi) return lo;  // reduction rule (a)
-  auto& table = unique_[static_cast<std::size_t>(level)];
-  const std::uint64_t key = (std::uint64_t{lo} << 32) | hi;
-  const auto it = table.find(key);
-  if (it != table.end()) return it->second;  // rule (b): hash consing
-  const NodeId id = static_cast<NodeId>(pool_.size());
-  pool_.push_back(Node{level, lo, hi});
-  table.emplace(key, id);
-  return id;
-}
-
 NodeId Manager::from_truth_table(const tt::TruthTable& t) {
   OVO_CHECK_MSG(t.num_vars() == n_, "from_truth_table: arity mismatch");
   if (n_ == 0) return t.get(0) ? kTrue : kFalse;
+  reserve_for_table_build(t.size());
 
   // cells[i] = node for the subfunction under the i-th assignment to the
   // not-yet-processed variables order_[0..p], packed densely (bit j of i is
@@ -78,40 +57,14 @@ NodeId Manager::from_truth_table(const tt::TruthTable& t) {
 }
 
 Manager::Stats Manager::stats() const {
+  const ds::StoreStats base = store_stats();
   Stats s;
-  s.pool_nodes = pool_.size();
-  for (const auto& table : unique_) s.unique_entries += table.size();
-  s.cache_entries = ite_cache_.size();
+  s.pool_nodes = base.pool_nodes;
+  s.unique_entries = base.unique_entries;
+  s.cache_entries = ite_cache_.live_entries();
+  s.unique = base.unique;
+  s.cache = ite_cache_.stats();
   return s;
-}
-
-std::size_t Manager::collect_garbage(std::vector<NodeId>* roots) {
-  OVO_CHECK(roots != nullptr);
-  std::vector<Node> new_pool;
-  new_pool.push_back(Node{n_, kFalse, kFalse});
-  new_pool.push_back(Node{n_, kTrue, kTrue});
-  std::vector<std::unordered_map<std::uint64_t, NodeId, PairHash>>
-      new_unique(static_cast<std::size_t>(n_));
-  std::unordered_map<NodeId, NodeId> remap{{kFalse, kFalse},
-                                           {kTrue, kTrue}};
-  auto rec = [&](auto&& self, NodeId u) -> NodeId {
-    if (const auto it = remap.find(u); it != remap.end()) return it->second;
-    const Node& un = pool_[u];
-    const NodeId lo = self(self, un.lo);
-    const NodeId hi = self(self, un.hi);
-    const NodeId id = static_cast<NodeId>(new_pool.size());
-    new_pool.push_back(Node{un.level, lo, hi});
-    new_unique[static_cast<std::size_t>(un.level)].emplace(
-        (std::uint64_t{lo} << 32) | hi, id);
-    remap.emplace(u, id);
-    return id;
-  };
-  for (NodeId& root : *roots) root = rec(rec, root);
-  const std::size_t dropped = pool_.size() - new_pool.size();
-  pool_ = std::move(new_pool);
-  unique_ = std::move(new_unique);
-  ite_cache_.clear();
-  return dropped;
 }
 
 std::size_t Manager::swap_adjacent_levels(int level) {
@@ -122,78 +75,71 @@ std::size_t Manager::swap_adjacent_levels(int level) {
 
   // Snapshot the two affected level populations (pool may grow below).
   std::vector<NodeId> xs, ys;
-  std::unordered_map<NodeId, bool> is_y;
-  for (NodeId id = 2; id < pool_.size(); ++id) {
-    if (pool_[id].level == upper) xs.push_back(id);
-    if (pool_[id].level == lower) {
-      ys.push_back(id);
-      is_y.emplace(id, true);
-    }
+  for (NodeId id = 2; id < arena_.size(); ++id) {
+    if (arena_.level(id) == upper) xs.push_back(id);
+    if (arena_.level(id) == lower) ys.push_back(id);
   }
 
   unique_[static_cast<std::size_t>(upper)].clear();
   unique_[static_cast<std::size_t>(lower)].clear();
-  ite_cache_.clear();  // cached results reference the old level geometry
+  ite_cache_.invalidate_all();  // cached results reference the old geometry
 
   // y nodes keep their identity and children; they migrate to the upper
   // level. Distinct canonical nodes stay distinct, so re-registration
-  // cannot collide.
+  // cannot collide. After this, a child of an x node is a y node iff it
+  // sits at `upper` (children of x are never x nodes, and everything
+  // deeper stays strictly below `lower`).
   for (const NodeId y : ys) {
-    pool_[y].level = upper;
-    const std::uint64_t key =
-        (std::uint64_t{pool_[y].lo} << 32) | pool_[y].hi;
-    unique_[static_cast<std::size_t>(upper)].emplace(key, y);
+    arena_.set_level(y, upper);
+    unique_[static_cast<std::size_t>(upper)].insert(
+        ds::pack_pair(arena_.lo(y), arena_.hi(y)), y);
   }
 
-  const std::size_t before = pool_.size();
+  const std::size_t before = arena_.size();
   // Phase 1: x nodes independent of y migrate down unchanged. This must
   // happen before any rewrite: a rewrite's make(lower, ...) could
   // otherwise create a fresh node with the same (lo, hi) as a
   // not-yet-migrated x node, breaking canonicity.
   for (const NodeId x : xs) {
-    const NodeId lo = pool_[x].lo;
-    const NodeId hi = pool_[x].hi;
-    if (is_y.count(lo) != 0 || is_y.count(hi) != 0) continue;
-    pool_[x].level = lower;
-    const std::uint64_t key = (std::uint64_t{lo} << 32) | hi;
-    unique_[static_cast<std::size_t>(lower)].emplace(key, x);
+    const NodeId lo = arena_.lo(x);
+    const NodeId hi = arena_.hi(x);
+    if (arena_.level(lo) == upper || arena_.level(hi) == upper) continue;
+    arena_.set_level(x, lower);
+    unique_[static_cast<std::size_t>(lower)].insert(ds::pack_pair(lo, hi), x);
   }
   // Phase 2: x nodes depending on y are rewritten in place as y nodes.
   for (const NodeId x : xs) {
-    const NodeId lo = pool_[x].lo;
-    const NodeId hi = pool_[x].hi;
-    const bool lo_y = is_y.count(lo) != 0;
-    const bool hi_y = is_y.count(hi) != 0;
-    if (!lo_y && !hi_y) continue;  // migrated in phase 1
+    if (arena_.level(x) == lower) continue;  // migrated in phase 1
+    const NodeId lo = arena_.lo(x);
+    const NodeId hi = arena_.hi(x);
+    const bool lo_y = arena_.level(lo) == upper;
+    const bool hi_y = arena_.level(hi) == upper;
     // Cofactors f_{x y}.
-    const NodeId f00 = lo_y ? pool_[lo].lo : lo;
-    const NodeId f01 = lo_y ? pool_[lo].hi : lo;
-    const NodeId f10 = hi_y ? pool_[hi].lo : hi;
-    const NodeId f11 = hi_y ? pool_[hi].hi : hi;
+    const NodeId f00 = lo_y ? arena_.lo(lo) : lo;
+    const NodeId f01 = lo_y ? arena_.hi(lo) : lo;
+    const NodeId f10 = hi_y ? arena_.lo(hi) : hi;
+    const NodeId f11 = hi_y ? arena_.hi(hi) : hi;
     // New children select on x below the new top variable y. make() may
-    // reuse migrated x nodes or create fresh ones (and may grow the pool,
-    // so re-fetch pool_[x] afterwards).
+    // reuse migrated x nodes or create fresh ones.
     const NodeId new_lo = make(lower, f00, f10);
     const NodeId new_hi = make(lower, f01, f11);
     // A node with distinct cofactors on y keeps depending on y: the
     // rewritten children can never be equal.
     OVO_CHECK(new_lo != new_hi);
-    Node& xn = pool_[x];
-    xn.lo = new_lo;
-    xn.hi = new_hi;
-    xn.level = upper;  // now labeled y
-    const std::uint64_t key = (std::uint64_t{new_lo} << 32) | new_hi;
-    unique_[static_cast<std::size_t>(upper)].emplace(key, x);
+    arena_.set_children(x, new_lo, new_hi);
+    arena_.set_level(x, upper);  // now labeled y
+    unique_[static_cast<std::size_t>(upper)].insert(
+        ds::pack_pair(new_lo, new_hi), x);
   }
 
   std::swap(order_[static_cast<std::size_t>(upper)],
             order_[static_cast<std::size_t>(lower)]);
   var_to_level_ = util::inverse_permutation(order_);
-  return pool_.size() - before;
+  return arena_.size() - before;
 }
 
 int Manager::top_level(NodeId f, NodeId g, NodeId h) const {
-  return std::min({pool_[f].level, pool_[g].level, pool_[h].level});
+  return std::min({arena_.level(f), arena_.level(g), arena_.level(h)});
 }
 
 NodeId Manager::ite(NodeId f, NodeId g, NodeId h) {
@@ -202,41 +148,39 @@ NodeId Manager::ite(NodeId f, NodeId g, NodeId h) {
   if (f == kFalse) return h;
   if (g == h) return g;
   if (g == kTrue && h == kFalse) return f;
-  const TripleKey key{f, g, h};
-  if (const auto it = ite_cache_.find(key); it != ite_cache_.end())
-    return it->second;
+  const std::uint64_t key_fg = ds::pack_pair(f, g);
+  if (const auto cached = ite_cache_.lookup(key_fg, h)) return *cached;
   const int level = top_level(f, g, h);
   const auto cof = [&](NodeId u, bool hi_branch) {
-    const Node& un = pool_[u];
-    if (un.level != level) return u;
-    return hi_branch ? un.hi : un.lo;
+    if (arena_.level(u) != level) return u;
+    return hi_branch ? arena_.hi(u) : arena_.lo(u);
   };
   const NodeId lo = ite(cof(f, false), cof(g, false), cof(h, false));
   const NodeId hi = ite(cof(f, true), cof(g, true), cof(h, true));
   const NodeId out = make(level, lo, hi);
-  ite_cache_.emplace(key, out);
+  ite_cache_.store(key_fg, h, out);
   return out;
 }
 
 NodeId Manager::restrict_rec(NodeId f, int level, bool val,
-                             std::unordered_map<NodeId, NodeId>& memo) {
-  const Node& fn = pool_[f];
-  if (fn.level > level) return f;  // below the restricted level or terminal
-  if (const auto it = memo.find(f); it != memo.end()) return it->second;
+                             ds::UniqueTable& memo) {
+  const std::int32_t f_level = arena_.level(f);
+  if (f_level > level) return f;  // below the restricted level or terminal
+  if (const std::uint32_t* hit = memo.find(f)) return *hit;
   NodeId out;
-  if (fn.level == level) {
-    out = val ? fn.hi : fn.lo;
+  if (f_level == level) {
+    out = val ? arena_.hi(f) : arena_.lo(f);
   } else {
-    const NodeId lo = restrict_rec(fn.lo, level, val, memo);
-    const NodeId hi = restrict_rec(fn.hi, level, val, memo);
-    out = make(fn.level, lo, hi);
+    const NodeId lo = restrict_rec(arena_.lo(f), level, val, memo);
+    const NodeId hi = restrict_rec(arena_.hi(f), level, val, memo);
+    out = make(f_level, lo, hi);
   }
-  memo.emplace(f, out);
+  memo.insert(f, out);
   return out;
 }
 
 NodeId Manager::restrict_var(NodeId f, int var, bool val) {
-  std::unordered_map<NodeId, NodeId> memo;
+  ds::UniqueTable memo;
   return restrict_rec(f, level_of_var(var), val, memo);
 }
 
@@ -254,9 +198,8 @@ NodeId Manager::compose(NodeId f, int var, NodeId g) {
 
 bool Manager::eval(NodeId f, std::uint64_t assignment) const {
   while (!is_terminal(f)) {
-    const Node& fn = pool_[f];
-    const int var = order_[static_cast<std::size_t>(fn.level)];
-    f = ((assignment >> var) & 1u) ? fn.hi : fn.lo;
+    const int var = order_[static_cast<std::size_t>(arena_.level(f))];
+    f = ((assignment >> var) & 1u) ? arena_.hi(f) : arena_.lo(f);
   }
   return f == kTrue;
 }
@@ -269,64 +212,40 @@ tt::TruthTable Manager::to_truth_table(NodeId f) const {
 }
 
 std::uint64_t Manager::satcount(NodeId f) const {
-  std::unordered_map<NodeId, std::uint64_t> memo;
+  constexpr std::uint64_t kUnset = ~std::uint64_t{0};
+  std::vector<std::uint64_t> memo(arena_.size(), kUnset);
   // count(u) = satisfying assignments over levels [level(u), n).
   auto rec = [&](auto&& self, NodeId u) -> std::uint64_t {
     if (u == kFalse) return 0;
     if (u == kTrue) return 1;
-    if (const auto it = memo.find(u); it != memo.end()) return it->second;
-    const Node& un = pool_[u];
+    if (memo[u] != kUnset) return memo[u];
+    const std::int32_t u_level = arena_.level(u);
     const auto weight = [&](NodeId child) -> std::uint64_t {
-      const int child_level = pool_[child].level;
+      const std::int32_t child_level = arena_.level(child);
       return self(self, child)
-             << (child_level - un.level - 1);  // skipped levels double count
+             << (child_level - u_level - 1);  // skipped levels double count
     };
-    const std::uint64_t c = weight(un.lo) + weight(un.hi);
-    memo.emplace(u, c);
+    const std::uint64_t c = weight(arena_.lo(u)) + weight(arena_.hi(u));
+    memo[u] = c;
     return c;
   };
   if (f == kFalse) return 0;
-  const int top = pool_[f].level;
+  const std::int32_t top = arena_.level(f);
   return rec(rec, f) << top;
-}
-
-std::uint64_t Manager::size(NodeId f) const {
-  std::uint64_t total = 0;
-  for (const std::uint64_t w : level_widths(f)) total += w;
-  return total;
-}
-
-std::vector<std::uint64_t> Manager::level_widths(NodeId f) const {
-  std::vector<std::uint64_t> widths(static_cast<std::size_t>(n_), 0);
-  std::vector<NodeId> stack;
-  std::unordered_map<NodeId, bool> seen;
-  if (!is_terminal(f)) stack.push_back(f);
-  while (!stack.empty()) {
-    const NodeId u = stack.back();
-    stack.pop_back();
-    if (seen.count(u)) continue;
-    seen.emplace(u, true);
-    const Node& un = pool_[u];
-    ++widths[static_cast<std::size_t>(un.level)];
-    if (!is_terminal(un.lo)) stack.push_back(un.lo);
-    if (!is_terminal(un.hi)) stack.push_back(un.hi);
-  }
-  return widths;
 }
 
 util::Mask Manager::support(NodeId f) const {
   util::Mask m = 0;
   std::vector<NodeId> stack{f};
-  std::unordered_map<NodeId, bool> seen;
+  std::vector<std::uint8_t> seen(arena_.size(), 0);
   while (!stack.empty()) {
     const NodeId u = stack.back();
     stack.pop_back();
-    if (is_terminal(u) || seen.count(u)) continue;
-    seen.emplace(u, true);
-    const Node& un = pool_[u];
-    m |= util::Mask{1} << order_[static_cast<std::size_t>(un.level)];
-    stack.push_back(un.lo);
-    stack.push_back(un.hi);
+    if (is_terminal(u) || seen[u]) continue;
+    seen[u] = 1;
+    m |= util::Mask{1} << order_[static_cast<std::size_t>(arena_.level(u))];
+    stack.push_back(arena_.lo(u));
+    stack.push_back(arena_.hi(u));
   }
   return m;
 }
@@ -336,13 +255,12 @@ bool Manager::find_sat_assignment(NodeId f, std::uint64_t* assignment) const {
   if (f == kFalse) return false;
   std::uint64_t a = 0;
   while (!is_terminal(f)) {
-    const Node& fn = pool_[f];
-    const int var = order_[static_cast<std::size_t>(fn.level)];
-    if (fn.lo != kFalse) {
-      f = fn.lo;
+    const int var = order_[static_cast<std::size_t>(arena_.level(f))];
+    if (arena_.lo(f) != kFalse) {
+      f = arena_.lo(f);
     } else {
       a |= std::uint64_t{1} << var;
-      f = fn.hi;
+      f = arena_.hi(f);
     }
   }
   OVO_CHECK(f == kTrue);
@@ -357,13 +275,13 @@ std::string Manager::to_dot(NodeId f, const std::string& name) const {
   os << "  node_0 [label=\"F\", shape=box];\n";
   os << "  node_1 [label=\"T\", shape=box];\n";
   std::vector<NodeId> stack{f};
-  std::unordered_map<NodeId, bool> seen;
+  std::vector<std::uint8_t> seen(arena_.size(), 0);
   while (!stack.empty()) {
     const NodeId u = stack.back();
     stack.pop_back();
-    if (is_terminal(u) || seen.count(u)) continue;
-    seen.emplace(u, true);
-    const Node& un = pool_[u];
+    if (is_terminal(u) || seen[u]) continue;
+    seen[u] = 1;
+    const Node un = node(u);
     os << "  node_" << u << " [label=\"x"
        << order_[static_cast<std::size_t>(un.level)] + 1 << "\", shape=circle];\n";
     os << "  node_" << u << " -> node_" << un.lo << " [style=dotted];\n";
@@ -377,16 +295,17 @@ std::string Manager::to_dot(NodeId f, const std::string& name) const {
 
 bool structurally_equal(const Manager& ma, NodeId a, const Manager& mb,
                         NodeId b) {
-  std::unordered_map<std::uint64_t, bool> memo;
+  // Memo values: 1 = isomorphic, 0 = not.
+  ds::UniqueTable memo;
   auto rec = [&](auto&& self, NodeId x, NodeId y) -> bool {
     if (ma.is_terminal(x) || mb.is_terminal(y)) return x == y;
-    const std::uint64_t key = (std::uint64_t{x} << 32) | y;
-    if (const auto it = memo.find(key); it != memo.end()) return it->second;
-    const Node& xn = ma.node(x);
-    const Node& yn = mb.node(y);
+    const std::uint64_t key = ds::pack_pair(x, y);
+    if (const std::uint32_t* hit = memo.find(key)) return *hit != 0;
+    const Node xn = ma.node(x);
+    const Node yn = mb.node(y);
     bool eq = ma.var_at_level(xn.level) == mb.var_at_level(yn.level) &&
               self(self, xn.lo, yn.lo) && self(self, xn.hi, yn.hi);
-    memo.emplace(key, eq);
+    memo.insert(key, eq ? 1u : 0u);
     return eq;
   };
   return rec(rec, a, b);

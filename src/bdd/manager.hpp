@@ -12,12 +12,20 @@
 // structure, so two NodeIds are equal iff they represent the same function
 // (canonicity).  Nodes are never freed (arena style); managers are cheap
 // to create per task, which is how the ordering search uses them.
+//
+// Storage lives in the shared ovo::ds node-store layer
+// (ds::DiagramStoreBase): a struct-of-arrays node arena, per-level
+// open-addressed unique tables, and a bounded generation-evicting ITE
+// computed table.  Only the BDD reduction rule (a) and the Boolean
+// operations live here.  See docs/INTERNALS.md for the layer's layout,
+// eviction policy, and counters.
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "ds/computed_cache.hpp"
+#include "ds/diagram_store.hpp"
 #include "tt/truth_table.hpp"
 #include "util/check.hpp"
 
@@ -34,7 +42,10 @@ struct Node {
   NodeId hi = kFalse;  ///< 1-edge destination
 };
 
-class Manager {
+class Manager : public ds::DiagramStoreBase<Manager> {
+  using Base = ds::DiagramStoreBase<Manager>;
+  friend Base;
+
  public:
   /// Identity ordering: variable i at level i.
   explicit Manager(int num_vars);
@@ -42,43 +53,29 @@ class Manager {
   /// `order[l]` = variable read at level l (a permutation of 0..n-1).
   Manager(int num_vars, std::vector<int> order);
 
-  int num_vars() const { return n_; }
-  const std::vector<int>& order() const { return order_; }
-
-  /// Level of variable v in this manager's ordering.
-  int level_of_var(int var) const {
-    OVO_CHECK(var >= 0 && var < n_);
-    return var_to_level_[static_cast<std::size_t>(var)];
-  }
-  /// Variable at level l.
-  int var_at_level(int level) const {
-    OVO_CHECK(level >= 0 && level < n_);
-    return order_[static_cast<std::size_t>(level)];
-  }
-
   bool is_terminal(NodeId id) const { return id <= kTrue; }
-  const Node& node(NodeId id) const {
-    OVO_DCHECK(id < pool_.size());
-    return pool_[id];
+  Node node(NodeId id) const {
+    return Node{arena_.level(id), arena_.lo(id), arena_.hi(id)};
   }
-
-  /// Total nodes ever created (including the two terminals).
-  std::size_t pool_size() const { return pool_.size(); }
 
   struct Stats {
     std::size_t pool_nodes = 0;      ///< arena size incl. terminals
     std::size_t unique_entries = 0;  ///< hash-consing table entries
-    std::size_t cache_entries = 0;   ///< ITE computed-table entries
+    std::size_t cache_entries = 0;   ///< live ITE computed-table entries
+    ds::TableStats unique;           ///< unique-table probe/hit counters
+    ds::CacheStats cache;            ///< ITE computed-table counters
   };
   Stats stats() const;
 
   /// Garbage-collects the arena: drops every node unreachable from
   /// `roots`, renumbers the survivors densely, rebuilds the unique
-  /// tables, and clears the operation cache.  Each entry of `roots` is
-  /// rewritten to its new id; all other NodeIds become invalid.  Returns
-  /// the number of nodes discarded.  (The main source of garbage is
-  /// dynamic reordering.)
-  std::size_t collect_garbage(std::vector<NodeId>* roots);
+  /// tables, and invalidates the operation cache.  Each entry of `roots`
+  /// is rewritten to its new id; all other NodeIds become invalid.
+  /// Returns the number of nodes discarded.  (The main source of garbage
+  /// is dynamic reordering.)
+  std::size_t collect_garbage(std::vector<NodeId>* roots) {
+    return gc_two_terminals(roots);
+  }
 
   // --- construction -------------------------------------------------------
 
@@ -93,7 +90,9 @@ class Manager {
   /// Reduced unique node with the given children at `level`; applies
   /// reduction rule (a) (lo == hi) and hash-consing (rule (b)).
   /// Children must live at strictly greater levels.
-  NodeId make(int level, NodeId lo, NodeId hi);
+  NodeId make(int level, NodeId lo, NodeId hi) {
+    return make_node(level, lo, hi);
+  }
 
   /// Builds the ROBDD of a truth table under this manager's ordering by
   /// bottom-up table compaction; O(2^n) time.
@@ -137,13 +136,8 @@ class Manager {
   /// Number of satisfying assignments over all n variables.
   std::uint64_t satcount(NodeId f) const;
 
-  /// Non-terminal nodes reachable from f (the paper's OBDD size counts
-  /// non-terminals; add 2 for the paper's |B(f, pi)| including terminals).
-  std::uint64_t size(NodeId f) const;
-
-  /// Nodes per level reachable from f — the paper's Cost profile, indexed
-  /// top-down by level.
-  std::vector<std::uint64_t> level_widths(NodeId f) const;
+  // size(f) and level_widths(f) — the paper's OBDD size and Cost profile —
+  // are inherited from ds::DiagramStoreBase.
 
   /// Variables f depends on, as a mask.
   util::Mask support(NodeId f) const;
@@ -155,41 +149,23 @@ class Manager {
   std::string to_dot(NodeId f, const std::string& name = "bdd") const;
 
  private:
-  struct PairHash {
-    std::size_t operator()(std::uint64_t k) const {
-      k ^= k >> 33;
-      k *= 0xff51afd7ed558ccdull;
-      k ^= k >> 33;
-      return static_cast<std::size_t>(k);
+  /// Reduction rule (a): equal children collapse to the child.
+  static bool reduce_edge(NodeId lo, NodeId hi, NodeId* out) {
+    if (lo == hi) {
+      *out = lo;
+      return true;
     }
-  };
-  struct TripleKey {
-    NodeId f, g, h;
-    bool operator==(const TripleKey&) const = default;
-  };
-  struct TripleHash {
-    std::size_t operator()(const TripleKey& k) const {
-      std::uint64_t x = (std::uint64_t{k.f} << 32) ^ (std::uint64_t{k.g} << 16) ^
-                        k.h;
-      x ^= x >> 30;
-      x *= 0xbf58476d1ce4e5b9ull;
-      x ^= x >> 27;
-      return static_cast<std::size_t>(x);
-    }
-  };
+    return false;
+  }
+
+  /// Base hook: swaps and GC renumbering make cached ids stale.
+  void on_garbage_collected() { ite_cache_.invalidate_all(); }
 
   int top_level(NodeId f, NodeId g, NodeId h) const;
 
-  NodeId restrict_rec(NodeId f, int level, bool val,
-                      std::unordered_map<NodeId, NodeId>& memo);
+  NodeId restrict_rec(NodeId f, int level, bool val, ds::UniqueTable& memo);
 
-  int n_;
-  std::vector<int> order_;
-  std::vector<int> var_to_level_;
-  std::vector<Node> pool_;
-  /// Per-level unique tables keyed by (lo, hi).
-  std::vector<std::unordered_map<std::uint64_t, NodeId, PairHash>> unique_;
-  std::unordered_map<TripleKey, NodeId, TripleHash> ite_cache_;
+  ds::ComputedCache ite_cache_;
 };
 
 /// Structural isomorphism across managers (levels must carry the same

@@ -1,23 +1,25 @@
 #include "bdd/serialize.hpp"
 
 #include <sstream>
-#include <unordered_map>
 #include <vector>
 
+#include "ds/unique_table.hpp"
 #include "util/check.hpp"
 
 namespace ovo::bdd {
 
 std::string save_bdd(const Manager& m, NodeId root) {
   // Dense renumbering by DFS post-order so children precede parents.
-  std::unordered_map<NodeId, std::uint32_t> index{{kFalse, 0}, {kTrue, 1}};
+  ds::UniqueTable index;
+  index.insert(kFalse, 0);
+  index.insert(kTrue, 1);
   std::vector<NodeId> ordered;  // non-terminals in emission order
   auto rec = [&](auto&& self, NodeId u) -> void {
-    if (index.count(u)) return;
-    const Node& un = m.node(u);
+    if (index.find(u) != nullptr) return;
+    const Node un = m.node(u);
     self(self, un.lo);
     self(self, un.hi);
-    index.emplace(u, static_cast<std::uint32_t>(2 + ordered.size()));
+    index.insert(u, static_cast<std::uint32_t>(2 + ordered.size()));
     ordered.push_back(u);
   };
   rec(rec, root);
@@ -30,11 +32,11 @@ std::string save_bdd(const Manager& m, NodeId root) {
   os << "\n";
   os << "nodes " << ordered.size() << "\n";
   for (std::size_t i = 0; i < ordered.size(); ++i) {
-    const Node& un = m.node(ordered[i]);
-    os << (2 + i) << ' ' << un.level << ' ' << index.at(un.lo) << ' '
-       << index.at(un.hi) << "\n";
+    const Node un = m.node(ordered[i]);
+    os << (2 + i) << ' ' << un.level << ' ' << *index.find(un.lo) << ' '
+       << *index.find(un.hi) << "\n";
   }
-  os << "root " << index.at(root) << "\n";
+  os << "root " << *index.find(root) << "\n";
   return os.str();
 }
 

@@ -1,7 +1,6 @@
 #include "bdd/transfer.hpp"
 
-#include <unordered_map>
-
+#include "ds/unique_table.hpp"
 #include "util/check.hpp"
 
 namespace ovo::bdd {
@@ -9,16 +8,16 @@ namespace ovo::bdd {
 NodeId transfer(const Manager& src, NodeId f, Manager& dst) {
   OVO_CHECK_MSG(src.num_vars() == dst.num_vars(),
                 "transfer: variable universes differ");
-  std::unordered_map<NodeId, NodeId> memo;
+  ds::UniqueTable memo;
   auto rec = [&](auto&& self, NodeId u) -> NodeId {
     if (src.is_terminal(u)) return u;  // terminal ids coincide
-    if (const auto it = memo.find(u); it != memo.end()) return it->second;
-    const Node& un = src.node(u);
+    if (const std::uint32_t* hit = memo.find(u)) return *hit;
+    const Node un = src.node(u);
     const int var = src.var_at_level(un.level);
     // Shannon expansion re-interpreted in the destination ordering.
     const NodeId out = dst.ite(dst.var_node(var), self(self, un.hi),
                                self(self, un.lo));
-    memo.emplace(u, out);
+    memo.insert(u, out);
     return out;
   };
   return rec(rec, f);

@@ -1,19 +1,21 @@
 #include "core/prefix_table.hpp"
 
+#include <algorithm>
+
+#include "ds/hash.hpp"
 #include "util/check.hpp"
 
 namespace ovo::core {
 
 namespace {
 
-struct PairHash {
-  std::size_t operator()(std::uint64_t k) const {
-    k ^= k >> 33;
-    k *= 0xff51afd7ed558ccdull;
-    k ^= k >> 33;
-    return static_cast<std::size_t>(k);
-  }
-};
+/// Dedup tables are sized for the incoming pair count but clamped so one
+/// compaction never pre-commits more than ~64K entries up front (the table
+/// still grows on demand past the clamp).
+std::size_t dedup_reserve(std::uint64_t pairs) {
+  constexpr std::uint64_t kCap = std::uint64_t{1} << 16;
+  return static_cast<std::size_t>(std::min(pairs, kCap));
+}
 
 /// Shared cell sweep for compact() / compaction_width(). Emit receives
 /// (dense cell index in the new table, u0, u1) for every new-table cell.
@@ -67,13 +69,15 @@ PrefixTable initial_table_values(const std::vector<std::int64_t>& values,
   t.n = n;
   t.vars = 0;
   t.cells.resize(values.size());
-  std::unordered_map<std::int64_t, std::uint32_t> intern;
+  // Interns values in first-appearance order; key = the value's bit pattern.
+  ds::UniqueTable intern(dedup_reserve(values.size()));
   std::vector<std::int64_t> interned;
   for (std::uint64_t a = 0; a < values.size(); ++a) {
-    const auto [it, inserted] =
-        intern.emplace(values[a], static_cast<std::uint32_t>(intern.size()));
+    const auto [id, inserted] = intern.find_or_insert(
+        static_cast<std::uint64_t>(values[a]),
+        static_cast<std::uint32_t>(intern.size()));
     if (inserted) interned.push_back(values[a]);
-    t.cells[a] = it->second;
+    t.cells[a] = id;
   }
   t.num_terminals = static_cast<std::uint32_t>(intern.size());
   t.next_id = t.num_terminals;
@@ -89,36 +93,39 @@ PrefixTable compact(const PrefixTable& t, int var, DiagramKind kind,
   out.num_terminals = t.num_terminals;
   out.next_id = t.next_id;
   out.cells.resize(t.cells.size() >> 1);
-  std::unordered_map<std::uint64_t, std::uint32_t, PairHash> dedup;
+  ds::UniqueTable dedup(dedup_reserve(t.cells.size() >> 1));
   sweep_pairs(t, var, [&](std::uint64_t b, std::uint32_t u0,
                           std::uint32_t u1) {
     if (cell_passes_through(kind, u0, u1)) {
       out.cells[b] = u0;
       return;
     }
-    const std::uint64_t key = (std::uint64_t{u0} << 32) | u1;
-    const auto [it, inserted] = dedup.emplace(key, out.next_id);
+    const auto [id, inserted] =
+        dedup.find_or_insert(ds::pack_pair(u0, u1), out.next_id);
     if (inserted) ++out.next_id;
-    out.cells[b] = it->second;
+    out.cells[b] = id;
   });
   if (ops != nullptr) {
     ops->table_cells += t.cells.size();
     ++ops->compactions;
+    ops->dedup += dedup.stats();
   }
   return out;
 }
 
 std::uint64_t compaction_width(const PrefixTable& t, int var,
                                DiagramKind kind, OpCounter* ops) {
-  std::unordered_map<std::uint64_t, std::uint32_t, PairHash> dedup;
+  ds::UniqueTable dedup(dedup_reserve(t.cells.size() >> 1));
   sweep_pairs(t, var,
               [&](std::uint64_t, std::uint32_t u0, std::uint32_t u1) {
                 if (cell_passes_through(kind, u0, u1)) return;
-                dedup.emplace((std::uint64_t{u0} << 32) | u1, 0u);
+                dedup.find_or_insert(ds::pack_pair(u0, u1),
+                                     static_cast<std::uint32_t>(dedup.size()));
               });
   if (ops != nullptr) {
     ops->table_cells += t.cells.size();
     ++ops->compactions;
+    ops->dedup += dedup.stats();
   }
   return dedup.size();
 }

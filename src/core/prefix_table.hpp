@@ -28,9 +28,9 @@
 // x2 and x3 — distinct functions that must not be merged.)
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "ds/unique_table.hpp"
 #include "tt/truth_table.hpp"
 #include "util/bits.hpp"
 
@@ -48,6 +48,7 @@ struct OpCounter {
   std::uint64_t table_cells = 0;  ///< cells read by compactions
   std::uint64_t compactions = 0;  ///< number of COMPACT invocations
   std::uint64_t peak_cells = 0;   ///< max cells resident at once (Remark 1)
+  ds::TableStats dedup;           ///< merged COMPACT dedup-table counters
 
   void observe_resident(std::uint64_t cells) {
     if (cells > peak_cells) peak_cells = cells;

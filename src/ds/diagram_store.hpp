@@ -1,0 +1,211 @@
+#pragma once
+// CRTP base for the three diagram managers (bdd/zdd/mtbdd): owns the node
+// arena, the per-level open-addressed unique tables, the variable-order
+// bookkeeping, garbage-collection renumbering, and the always-on table
+// counters.  A derived manager contributes only its reduction-rule
+// semantics and caches:
+//
+//   - `static bool reduce_edge(NodeId lo, NodeId hi, NodeId* out)` —
+//     the kind's reduction rule (BDD/MTBDD rule (a): lo == hi; ZDD
+//     zero-suppression: hi == empty).  Returning true short-circuits
+//     make() with *out and creates no node.
+//   - `bool is_terminal(NodeId) const` — used by the shared traversals.
+//   - optional `void on_node_created(NodeId)` — parallel-payload hook
+//     (MTBDD value column).
+//   - optional `void on_garbage_collected()` — cache invalidation hook.
+//
+// The unique tables are conceptually keyed (level, lo, hi): the level
+// selects the table, (lo, hi) packs into the 64-bit key.  Node ids are
+// dense arena indices assigned in creation order, which keeps every id
+// sequence bit-identical to the pre-ovo::ds std::unordered_map
+// implementation (the differential tests rely on this).
+// See docs/INTERNALS.md for the full layer description.
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ds/node_arena.hpp"
+#include "ds/unique_table.hpp"
+#include "util/check.hpp"
+#include "util/combinatorics.hpp"
+
+namespace ovo::ds {
+
+/// Aggregated view of the store owned by the base (pool + unique tables).
+struct StoreStats {
+  std::size_t pool_nodes = 0;      ///< arena size incl. terminals
+  std::size_t unique_entries = 0;  ///< hash-consing entries across levels
+  TableStats unique;               ///< merged unique-table counters
+};
+
+template <typename Derived>
+class DiagramStoreBase {
+ public:
+  using NodeId = std::uint32_t;
+
+  int num_vars() const { return n_; }
+  const std::vector<int>& order() const { return order_; }
+
+  /// Level of variable v in this manager's ordering.
+  int level_of_var(int var) const {
+    OVO_CHECK(var >= 0 && var < n_);
+    return var_to_level_[static_cast<std::size_t>(var)];
+  }
+  /// Variable at level l.
+  int var_at_level(int level) const {
+    OVO_CHECK(level >= 0 && level < n_);
+    return order_[static_cast<std::size_t>(level)];
+  }
+
+  /// Total nodes ever created (including terminals).
+  std::size_t pool_size() const { return arena_.size(); }
+
+  /// Pre-sizes the arena and per-level unique tables for a bottom-up
+  /// truth/value-table build over `table_cells` = 2^n cells.  Per level l
+  /// the build performs 2^l make() calls, and the FS width bound caps the
+  /// distinct nodes by min(2^l, 2^{2^{n-l}}); reservations are clamped so
+  /// pathological n cannot pre-commit unbounded memory.
+  void reserve_for_table_build(std::uint64_t table_cells) {
+    constexpr std::uint64_t kLevelCap = std::uint64_t{1} << 18;
+    std::uint64_t total = 0;
+    for (int l = 0; l < n_; ++l) {
+      const int below = n_ - l;  // free variables under this level
+      std::uint64_t bound = std::uint64_t{1} << std::min(l, 62);
+      if (below <= 5)  // 2^{2^below} fits: the double-exponential bound bites
+        bound = std::min(bound,
+                         std::uint64_t{1} << (std::uint64_t{1} << below));
+      bound = std::min({bound, table_cells, kLevelCap});
+      unique_[static_cast<std::size_t>(l)].reserve(
+          static_cast<std::size_t>(bound));
+      total += bound;
+    }
+    arena_.reserve(arena_.size() +
+                   static_cast<std::size_t>(
+                       std::min(total, std::uint64_t{1} << 20)));
+  }
+
+  StoreStats store_stats() const {
+    StoreStats s;
+    s.pool_nodes = arena_.size();
+    for (const UniqueTable& t : unique_) {
+      s.unique_entries += t.size();
+      s.unique += t.stats();
+    }
+    return s;
+  }
+
+  /// Non-terminal nodes reachable from f.
+  std::uint64_t size(NodeId f) const {
+    std::uint64_t total = 0;
+    for (const std::uint64_t w : level_widths(f)) total += w;
+    return total;
+  }
+
+  /// Nodes per level reachable from f — the paper's Cost profile, indexed
+  /// top-down by level.
+  std::vector<std::uint64_t> level_widths(NodeId f) const {
+    std::vector<std::uint64_t> widths(static_cast<std::size_t>(n_), 0);
+    std::vector<std::uint8_t> seen(arena_.size(), 0);
+    std::vector<NodeId> stack;
+    if (!derived().is_terminal(f)) stack.push_back(f);
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      if (seen[u]) continue;
+      seen[u] = 1;
+      ++widths[static_cast<std::size_t>(arena_.level(u))];
+      const NodeId lo = arena_.lo(u);
+      const NodeId hi = arena_.hi(u);
+      if (!derived().is_terminal(lo)) stack.push_back(lo);
+      if (!derived().is_terminal(hi)) stack.push_back(hi);
+    }
+    return widths;
+  }
+
+ protected:
+  DiagramStoreBase(int num_vars, std::vector<int> order, int max_vars,
+                   const char* kind)
+      : n_(num_vars), order_(std::move(order)) {
+    const std::string k(kind);
+    OVO_CHECK_MSG(num_vars >= 0 && num_vars <= max_vars,
+                  k + ": num_vars out of range");
+    OVO_CHECK_MSG(static_cast<int>(order_.size()) == n_,
+                  k + ": order length mismatch");
+    OVO_CHECK_MSG(util::is_permutation(order_), k + ": order not a permutation");
+    var_to_level_ = util::inverse_permutation(order_);
+    unique_.resize(static_cast<std::size_t>(n_));
+  }
+
+  Derived& derived() { return static_cast<Derived&>(*this); }
+  const Derived& derived() const { return static_cast<const Derived&>(*this); }
+
+  /// Reduced unique node: applies the derived reduction rule, then hash
+  /// consing through the level's table.  Children must live at strictly
+  /// greater levels.
+  NodeId make_node(int level, NodeId lo, NodeId hi) {
+    OVO_CHECK(level >= 0 && level < n_);
+    OVO_DCHECK(lo < arena_.size() && hi < arena_.size());
+    OVO_DCHECK(arena_.level(lo) > level && arena_.level(hi) > level);
+    NodeId reduced;
+    if (Derived::reduce_edge(lo, hi, &reduced)) return reduced;
+    const auto [id, inserted] =
+        unique_[static_cast<std::size_t>(level)].find_or_insert(
+            pack_pair(lo, hi), static_cast<NodeId>(arena_.size()));
+    if (inserted) {
+      arena_.push(level, lo, hi);
+      derived().on_node_created(id);
+    }
+    return id;
+  }
+
+  /// Garbage collection for stores whose terminals are the fixed ids 0
+  /// and 1 (BDD/ZDD): drops every node unreachable from `roots`, renumbers
+  /// survivors densely in DFS post-order (children before parents, roots
+  /// in order), rebuilds the unique tables, and rewrites each root to its
+  /// new id.  Returns the number of nodes discarded.
+  std::size_t gc_two_terminals(std::vector<NodeId>* roots) {
+    OVO_CHECK(roots != nullptr);
+    constexpr NodeId kUnmapped = 0xffffffffu;
+    const std::size_t old_size = arena_.size();
+    NodeArena fresh;
+    std::vector<UniqueTable> fresh_unique(static_cast<std::size_t>(n_));
+    fresh.push(arena_.level(0), arena_.lo(0), arena_.hi(0));
+    fresh.push(arena_.level(1), arena_.lo(1), arena_.hi(1));
+    std::vector<NodeId> remap(old_size, kUnmapped);
+    remap[0] = 0;
+    remap[1] = 1;
+    // Children chains descend strictly in level, so depth is at most n.
+    auto rec = [&](auto&& self, NodeId u) -> NodeId {
+      if (remap[u] != kUnmapped) return remap[u];
+      const NodeId lo = self(self, arena_.lo(u));
+      const NodeId hi = self(self, arena_.hi(u));
+      const std::int32_t level = arena_.level(u);
+      const NodeId id = fresh.push(level, lo, hi);
+      fresh_unique[static_cast<std::size_t>(level)].insert(pack_pair(lo, hi),
+                                                           id);
+      remap[u] = id;
+      return id;
+    };
+    for (NodeId& root : *roots) root = rec(rec, root);
+    const std::size_t dropped = old_size - fresh.size();
+    arena_ = std::move(fresh);
+    unique_ = std::move(fresh_unique);
+    derived().on_garbage_collected();
+    return dropped;
+  }
+
+  /// Default hooks (derived classes shadow as needed).
+  void on_node_created(NodeId) {}
+  void on_garbage_collected() {}
+
+  int n_;
+  std::vector<int> order_;
+  std::vector<int> var_to_level_;
+  NodeArena arena_;
+  /// Per-level unique tables; key = pack_pair(lo, hi).
+  std::vector<UniqueTable> unique_;
+};
+
+}  // namespace ovo::ds

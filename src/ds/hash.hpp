@@ -1,0 +1,42 @@
+#pragma once
+// Shared 64-bit key packing and mixing for the ovo::ds open-addressed
+// tables (docs/INTERNALS.md, "The ovo::ds node-store layer").
+//
+// Every table in the layer hashes a full 64-bit key through mix64 (the
+// murmur3/splitmix finalizer), so nearby node ids — the common case, since
+// ids are dense arena indices — spread over the whole table.  hash_triple
+// mixes all three ids at full width; the previous scheme
+// (f << 32) ^ (g << 16) ^ h overlapped g's low bits with h's high bits and
+// produced systematic ITE-cache collisions (see ds_test.cpp regression).
+
+#include <cstdint>
+
+namespace ovo::ds {
+
+/// Murmur3-style 64-bit finalizer: bijective, avalanching mix.
+inline constexpr std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Lossless (a, b) -> 64-bit key; the unique tables' (lo, hi) keying.
+inline constexpr std::uint64_t pack_pair(std::uint32_t a, std::uint32_t b) {
+  return (std::uint64_t{a} << 32) | b;
+}
+
+inline constexpr std::uint64_t hash_pair(std::uint32_t a, std::uint32_t b) {
+  return mix64(pack_pair(a, b));
+}
+
+/// Full 64-bit mixing of three 32-bit ids (ITE computed-table keying).
+inline constexpr std::uint64_t hash_triple(std::uint32_t a, std::uint32_t b,
+                                           std::uint32_t c) {
+  return mix64(pack_pair(a, b) ^
+               mix64(std::uint64_t{c} * 0x9e3779b97f4a7c15ull));
+}
+
+}  // namespace ovo::ds

@@ -1,0 +1,67 @@
+#pragma once
+// Struct-of-arrays node arena: (level, lo, hi) in three parallel flat
+// vectors, indexed by dense 32-bit node ids.
+//
+// The SoA split keeps traversals that touch only one field (eval walks
+// levels + one child array; level_widths sweeps levels) from dragging the
+// other fields through cache, while make()'s (level, lo, hi) writes stay
+// three adjacent appends.  Managers with extra per-node payload (the MTBDD
+// terminal values) keep their own parallel vector.  Ids are never freed
+// individually; garbage collection rebuilds the arena densely.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ovo::ds {
+
+class NodeArena {
+ public:
+  std::size_t size() const { return level_.size(); }
+
+  void reserve(std::size_t nodes) {
+    level_.reserve(nodes);
+    lo_.reserve(nodes);
+    hi_.reserve(nodes);
+  }
+
+  std::uint32_t push(std::int32_t level, std::uint32_t lo, std::uint32_t hi) {
+    const std::uint32_t id = static_cast<std::uint32_t>(level_.size());
+    level_.push_back(level);
+    lo_.push_back(lo);
+    hi_.push_back(hi);
+    return id;
+  }
+
+  std::int32_t level(std::uint32_t id) const {
+    OVO_DCHECK(id < size());
+    return level_[id];
+  }
+  std::uint32_t lo(std::uint32_t id) const {
+    OVO_DCHECK(id < size());
+    return lo_[id];
+  }
+  std::uint32_t hi(std::uint32_t id) const {
+    OVO_DCHECK(id < size());
+    return hi_[id];
+  }
+
+  void set_level(std::uint32_t id, std::int32_t level) {
+    OVO_DCHECK(id < size());
+    level_[id] = level;
+  }
+  void set_children(std::uint32_t id, std::uint32_t lo, std::uint32_t hi) {
+    OVO_DCHECK(id < size());
+    lo_[id] = lo;
+    hi_[id] = hi;
+  }
+
+ private:
+  std::vector<std::int32_t> level_;
+  std::vector<std::uint32_t> lo_;
+  std::vector<std::uint32_t> hi_;
+};
+
+}  // namespace ovo::ds

@@ -3,8 +3,6 @@
 #include <numeric>
 #include <sstream>
 
-#include "util/combinatorics.hpp"
-
 namespace ovo::mtbdd {
 
 Manager::Manager(int num_vars) : Manager(num_vars, [num_vars] {
@@ -14,36 +12,26 @@ Manager::Manager(int num_vars) : Manager(num_vars, [num_vars] {
 }()) {}
 
 Manager::Manager(int num_vars, std::vector<int> order)
-    : n_(num_vars), order_(std::move(order)) {
-  OVO_CHECK_MSG(num_vars >= 0 && num_vars <= 26,
-                "mtbdd::Manager: num_vars out of range");
-  OVO_CHECK_MSG(static_cast<int>(order_.size()) == n_,
-                "mtbdd::Manager: order length mismatch");
-  OVO_CHECK_MSG(util::is_permutation(order_),
-                "mtbdd::Manager: order not a permutation");
-  var_to_level_ = util::inverse_permutation(order_);
-  unique_.resize(static_cast<std::size_t>(n_));
+    : Base(num_vars, std::move(order), 26, "mtbdd::Manager") {}
+
+Manager::Stats Manager::stats() const {
+  const ds::StoreStats base = store_stats();
+  Stats s;
+  s.pool_nodes = base.pool_nodes;
+  s.unique_entries = base.unique_entries;
+  s.terminal_entries = terminals_.size();
+  s.unique = base.unique;
+  return s;
 }
 
 NodeId Manager::terminal(Value v) {
-  if (const auto it = terminals_.find(v); it != terminals_.end())
-    return it->second;
-  const NodeId id = static_cast<NodeId>(pool_.size());
-  pool_.push_back(Node{n_, id, id, v});
-  terminals_.emplace(v, id);
-  return id;
-}
-
-NodeId Manager::make(int level, NodeId lo, NodeId hi) {
-  OVO_CHECK(level >= 0 && level < n_);
-  OVO_DCHECK(pool_[lo].level > level && pool_[hi].level > level);
-  if (lo == hi) return lo;
-  auto& table = unique_[static_cast<std::size_t>(level)];
-  const std::uint64_t key = (std::uint64_t{lo} << 32) | hi;
-  if (const auto it = table.find(key); it != table.end()) return it->second;
-  const NodeId id = static_cast<NodeId>(pool_.size());
-  pool_.push_back(Node{level, lo, hi, 0});
-  table.emplace(key, id);
+  const std::uint64_t key = static_cast<std::uint64_t>(v);
+  const auto [id, inserted] =
+      terminals_.find_or_insert(key, static_cast<NodeId>(arena_.size()));
+  if (inserted) {
+    arena_.push(n_, id, id);
+    values_.push_back(v);
+  }
   return id;
 }
 
@@ -51,6 +39,7 @@ NodeId Manager::from_value_table(const std::vector<Value>& values) {
   OVO_CHECK_MSG(values.size() == (std::uint64_t{1} << n_),
                 "from_value_table: size must be 2^n");
   if (n_ == 0) return terminal(values[0]);
+  reserve_for_table_build(values.size());
   std::vector<NodeId> cells(values.size());
   for (std::uint64_t a = 0; a < values.size(); ++a) {
     std::uint64_t assignment = 0;
@@ -70,11 +59,10 @@ NodeId Manager::from_value_table(const std::vector<Value>& values) {
 
 Value Manager::eval(NodeId f, std::uint64_t assignment) const {
   while (!is_terminal(f)) {
-    const Node& fn = pool_[f];
-    const int var = order_[static_cast<std::size_t>(fn.level)];
-    f = ((assignment >> var) & 1u) ? fn.hi : fn.lo;
+    const int var = order_[static_cast<std::size_t>(arena_.level(f))];
+    f = ((assignment >> var) & 1u) ? arena_.hi(f) : arena_.lo(f);
   }
-  return pool_[f].value;
+  return values_[f];
 }
 
 std::vector<Value> Manager::to_value_table(NodeId f) const {
@@ -83,45 +71,21 @@ std::vector<Value> Manager::to_value_table(NodeId f) const {
   return out;
 }
 
-std::uint64_t Manager::size(NodeId f) const {
-  std::uint64_t total = 0;
-  for (const std::uint64_t w : level_widths(f)) total += w;
-  return total;
-}
-
-std::vector<std::uint64_t> Manager::level_widths(NodeId f) const {
-  std::vector<std::uint64_t> widths(static_cast<std::size_t>(n_), 0);
-  std::vector<NodeId> stack;
-  std::unordered_map<NodeId, bool> seen;
-  if (!is_terminal(f)) stack.push_back(f);
-  while (!stack.empty()) {
-    const NodeId u = stack.back();
-    stack.pop_back();
-    if (seen.count(u)) continue;
-    seen.emplace(u, true);
-    const Node& un = pool_[u];
-    ++widths[static_cast<std::size_t>(un.level)];
-    if (!is_terminal(un.lo)) stack.push_back(un.lo);
-    if (!is_terminal(un.hi)) stack.push_back(un.hi);
-  }
-  return widths;
-}
-
 std::string Manager::to_dot(NodeId f, const std::string& name) const {
   std::ostringstream os;
   os << "digraph " << name << " {\n  rankdir=TB;\n";
   std::vector<NodeId> stack{f};
-  std::unordered_map<NodeId, bool> seen;
+  std::vector<std::uint8_t> seen(arena_.size(), 0);
   while (!stack.empty()) {
     const NodeId u = stack.back();
     stack.pop_back();
-    if (seen.count(u)) continue;
-    seen.emplace(u, true);
-    const Node& un = pool_[u];
+    if (seen[u]) continue;
+    seen[u] = 1;
     if (is_terminal(u)) {
-      os << "  node_" << u << " [label=\"" << un.value << "\", shape=box];\n";
+      os << "  node_" << u << " [label=\"" << values_[u] << "\", shape=box];\n";
       continue;
     }
+    const Node un = node(u);
     os << "  node_" << u << " [label=\"x"
        << order_[static_cast<std::size_t>(un.level)] + 1
        << "\", shape=circle];\n";

@@ -4,13 +4,17 @@
 // with the truth table replaced by a value table).
 //
 // Terminals are interned per distinct value; internal nodes follow the BDD
-// reduction rules (lo == hi merged, hash consing).
+// reduction rules (lo == hi merged, hash consing).  Storage lives in the
+// shared ovo::ds node-store layer; the per-terminal value column is a
+// parallel vector kept in sync through the base's node-creation hook.
+// See docs/INTERNALS.md.
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "ds/diagram_store.hpp"
+#include "ds/hash.hpp"
 #include "util/bits.hpp"
 #include "util/check.hpp"
 
@@ -26,23 +30,26 @@ struct Node {
   Value value = 0;      ///< meaningful for terminals only
 };
 
-class Manager {
+class Manager : public ds::DiagramStoreBase<Manager> {
+  using Base = ds::DiagramStoreBase<Manager>;
+  friend Base;
+
  public:
   explicit Manager(int num_vars);
   Manager(int num_vars, std::vector<int> order);
 
-  int num_vars() const { return n_; }
-  const std::vector<int>& order() const { return order_; }
-  int level_of_var(int var) const {
-    OVO_CHECK(var >= 0 && var < n_);
-    return var_to_level_[static_cast<std::size_t>(var)];
+  bool is_terminal(NodeId id) const { return arena_.level(id) == n_; }
+  Node node(NodeId id) const {
+    return Node{arena_.level(id), arena_.lo(id), arena_.hi(id), values_[id]};
   }
 
-  bool is_terminal(NodeId id) const { return pool_[id].level == n_; }
-  const Node& node(NodeId id) const {
-    OVO_DCHECK(id < pool_.size());
-    return pool_[id];
-  }
+  struct Stats {
+    std::size_t pool_nodes = 0;
+    std::size_t unique_entries = 0;
+    std::size_t terminal_entries = 0;  ///< distinct interned values
+    ds::TableStats unique;
+  };
+  Stats stats() const;
 
   /// Interned terminal for `v`.
   NodeId terminal(Value v);
@@ -51,7 +58,9 @@ class Manager {
   std::size_t num_terminals() const { return terminals_.size(); }
 
   /// Reduced unique internal node.
-  NodeId make(int level, NodeId lo, NodeId hi);
+  NodeId make(int level, NodeId lo, NodeId hi) {
+    return make_node(level, lo, hi);
+  }
 
   /// Builds the MTBDD of the value table `values` (size 2^n, cell a =
   /// f(assignment a), assignment bit i = variable i).
@@ -60,7 +69,7 @@ class Manager {
   /// Pointwise combination h(a) = op(f(a), g(a)).
   template <typename Op>
   NodeId apply(NodeId f, NodeId g, Op&& op) {
-    std::unordered_map<std::uint64_t, NodeId> memo;
+    ds::UniqueTable memo;
     return apply_rec(f, g, op, memo);
   }
 
@@ -68,49 +77,45 @@ class Manager {
 
   std::vector<Value> to_value_table(NodeId f) const;
 
-  /// Non-terminal nodes reachable from f.
-  std::uint64_t size(NodeId f) const;
-
-  std::vector<std::uint64_t> level_widths(NodeId f) const;
+  // size(f) and level_widths(f) are inherited from ds::DiagramStoreBase.
 
   std::string to_dot(NodeId f, const std::string& name = "mtbdd") const;
 
  private:
-  struct PairHash {
-    std::size_t operator()(std::uint64_t k) const {
-      k ^= k >> 33;
-      k *= 0xff51afd7ed558ccdull;
-      k ^= k >> 33;
-      return static_cast<std::size_t>(k);
+  /// BDD reduction rule (a); terminal interning is separate (terminal()).
+  static bool reduce_edge(NodeId lo, NodeId hi, NodeId* out) {
+    if (lo == hi) {
+      *out = lo;
+      return true;
     }
-  };
+    return false;
+  }
+
+  /// Base hook: keeps the value column aligned with the arena.
+  void on_node_created(NodeId) { values_.push_back(0); }
 
   template <typename Op>
-  NodeId apply_rec(NodeId f, NodeId g, Op&& op,
-                   std::unordered_map<std::uint64_t, NodeId>& memo) {
+  NodeId apply_rec(NodeId f, NodeId g, Op&& op, ds::UniqueTable& memo) {
     if (is_terminal(f) && is_terminal(g))
-      return terminal(op(pool_[f].value, pool_[g].value));
-    const std::uint64_t key = (std::uint64_t{f} << 32) | g;
-    if (const auto it = memo.find(key); it != memo.end()) return it->second;
-    const int level = std::min(pool_[f].level, pool_[g].level);
+      return terminal(op(values_[f], values_[g]));
+    const std::uint64_t key = ds::pack_pair(f, g);
+    if (const std::uint32_t* hit = memo.find(key)) return *hit;
+    const int level = std::min(arena_.level(f), arena_.level(g));
     const auto cof = [&](NodeId u, bool hi_branch) {
-      const Node& un = pool_[u];
-      if (un.level != level) return u;
-      return hi_branch ? un.hi : un.lo;
+      if (arena_.level(u) != level) return u;
+      return hi_branch ? arena_.hi(u) : arena_.lo(u);
     };
     const NodeId lo = apply_rec(cof(f, false), cof(g, false), op, memo);
     const NodeId hi = apply_rec(cof(f, true), cof(g, true), op, memo);
     const NodeId out = make(level, lo, hi);
-    memo.emplace(key, out);
+    memo.insert(key, out);
     return out;
   }
 
-  int n_;
-  std::vector<int> order_;
-  std::vector<int> var_to_level_;
-  std::vector<Node> pool_;
-  std::unordered_map<Value, NodeId> terminals_;
-  std::vector<std::unordered_map<std::uint64_t, NodeId, PairHash>> unique_;
+  /// Terminal value column, parallel to the arena (0 for internal nodes).
+  std::vector<Value> values_;
+  /// Interns values: key = the value's bit pattern, entry = terminal id.
+  ds::UniqueTable terminals_;
 };
 
 }  // namespace ovo::mtbdd

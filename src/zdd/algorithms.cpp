@@ -1,36 +1,28 @@
 #include "zdd/algorithms.hpp"
 
 #include <limits>
-#include <unordered_map>
 
+#include "ds/hash.hpp"
+#include "ds/unique_table.hpp"
 #include "util/check.hpp"
 
 namespace ovo::zdd {
 
 namespace {
 
-struct PairHash {
-  std::size_t operator()(std::uint64_t k) const {
-    k ^= k >> 33;
-    k *= 0xff51afd7ed558ccdull;
-    k ^= k >> 33;
-    return static_cast<std::size_t>(k);
-  }
-};
+// Recursion memos keyed on the (p, q) operand pair.  Distinct keys never
+// recurse back into themselves (operands only get deeper), so each key is
+// computed and inserted exactly once.
+using Memo = ds::UniqueTable;
 
-using Memo = std::unordered_map<std::uint64_t, NodeId, PairHash>;
-
-std::uint64_t key(NodeId p, NodeId q) {
-  return (std::uint64_t{p} << 32) | q;
-}
+std::uint64_t key(NodeId p, NodeId q) { return ds::pack_pair(p, q); }
 
 NodeId join_rec(Manager& m, NodeId p, NodeId q, Memo& memo) {
   if (p == kEmpty || q == kEmpty) return kEmpty;
   if (p == kUnit) return q;
   if (q == kUnit) return p;
   if (p > q) std::swap(p, q);  // commutative
-  if (const auto it = memo.find(key(p, q)); it != memo.end())
-    return it->second;
+  if (const std::uint32_t* hit = memo.find(key(p, q))) return *hit;
   const Node& pn = m.node(p);
   const Node& qn = m.node(q);
   NodeId out;
@@ -47,7 +39,7 @@ NodeId join_rec(Manager& m, NodeId p, NodeId q, Memo& memo) {
         join_rec(m, pn.lo, qn.hi, memo));
     out = m.make(pn.level, join_rec(m, pn.lo, qn.lo, memo), hi);
   }
-  memo.emplace(key(p, q), out);
+  memo.insert(key(p, q), out);
   return out;
 }
 
@@ -55,8 +47,7 @@ NodeId meet_rec(Manager& m, NodeId p, NodeId q, Memo& memo) {
   if (p == kEmpty || q == kEmpty) return kEmpty;
   if (p == kUnit || q == kUnit) return kUnit;
   if (p > q) std::swap(p, q);
-  if (const auto it = memo.find(key(p, q)); it != memo.end())
-    return it->second;
+  if (const std::uint32_t* hit = memo.find(key(p, q))) return *hit;
   const Node& pn = m.node(p);
   const Node& qn = m.node(q);
   NodeId out;
@@ -71,7 +62,7 @@ NodeId meet_rec(Manager& m, NodeId p, NodeId q, Memo& memo) {
         meet_rec(m, pn.hi, qn.lo, memo));
     out = m.make(pn.level, lo, meet_rec(m, pn.hi, qn.hi, memo));
   }
-  memo.emplace(key(p, q), out);
+  memo.insert(key(p, q), out);
   return out;
 }
 
@@ -82,8 +73,7 @@ NodeId nonsubsets_rec(Manager& m, NodeId p, NodeId q, Memo& memo) {
   if (q == kEmpty) return p;
   if (p == kEmpty || p == kUnit) return kEmpty;  // empty set ⊆ any B ∈ q
   if (p == q) return kEmpty;
-  if (const auto it = memo.find(key(p, q)); it != memo.end())
-    return it->second;
+  if (const std::uint32_t* hit = memo.find(key(p, q))) return *hit;
   const Node& pn = m.node(p);
   NodeId out;
   if (q == kUnit) {
@@ -104,7 +94,7 @@ NodeId nonsubsets_rec(Manager& m, NodeId p, NodeId q, Memo& memo) {
                    nonsubsets_rec(m, pn.hi, qn.hi, memo));
     }
   }
-  memo.emplace(key(p, q), out);
+  memo.insert(key(p, q), out);
   return out;
 }
 
@@ -112,8 +102,7 @@ NodeId nonsupersets_rec(Manager& m, NodeId p, NodeId q, Memo& memo) {
   if (q == kEmpty) return p;
   if (q == kUnit || p == kEmpty) return kEmpty;  // ∅ ⊆ every member of p
   if (p == q) return kEmpty;
-  if (const auto it = memo.find(key(p, q)); it != memo.end())
-    return it->second;
+  if (const std::uint32_t* hit = memo.find(key(p, q))) return *hit;
   NodeId out;
   if (p == kUnit) {
     // A = ∅ is a superset only of ∅, and q does not contain ∅ at this
@@ -138,33 +127,31 @@ NodeId nonsupersets_rec(Manager& m, NodeId p, NodeId q, Memo& memo) {
       out = m.make(pn.level, nonsupersets_rec(m, pn.lo, qn.lo, memo), hi);
     }
   }
-  memo.emplace(key(p, q), out);
+  memo.insert(key(p, q), out);
   return out;
 }
 
 NodeId maximal_rec(Manager& m, NodeId p, Memo& memo, Memo& ns_memo) {
   if (m.is_terminal(p)) return p;
-  if (const auto it = memo.find(key(p, 0)); it != memo.end())
-    return it->second;
+  if (const std::uint32_t* hit = memo.find(key(p, 0))) return *hit;
   const Node& pn = m.node(p);
   const NodeId hi = maximal_rec(m, pn.hi, memo, ns_memo);
   const NodeId lo = nonsubsets_rec(
       m, maximal_rec(m, pn.lo, memo, ns_memo), pn.hi, ns_memo);
   const NodeId out = m.make(pn.level, lo, hi);
-  memo.emplace(key(p, 0), out);
+  memo.insert(key(p, 0), out);
   return out;
 }
 
 NodeId minimal_rec(Manager& m, NodeId p, Memo& memo, Memo& ns_memo) {
   if (m.is_terminal(p)) return p;
-  if (const auto it = memo.find(key(p, 0)); it != memo.end())
-    return it->second;
+  if (const std::uint32_t* hit = memo.find(key(p, 0))) return *hit;
   const Node& pn = m.node(p);
   const NodeId lo = minimal_rec(m, pn.lo, memo, ns_memo);
   const NodeId hi = nonsupersets_rec(
       m, minimal_rec(m, pn.hi, memo, ns_memo), pn.lo, ns_memo);
   const NodeId out = m.make(pn.level, lo, hi);
-  memo.emplace(key(p, 0), out);
+  memo.insert(key(p, 0), out);
   return out;
 }
 
@@ -206,16 +193,18 @@ std::optional<WeightedSet> min_weight_set(const Manager& m, NodeId p,
                 "min_weight_set: weight arity mismatch");
   if (p == kEmpty) return std::nullopt;
   constexpr double kInf = std::numeric_limits<double>::infinity();
-  std::unordered_map<NodeId, double> memo;
+  std::vector<std::uint8_t> memo_set(m.pool_size(), 0);
+  std::vector<double> memo(m.pool_size(), 0.0);
   auto best = [&](auto&& self, NodeId u) -> double {
     if (u == kEmpty) return kInf;
     if (u == kUnit) return 0.0;
-    if (const auto it = memo.find(u); it != memo.end()) return it->second;
-    const Node& un = m.node(u);
+    if (memo_set[u]) return memo[u];
+    const Node un = m.node(u);
     const double w =
         weight[static_cast<std::size_t>(m.var_at_level(un.level))];
     const double b = std::min(self(self, un.lo), w + self(self, un.hi));
-    memo.emplace(u, b);
+    memo_set[u] = 1;
+    memo[u] = b;
     return b;
   };
   WeightedSet out;

@@ -4,17 +4,13 @@
 #include <numeric>
 #include <sstream>
 
-#include "util/combinatorics.hpp"
+#include "ds/hash.hpp"
 
 namespace ovo::zdd {
 
 namespace {
-enum OpTag : std::uint64_t { kUnion = 1, kIntersect = 2, kDiff = 3 };
-
-std::uint64_t cache_key(std::uint64_t tag, NodeId p, NodeId q) {
-  OVO_DCHECK(p < (1u << 30) && q < (1u << 30));
-  return (tag << 60) | (std::uint64_t{p} << 30) | q;
-}
+// Op tag goes in the cache's 32-bit word; (p, q) pack into the 64-bit word.
+enum OpTag : std::uint32_t { kUnion = 1, kIntersect = 2, kDiff = 3 };
 }  // namespace
 
 Manager::Manager(int num_vars) : Manager(num_vars, [num_vars] {
@@ -24,35 +20,27 @@ Manager::Manager(int num_vars) : Manager(num_vars, [num_vars] {
 }()) {}
 
 Manager::Manager(int num_vars, std::vector<int> order)
-    : n_(num_vars), order_(std::move(order)) {
-  OVO_CHECK_MSG(num_vars >= 0 && num_vars <= tt::TruthTable::kMaxVars,
-                "zdd::Manager: num_vars out of range");
-  OVO_CHECK_MSG(static_cast<int>(order_.size()) == n_,
-                "zdd::Manager: order length mismatch");
-  OVO_CHECK_MSG(util::is_permutation(order_),
-                "zdd::Manager: order not a permutation");
-  var_to_level_ = util::inverse_permutation(order_);
-  pool_.push_back(Node{n_, kEmpty, kEmpty});
-  pool_.push_back(Node{n_, kUnit, kUnit});
-  unique_.resize(static_cast<std::size_t>(n_));
+    : Base(num_vars, std::move(order), tt::TruthTable::kMaxVars,
+           "zdd::Manager") {
+  arena_.push(n_, kEmpty, kEmpty);
+  arena_.push(n_, kUnit, kUnit);
 }
 
-NodeId Manager::make(int level, NodeId lo, NodeId hi) {
-  OVO_CHECK(level >= 0 && level < n_);
-  OVO_DCHECK(pool_[lo].level > level && pool_[hi].level > level);
-  if (hi == kEmpty) return lo;  // zero-suppression rule
-  auto& table = unique_[static_cast<std::size_t>(level)];
-  const std::uint64_t key = (std::uint64_t{lo} << 32) | hi;
-  if (const auto it = table.find(key); it != table.end()) return it->second;
-  const NodeId id = static_cast<NodeId>(pool_.size());
-  pool_.push_back(Node{level, lo, hi});
-  table.emplace(key, id);
-  return id;
+Manager::Stats Manager::stats() const {
+  const ds::StoreStats base = store_stats();
+  Stats s;
+  s.pool_nodes = base.pool_nodes;
+  s.unique_entries = base.unique_entries;
+  s.cache_entries = op_cache_.live_entries();
+  s.unique = base.unique;
+  s.cache = op_cache_.stats();
+  return s;
 }
 
 NodeId Manager::from_truth_table(const tt::TruthTable& t) {
   OVO_CHECK_MSG(t.num_vars() == n_, "zdd: arity mismatch");
   if (n_ == 0) return t.get(0) ? kUnit : kEmpty;
+  reserve_for_table_build(t.size());
   std::vector<NodeId> cells(t.size());
   for (std::uint64_t a = 0; a < t.size(); ++a) {
     std::uint64_t assignment = 0;
@@ -90,75 +78,70 @@ NodeId Manager::from_family(const std::vector<util::Mask>& sets) {
 NodeId Manager::family_union(NodeId p, NodeId q) {
   if (p == kEmpty) return q;
   if (q == kEmpty || p == q) return p;
-  const std::uint64_t key =
-      cache_key(kUnion, std::min(p, q), std::max(p, q));
-  if (const auto it = op_cache_.find(key); it != op_cache_.end())
-    return it->second;
-  const Node& pn = pool_[p];
-  const Node& qn = pool_[q];
+  const std::uint64_t key = ds::pack_pair(std::min(p, q), std::max(p, q));
+  if (const auto cached = op_cache_.lookup(key, kUnion)) return *cached;
+  const std::int32_t pl = arena_.level(p);
+  const std::int32_t ql = arena_.level(q);
   NodeId out;
-  if (pn.level < qn.level) {
-    out = make(pn.level, family_union(pn.lo, q), pn.hi);
-  } else if (pn.level > qn.level) {
-    out = make(qn.level, family_union(p, qn.lo), qn.hi);
+  if (pl < ql) {
+    out = make(pl, family_union(arena_.lo(p), q), arena_.hi(p));
+  } else if (pl > ql) {
+    out = make(ql, family_union(p, arena_.lo(q)), arena_.hi(q));
   } else {
-    out = make(pn.level, family_union(pn.lo, qn.lo),
-               family_union(pn.hi, qn.hi));
+    out = make(pl, family_union(arena_.lo(p), arena_.lo(q)),
+               family_union(arena_.hi(p), arena_.hi(q)));
   }
-  op_cache_.emplace(key, out);
+  op_cache_.store(key, kUnion, out);
   return out;
 }
 
 NodeId Manager::family_intersection(NodeId p, NodeId q) {
   if (p == kEmpty || q == kEmpty) return kEmpty;
   if (p == q) return p;
-  const std::uint64_t key =
-      cache_key(kIntersect, std::min(p, q), std::max(p, q));
-  if (const auto it = op_cache_.find(key); it != op_cache_.end())
-    return it->second;
-  const Node& pn = pool_[p];
-  const Node& qn = pool_[q];
+  const std::uint64_t key = ds::pack_pair(std::min(p, q), std::max(p, q));
+  if (const auto cached = op_cache_.lookup(key, kIntersect)) return *cached;
+  const std::int32_t pl = arena_.level(p);
+  const std::int32_t ql = arena_.level(q);
   NodeId out;
-  if (pn.level < qn.level) {
-    out = family_intersection(pn.lo, q);
-  } else if (pn.level > qn.level) {
-    out = family_intersection(p, qn.lo);
+  if (pl < ql) {
+    out = family_intersection(arena_.lo(p), q);
+  } else if (pl > ql) {
+    out = family_intersection(p, arena_.lo(q));
   } else {
-    out = make(pn.level, family_intersection(pn.lo, qn.lo),
-               family_intersection(pn.hi, qn.hi));
+    out = make(pl, family_intersection(arena_.lo(p), arena_.lo(q)),
+               family_intersection(arena_.hi(p), arena_.hi(q)));
   }
-  op_cache_.emplace(key, out);
+  op_cache_.store(key, kIntersect, out);
   return out;
 }
 
 NodeId Manager::family_difference(NodeId p, NodeId q) {
   if (p == kEmpty || p == q) return kEmpty;
   if (q == kEmpty) return p;
-  const std::uint64_t key = cache_key(kDiff, p, q);
-  if (const auto it = op_cache_.find(key); it != op_cache_.end())
-    return it->second;
-  const Node& pn = pool_[p];
-  const Node& qn = pool_[q];
+  const std::uint64_t key = ds::pack_pair(p, q);
+  if (const auto cached = op_cache_.lookup(key, kDiff)) return *cached;
+  const std::int32_t pl = arena_.level(p);
+  const std::int32_t ql = arena_.level(q);
   NodeId out;
-  if (pn.level < qn.level) {
-    out = make(pn.level, family_difference(pn.lo, q), pn.hi);
-  } else if (pn.level > qn.level) {
-    out = family_difference(p, qn.lo);
+  if (pl < ql) {
+    out = make(pl, family_difference(arena_.lo(p), q), arena_.hi(p));
+  } else if (pl > ql) {
+    out = family_difference(p, arena_.lo(q));
   } else {
-    out = make(pn.level, family_difference(pn.lo, qn.lo),
-               family_difference(pn.hi, qn.hi));
+    out = make(pl, family_difference(arena_.lo(p), arena_.lo(q)),
+               family_difference(arena_.hi(p), arena_.hi(q)));
   }
-  op_cache_.emplace(key, out);
+  op_cache_.store(key, kDiff, out);
   return out;
 }
 
 NodeId Manager::subset0(NodeId f, int var) {
   const int level = level_of_var(var);
   auto rec = [&](auto&& self, NodeId u) -> NodeId {
-    const Node& un = pool_[u];
-    if (un.level > level) return u;
-    if (un.level == level) return un.lo;
-    return make(un.level, self(self, un.lo), self(self, un.hi));
+    const std::int32_t ul = arena_.level(u);
+    if (ul > level) return u;
+    if (ul == level) return arena_.lo(u);
+    return make(ul, self(self, arena_.lo(u)), self(self, arena_.hi(u)));
   };
   return rec(rec, f);
 }
@@ -166,10 +149,10 @@ NodeId Manager::subset0(NodeId f, int var) {
 NodeId Manager::subset1(NodeId f, int var) {
   const int level = level_of_var(var);
   auto rec = [&](auto&& self, NodeId u) -> NodeId {
-    const Node& un = pool_[u];
-    if (un.level > level) return kEmpty;
-    if (un.level == level) return un.hi;
-    return make(un.level, self(self, un.lo), self(self, un.hi));
+    const std::int32_t ul = arena_.level(u);
+    if (ul > level) return kEmpty;
+    if (ul == level) return arena_.hi(u);
+    return make(ul, self(self, arena_.lo(u)), self(self, arena_.hi(u)));
   };
   return rec(rec, f);
 }
@@ -177,10 +160,10 @@ NodeId Manager::subset1(NodeId f, int var) {
 NodeId Manager::change(NodeId f, int var) {
   const int level = level_of_var(var);
   auto rec = [&](auto&& self, NodeId u) -> NodeId {
-    const Node& un = pool_[u];
-    if (un.level > level) return make(level, kEmpty, u);
-    if (un.level == level) return make(level, un.hi, un.lo);
-    return make(un.level, self(self, un.lo), self(self, un.hi));
+    const std::int32_t ul = arena_.level(u);
+    if (ul > level) return make(level, kEmpty, u);
+    if (ul == level) return make(level, arena_.hi(u), arena_.lo(u));
+    return make(ul, self(self, arena_.lo(u)), self(self, arena_.hi(u)));
   };
   return rec(rec, f);
 }
@@ -188,13 +171,13 @@ NodeId Manager::change(NodeId f, int var) {
 bool Manager::eval(NodeId f, std::uint64_t assignment) const {
   int level = 0;
   while (!is_terminal(f)) {
-    const Node& fn = pool_[f];
-    for (int l = level; l < fn.level; ++l)
+    const std::int32_t fl = arena_.level(f);
+    for (int l = level; l < fl; ++l)
       if ((assignment >> order_[static_cast<std::size_t>(l)]) & 1u)
         return false;  // skipped level with a 1 assignment: suppressed zero
-    const int var = order_[static_cast<std::size_t>(fn.level)];
-    f = ((assignment >> var) & 1u) ? fn.hi : fn.lo;
-    level = fn.level + 1;
+    const int var = order_[static_cast<std::size_t>(fl)];
+    f = ((assignment >> var) & 1u) ? arena_.hi(f) : arena_.lo(f);
+    level = fl + 1;
   }
   if (f == kEmpty) return false;
   for (int l = level; l < n_; ++l)
@@ -208,14 +191,14 @@ tt::TruthTable Manager::to_truth_table(NodeId f) const {
 }
 
 std::uint64_t Manager::count(NodeId f) const {
-  std::unordered_map<NodeId, std::uint64_t> memo;
+  constexpr std::uint64_t kUnset = ~std::uint64_t{0};
+  std::vector<std::uint64_t> memo(arena_.size(), kUnset);
   auto rec = [&](auto&& self, NodeId u) -> std::uint64_t {
     if (u == kEmpty) return 0;
     if (u == kUnit) return 1;
-    if (const auto it = memo.find(u); it != memo.end()) return it->second;
-    const Node& un = pool_[u];
-    const std::uint64_t c = self(self, un.lo) + self(self, un.hi);
-    memo.emplace(u, c);
+    if (memo[u] != kUnset) return memo[u];
+    const std::uint64_t c = self(self, arena_.lo(u)) + self(self, arena_.hi(u));
+    memo[u] = c;
     return c;
   };
   return rec(rec, f);
@@ -229,38 +212,13 @@ std::vector<util::Mask> Manager::enumerate(NodeId f) const {
       out.push_back(acc);
       return;
     }
-    const Node& un = pool_[u];
-    const int var = order_[static_cast<std::size_t>(un.level)];
-    self(self, un.lo, acc);
-    self(self, un.hi, acc | (util::Mask{1} << var));
+    const int var = order_[static_cast<std::size_t>(arena_.level(u))];
+    self(self, arena_.lo(u), acc);
+    self(self, arena_.hi(u), acc | (util::Mask{1} << var));
   };
   rec(rec, f, 0);
   std::sort(out.begin(), out.end());
   return out;
-}
-
-std::uint64_t Manager::size(NodeId f) const {
-  std::uint64_t total = 0;
-  for (const std::uint64_t w : level_widths(f)) total += w;
-  return total;
-}
-
-std::vector<std::uint64_t> Manager::level_widths(NodeId f) const {
-  std::vector<std::uint64_t> widths(static_cast<std::size_t>(n_), 0);
-  std::vector<NodeId> stack;
-  std::unordered_map<NodeId, bool> seen;
-  if (!is_terminal(f)) stack.push_back(f);
-  while (!stack.empty()) {
-    const NodeId u = stack.back();
-    stack.pop_back();
-    if (seen.count(u)) continue;
-    seen.emplace(u, true);
-    const Node& un = pool_[u];
-    ++widths[static_cast<std::size_t>(un.level)];
-    if (!is_terminal(un.lo)) stack.push_back(un.lo);
-    if (!is_terminal(un.hi)) stack.push_back(un.hi);
-  }
-  return widths;
 }
 
 std::string Manager::to_dot(NodeId f, const std::string& name) const {
@@ -269,13 +227,13 @@ std::string Manager::to_dot(NodeId f, const std::string& name) const {
   os << "  node_0 [label=\"0\", shape=box];\n";
   os << "  node_1 [label=\"1\", shape=box];\n";
   std::vector<NodeId> stack{f};
-  std::unordered_map<NodeId, bool> seen;
+  std::vector<std::uint8_t> seen(arena_.size(), 0);
   while (!stack.empty()) {
     const NodeId u = stack.back();
     stack.pop_back();
-    if (is_terminal(u) || seen.count(u)) continue;
-    seen.emplace(u, true);
-    const Node& un = pool_[u];
+    if (is_terminal(u) || seen[u]) continue;
+    seen[u] = 1;
+    const Node un = node(u);
     os << "  node_" << u << " [label=\"x"
        << order_[static_cast<std::size_t>(un.level)] + 1
        << "\", shape=circle];\n";

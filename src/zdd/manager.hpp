@@ -7,12 +7,16 @@
 // "this variable must be 0".  ZDDs canonically represent families of sets
 // (the satisfying assignments viewed as subsets of the variable set) and
 // are the paper's second minimization target (Remark 2 / Appendix D).
+//
+// Storage lives in the shared ovo::ds node-store layer (arena, per-level
+// open-addressed unique tables, bounded op cache); see docs/INTERNALS.md.
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "ds/computed_cache.hpp"
+#include "ds/diagram_store.hpp"
 #include "tt/truth_table.hpp"
 #include "util/check.hpp"
 
@@ -29,32 +33,33 @@ struct Node {
   NodeId hi = kEmpty;
 };
 
-class Manager {
+class Manager : public ds::DiagramStoreBase<Manager> {
+  using Base = ds::DiagramStoreBase<Manager>;
+  friend Base;
+
  public:
   explicit Manager(int num_vars);
   Manager(int num_vars, std::vector<int> order);
 
-  int num_vars() const { return n_; }
-  const std::vector<int>& order() const { return order_; }
-  int level_of_var(int var) const {
-    OVO_CHECK(var >= 0 && var < n_);
-    return var_to_level_[static_cast<std::size_t>(var)];
-  }
-  int var_at_level(int level) const {
-    OVO_CHECK(level >= 0 && level < n_);
-    return order_[static_cast<std::size_t>(level)];
+  bool is_terminal(NodeId id) const { return id <= kUnit; }
+  Node node(NodeId id) const {
+    return Node{arena_.level(id), arena_.lo(id), arena_.hi(id)};
   }
 
-  bool is_terminal(NodeId id) const { return id <= kUnit; }
-  const Node& node(NodeId id) const {
-    OVO_DCHECK(id < pool_.size());
-    return pool_[id];
-  }
-  std::size_t pool_size() const { return pool_.size(); }
+  struct Stats {
+    std::size_t pool_nodes = 0;
+    std::size_t unique_entries = 0;
+    std::size_t cache_entries = 0;  ///< live op-cache entries
+    ds::TableStats unique;
+    ds::CacheStats cache;
+  };
+  Stats stats() const;
 
   /// Reduced unique node; applies the zero-suppression rule (hi == kEmpty
   /// => lo) and hash consing.
-  NodeId make(int level, NodeId lo, NodeId hi);
+  NodeId make(int level, NodeId lo, NodeId hi) {
+    return make_node(level, lo, hi);
+  }
 
   /// Canonical ZDD of the characteristic function `t` under this ordering.
   NodeId from_truth_table(const tt::TruthTable& t);
@@ -87,29 +92,21 @@ class Manager {
   /// All member sets, ascending by mask value. Intended for small families.
   std::vector<util::Mask> enumerate(NodeId f) const;
 
-  /// Non-terminal node count reachable from f.
-  std::uint64_t size(NodeId f) const;
-
-  std::vector<std::uint64_t> level_widths(NodeId f) const;
+  // size(f) and level_widths(f) are inherited from ds::DiagramStoreBase.
 
   std::string to_dot(NodeId f, const std::string& name = "zdd") const;
 
  private:
-  struct PairHash {
-    std::size_t operator()(std::uint64_t k) const {
-      k ^= k >> 33;
-      k *= 0xff51afd7ed558ccdull;
-      k ^= k >> 33;
-      return static_cast<std::size_t>(k);
+  /// Zero-suppression: a suppressed 1-edge collapses to the 0-child.
+  static bool reduce_edge(NodeId lo, NodeId hi, NodeId* out) {
+    if (hi == kEmpty) {
+      *out = lo;
+      return true;
     }
-  };
+    return false;
+  }
 
-  int n_;
-  std::vector<int> order_;
-  std::vector<int> var_to_level_;
-  std::vector<Node> pool_;
-  std::vector<std::unordered_map<std::uint64_t, NodeId, PairHash>> unique_;
-  std::unordered_map<std::uint64_t, NodeId, PairHash> op_cache_;
+  ds::ComputedCache op_cache_;
 };
 
 }  // namespace ovo::zdd

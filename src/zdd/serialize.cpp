@@ -1,22 +1,24 @@
 #include "zdd/serialize.hpp"
 
 #include <sstream>
-#include <unordered_map>
 #include <vector>
 
+#include "ds/unique_table.hpp"
 #include "util/check.hpp"
 
 namespace ovo::zdd {
 
 std::string save_zdd(const Manager& m, NodeId root) {
-  std::unordered_map<NodeId, std::uint32_t> index{{kEmpty, 0}, {kUnit, 1}};
+  ds::UniqueTable index;
+  index.insert(kEmpty, 0);
+  index.insert(kUnit, 1);
   std::vector<NodeId> ordered;
   auto rec = [&](auto&& self, NodeId u) -> void {
-    if (index.count(u)) return;
-    const Node& un = m.node(u);
+    if (index.find(u) != nullptr) return;
+    const Node un = m.node(u);
     self(self, un.lo);
     self(self, un.hi);
-    index.emplace(u, static_cast<std::uint32_t>(2 + ordered.size()));
+    index.insert(u, static_cast<std::uint32_t>(2 + ordered.size()));
     ordered.push_back(u);
   };
   rec(rec, root);
@@ -29,11 +31,11 @@ std::string save_zdd(const Manager& m, NodeId root) {
   os << "\n";
   os << "nodes " << ordered.size() << "\n";
   for (std::size_t i = 0; i < ordered.size(); ++i) {
-    const Node& un = m.node(ordered[i]);
-    os << (2 + i) << ' ' << un.level << ' ' << index.at(un.lo) << ' '
-       << index.at(un.hi) << "\n";
+    const Node un = m.node(ordered[i]);
+    os << (2 + i) << ' ' << un.level << ' ' << *index.find(un.lo) << ' '
+       << *index.find(un.hi) << "\n";
   }
-  os << "root " << index.at(root) << "\n";
+  os << "root " << *index.find(root) << "\n";
   return os.str();
 }
 

@@ -200,6 +200,75 @@ TEST(ManagerStats, TracksTablesAndCache) {
   EXPECT_GT(m.stats().cache_entries, 0u);
 }
 
+TEST(GarbageCollection, MidSiftPreservesSemanticsAndStructure) {
+  // GC in the middle of a sifting sweep: collect between swaps, then keep
+  // swapping. Functions must survive, and the final diagram must be
+  // structurally identical to a fresh build under the final order.
+  util::Xoshiro256 rng(31);
+  const int n = 7;
+  const tt::TruthTable ta = tt::random_function(n, rng);
+  const tt::TruthTable tb = tt::random_function(n, rng);
+  Manager m(n);
+  std::vector<NodeId> roots{m.from_truth_table(ta),
+                            m.from_truth_table(tb)};
+  roots.push_back(m.apply_xor(roots[0], roots[1]));
+
+  for (int round = 0; round < 12; ++round) {
+    const int level = static_cast<int>(rng.below(n - 1));
+    m.swap_adjacent_levels(level);
+    if (round % 3 == 2) {
+      m.collect_garbage(&roots);
+      // Post-GC the pool is exactly terminals + live shared nodes.
+      EXPECT_EQ(m.stats().pool_nodes,
+                2 + shared_reachable_size(m, roots));
+    }
+    ASSERT_EQ(m.to_truth_table(roots[0]), ta) << "round " << round;
+    ASSERT_EQ(m.to_truth_table(roots[1]), tb);
+    ASSERT_EQ(m.to_truth_table(roots[2]), ta ^ tb);
+  }
+
+  // Fresh rebuild under the final order must be isomorphic root by root.
+  Manager fresh(n, m.order());
+  EXPECT_TRUE(structurally_equal(m, roots[0], fresh,
+                                 fresh.from_truth_table(ta)));
+  EXPECT_TRUE(structurally_equal(m, roots[1], fresh,
+                                 fresh.from_truth_table(tb)));
+  EXPECT_TRUE(structurally_equal(m, roots[2], fresh,
+                                 fresh.from_truth_table(ta ^ tb)));
+}
+
+TEST(GarbageCollection, SiftAfterGcMatchesSiftWithoutGc) {
+  // Run the same sift twice — once on a freshly collected manager, once on
+  // the bloated one — and verify both land on the same size and order.
+  util::Xoshiro256 rng(37);
+  const int n = 6;
+  const tt::TruthTable t = tt::random_function(n, rng);
+
+  Manager bloated(n);
+  std::vector<NodeId> roots_b{bloated.from_truth_table(t)};
+  for (int level = 0; level + 1 < n; ++level)
+    bloated.swap_adjacent_levels(level);  // manufacture debris
+  for (int level = n - 2; level >= 0; --level)
+    bloated.swap_adjacent_levels(level);  // ...and return to the start order
+
+  Manager collected(n);
+  std::vector<NodeId> roots_c{collected.from_truth_table(t)};
+  for (int level = 0; level + 1 < n; ++level)
+    collected.swap_adjacent_levels(level);
+  for (int level = n - 2; level >= 0; --level)
+    collected.swap_adjacent_levels(level);
+  collected.collect_garbage(&roots_c);
+
+  ASSERT_EQ(bloated.order(), collected.order());
+  const SiftResult rb = sift_in_place(bloated, roots_b);
+  const SiftResult rc = sift_in_place(collected, roots_c);
+  EXPECT_EQ(rb.final_nodes, rc.final_nodes);
+  EXPECT_EQ(bloated.order(), collected.order());
+  EXPECT_EQ(bloated.to_truth_table(roots_b[0]), t);
+  EXPECT_EQ(collected.to_truth_table(roots_c[0]), t);
+  EXPECT_TRUE(structurally_equal(bloated, roots_b[0], collected, roots_c[0]));
+}
+
 TEST(SiftInPlace, QualityComparableToOracleSifting) {
   // Same greedy neighborhood, different tie-breaking: the two sifting
   // variants should land within a small factor of each other (and both
