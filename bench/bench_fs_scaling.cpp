@@ -2,12 +2,20 @@
 // O*(n! 2^n) brute force.  We measure (a) table cells processed and
 // (b) wall-clock time for n = 2..N, fit the growth base, and compare with
 // the analytic operation counts.
+//
+// Flags: --threads N (re-time every FS run with N pool threads and report
+// the speedup over the serial run; results must agree exactly) and
+// --json <path> (emit the per-n rows as a JSON array).
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "core/minimize.hpp"
 #include "ds/unique_table.hpp"
+#include "parallel/exec_policy.hpp"
 #include "quantum/analysis.hpp"
 #include "reorder/baselines.hpp"
 #include "tt/function_zoo.hpp"
@@ -15,9 +23,26 @@
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ovo;
   util::Xoshiro256 rng(2024);
+
+  int bench_threads = 1;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      bench_threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_fs_scaling [--threads N] [--json path]\n");
+      return 2;
+    }
+  }
+  par::ExecPolicy exec;
+  exec.num_threads = bench_threads;
+  const int resolved_threads = exec.resolved_threads();
 
   std::printf("Theorem 5 + Remark 1 reproduction: FS time AND space vs "
               "brute force\n");
@@ -28,15 +53,31 @@ int main() {
 
   std::vector<int> ns;
   std::vector<double> fs_cells, fs_space;
+  std::vector<double> serial_times, threaded_times;
   ds::TableStats dedup_total;
   const int kMaxN = 13;
   const int kMaxBruteN = 8;
   bool space_matches = true;
+  bool threads_match = true;
   for (int n = 2; n <= kMaxN; ++n) {
     const tt::TruthTable t = tt::random_function(n, rng);
     util::Timer timer;
     const core::MinimizeResult r = core::fs_minimize(t);
     const double fs_time = timer.seconds();
+
+    double threaded_time = fs_time;
+    if (resolved_threads > 1) {
+      timer.reset();
+      const core::MinimizeResult rt =
+          core::fs_minimize(t, core::DiagramKind::kBdd, exec);
+      threaded_time = timer.seconds();
+      threads_match &=
+          rt.min_internal_nodes == r.min_internal_nodes &&
+          rt.order_root_first == r.order_root_first &&
+          rt.ops.table_cells == r.ops.table_cells;
+    }
+    serial_times.push_back(fs_time);
+    threaded_times.push_back(threaded_time);
 
     double brute_time = -1.0;
     if (n <= kMaxBruteN) {
@@ -82,9 +123,38 @@ int main() {
               dedup_total.lookups, dedup_total.hit_rate(),
               dedup_total.avg_probe_length(), dedup_total.resizes);
 
+  if (resolved_threads > 1) {
+    std::printf("\nparallel FS (%d threads): largest-n speedup %.2fx, "
+                "results identical to serial: %s\n",
+                resolved_threads,
+                serial_times.back() / threaded_times.back(),
+                threads_match ? "yes" : "NO");
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write '%s'\n", json_path.c_str());
+      return 2;
+    }
+    std::fprintf(out, "[\n");
+    for (std::size_t i = 0; i < ns.size(); ++i) {
+      std::fprintf(out,
+                   "  {\"n\": %d, \"threads\": %d, \"seconds_serial\": %.6f, "
+                   "\"seconds_threads\": %.6f, \"speedup\": %.4f, "
+                   "\"table_cells\": %.0f}%s\n",
+                   ns[i], resolved_threads, serial_times[i],
+                   threaded_times[i], serial_times[i] / threaded_times[i],
+                   fs_cells[i], i + 1 < ns.size() ? "," : "");
+    }
+    std::fprintf(out, "]\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
   const bool shape_ok = cell_fit.base > 2.6 && cell_fit.base < 3.4 &&
                         space_fit.base > 2.5 && space_fit.base < 3.4 &&
-                        space_matches;
+                        space_matches && threads_match;
   std::printf("result: %s\n",
               shape_ok
                   ? "FS time and space both scale as ~3^n as claimed"

@@ -6,20 +6,47 @@
 // evaluated at large n, whose fitted growth base must land near the
 // paper's gamma and strictly below 3.
 
+// Flags: --threads N (re-run each OptOBDD simulation with N pool threads
+// and report the speedup; all statistics must agree exactly) and
+// --json <path> (emit the per-n simulation rows as a JSON array).
+
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "core/minimize.hpp"
+#include "parallel/exec_policy.hpp"
 #include "quantum/analysis.hpp"
 #include "quantum/opt_obdd.hpp"
 #include "quantum/params.hpp"
 #include "tt/function_zoo.hpp"
 #include "util/fit.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ovo;
   util::Xoshiro256 rng(7);
+
+  int bench_threads = 1;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      bench_threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(
+          stderr,
+          "usage: bench_quantum_scaling [--threads N] [--json path]\n");
+      return 2;
+    }
+  }
+  par::ExecPolicy exec;
+  exec.num_threads = bench_threads;
+  const int resolved_threads = exec.resolved_threads();
 
   // --- (a) simulated runs at small n --------------------------------------
   std::printf("OptOBDD simulation (k = 1, alpha = 0.27, accounting "
@@ -27,6 +54,9 @@ int main() {
   std::printf("%3s %12s %16s %18s %10s\n", "n", "FS cells",
               "sim classical", "quantum charged", "min ok");
   bool all_optimal = true;
+  bool threads_match = true;
+  std::vector<int> sim_ns;
+  std::vector<double> sim_serial, sim_threaded;
   for (int n = 5; n <= 11; ++n) {
     const tt::TruthTable t = tt::random_function(n, rng);
     const core::MinimizeResult fs = core::fs_minimize(t);
@@ -34,7 +64,26 @@ int main() {
     quantum::OptObddOptions opt;
     opt.alphas = {0.27};
     opt.finder = &finder;
+    util::Timer timer;
     const quantum::OptObddResult q = quantum::opt_obdd_minimize(t, opt);
+    const double serial_time = timer.seconds();
+    double threaded_time = serial_time;
+    if (resolved_threads > 1) {
+      quantum::AccountingMinimumFinder finder_t(static_cast<double>(n));
+      quantum::OptObddOptions opt_t = opt;
+      opt_t.finder = &finder_t;
+      opt_t.exec = exec;
+      timer.reset();
+      const quantum::OptObddResult qt = quantum::opt_obdd_minimize(t, opt_t);
+      threaded_time = timer.seconds();
+      threads_match &=
+          qt.min_internal_nodes == q.min_internal_nodes &&
+          qt.order_root_first == q.order_root_first &&
+          qt.classical_ops.table_cells == q.classical_ops.table_cells;
+    }
+    sim_ns.push_back(n);
+    sim_serial.push_back(serial_time);
+    sim_threaded.push_back(threaded_time);
     const bool ok = q.min_internal_nodes == fs.min_internal_nodes;
     all_optimal &= ok;
     std::printf("%3d %12llu %16llu %18.0f %10s\n", n,
@@ -74,7 +123,35 @@ int main() {
               "quantum %.4f (paper gamma_6 = %.5f)\n",
               fs_fit.base, q_fit.base, k6.gamma);
 
-  const bool shape_ok = all_optimal && q_fit.base < fs_fit.base &&
+  if (resolved_threads > 1) {
+    std::printf("\nparallel OptOBDD (%d threads): largest-n speedup %.2fx, "
+                "results identical to serial: %s\n",
+                resolved_threads, sim_serial.back() / sim_threaded.back(),
+                threads_match ? "yes" : "NO");
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write '%s'\n", json_path.c_str());
+      return 2;
+    }
+    std::fprintf(out, "[\n");
+    for (std::size_t i = 0; i < sim_ns.size(); ++i) {
+      std::fprintf(out,
+                   "  {\"n\": %d, \"threads\": %d, \"seconds_serial\": %.6f, "
+                   "\"seconds_threads\": %.6f, \"speedup\": %.4f}%s\n",
+                   sim_ns[i], resolved_threads, sim_serial[i],
+                   sim_threaded[i], sim_serial[i] / sim_threaded[i],
+                   i + 1 < sim_ns.size() ? "," : "");
+    }
+    std::fprintf(out, "]\n");
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  const bool shape_ok = all_optimal && threads_match &&
+                        q_fit.base < fs_fit.base &&
                         std::fabs(q_fit.base - k6.gamma) < 0.05 &&
                         std::fabs(fs_fit.base - 3.0) < 0.02;
   std::printf("result: %s\n",

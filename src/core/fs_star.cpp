@@ -1,13 +1,30 @@
 #include "core/fs_star.hpp"
 
 #include <limits>
+#include <utility>
 
+#include "parallel/thread_pool.hpp"
 #include "util/check.hpp"
+#include "util/combinatorics.hpp"
 
 namespace ovo::core {
 
+namespace {
+
+/// Expands a dense subset of J's bit positions into a variable mask.
+util::Mask spread_mask(util::Mask dense, const std::vector<int>& j_vars) {
+  util::Mask K = 0;
+  util::for_each_bit(dense, [&](int b) {
+    K |= util::Mask{1} << j_vars[static_cast<std::size_t>(b)];
+  });
+  return K;
+}
+
+}  // namespace
+
 FsStarResult fs_star(const PrefixTable& base, util::Mask J, int stop_k,
-                     DiagramKind kind, OpCounter* ops) {
+                     DiagramKind kind, OpCounter* ops,
+                     const par::ExecPolicy& exec) {
   OVO_CHECK_MSG((base.vars & J) == 0, "fs_star: J overlaps prefix I");
   OVO_CHECK_MSG(util::is_subset(J, util::full_mask(base.n)),
                 "fs_star: J outside variable universe");
@@ -15,57 +32,116 @@ FsStarResult fs_star(const PrefixTable& base, util::Mask J, int stop_k,
   OVO_CHECK_MSG(stop_k >= 0 && stop_k <= j_size, "fs_star: bad stop layer");
 
   const std::vector<int> j_vars = util::bits_of(J);
+  const auto& binom = util::BinomialTable::instance();
+
+  const int threads =
+      par::ThreadPool::clamp_threads(exec.resolved_threads());
+  // Per-subset work is exponential in the free-variable count, so the
+  // default chunk is a single subset.
+  const std::uint64_t grain = exec.grain != 0 ? exec.grain : 1;
+  par::ThreadPool& pool = par::ThreadPool::shared();
 
   FsStarResult result;
   result.mincost.emplace(util::Mask{0}, base.mincost());
 
-  std::unordered_map<util::Mask, PrefixTable> prev;
-  prev.emplace(util::Mask{0}, base);
+  // Layer k holds one PrefixTable per k-subset of J, at the subset's
+  // colex rank (over dense positions into j_vars).  Layer 0 is the base.
+  std::vector<PrefixTable> prev;
+  prev.push_back(base);
+  std::vector<util::Mask> prev_dense{util::Mask{0}};
+
+  // Per-thread-slot state: scratch tables so the inner loop's candidate
+  // compaction reuses one buffer per thread, and OpCounter shards merged
+  // after each layer (exact: all fields commute).
+  std::vector<PrefixTable> scratch(static_cast<std::size_t>(threads));
+  std::vector<OpCounter> shards(static_cast<std::size_t>(threads));
 
   std::uint64_t prev_resident = base.cells.size();
   for (int layer = 1; layer <= stop_k; ++layer) {
-    std::unordered_map<util::Mask, PrefixTable> cur;
-    std::uint64_t cur_resident = 0;
-    // Enumerate K ⊆ J with |K| = layer via dense combinations of J's bits.
-    util::for_each_subset_of_size(j_size, layer, [&](util::Mask dense) {
-      util::Mask K = 0;
-      util::for_each_bit(dense, [&](int b) {
-        K |= util::Mask{1} << j_vars[static_cast<std::size_t>(b)];
-      });
-      PrefixTable best;
-      std::uint64_t best_cost = std::numeric_limits<std::uint64_t>::max();
-      int best_var = -1;
-      util::for_each_bit(K, [&](int k) {
-        const auto it = prev.find(K & ~(util::Mask{1} << k));
-        OVO_CHECK_MSG(it != prev.end(), "fs_star: missing predecessor table");
-        PrefixTable cand = compact(it->second, k, kind, ops);
+    const std::uint64_t layer_size =
+        binom.choose(j_size, layer);
+    // Gosper enumeration yields masks in increasing numeric order, which
+    // for fixed popcount IS colex rank order; the one-time size check
+    // below replaces the seed's per-(subset, variable) hash-find checks.
+    std::vector<util::Mask> dense;
+    dense.reserve(static_cast<std::size_t>(layer_size));
+    util::for_each_subset_of_size(j_size, layer, [&](util::Mask m) {
+      dense.push_back(m);
+    });
+    OVO_CHECK_MSG(dense.size() == layer_size,
+                  "fs_star: layer enumeration incomplete");
+
+    std::vector<PrefixTable> cur(static_cast<std::size_t>(layer_size));
+    std::vector<int> best_var(static_cast<std::size_t>(layer_size), -1);
+    std::vector<std::uint64_t> best_cost(
+        static_cast<std::size_t>(layer_size));
+
+    pool.parallel_for(0, layer_size, grain, threads, [&](std::uint64_t rank,
+                                                         int slot) {
+      const util::Mask d = dense[static_cast<std::size_t>(rank)];
+      OpCounter* shard =
+          ops != nullptr ? &shards[static_cast<std::size_t>(slot)] : nullptr;
+      PrefixTable& cand = scratch[static_cast<std::size_t>(slot)];
+      PrefixTable& best = cur[static_cast<std::size_t>(rank)];
+      std::uint64_t bc = std::numeric_limits<std::uint64_t>::max();
+      int bv = -1;
+      util::for_each_bit(d, [&](int b) {
+        // Predecessor = this subset minus one element, found at its colex
+        // rank in the previous layer — an O(layer) table-driven
+        // computation in place of the seed's hash find.
+        const util::Mask pd = d & ~(util::Mask{1} << b);
+        const std::uint64_t pred = binom.rank(pd);
+        OVO_DCHECK(pred < prev.size() &&
+                   prev_dense[static_cast<std::size_t>(pred)] == pd);
+        compact_into(cand, prev[static_cast<std::size_t>(pred)],
+                     j_vars[static_cast<std::size_t>(b)], kind, shard);
         const std::uint64_t cost = cand.mincost();
-        if (cost < best_cost) {
-          best_cost = cost;
-          best_var = k;
-          best = std::move(cand);
+        if (cost < bc) {
+          bc = cost;
+          bv = j_vars[static_cast<std::size_t>(b)];
+          std::swap(best, cand);
         }
       });
-      OVO_CHECK(best_var >= 0);
-      result.best_last.emplace(K, best_var);
-      result.mincost.emplace(K, best_cost);
-      cur_resident += best.cells.size();
-      cur.emplace(K, std::move(best));
+      best_var[static_cast<std::size_t>(rank)] = bv;
+      best_cost[static_cast<std::size_t>(rank)] = bc;
     });
-    // Remark 1: both layers are resident while the next one is built.
-    if (ops != nullptr) ops->observe_resident(prev_resident + cur_resident);
+
+    // Serial epilogue per layer: publish back-pointers/costs in rank
+    // order (identical to the seed's enumeration order) and account for
+    // residency.  Remark 1: both layers are resident while the next one
+    // is built.
+    std::uint64_t cur_resident = 0;
+    for (std::uint64_t r = 0; r < layer_size; ++r) {
+      OVO_CHECK(best_var[static_cast<std::size_t>(r)] >= 0);
+      const util::Mask K =
+          spread_mask(dense[static_cast<std::size_t>(r)], j_vars);
+      result.best_last.emplace(K, best_var[static_cast<std::size_t>(r)]);
+      result.mincost.emplace(K, best_cost[static_cast<std::size_t>(r)]);
+      cur_resident += cur[static_cast<std::size_t>(r)].cells.size();
+    }
+    if (ops != nullptr) {
+      for (OpCounter& shard : shards) {
+        *ops += shard;
+        shard.reset();
+      }
+      ops->observe_resident(prev_resident + cur_resident);
+    }
     prev_resident = cur_resident;
     prev = std::move(cur);
+    prev_dense = std::move(dense);
   }
 
-  result.tables = std::move(prev);
+  for (std::size_t r = 0; r < prev.size(); ++r)
+    result.tables.emplace(spread_mask(prev_dense[r], j_vars),
+                          std::move(prev[r]));
   return result;
 }
 
 PrefixTable fs_star_full(const PrefixTable& base, util::Mask J,
                          DiagramKind kind, OpCounter* ops,
-                         std::vector<int>* block_order_bottom_up) {
-  FsStarResult r = fs_star(base, J, util::popcount(J), kind, ops);
+                         std::vector<int>* block_order_bottom_up,
+                         const par::ExecPolicy& exec) {
+  FsStarResult r = fs_star(base, J, util::popcount(J), kind, ops, exec);
   if (block_order_bottom_up != nullptr)
     *block_order_bottom_up = reconstruct_block_order(r, J);
   auto it = r.tables.find(J);

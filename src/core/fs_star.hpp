@@ -5,11 +5,23 @@
 // cardinality — or FS(<I, J>) when run to completion.  Algorithm FS itself
 // (Theorem 5) is the special case I = ∅, J = [n], run to completion; see
 // minimize.hpp for that entry point.
+//
+// Layer storage is rank-indexed: within a layer the C(|J|, k) subsets are
+// stored in a dense vector indexed by the colexicographic rank of the
+// subset (over J's bit positions), so predecessor lookup in the inner loop
+// is an O(k) rank computation against the previous layer's vector instead
+// of a hash probe.  Subsets within a layer only read the previous layer,
+// so the per-subset best-last-variable searches are independent; they fan
+// out over the ovo::par thread pool when the ExecPolicy asks for threads,
+// with each subset writing results to its own rank's slot (race-free and
+// scheduling-independent).  The default policy is serial and bit-identical
+// to the original single-threaded implementation.
 
 #include <unordered_map>
 #include <vector>
 
 #include "core/prefix_table.hpp"
+#include "parallel/exec_policy.hpp"
 
 namespace ovo::core {
 
@@ -29,14 +41,18 @@ struct FsStarResult {
 };
 
 /// Runs the FS* DP from `base` over block J (disjoint from base.vars),
-/// stopping after layer `stop_k` (0 <= stop_k <= |J|).
+/// stopping after layer `stop_k` (0 <= stop_k <= |J|).  `exec` controls
+/// the per-layer fan-out over subsets; the default is serial.  Results
+/// and merged OpCounter totals are identical for every thread count.
 FsStarResult fs_star(const PrefixTable& base, util::Mask J, int stop_k,
-                     DiagramKind kind, OpCounter* ops = nullptr);
+                     DiagramKind kind, OpCounter* ops = nullptr,
+                     const par::ExecPolicy& exec = {});
 
 /// Convenience: run to completion and return the single FS(<I, J>) table.
 PrefixTable fs_star_full(const PrefixTable& base, util::Mask J,
                          DiagramKind kind, OpCounter* ops = nullptr,
-                         std::vector<int>* block_order_bottom_up = nullptr);
+                         std::vector<int>* block_order_bottom_up = nullptr,
+                         const par::ExecPolicy& exec = {});
 
 /// Recovers the optimal within-block variable order of J from the DP
 /// back-pointers: result[0] is the variable at the lowest level of the

@@ -10,12 +10,13 @@ namespace ovo::core {
 
 namespace {
 
-MinimizeResult minimize_from_base(const PrefixTable& base, DiagramKind kind) {
+MinimizeResult minimize_from_base(const PrefixTable& base, DiagramKind kind,
+                                  const par::ExecPolicy& exec) {
   MinimizeResult out;
   const util::Mask all = util::full_mask(base.n);
   std::vector<int> bottom_up;
   const PrefixTable final_table =
-      fs_star_full(base, all, kind, &out.ops, &bottom_up);
+      fs_star_full(base, all, kind, &out.ops, &bottom_up, exec);
   out.min_internal_nodes = final_table.mincost();
   out.order_root_first.assign(bottom_up.rbegin(), bottom_up.rend());
   return out;
@@ -23,16 +24,17 @@ MinimizeResult minimize_from_base(const PrefixTable& base, DiagramKind kind) {
 
 }  // namespace
 
-MinimizeResult fs_minimize(const tt::TruthTable& f, DiagramKind kind) {
+MinimizeResult fs_minimize(const tt::TruthTable& f, DiagramKind kind,
+                           const par::ExecPolicy& exec) {
   OVO_CHECK_MSG(kind != DiagramKind::kMtbdd,
                 "fs_minimize: use fs_minimize_mtbdd for value tables");
-  return minimize_from_base(initial_table(f), kind);
+  return minimize_from_base(initial_table(f), kind, exec);
 }
 
 MinimizeResult fs_minimize_mtbdd(const std::vector<std::int64_t>& values,
-                                 int n) {
+                                 int n, const par::ExecPolicy& exec) {
   return minimize_from_base(initial_table_values(values, n),
-                            DiagramKind::kMtbdd);
+                            DiagramKind::kMtbdd, exec);
 }
 
 namespace {
@@ -46,10 +48,14 @@ std::uint64_t chain_size(PrefixTable table,
   OVO_CHECK_MSG(util::is_permutation(order_root_first),
                 "order not a permutation");
   if (profile != nullptr) profile->assign(order_root_first.size(), 0);
-  // Compact bottom-up: last-read variable first.
+  // Compact bottom-up (last-read variable first), ping-ponging between
+  // two tables so each step reuses the other's cells buffer instead of
+  // allocating a fresh table per compaction.
+  PrefixTable next;
   for (std::size_t j = order_root_first.size(); j-- > 0;) {
     const std::uint64_t before = table.mincost();
-    table = compact(table, order_root_first[j], kind, ops);
+    compact_into(next, table, order_root_first[j], kind, ops);
+    std::swap(table, next);
     if (profile != nullptr)
       (*profile)[order_root_first.size() - 1 - j] = table.mincost() - before;
   }

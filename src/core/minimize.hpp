@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/prefix_table.hpp"
+#include "parallel/exec_policy.hpp"
 #include "tt/truth_table.hpp"
 
 namespace ovo::core {
@@ -26,19 +27,23 @@ struct MinimizeResult {
 };
 
 /// Exact minimum OBDD ordering by the Friedman–Supowit DP; O*(3^n) time and
-/// space in the number of variables of `f`.
+/// space in the number of variables of `f`.  `exec` fans the per-layer
+/// subset sweep out over the ovo::par pool; the default is serial, and
+/// results are identical for every thread count.
 MinimizeResult fs_minimize(const tt::TruthTable& f,
-                           DiagramKind kind = DiagramKind::kBdd);
+                           DiagramKind kind = DiagramKind::kBdd,
+                           const par::ExecPolicy& exec = {});
 
 /// Exact minimum ZDD ordering (Appendix D adaptation).
-inline MinimizeResult fs_minimize_zdd(const tt::TruthTable& f) {
-  return fs_minimize(f, DiagramKind::kZdd);
+inline MinimizeResult fs_minimize_zdd(const tt::TruthTable& f,
+                                      const par::ExecPolicy& exec = {}) {
+  return fs_minimize(f, DiagramKind::kZdd, exec);
 }
 
 /// Exact minimum MTBDD ordering for a multi-valued function given as a
 /// value table of size 2^n (Remark 2).
 MinimizeResult fs_minimize_mtbdd(const std::vector<std::int64_t>& values,
-                                 int n);
+                                 int n, const par::ExecPolicy& exec = {});
 
 /// Internal node count of the diagram for `f` under a full reading order
 /// (root first), computed by a single chain of table compactions; O(2^n).

@@ -40,13 +40,14 @@ PrefixTable shared_initial_table(const std::vector<tt::TruthTable>& outputs,
 }
 
 MultiMinimizeResult fs_minimize_shared(
-    const std::vector<tt::TruthTable>& outputs, DiagramKind kind) {
+    const std::vector<tt::TruthTable>& outputs, DiagramKind kind,
+    const par::ExecPolicy& exec) {
   MultiMinimizeResult r;
   int n = 0;
   const PrefixTable base = shared_initial_table(outputs, &n);
   std::vector<int> bottom_up;
   const PrefixTable final_table = fs_star_full(
-      base, util::full_mask(n), kind, &r.ops, &bottom_up);
+      base, util::full_mask(n), kind, &r.ops, &bottom_up, exec);
   r.min_internal_nodes = final_table.mincost();
   r.order_root_first.assign(bottom_up.rbegin(), bottom_up.rend());
   return r;

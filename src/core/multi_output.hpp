@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/prefix_table.hpp"
+#include "parallel/exec_policy.hpp"
 #include "tt/truth_table.hpp"
 
 namespace ovo::core {
@@ -33,7 +34,8 @@ struct MultiMinimizeResult {
 /// table width by m, a constant factor).
 MultiMinimizeResult fs_minimize_shared(
     const std::vector<tt::TruthTable>& outputs,
-    DiagramKind kind = DiagramKind::kBdd);
+    DiagramKind kind = DiagramKind::kBdd,
+    const par::ExecPolicy& exec = {});
 
 /// Shared-diagram size under a fixed reading order (root first) — the
 /// multi-output counterpart of diagram_size_for_order.

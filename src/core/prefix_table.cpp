@@ -88,6 +88,13 @@ PrefixTable initial_table_values(const std::vector<std::int64_t>& values,
 PrefixTable compact(const PrefixTable& t, int var, DiagramKind kind,
                     OpCounter* ops) {
   PrefixTable out;
+  compact_into(out, t, var, kind, ops);
+  return out;
+}
+
+void compact_into(PrefixTable& out, const PrefixTable& t, int var,
+                  DiagramKind kind, OpCounter* ops) {
+  OVO_DCHECK(&out != &t);
   out.n = t.n;
   out.vars = t.vars | (util::Mask{1} << var);
   out.num_terminals = t.num_terminals;
@@ -110,7 +117,6 @@ PrefixTable compact(const PrefixTable& t, int var, DiagramKind kind,
     ++ops->compactions;
     ops->dedup += dedup.stats();
   }
-  return out;
 }
 
 std::uint64_t compaction_width(const PrefixTable& t, int var,

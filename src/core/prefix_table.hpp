@@ -54,6 +54,17 @@ struct OpCounter {
     if (cells > peak_cells) peak_cells = cells;
   }
   void reset() { *this = OpCounter{}; }
+
+  /// Merges a shard (e.g. a per-thread counter from a parallel DP layer)
+  /// into this counter: sums are added, peaks maxed.  All fields commute,
+  /// so merged totals are exact and independent of which thread did what.
+  OpCounter& operator+=(const OpCounter& o) {
+    table_cells += o.table_cells;
+    compactions += o.compactions;
+    if (o.peak_cells > peak_cells) peak_cells = o.peak_cells;
+    dedup += o.dedup;
+    return *this;
+  }
 };
 
 struct PrefixTable {
@@ -86,6 +97,13 @@ PrefixTable initial_table_values(const std::vector<std::int64_t>& values,
 /// (which must be free in `t`).  Linear in |TABLE_I|.
 PrefixTable compact(const PrefixTable& t, int var, DiagramKind kind,
                     OpCounter* ops = nullptr);
+
+/// compact() writing into `out`, reusing out's cells buffer (no
+/// allocation once out's capacity covers |TABLE_I| / 2).  The workhorse
+/// of the DP inner loop and the chain evaluator, where a fresh table per
+/// compaction would churn the allocator.  `out` must not alias `t`.
+void compact_into(PrefixTable& out, const PrefixTable& t, int var,
+                  DiagramKind kind, OpCounter* ops = nullptr);
 
 /// The width Cost_var(f, pi_{(I,var)}) this compaction would add, without
 /// materializing the new table (same cost; used when only the size matters).

@@ -1,0 +1,41 @@
+#pragma once
+// Execution policy threaded through the public entry points that can fan
+// work out over the ovo::par thread pool (fs_minimize, fs_star, OptOBDD,
+// the reorder baselines, the statevector sweeps).  The default policy is
+// strictly serial: a caller that never asks for threads runs exactly the
+// code path the library shipped with before parallelism existed, and the
+// process never spawns a worker thread.
+
+#include <cstdint>
+
+namespace ovo::par {
+
+/// The thread count auto-detection resolves to: the OVO_THREADS
+/// environment variable if set to a positive integer, otherwise
+/// std::thread::hardware_concurrency() (minimum 1).  Cached after the
+/// first call.
+int default_threads();
+
+struct ExecPolicy {
+  /// Number of cooperating threads (including the calling thread).
+  /// 1 (the default) selects the serial path, which is bit-identical to
+  /// the pre-parallel implementation; 0 auto-detects via
+  /// default_threads().
+  int num_threads = 1;
+
+  /// Indices per work chunk handed to one thread at a time; 0 lets each
+  /// call site pick its own default (1 for heavyweight per-index work
+  /// like DP subsets, a few thousand for amplitude sweeps).  Reductions
+  /// fold chunk partials in chunk order, so floating-point reduction
+  /// results depend on the grain but not on the thread count.
+  std::uint64_t grain = 0;
+
+  int resolved_threads() const {
+    return num_threads == 0 ? default_threads() : num_threads;
+  }
+  bool serial() const { return resolved_threads() <= 1; }
+
+  static ExecPolicy auto_detect() { return ExecPolicy{0, 0}; }
+};
+
+}  // namespace ovo::par

@@ -1,0 +1,117 @@
+#include "parallel/thread_pool.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace ovo::par {
+
+int default_threads() {
+  static const int cached = [] {
+    if (const char* env = std::getenv("OVO_THREADS")) {
+      char* tail = nullptr;
+      const long v = std::strtol(env, &tail, 10);
+      if (tail != env && *tail == '\0' && v >= 1)
+        return ThreadPool::clamp_threads(static_cast<int>(
+            v > ThreadPool::kMaxThreads ? ThreadPool::kMaxThreads : v));
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1
+                   : ThreadPool::clamp_threads(static_cast<int>(hw));
+  }();
+  return cached;
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+int ThreadPool::workers() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return static_cast<int>(workers_.size());
+}
+
+bool& ThreadPool::in_worker() {
+  thread_local bool flag = false;
+  return flag;
+}
+
+void ThreadPool::ensure_workers(int count) {
+  std::lock_guard<std::mutex> lk(mu_);
+  while (static_cast<int>(workers_.size()) < count &&
+         static_cast<int>(workers_.size()) < kMaxThreads - 1)
+    workers_.emplace_back([this] { worker_main(); });
+}
+
+void ThreadPool::worker_main() {
+  in_worker() = true;
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      job = queue_.front();
+      queue_.pop_front();
+    }
+    drain_chunks(*job.region, job.slot);
+    // Detach from the region while holding its lock: once pending hits
+    // zero the caller may destroy the region, so do not touch it after
+    // the unlock.
+    {
+      std::lock_guard<std::mutex> lk(job.region->mu);
+      if (--job.region->pending == 0) job.region->done_cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::drain_chunks(Region& region, int slot) {
+  for (;;) {
+    const std::uint64_t lo =
+        region.next.fetch_add(region.grain, std::memory_order_relaxed);
+    if (lo >= region.end) return;
+    const std::uint64_t hi =
+        lo + region.grain < region.end ? lo + region.grain : region.end;
+    try {
+      region.run_chunk(lo, hi, slot);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lk(region.mu);
+        if (!region.error) region.error = std::current_exception();
+      }
+      // Park the cursor past the end so all participants wind down.
+      region.next.store(region.end, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+void ThreadPool::run_region(Region& region, int extra) {
+  if (extra > kMaxThreads - 1) extra = kMaxThreads - 1;
+  ensure_workers(extra);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    const int available = static_cast<int>(workers_.size());
+    if (extra > available) extra = available;
+    region.pending = extra;
+    for (int s = 1; s <= extra; ++s) queue_.push_back(Job{&region, s});
+  }
+  cv_.notify_all();
+  drain_chunks(region, 0);
+  {
+    std::unique_lock<std::mutex> lk(region.mu);
+    region.done_cv.wait(lk, [&] { return region.pending == 0; });
+  }
+  if (region.error) std::rethrow_exception(region.error);
+}
+
+}  // namespace ovo::par

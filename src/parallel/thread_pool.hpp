@@ -1,0 +1,162 @@
+#pragma once
+// Work-chunked thread pool (ovo::par) — the shared parallel-execution
+// substrate under the Friedman–Supowit DP, the statevector sweeps, and
+// the per-candidate order evaluations.  No external dependencies.
+//
+// Model: a parallel region splits an index range [begin, end) into
+// chunks of `grain` consecutive indices; participating threads pull
+// chunks off a shared atomic cursor until the range is exhausted.  The
+// calling thread always participates (as slot 0), so `threads = t`
+// means the caller plus up to t - 1 pool workers.
+//
+// Determinism contract:
+//  * parallel_for(threads <= 1) runs a plain serial loop on the calling
+//    thread — no pool machinery, bit-identical to pre-parallel code.
+//  * Which thread runs which chunk is scheduling-dependent; callers make
+//    results deterministic by giving every index its own write slot
+//    (e.g. the DP writes subset results at the subset's colex rank).
+//  * Per-thread scratch is indexed by the `slot` argument passed to the
+//    body (0 = caller, 1..t-1 = workers).  Slot-indexed accumulators
+//    must be merged with commutative operations (sums, maxes) to stay
+//    deterministic, because slot-to-chunk assignment is not.
+//  * parallel_reduce computes one partial per *chunk* and folds the
+//    partials in chunk order, so its result depends on the grain but not
+//    on the thread count — except threads <= 1, which maps the whole
+//    range as a single chunk (bit-identical to a pre-parallel serial
+//    accumulation loop).
+//
+// Nested regions: a parallel_for issued from inside a pool worker runs
+// serially on that worker (slot 0 of the inner region).  This keeps
+// composition deadlock-free; only the outermost region fans out.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "parallel/exec_policy.hpp"
+
+namespace ovo::par {
+
+class ThreadPool {
+ public:
+  /// Hard ceiling on cooperating threads per region (and on worker slot
+  /// ids).  Requests beyond it are clamped.
+  static constexpr int kMaxThreads = 64;
+
+  ThreadPool() = default;
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Process-wide pool shared by all call sites.  Lazily grows its
+  /// worker set to the largest thread count ever requested (minus the
+  /// caller), capped at kMaxThreads - 1; a process that only ever runs
+  /// serial policies never spawns a thread.
+  static ThreadPool& shared();
+
+  /// Worker threads currently alive (excludes callers).
+  int workers() const;
+
+  /// Clamps a requested thread count into [1, kMaxThreads].
+  static int clamp_threads(int threads) {
+    return threads < 1 ? 1 : (threads > kMaxThreads ? kMaxThreads : threads);
+  }
+
+  /// Runs fn(i, slot) for every i in [begin, end), chunked by `grain`
+  /// over at most `threads` threads (caller included).  slot identifies
+  /// the executing thread within this region, in [0, threads).
+  template <typename Fn>
+  void parallel_for(std::uint64_t begin, std::uint64_t end,
+                    std::uint64_t grain, int threads, Fn&& fn) {
+    if (begin >= end) return;
+    if (grain == 0) grain = 1;
+    threads = clamp_threads(threads);
+    const std::uint64_t chunks = (end - begin + grain - 1) / grain;
+    if (threads <= 1 || chunks <= 1 || in_worker()) {
+      for (std::uint64_t i = begin; i < end; ++i) fn(i, 0);
+      return;
+    }
+    Region region;
+    region.next.store(begin, std::memory_order_relaxed);
+    region.end = end;
+    region.grain = grain;
+    auto body = [&fn](std::uint64_t lo, std::uint64_t hi, int slot) {
+      for (std::uint64_t i = lo; i < hi; ++i) fn(i, slot);
+    };
+    region.run_chunk = std::ref(body);
+    const std::uint64_t extra64 =
+        std::min<std::uint64_t>(static_cast<std::uint64_t>(threads - 1),
+                                chunks - 1);
+    run_region(region, static_cast<int>(extra64));
+  }
+
+  /// Maps chunks [lo, hi) of [begin, end) with `map_chunk` and folds the
+  /// per-chunk partials with `combine` in ascending chunk order, seeded
+  /// by `init`.  threads <= 1 maps the whole range as one chunk.
+  template <typename T, typename MapChunk, typename Combine>
+  T parallel_reduce(std::uint64_t begin, std::uint64_t end,
+                    std::uint64_t grain, int threads, T init,
+                    MapChunk&& map_chunk, Combine&& combine) {
+    if (begin >= end) return init;
+    if (grain == 0) grain = 1;
+    threads = clamp_threads(threads);
+    const std::uint64_t chunks = (end - begin + grain - 1) / grain;
+    if (threads <= 1 || chunks <= 1 || in_worker())
+      return combine(std::move(init), map_chunk(begin, end));
+    std::vector<T> partials(chunks);
+    parallel_for(0, chunks, 1, threads, [&](std::uint64_t c, int) {
+      const std::uint64_t lo = begin + c * grain;
+      const std::uint64_t hi = lo + grain < end ? lo + grain : end;
+      partials[c] = map_chunk(lo, hi);
+    });
+    T acc = std::move(init);
+    for (T& p : partials) acc = combine(std::move(acc), std::move(p));
+    return acc;
+  }
+
+ private:
+  /// Shared state of one in-flight parallel region; lives on the
+  /// caller's stack for the duration of the region.
+  struct Region {
+    std::atomic<std::uint64_t> next{0};  ///< chunk cursor
+    std::uint64_t end = 0;
+    std::uint64_t grain = 1;
+    /// Type-erased chunk body: (chunk_begin, chunk_end, slot).
+    std::function<void(std::uint64_t, std::uint64_t, int)> run_chunk;
+    std::mutex mu;
+    std::condition_variable done_cv;
+    int pending = 0;  ///< workers still attached to this region
+    std::exception_ptr error;
+  };
+
+  struct Job {
+    Region* region = nullptr;
+    int slot = 0;
+  };
+
+  /// True on threads owned by this pool (blocks nested fan-out).
+  static bool& in_worker();
+
+  void ensure_workers(int count);
+  void worker_main();
+  /// Enqueues `extra` worker jobs, participates as slot 0, waits for the
+  /// workers to detach, rethrows the first captured exception.
+  void run_region(Region& region, int extra);
+  /// The chunk-pulling loop every participant runs.
+  static void drain_chunks(Region& region, int slot);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Job> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+}  // namespace ovo::par

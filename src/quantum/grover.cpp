@@ -20,10 +20,11 @@ int qubits_for(std::uint64_t space) {
 
 std::optional<std::uint64_t> grover_search(
     std::uint64_t space, const std::function<bool(std::uint64_t)>& marked,
-    util::Xoshiro256& rng, GroverStats* stats) {
+    util::Xoshiro256& rng, GroverStats* stats, const par::ExecPolicy& exec) {
   OVO_CHECK(space >= 1);
   const int q = qubits_for(space);
   Statevector psi(q);
+  psi.set_exec_policy(exec);
   const auto oracle = [&](std::uint64_t x) { return x < space && marked(x); };
 
   // BBHT: grow the iteration-count ceiling geometrically.
@@ -58,7 +59,8 @@ std::optional<std::uint64_t> grover_search(
 }
 
 MinFindResult durr_hoyer_min(const std::vector<std::int64_t>& values,
-                             util::Xoshiro256& rng, int rounds) {
+                             util::Xoshiro256& rng, int rounds,
+                             const par::ExecPolicy& exec) {
   OVO_CHECK_MSG(!values.empty(), "durr_hoyer_min: empty value array");
   OVO_CHECK(rounds >= 1);
   const std::uint64_t n = values.size();
@@ -75,7 +77,7 @@ MinFindResult durr_hoyer_min(const std::vector<std::int64_t>& values,
       const auto better = [&](std::uint64_t x) {
         return values[x] < threshold;
       };
-      const auto hit = grover_search(n, better, rng, &stats);
+      const auto hit = grover_search(n, better, rng, &stats, exec);
       out.oracle_queries += stats.oracle_queries;
       if (!hit.has_value()) break;  // probably at the minimum
       threshold_idx = *hit;

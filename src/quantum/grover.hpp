@@ -9,6 +9,7 @@
 #include <optional>
 #include <vector>
 
+#include "parallel/exec_policy.hpp"
 #include "util/rng.hpp"
 
 namespace ovo::quantum {
@@ -25,7 +26,8 @@ struct GroverStats {
 /// when one does).
 std::optional<std::uint64_t> grover_search(
     std::uint64_t space, const std::function<bool(std::uint64_t)>& marked,
-    util::Xoshiro256& rng, GroverStats* stats = nullptr);
+    util::Xoshiro256& rng, GroverStats* stats = nullptr,
+    const par::ExecPolicy& exec = {});
 
 struct MinFindResult {
   std::size_t best_index = 0;
@@ -39,6 +41,7 @@ struct MinFindResult {
 /// failure probability decays exponentially in `rounds` (the
 /// log(1/epsilon) factor of Lemma 6).
 MinFindResult durr_hoyer_min(const std::vector<std::int64_t>& values,
-                             util::Xoshiro256& rng, int rounds = 3);
+                             util::Xoshiro256& rng, int rounds = 3,
+                             const par::ExecPolicy& exec = {});
 
 }  // namespace ovo::quantum

@@ -39,15 +39,16 @@ MinOutcome AccountingMinimumFinder::find_min(
   return out;
 }
 
-GroverMinimumFinder::GroverMinimumFinder(int rounds, std::uint64_t seed)
-    : rounds_(rounds), rng_(seed) {
+GroverMinimumFinder::GroverMinimumFinder(int rounds, std::uint64_t seed,
+                                         const par::ExecPolicy& exec)
+    : rounds_(rounds), rng_(seed), exec_(exec) {
   OVO_CHECK(rounds >= 1);
 }
 
 MinOutcome GroverMinimumFinder::find_min(
     const std::vector<std::int64_t>& values) {
   OVO_CHECK_MSG(!values.empty(), "find_min: empty value array");
-  const MinFindResult r = durr_hoyer_min(values, rng_, rounds_);
+  const MinFindResult r = durr_hoyer_min(values, rng_, rounds_, exec_);
   MinOutcome out;
   out.best_index = r.best_index;
   out.quantum_queries = static_cast<double>(r.oracle_queries);

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "parallel/exec_policy.hpp"
 #include "util/rng.hpp"
 
 namespace ovo::quantum {
@@ -58,13 +59,18 @@ class AccountingMinimumFinder final : public MinimumFinder {
 
 class GroverMinimumFinder final : public MinimumFinder {
  public:
-  explicit GroverMinimumFinder(int rounds = 3, std::uint64_t seed = 1);
+  /// `exec` parallelizes the underlying statevector sweeps; serial by
+  /// default (queries and failure statistics are exec-independent — only
+  /// wall time changes).
+  explicit GroverMinimumFinder(int rounds = 3, std::uint64_t seed = 1,
+                               const par::ExecPolicy& exec = {});
 
   MinOutcome find_min(const std::vector<std::int64_t>& values) override;
 
  private:
   int rounds_;
   util::Xoshiro256 rng_;
+  par::ExecPolicy exec_;
 };
 
 }  // namespace ovo::quantum

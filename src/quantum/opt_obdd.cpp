@@ -35,14 +35,16 @@ class OptObddInstance {
  public:
   OptObddInstance(DiagramKind kind, std::vector<int> boundaries,
                   MinimumFinder& finder, Extender extend, OpCounter& ops,
-                  QuantumStats& stats, bool use_preprocess)
+                  QuantumStats& stats, bool use_preprocess,
+                  const par::ExecPolicy& exec)
       : kind_(kind),
         boundaries_(std::move(boundaries)),
         finder_(finder),
         extend_(std::move(extend)),
         ops_(ops),
         stats_(stats),
-        use_preprocess_(use_preprocess) {}
+        use_preprocess_(use_preprocess),
+        exec_(exec) {}
 
   Partial run(const PrefixTable& base, Mask J) {
     OVO_CHECK(!boundaries_.empty());
@@ -53,7 +55,7 @@ class OptObddInstance {
       // cost is paid classically, once.
       const std::uint64_t pre_cells = ops_.table_cells;
       preprocess_ =
-          core::fs_star(base, J, boundaries_.front(), kind_, &ops_);
+          core::fs_star(base, J, boundaries_.front(), kind_, &ops_, exec_);
       preprocess_cost = static_cast<double>(ops_.table_cells - pre_cells);
     }
     Partial top =
@@ -74,7 +76,7 @@ class OptObddInstance {
         // cost is incurred inside the quantum search.
         const std::uint64_t before = ops_.table_cells;
         p.table = core::fs_star_full(*base_, L, kind_, &ops_,
-                                     &p.order_bottom_up);
+                                     &p.order_bottom_up, exec_);
         p.quantum_cost = static_cast<double>(ops_.table_cells - before);
       }
       return p;
@@ -150,6 +152,7 @@ class OptObddInstance {
   OpCounter& ops_;
   QuantumStats& stats_;
   bool use_preprocess_;
+  par::ExecPolicy exec_;
   const PrefixTable* base_ = nullptr;
   core::FsStarResult preprocess_;
 };
@@ -159,11 +162,12 @@ Partial run_instance(const PrefixTable& base, Mask J, DiagramKind kind,
                      const std::vector<double>& alphas,
                      MinimumFinder& finder, const Extender& extend,
                      OpCounter& ops, QuantumStats& stats,
-                     bool use_preprocess = true) {
+                     bool use_preprocess = true,
+                     const par::ExecPolicy& exec = {}) {
   const std::vector<int> boundaries =
       realize_boundaries(alphas, util::popcount(J));
   OptObddInstance inst(kind, boundaries, finder, extend, ops, stats,
-                       use_preprocess);
+                       use_preprocess, exec);
   return inst.run(base, J);
 }
 
@@ -204,13 +208,13 @@ OptObddResult opt_obdd_minimize(const tt::TruthTable& f,
   const Extender fs_extender = [&](const PrefixTable& b, Mask J,
                                    std::vector<int>* order) {
     return core::fs_star_full(b, J, options.kind, &result.classical_ops,
-                              order);
+                              order, options.exec);
   };
 
   Partial top =
       run_instance(base, all, options.kind, options.alphas, *options.finder,
                    fs_extender, result.classical_ops, result.quantum,
-                   options.use_preprocess);
+                   options.use_preprocess, options.exec);
   result.min_internal_nodes = top.table.mincost();
   result.quantum.quantum_charged_cells = top.quantum_cost;
   result.order_root_first.assign(top.order_bottom_up.rbegin(),
@@ -231,12 +235,12 @@ OptObddResult opt_obdd_minimize_shared(
   const Extender fs_extender = [&](const PrefixTable& b, Mask J,
                                    std::vector<int>* order) {
     return core::fs_star_full(b, J, options.kind, &result.classical_ops,
-                              order);
+                              order, options.exec);
   };
   Partial top = run_instance(base, x_vars, options.kind, options.alphas,
                              *options.finder, fs_extender,
                              result.classical_ops, result.quantum,
-                             options.use_preprocess);
+                             options.use_preprocess, options.exec);
   result.min_internal_nodes = top.table.mincost();
   result.quantum.quantum_charged_cells = top.quantum_cost;
   result.order_root_first.assign(top.order_bottom_up.rbegin(),
@@ -259,7 +263,7 @@ OptObddResult tower_minimize(const tt::TruthTable& f,
   Extender gamma = [&](const PrefixTable& b, Mask J,
                        std::vector<int>* order) {
     return core::fs_star_full(b, J, options.kind, &result.classical_ops,
-                              order);
+                              order, options.exec);
   };
   for (std::size_t lvl = 0; lvl + 1 < options.alpha_levels.size(); ++lvl) {
     const std::vector<double>& alphas = options.alpha_levels[lvl];
@@ -272,7 +276,8 @@ OptObddResult tower_minimize(const tt::TruthTable& f,
         return inner(b, J, order);
       }
       Partial p = run_instance(b, J, options.kind, alphas, *options.finder,
-                               inner, result.classical_ops, result.quantum);
+                               inner, result.classical_ops, result.quantum,
+                               /*use_preprocess=*/true, options.exec);
       if (order != nullptr) *order = p.order_bottom_up;
       return std::move(p.table);
     };
@@ -280,7 +285,8 @@ OptObddResult tower_minimize(const tt::TruthTable& f,
 
   Partial top = run_instance(base, all, options.kind,
                              options.alpha_levels.back(), *options.finder,
-                             gamma, result.classical_ops, result.quantum);
+                             gamma, result.classical_ops, result.quantum,
+                             /*use_preprocess=*/true, options.exec);
   result.min_internal_nodes = top.table.mincost();
   // Tower accounting note: nested instances contribute their *classical*
   // simulation cost to the extension measurements, so this is an upper

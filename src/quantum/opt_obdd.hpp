@@ -23,6 +23,7 @@
 
 #include "core/fs_star.hpp"
 #include "core/minimize.hpp"
+#include "parallel/exec_policy.hpp"
 #include "quantum/min_find.hpp"
 #include "tt/truth_table.hpp"
 
@@ -61,6 +62,9 @@ struct OptObddOptions {
   /// precomputed once; without it (the gamma_0 = 2.98581 regime) each
   /// leaf recomputes FS of its prefix inside the quantum search.
   bool use_preprocess = true;
+  /// Execution policy forwarded to every FS* invocation (preprocess and
+  /// block extensions); serial by default.
+  par::ExecPolicy exec;
 };
 
 /// OptOBDD(k, alpha) on a truth table (Theorem 10 when finder errors are
@@ -84,6 +88,8 @@ struct TowerOptions {
   core::DiagramKind kind = core::DiagramKind::kBdd;
   std::vector<std::vector<double>> alpha_levels;
   MinimumFinder* finder = nullptr;
+  /// Execution policy forwarded to every FS* invocation; serial by default.
+  par::ExecPolicy exec;
 };
 
 OptObddResult tower_minimize(const tt::TruthTable& f,

@@ -19,10 +19,22 @@ void Statevector::reset_uniform() {
 }
 
 void Statevector::apply_diffusion() {
-  std::complex<double> mean{0.0, 0.0};
-  for (const auto& amp : amps_) mean += amp;
+  par::ThreadPool& pool = par::ThreadPool::shared();
+  const int threads = exec_.resolved_threads();
+  std::complex<double> mean = pool.parallel_reduce(
+      std::uint64_t{0}, amps_.size(), kAmpGrain, threads,
+      std::complex<double>{0.0, 0.0},
+      [&](std::uint64_t b, std::uint64_t e) {
+        std::complex<double> s{0.0, 0.0};
+        for (std::uint64_t x = b; x < e; ++x) s += amps_[x];
+        return s;
+      },
+      [](std::complex<double> a, std::complex<double> b) { return a + b; });
   mean /= static_cast<double>(amps_.size());
-  for (auto& amp : amps_) amp = 2.0 * mean - amp;
+  pool.parallel_for(std::uint64_t{0}, amps_.size(), kAmpGrain, threads,
+                    [&](std::uint64_t x, int) {
+                      amps_[x] = 2.0 * mean - amps_[x];
+                    });
 }
 
 void Statevector::apply_h(int q) {
@@ -60,8 +72,11 @@ void Statevector::apply_cz(int a, int b) {
 void Statevector::apply_mcz(std::uint64_t mask) {
   OVO_CHECK_MSG(mask != 0 && (mask >> qubits_) == 0,
                 "apply_mcz: bad control mask");
-  for (std::uint64_t x = 0; x < amps_.size(); ++x)
-    if ((x & mask) == mask) amps_[x] = -amps_[x];
+  par::ThreadPool::shared().parallel_for(
+      std::uint64_t{0}, amps_.size(), kAmpGrain, exec_.resolved_threads(),
+      [&](std::uint64_t x, int) {
+        if ((x & mask) == mask) amps_[x] = -amps_[x];
+      });
 }
 
 void Statevector::set_basis_state(std::uint64_t x) {
@@ -72,16 +87,29 @@ void Statevector::set_basis_state(std::uint64_t x) {
 
 double Statevector::overlap_magnitude(const Statevector& other) const {
   OVO_CHECK(qubits_ == other.qubits_);
-  std::complex<double> dot{0.0, 0.0};
-  for (std::uint64_t x = 0; x < amps_.size(); ++x)
-    dot += std::conj(amps_[x]) * other.amps_[x];
+  const std::complex<double> dot = par::ThreadPool::shared().parallel_reduce(
+      std::uint64_t{0}, amps_.size(), kAmpGrain, exec_.resolved_threads(),
+      std::complex<double>{0.0, 0.0},
+      [&](std::uint64_t b, std::uint64_t e) {
+        std::complex<double> s{0.0, 0.0};
+        for (std::uint64_t x = b; x < e; ++x)
+          s += std::conj(amps_[x]) * other.amps_[x];
+        return s;
+      },
+      [](std::complex<double> a, std::complex<double> b) { return a + b; });
   return std::abs(dot);
 }
 
 double Statevector::norm_squared() const {
-  double s = 0.0;
-  for (const auto& amp : amps_) s += std::norm(amp);
-  return s;
+  return par::ThreadPool::shared().parallel_reduce(
+      std::uint64_t{0}, amps_.size(), kAmpGrain, exec_.resolved_threads(),
+      0.0,
+      [&](std::uint64_t b, std::uint64_t e) {
+        double s = 0.0;
+        for (std::uint64_t x = b; x < e; ++x) s += std::norm(amps_[x]);
+        return s;
+      },
+      [](double a, double b) { return a + b; });
 }
 
 std::uint64_t Statevector::measure(util::Xoshiro256& rng) const {

@@ -15,6 +15,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "parallel/exec_policy.hpp"
+#include "parallel/thread_pool.hpp"
 #include "util/rng.hpp"
 
 namespace ovo::quantum {
@@ -27,14 +29,26 @@ class Statevector {
   int qubits() const { return qubits_; }
   std::uint64_t dimension() const { return std::uint64_t{1} << qubits_; }
 
+  /// Fans the amplitude sweeps (oracle, diffusion, probabilities, norms)
+  /// out over the ovo::par pool.  Serial by default.  Amplitude chunks are
+  /// fixed-size (kAmpGrain) and reduction partials are folded in chunk
+  /// order, so results do not depend on which thread ran which chunk.
+  void set_exec_policy(const par::ExecPolicy& exec) { exec_ = exec; }
+  const par::ExecPolicy& exec_policy() const { return exec_; }
+
   /// Resets to the uniform superposition.
   void reset_uniform();
 
   /// Phase oracle: flips the sign of every basis state x with marked(x).
+  /// Each basis state touches only its own amplitude, so the sweep fans
+  /// out over the pool without synchronization.
   template <typename Pred>
   void apply_phase_oracle(Pred&& marked) {
-    for (std::uint64_t x = 0; x < amps_.size(); ++x)
-      if (marked(x)) amps_[x] = -amps_[x];
+    par::ThreadPool::shared().parallel_for(
+        std::uint64_t{0}, amps_.size(), kAmpGrain, exec_.resolved_threads(),
+        [&](std::uint64_t x, int) {
+          if (marked(x)) amps_[x] = -amps_[x];
+        });
   }
 
   /// Grover diffusion (inversion about the mean).
@@ -64,10 +78,16 @@ class Statevector {
   /// Probability that a measurement yields a state satisfying pred.
   template <typename Pred>
   double probability_of(Pred&& pred) const {
-    double p = 0.0;
-    for (std::uint64_t x = 0; x < amps_.size(); ++x)
-      if (pred(x)) p += std::norm(amps_[x]);
-    return p;
+    return par::ThreadPool::shared().parallel_reduce(
+        std::uint64_t{0}, amps_.size(), kAmpGrain, exec_.resolved_threads(),
+        0.0,
+        [&](std::uint64_t b, std::uint64_t e) {
+          double p = 0.0;
+          for (std::uint64_t x = b; x < e; ++x)
+            if (pred(x)) p += std::norm(amps_[x]);
+          return p;
+        },
+        [](double a, double b) { return a + b; });
   }
 
   /// Squared L2 norm (should stay 1 up to rounding; tests check this).
@@ -82,8 +102,15 @@ class Statevector {
   }
 
  private:
+  /// Amplitudes per pool chunk; sized so chunk bookkeeping is negligible
+  /// next to the sweep itself, and fixed (not thread-count-derived) so the
+  /// chunk boundaries — and hence every reduction's fold order — are the
+  /// same for all thread counts > 1.
+  static constexpr std::uint64_t kAmpGrain = 4096;
+
   int qubits_;
   std::vector<std::complex<double>> amps_;
+  par::ExecPolicy exec_;
 };
 
 }  // namespace ovo::quantum

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "core/minimize.hpp"
+#include "parallel/thread_pool.hpp"
 #include "util/check.hpp"
 #include "util/combinatorics.hpp"
 
@@ -17,32 +18,81 @@ std::uint64_t size_of(const tt::TruthTable& f, const std::vector<int>& order,
   return core::diagram_size_for_order(f, order, kind);
 }
 
+/// Evaluates every candidate order's size over the pool (one candidate per
+/// chunk: each evaluation is an O(2^n) compaction chain).  Selection stays
+/// with the caller's serial scan, so tie-breaking is identical to the
+/// serial code for every thread count.
+std::vector<std::uint64_t> sizes_of(
+    const tt::TruthTable& f, const std::vector<std::vector<int>>& candidates,
+    core::DiagramKind kind, const par::ExecPolicy& exec) {
+  std::vector<std::uint64_t> sizes(candidates.size());
+  const std::uint64_t grain = exec.grain != 0 ? exec.grain : 1;
+  par::ThreadPool::shared().parallel_for(
+      std::uint64_t{0}, candidates.size(), grain, exec.resolved_threads(),
+      [&](std::uint64_t i, int) {
+        sizes[static_cast<std::size_t>(i)] =
+            size_of(f, candidates[static_cast<std::size_t>(i)], kind);
+      });
+  return sizes;
+}
+
 }  // namespace
 
 OrderSearchResult brute_force_minimize(const tt::TruthTable& f,
-                                       core::DiagramKind kind) {
+                                       core::DiagramKind kind,
+                                       const par::ExecPolicy& exec) {
   const int n = f.num_vars();
   OVO_CHECK_MSG(n >= 1 && n <= 10, "brute_force_minimize: n must be in [1,10]");
-  std::vector<int> order(static_cast<std::size_t>(n));
-  std::iota(order.begin(), order.end(), 0);
+  std::uint64_t total = 1;
+  for (int i = 2; i <= n; ++i) total *= static_cast<std::uint64_t>(i);
+
+  // Chunked by lexicographic rank: each chunk unranks its first
+  // permutation and advances with next_permutation.  Strict-< folds (both
+  // inside a chunk and across chunks, which combine in rank order) keep
+  // the first lexicographic minimizer, matching the serial sweep exactly.
+  struct ChunkBest {
+    std::uint64_t best_rank = 0;
+    std::uint64_t best_size = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t worst_size = 0;
+  };
+  const std::uint64_t grain = exec.grain != 0 ? exec.grain : 1024;
+  const ChunkBest agg = par::ThreadPool::shared().parallel_reduce(
+      std::uint64_t{0}, total, grain, exec.resolved_threads(), ChunkBest{},
+      [&](std::uint64_t b, std::uint64_t e) {
+        ChunkBest c;
+        std::vector<int> order = util::permutation_unrank(n, b);
+        for (std::uint64_t r = b; r < e; ++r) {
+          const std::uint64_t s = size_of(f, order, kind);
+          if (s < c.best_size) {
+            c.best_size = s;
+            c.best_rank = r;
+          }
+          c.worst_size = std::max(c.worst_size, s);
+          std::next_permutation(order.begin(), order.end());
+        }
+        return c;
+      },
+      [](ChunkBest a, ChunkBest b) {
+        if (b.best_size < a.best_size) {
+          a.best_size = b.best_size;
+          a.best_rank = b.best_rank;
+        }
+        a.worst_size = std::max(a.worst_size, b.worst_size);
+        return a;
+      });
+
   OrderSearchResult best;
-  best.internal_nodes = std::numeric_limits<std::uint64_t>::max();
-  best.worst_internal_nodes = 0;
-  do {
-    const std::uint64_t s = size_of(f, order, kind);
-    ++best.orders_evaluated;
-    if (s < best.internal_nodes) {
-      best.internal_nodes = s;
-      best.order_root_first = order;
-    }
-    best.worst_internal_nodes = std::max(best.worst_internal_nodes, s);
-  } while (std::next_permutation(order.begin(), order.end()));
+  best.orders_evaluated = total;
+  best.internal_nodes = agg.best_size;
+  best.worst_internal_nodes = agg.worst_size;
+  best.order_root_first = util::permutation_unrank(n, agg.best_rank);
   return best;
 }
 
 OrderSearchResult sift(const tt::TruthTable& f,
                        std::vector<int> order,
-                       core::DiagramKind kind, int max_passes) {
+                       core::DiagramKind kind, int max_passes,
+                       const par::ExecPolicy& exec) {
   const int n = f.num_vars();
   OVO_CHECK_MSG(static_cast<int>(order.size()) == n, "sift: order length");
   OVO_CHECK_MSG(util::is_permutation(order), "sift: not a permutation");
@@ -55,18 +105,24 @@ OrderSearchResult sift(const tt::TruthTable& f,
       // Current position of variable v.
       const auto it = std::find(order.begin(), order.end(), v);
       std::size_t pos = static_cast<std::size_t>(it - order.begin());
-      // Try every insertion position; keep the best.
       std::vector<int> work = order;
       work.erase(work.begin() + static_cast<std::ptrdiff_t>(pos));
-      std::size_t best_pos = pos;
-      std::uint64_t best_size = r.internal_nodes;
+      // Evaluate every insertion position in parallel, then pick the best
+      // in ascending position order (first best wins, as serially).
+      std::vector<std::vector<int>> cands;
+      cands.reserve(work.size() + 1);
       for (std::size_t p = 0; p <= work.size(); ++p) {
         std::vector<int> cand = work;
         cand.insert(cand.begin() + static_cast<std::ptrdiff_t>(p), v);
-        const std::uint64_t s = size_of(f, cand, kind);
-        ++r.orders_evaluated;
-        if (s < best_size) {
-          best_size = s;
+        cands.push_back(std::move(cand));
+      }
+      const std::vector<std::uint64_t> sizes = sizes_of(f, cands, kind, exec);
+      r.orders_evaluated += cands.size();
+      std::size_t best_pos = pos;
+      std::uint64_t best_size = r.internal_nodes;
+      for (std::size_t p = 0; p < sizes.size(); ++p) {
+        if (sizes[p] < best_size) {
+          best_size = sizes[p];
           best_pos = p;
         }
       }
@@ -85,7 +141,8 @@ OrderSearchResult sift(const tt::TruthTable& f,
 
 OrderSearchResult window_permute(const tt::TruthTable& f,
                                  std::vector<int> order, int window,
-                                 core::DiagramKind kind, int max_passes) {
+                                 core::DiagramKind kind, int max_passes,
+                                 const par::ExecPolicy& exec) {
   const int n = f.num_vars();
   OVO_CHECK_MSG(static_cast<int>(order.size()) == n, "window: order length");
   OVO_CHECK_MSG(util::is_permutation(order), "window: not a permutation");
@@ -97,21 +154,32 @@ OrderSearchResult window_permute(const tt::TruthTable& f,
   for (int pass = 0; pass < max_passes; ++pass) {
     bool improved = false;
     for (int s = 0; s + window <= n; ++s) {
+      // Materialize the window's permutations in lexicographic order,
+      // evaluate them in parallel, and scan serially (first best wins).
       std::vector<int> slot(order.begin() + s, order.begin() + s + window);
       std::sort(slot.begin(), slot.end());
+      std::vector<std::vector<int>> slots;
+      do {
+        slots.push_back(slot);
+      } while (std::next_permutation(slot.begin(), slot.end()));
+      std::vector<std::vector<int>> cands;
+      cands.reserve(slots.size());
+      for (const std::vector<int>& sl : slots) {
+        std::vector<int> cand = order;
+        std::copy(sl.begin(), sl.end(), cand.begin() + s);
+        cands.push_back(std::move(cand));
+      }
+      const std::vector<std::uint64_t> sizes = sizes_of(f, cands, kind, exec);
+      r.orders_evaluated += cands.size();
       std::vector<int> best_slot(order.begin() + s,
                                  order.begin() + s + window);
       std::uint64_t best_size = r.internal_nodes;
-      do {
-        std::vector<int> cand = order;
-        std::copy(slot.begin(), slot.end(), cand.begin() + s);
-        const std::uint64_t sz = size_of(f, cand, kind);
-        ++r.orders_evaluated;
-        if (sz < best_size) {
-          best_size = sz;
-          best_slot = slot;
+      for (std::size_t i = 0; i < sizes.size(); ++i) {
+        if (sizes[i] < best_size) {
+          best_size = sizes[i];
+          best_slot = slots[i];
         }
-      } while (std::next_permutation(slot.begin(), slot.end()));
+      }
       if (best_size < r.internal_nodes) {
         std::copy(best_slot.begin(), best_slot.end(), order.begin() + s);
         r.internal_nodes = best_size;
@@ -126,21 +194,30 @@ OrderSearchResult window_permute(const tt::TruthTable& f,
 
 OrderSearchResult random_restart(const tt::TruthTable& f, int restarts,
                                  util::Xoshiro256& rng,
-                                 core::DiagramKind kind) {
+                                 core::DiagramKind kind,
+                                 const par::ExecPolicy& exec) {
   const int n = f.num_vars();
   OrderSearchResult best;
   best.internal_nodes = std::numeric_limits<std::uint64_t>::max();
+  // Draw the orders serially first — the RNG stream (carried shuffle
+  // state included) is exactly the serial implementation's — then fan the
+  // size evaluations out over the pool.
   std::vector<int> order(static_cast<std::size_t>(n));
   std::iota(order.begin(), order.end(), 0);
+  std::vector<std::vector<int>> cands;
+  cands.reserve(static_cast<std::size_t>(restarts));
   for (int t = 0; t < restarts; ++t) {
     for (int i = n - 1; i > 0; --i)
       std::swap(order[static_cast<std::size_t>(i)],
                 order[rng.below(static_cast<std::uint64_t>(i) + 1)]);
-    const std::uint64_t s = size_of(f, order, kind);
-    ++best.orders_evaluated;
-    if (s < best.internal_nodes) {
-      best.internal_nodes = s;
-      best.order_root_first = order;
+    cands.push_back(order);
+  }
+  const std::vector<std::uint64_t> sizes = sizes_of(f, cands, kind, exec);
+  best.orders_evaluated = cands.size();
+  for (std::size_t t = 0; t < sizes.size(); ++t) {
+    if (sizes[t] < best.internal_nodes) {
+      best.internal_nodes = sizes[t];
+      best.order_root_first = cands[t];
     }
   }
   return best;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/prefix_table.hpp"
+#include "parallel/exec_policy.hpp"
 #include "tt/truth_table.hpp"
 #include "util/rng.hpp"
 
@@ -29,29 +30,41 @@ struct OrderSearchResult {
 };
 
 /// Exhaustive search over all n! reading orders. Guarded to n <= 10.
+/// `exec` fans the permutation sweep over the ovo::par pool (chunked by
+/// lexicographic rank); the result is the first lexicographic minimizer
+/// for every thread count.
 OrderSearchResult brute_force_minimize(
-    const tt::TruthTable& f, core::DiagramKind kind = core::DiagramKind::kBdd);
+    const tt::TruthTable& f, core::DiagramKind kind = core::DiagramKind::kBdd,
+    const par::ExecPolicy& exec = {});
 
 /// Rudell sifting: repeatedly move each variable to its locally best
-/// position, until a fixpoint or `max_passes`.
+/// position, until a fixpoint or `max_passes`.  `exec` parallelizes the
+/// per-position size evaluations; the chosen position (first best, ties to
+/// the smallest index) is thread-count-independent.
 OrderSearchResult sift(const tt::TruthTable& f,
                        std::vector<int> initial_order_root_first,
                        core::DiagramKind kind = core::DiagramKind::kBdd,
-                       int max_passes = 8);
+                       int max_passes = 8,
+                       const par::ExecPolicy& exec = {});
 
 /// Window permutation: exhaustively permute every window of `window`
-/// adjacent levels, sliding left to right, until a fixpoint.
+/// adjacent levels, sliding left to right, until a fixpoint.  `exec`
+/// parallelizes the per-window candidate evaluations deterministically.
 OrderSearchResult window_permute(const tt::TruthTable& f,
                                  std::vector<int> initial_order_root_first,
                                  int window,
                                  core::DiagramKind kind =
                                      core::DiagramKind::kBdd,
-                                 int max_passes = 8);
+                                 int max_passes = 8,
+                                 const par::ExecPolicy& exec = {});
 
-/// Best of `restarts` uniformly random orderings.
+/// Best of `restarts` uniformly random orderings.  Orders are drawn from
+/// `rng` serially (the stream is identical to the serial implementation);
+/// only their size evaluations fan out over the pool.
 OrderSearchResult random_restart(const tt::TruthTable& f, int restarts,
                                  util::Xoshiro256& rng,
                                  core::DiagramKind kind =
-                                     core::DiagramKind::kBdd);
+                                     core::DiagramKind::kBdd,
+                                 const par::ExecPolicy& exec = {});
 
 }  // namespace ovo::reorder

@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "parallel/thread_pool.hpp"
 #include "util/check.hpp"
 
 namespace ovo::reorder {
@@ -35,7 +36,12 @@ bool residual_depends_on(const PrefixTable& t, int v) {
 
 class Search {
  public:
-  Search(DiagramKind kind, std::uint64_t upper) : kind_(kind), best_(upper) {}
+  /// States below this cell count expand serially: deep in the search the
+  /// tables are tiny and dispatch would dominate the compactions.
+  static constexpr std::uint64_t kParallelCellThreshold = 1ull << 12;
+
+  Search(DiagramKind kind, std::uint64_t upper, const par::ExecPolicy& exec)
+      : kind_(kind), best_(upper), exec_(exec) {}
 
   void run(const PrefixTable& root, BnbResult* out) {
     chain_.clear();
@@ -60,15 +66,26 @@ class Search {
       return;
     }
     // Generate children (one per free variable), cheapest width first so
-    // good incumbents appear early.
+    // good incumbents appear early.  The compactions are independent, each
+    // writing its own slot, so they fan out over the pool on states big
+    // enough to amortize dispatch; the sort sees the same sequence either
+    // way, so the visit order is thread-count-independent.
     struct Child {
       int var;
       PrefixTable table;
     };
-    std::vector<Child> children;
-    util::for_each_bit(state.free_mask(), [&](int v) {
-      children.push_back(Child{v, core::compact(state, v, kind_)});
-    });
+    const std::vector<int> free_vars = util::bits_of(state.free_mask());
+    std::vector<Child> children(free_vars.size());
+    const int threads = state.cells.size() >= kParallelCellThreshold
+                            ? exec_.resolved_threads()
+                            : 1;
+    par::ThreadPool::shared().parallel_for(
+        std::uint64_t{0}, free_vars.size(), std::uint64_t{1}, threads,
+        [&](std::uint64_t i, int) {
+          const int v = free_vars[static_cast<std::size_t>(i)];
+          children[static_cast<std::size_t>(i)] =
+              Child{v, core::compact(state, v, kind_)};
+        });
     std::sort(children.begin(), children.end(),
               [](const Child& a, const Child& b) {
                 return a.table.mincost() < b.table.mincost();
@@ -99,6 +116,7 @@ class Search {
 
   DiagramKind kind_;
   std::uint64_t best_;
+  par::ExecPolicy exec_;
   std::vector<int> chain_;        // bottom-up insertion order so far
   std::vector<int> best_chain_;
   std::unordered_map<util::Mask, std::uint64_t> seen_;
@@ -128,10 +146,11 @@ std::uint64_t bnb_lower_bound(const PrefixTable& t, DiagramKind kind) {
 
 BnbResult branch_and_bound_minimize(const tt::TruthTable& f,
                                     DiagramKind kind,
-                                    std::uint64_t initial_upper_bound) {
+                                    std::uint64_t initial_upper_bound,
+                                    const par::ExecPolicy& exec) {
   OVO_CHECK_MSG(f.num_vars() >= 1, "branch_and_bound: need >= 1 variable");
   BnbResult out;
-  Search search(kind, initial_upper_bound);
+  Search search(kind, initial_upper_bound, exec);
   search.run(core::initial_table(f), &out);
   OVO_CHECK_MSG(!out.order_root_first.empty(),
                 "branch_and_bound: initial upper bound excluded all "

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/prefix_table.hpp"
+#include "parallel/exec_policy.hpp"
 #include "tt/truth_table.hpp"
 
 namespace ovo::reorder {
@@ -38,10 +39,14 @@ struct BnbResult {
 
 /// Exact minimization by branch and bound. `initial_upper_bound` is an
 /// incumbent size (e.g. from sifting); pass UINT64_MAX to start cold.
+/// `exec` parallelizes per-node child generation (one compaction per free
+/// variable) on states large enough to amortize dispatch; the DFS itself
+/// — and therefore every statistic — is unchanged by the thread count.
 BnbResult branch_and_bound_minimize(
     const tt::TruthTable& f,
     core::DiagramKind kind = core::DiagramKind::kBdd,
-    std::uint64_t initial_upper_bound = ~std::uint64_t{0});
+    std::uint64_t initial_upper_bound = ~std::uint64_t{0},
+    const par::ExecPolicy& exec = {});
 
 /// The admissible lower bound used by the search (exposed for tests):
 /// minimum extra nodes any completion of prefix state `t` must add.

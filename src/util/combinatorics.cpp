@@ -72,6 +72,35 @@ Mask combination_unrank(int n, int k, std::uint64_t rank) {
   return m;
 }
 
+BinomialTable::BinomialTable() {
+  for (int n = 0; n <= kMaxN; ++n) {
+    c_[n][0] = 1;
+    for (int k = 1; k <= n; ++k)
+      c_[n][k] = c_[n - 1][k - 1] + (k <= n - 1 ? c_[n - 1][k] : 0);
+    for (int k = n + 1; k <= kMaxN; ++k) c_[n][k] = 0;
+  }
+}
+
+Mask BinomialTable::unrank(int n, int k, std::uint64_t rank) const {
+  OVO_CHECK(k >= 0 && k <= n && n <= kMaxN);
+  Mask m = 0;
+  for (int i = k; i >= 1; --i) {
+    int b = i - 1;
+    while (b + 1 < n && choose(b + 1, i) <= rank) ++b;
+    OVO_CHECK_MSG(b < n, "BinomialTable::unrank: rank out of range");
+    m |= Mask{1} << b;
+    rank -= choose(b, i);
+    n = b;
+  }
+  OVO_CHECK_MSG(rank == 0, "BinomialTable::unrank: rank out of range");
+  return m;
+}
+
+const BinomialTable& BinomialTable::instance() {
+  static const BinomialTable table;
+  return table;
+}
+
 double factorial(int n) {
   double r = 1.0;
   for (int i = 2; i <= n; ++i) r *= i;

@@ -26,11 +26,53 @@ double binary_entropy(double d);
 double entropy_bound(int n, int k);
 
 /// Colexicographic rank of a k-subset mask among all k-subsets of [0, n).
-/// rank is in [0, binom(n,k)).
+/// rank is in [0, binom(n,k)).  Colex order of subsets coincides with the
+/// numeric order of their masks, so Gosper-style enumeration
+/// (for_each_subset_of_size) visits subsets exactly in rank order — the
+/// property the rank-indexed DP layers rely on.
 std::uint64_t combination_rank(Mask m);
 
 /// Inverse of combination_rank: the k-subset of rank `rank` (colex order).
 Mask combination_unrank(int n, int k, std::uint64_t rank);
+
+/// Dense Pascal triangle for O(1) binomial lookups and O(k) colex
+/// (un)ranking — the replacement for hashing in the Friedman–Supowit DP
+/// inner loop, where every (subset, variable) pair needs the rank of a
+/// predecessor subset.  All entries for n <= 64 fit in 64 bits.
+class BinomialTable {
+ public:
+  static constexpr int kMaxN = 64;
+
+  BinomialTable();
+
+  std::uint64_t choose(int n, int k) const {
+    OVO_DCHECK(n >= 0 && n <= kMaxN);
+    if (k < 0 || k > n) return 0;
+    return c_[n][k];
+  }
+
+  /// Colex rank of a subset mask; same value as combination_rank but
+  /// table-driven (no per-term multiply loop, no overflow checks).
+  std::uint64_t rank(Mask m) const {
+    std::uint64_t r = 0;
+    int i = 1;
+    for_each_bit(m, [&](int b) {
+      r += choose(b, i);
+      ++i;
+    });
+    return r;
+  }
+
+  /// Inverse of rank over k-subsets of [0, n): same value as
+  /// combination_unrank.
+  Mask unrank(int n, int k, std::uint64_t rank) const;
+
+  /// Shared immutable instance (thread-safe; construction is cheap).
+  static const BinomialTable& instance();
+
+ private:
+  std::uint64_t c_[kMaxN + 1][kMaxN + 1];
+};
 
 /// n! as a double.
 double factorial(int n);

@@ -135,6 +135,34 @@ TEST(Combinatorics, UnrankOutOfRangeThrows) {
   EXPECT_THROW(combination_unrank(5, 2, binomial_u64(5, 2)), CheckError);
 }
 
+TEST(Combinatorics, BinomialTableMatchesBinomialU64) {
+  const BinomialTable& table = BinomialTable::instance();
+  for (int n = 0; n <= 32; ++n)
+    for (int k = -1; k <= n + 1; ++k)
+      EXPECT_EQ(table.choose(n, k), binomial_u64(n, k))
+          << "n=" << n << " k=" << k;
+}
+
+// The property the rank-indexed DP layers rely on: Gosper enumeration of
+// k-subsets visits exactly ranks 0, 1, 2, ... (colex order), and the
+// table-driven rank/unrank agree with combination_rank/unrank on every
+// subset of every size, n <= 16.
+TEST(Combinatorics, BinomialTableRankUnrankRoundtripAllSubsets) {
+  const BinomialTable& table = BinomialTable::instance();
+  for (int n = 1; n <= 16; ++n) {
+    for (int k = 0; k <= n; ++k) {
+      std::uint64_t expected_rank = 0;
+      for_each_subset_of_size(n, k, [&](Mask m) {
+        EXPECT_EQ(table.rank(m), expected_rank);
+        EXPECT_EQ(table.rank(m), combination_rank(m));
+        EXPECT_EQ(table.unrank(n, k, expected_rank), m);
+        ++expected_rank;
+      });
+      EXPECT_EQ(expected_rank, table.choose(n, k));
+    }
+  }
+}
+
 TEST(Combinatorics, FactorialValues) {
   EXPECT_DOUBLE_EQ(factorial(0), 1.0);
   EXPECT_DOUBLE_EQ(factorial(5), 120.0);

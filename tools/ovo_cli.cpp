@@ -1,8 +1,9 @@
 // ovo — command-line front end for the optimal-variable-ordering library.
 //
-//   ovo order   [--zdd] [--engine fs|bnb|quantum] [--shared] <input>
+//   ovo order   [--zdd] [--engine fs|bnb|quantum] [--shared] [--threads N]
+//               <input>
 //   ovo size    --order v1,v2,... [--zdd] <input>
-//   ovo compare <input>                 # exact vs heuristics report
+//   ovo compare [--threads N] <input>   # exact vs heuristics report
 //   ovo tables  [--k K] [--iters N]     # reproduce paper Tables 1 and 2
 //   ovo dot     <input>                 # minimum OBDD as Graphviz
 //
@@ -25,6 +26,7 @@
 #include "bdd/manager.hpp"
 #include "core/minimize.hpp"
 #include "core/multi_output.hpp"
+#include "parallel/exec_policy.hpp"
 #include "quantum/min_find.hpp"
 #include "quantum/opt_obdd.hpp"
 #include "quantum/params.hpp"
@@ -88,10 +90,20 @@ void print_order(const std::vector<int>& order) {
   std::printf("\n");
 }
 
+/// --threads N: 0 = auto (OVO_THREADS env or hardware concurrency);
+/// default 1 (serial).
+par::ExecPolicy parse_threads(const std::string& value) {
+  par::ExecPolicy exec;
+  exec.num_threads = std::stoi(value);
+  OVO_CHECK_MSG(exec.num_threads >= 0, "--threads: must be >= 0");
+  return exec;
+}
+
 int cmd_order(const std::vector<std::string>& args) {
   core::DiagramKind kind = core::DiagramKind::kBdd;
   std::string engine = "fs";
   bool shared = false;
+  par::ExecPolicy exec;
   std::string input;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--zdd") {
@@ -100,6 +112,8 @@ int cmd_order(const std::vector<std::string>& args) {
       engine = args[++i];
     } else if (args[i] == "--shared") {
       shared = true;
+    } else if (args[i] == "--threads" && i + 1 < args.size()) {
+      exec = parse_threads(args[++i]);
     } else {
       input = args[i];
     }
@@ -109,7 +123,7 @@ int cmd_order(const std::vector<std::string>& args) {
   std::printf("input: %s\n", loaded.description.c_str());
 
   if (shared) {
-    const auto r = core::fs_minimize_shared(loaded.outputs, kind);
+    const auto r = core::fs_minimize_shared(loaded.outputs, kind, exec);
     std::printf("shared minimum: %" PRIu64 " internal nodes\norder: ",
                 r.min_internal_nodes);
     print_order(r.order_root_first);
@@ -124,13 +138,14 @@ int cmd_order(const std::vector<std::string>& args) {
   std::vector<int> order;
   std::uint64_t nodes = 0;
   if (engine == "fs") {
-    const auto r = core::fs_minimize(f, kind);
+    const auto r = core::fs_minimize(f, kind, exec);
     order = r.order_root_first;
     nodes = r.min_internal_nodes;
     std::printf("engine: Friedman-Supowit DP (%" PRIu64 " table cells)\n",
                 r.ops.table_cells);
   } else if (engine == "bnb") {
-    const auto r = reorder::branch_and_bound_minimize(f, kind);
+    const auto r = reorder::branch_and_bound_minimize(
+        f, kind, ~std::uint64_t{0}, exec);
     order = r.order_root_first;
     nodes = r.internal_nodes;
     std::printf("engine: branch-and-bound (%" PRIu64 " states, %" PRIu64
@@ -144,6 +159,7 @@ int cmd_order(const std::vector<std::string>& args) {
     opt.kind = kind;
     opt.alphas = {0.27};
     opt.finder = &finder;
+    opt.exec = exec;
     const auto r = quantum::opt_obdd_minimize(f, opt);
     order = r.order_root_first;
     nodes = r.min_internal_nodes;
@@ -186,21 +202,32 @@ int cmd_size(const std::vector<std::string>& args) {
 }
 
 int cmd_compare(const std::vector<std::string>& args) {
-  OVO_CHECK_MSG(args.size() == 1, "compare: exactly one input");
-  const LoadedInput loaded = load_input(args[0]);
+  par::ExecPolicy exec;
+  std::string input;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--threads" && i + 1 < args.size()) {
+      exec = parse_threads(args[++i]);
+    } else {
+      input = args[i];
+    }
+  }
+  OVO_CHECK_MSG(!input.empty(), "compare: missing input");
+  const LoadedInput loaded = load_input(input);
   const tt::TruthTable& f = loaded.outputs.front();
   std::printf("input: %s\n\n", loaded.description.c_str());
-  const auto exact = core::fs_minimize(f);
+  const auto exact = core::fs_minimize(f, core::DiagramKind::kBdd, exec);
   std::vector<int> id(static_cast<std::size_t>(f.num_vars()));
   std::iota(id.begin(), id.end(), 0);
-  const auto sifted = reorder::sift(f, id);
+  const auto sifted =
+      reorder::sift(f, id, core::DiagramKind::kBdd, /*max_passes=*/8, exec);
   const std::uint64_t identity = core::diagram_size_for_order(f, id);
   std::printf("exact optimum : %" PRIu64 " internal nodes\n",
               exact.min_internal_nodes);
   std::printf("sifting       : %" PRIu64 "\n", sifted.internal_nodes);
   std::printf("identity order: %" PRIu64 "\n", identity);
   if (f.num_vars() <= 8) {
-    const auto bf = reorder::brute_force_minimize(f);
+    const auto bf =
+        reorder::brute_force_minimize(f, core::DiagramKind::kBdd, exec);
     std::printf("pessimal order: %" PRIu64 "\n", bf.worst_internal_nodes);
   }
   return 0;
@@ -240,9 +267,10 @@ void usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  ovo order   [--zdd] [--engine fs|bnb|quantum] [--shared] <input>\n"
+      "  ovo order   [--zdd] [--engine fs|bnb|quantum] [--shared]\n"
+      "              [--threads N] <input>\n"
       "  ovo size    --order v1,v2,... [--zdd] <input>\n"
-      "  ovo compare <input>\n"
+      "  ovo compare [--threads N] <input>\n"
       "  ovo tables  [--k K] [--iters N]\n"
       "  ovo dot     <input>\n"
       "<input>: file.pla | file.blif | a formula like \"x1 & x2 | x3\"\n");
