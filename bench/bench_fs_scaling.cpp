@@ -6,6 +6,13 @@
 // Flags: --threads N (re-time every FS run with N pool threads and report
 // the speedup over the serial run; results must agree exactly) and
 // --json <path> (emit the per-n rows as a JSON array).
+//
+// Budget flags (--timeout-ms / --node-limit / --mem-limit-mb /
+// --work-limit) run each n through the governed minimize_auto ladder with
+// a fresh budget instead of the raw DP: every row then reports its
+// Outcome (also in --json), the growth-fit checks are skipped (a tripped
+// run no longer measures the DP), and the bench demonstrates bounded
+// degradation instead.
 
 #include <cinttypes>
 #include <cstdio>
@@ -18,6 +25,8 @@
 #include "parallel/exec_policy.hpp"
 #include "quantum/analysis.hpp"
 #include "reorder/baselines.hpp"
+#include "reorder/minimize_auto.hpp"
+#include "rt/budget.hpp"
 #include "tt/function_zoo.hpp"
 #include "util/fit.hpp"
 #include "util/rng.hpp"
@@ -29,20 +38,82 @@ int main(int argc, char** argv) {
 
   int bench_threads = 1;
   std::string json_path;
+  rt::Budget budget;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       bench_threads = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--timeout-ms") == 0 && i + 1 < argc) {
+      budget.deadline_ms = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--node-limit") == 0 && i + 1 < argc) {
+      budget.node_limit = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--mem-limit-mb") == 0 && i + 1 < argc) {
+      budget.bytes_limit =
+          std::strtoull(argv[++i], nullptr, 10) * 1024 * 1024;
+    } else if (std::strcmp(argv[i], "--work-limit") == 0 && i + 1 < argc) {
+      budget.work_limit = std::strtoull(argv[++i], nullptr, 10);
     } else {
       std::fprintf(stderr,
-                   "usage: bench_fs_scaling [--threads N] [--json path]\n");
+                   "usage: bench_fs_scaling [--threads N] [--json path] "
+                   "[--timeout-ms N] [--node-limit N] [--mem-limit-mb N] "
+                   "[--work-limit N]\n");
       return 2;
     }
   }
   par::ExecPolicy exec;
   exec.num_threads = bench_threads;
   const int resolved_threads = exec.resolved_threads();
+
+  if (!budget.unlimited()) {
+    // Governed mode: every n runs the degradation ladder under a fresh
+    // copy of the budget; rows report why each run stopped.
+    util::Xoshiro256 grng(2024);
+    std::printf("Governed FS (minimize_auto ladder, fresh budget per n)\n\n");
+    std::printf("%3s %12s %8s %6s %10s %14s %12s\n", "n", "nodes", "optimal",
+                "layers", "outcome", "work units", "time(s)");
+    std::FILE* out = nullptr;
+    if (!json_path.empty()) {
+      out = std::fopen(json_path.c_str(), "w");
+      if (out == nullptr) {
+        std::fprintf(stderr, "cannot write '%s'\n", json_path.c_str());
+        return 2;
+      }
+      std::fprintf(out, "[\n");
+    }
+    const int kGovMaxN = 13;
+    for (int n = 2; n <= kGovMaxN; ++n) {
+      const tt::TruthTable t = tt::random_function(n, grng);
+      reorder::AutoMinimizeOptions opt;
+      opt.exec = exec;
+      util::Timer timer;
+      const auto r = reorder::minimize_auto(t, budget, opt);
+      const double secs = timer.seconds();
+      std::printf("%3d %12" PRIu64 " %8s %6d %10s %14" PRIu64 " %12.4f\n",
+                  n, r.value.internal_nodes, r.value.optimal ? "yes" : "no",
+                  r.value.dp_layers_completed, rt::outcome_name(r.outcome),
+                  r.stats.work_units, secs);
+      if (out != nullptr) {
+        std::fprintf(out,
+                     "  {\"n\": %d, \"threads\": %d, \"nodes\": %" PRIu64
+                     ", \"optimal\": %s, \"dp_layers\": %d, "
+                     "\"outcome\": \"%s\", \"work_units\": %" PRIu64
+                     ", \"seconds\": %.6f}%s\n",
+                     n, resolved_threads, r.value.internal_nodes,
+                     r.value.optimal ? "true" : "false",
+                     r.value.dp_layers_completed, rt::outcome_name(r.outcome),
+                     r.stats.work_units, secs, n < kGovMaxN ? "," : "");
+      }
+    }
+    if (out != nullptr) {
+      std::fprintf(out, "]\n");
+      std::fclose(out);
+      std::printf("wrote %s\n", json_path.c_str());
+    }
+    std::printf("result: governed runs completed (growth fits skipped "
+                "under a budget)\n");
+    return 0;
+  }
 
   std::printf("Theorem 5 + Remark 1 reproduction: FS time AND space vs "
               "brute force\n");

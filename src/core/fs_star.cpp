@@ -1,5 +1,6 @@
 #include "core/fs_star.hpp"
 
+#include <atomic>
 #include <limits>
 #include <utility>
 
@@ -24,7 +25,7 @@ util::Mask spread_mask(util::Mask dense, const std::vector<int>& j_vars) {
 
 FsStarResult fs_star(const PrefixTable& base, util::Mask J, int stop_k,
                      DiagramKind kind, OpCounter* ops,
-                     const par::ExecPolicy& exec) {
+                     const par::ExecPolicy& exec, rt::Governor* gov) {
   OVO_CHECK_MSG((base.vars & J) == 0, "fs_star: J overlaps prefix I");
   OVO_CHECK_MSG(util::is_subset(J, util::full_mask(base.n)),
                 "fs_star: J outside variable universe");
@@ -56,10 +57,29 @@ FsStarResult fs_star(const PrefixTable& base, util::Mask J, int stop_k,
   std::vector<PrefixTable> scratch(static_cast<std::size_t>(threads));
   std::vector<OpCounter> shards(static_cast<std::size_t>(threads));
 
+  const std::atomic<bool>* stop_flag =
+      gov != nullptr ? gov->stop_flag() : nullptr;
   std::uint64_t prev_resident = base.cells.size();
+  std::uint64_t layer_work = 0;
   for (int layer = 1; layer <= stop_k; ++layer) {
     const std::uint64_t layer_size =
         binom.choose(j_size, layer);
+    if (gov != nullptr) {
+      // Deterministic pre-admission: the whole layer's cost is known in
+      // closed form, so the trip decision is independent of thread count
+      // and made before any allocation.  Both layers are resident while
+      // the next one is built (Remark 1).
+      const std::uint64_t pred_cells =
+          static_cast<std::uint64_t>(base.cells.size()) >> (layer - 1);
+      layer_work =
+          layer_size * static_cast<std::uint64_t>(layer) * pred_cells;
+      const std::uint64_t resident =
+          prev_resident + layer_size * (pred_cells >> 1);
+      if (!gov->admit_nodes(resident) ||
+          !gov->admit_bytes(resident * sizeof(base.cells[0])) ||
+          !gov->admit_work(layer_work))
+        break;
+    }
     // Gosper enumeration yields masks in increasing numeric order, which
     // for fixed popcount IS colex rank order; the one-time size check
     // below replaces the seed's per-(subset, variable) hash-find checks.
@@ -76,8 +96,9 @@ FsStarResult fs_star(const PrefixTable& base, util::Mask J, int stop_k,
     std::vector<std::uint64_t> best_cost(
         static_cast<std::size_t>(layer_size));
 
-    pool.parallel_for(0, layer_size, grain, threads, [&](std::uint64_t rank,
-                                                         int slot) {
+    pool.parallel_for(0, layer_size, grain, threads, stop_flag,
+                      [&](std::uint64_t rank, int slot) {
+      if (gov != nullptr) gov->poll();  // cancel/deadline responsiveness
       const util::Mask d = dense[static_cast<std::size_t>(rank)];
       OpCounter* shard =
           ops != nullptr ? &shards[static_cast<std::size_t>(slot)] : nullptr;
@@ -105,6 +126,7 @@ FsStarResult fs_star(const PrefixTable& base, util::Mask J, int stop_k,
       best_var[static_cast<std::size_t>(rank)] = bv;
       best_cost[static_cast<std::size_t>(rank)] = bc;
     });
+    if (gov != nullptr && gov->stopped()) break;  // discard partial layer
 
     // Serial epilogue per layer: publish back-pointers/costs in rank
     // order (identical to the seed's enumeration order) and account for
@@ -129,6 +151,8 @@ FsStarResult fs_star(const PrefixTable& base, util::Mask J, int stop_k,
     prev_resident = cur_resident;
     prev = std::move(cur);
     prev_dense = std::move(dense);
+    result.completed_layers = layer;
+    if (gov != nullptr) gov->charge(layer_work);
   }
 
   for (std::size_t r = 0; r < prev.size(); ++r)

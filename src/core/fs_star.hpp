@@ -22,6 +22,7 @@
 
 #include "core/prefix_table.hpp"
 #include "parallel/exec_policy.hpp"
+#include "rt/budget.hpp"
 
 namespace ovo::core {
 
@@ -38,15 +39,30 @@ struct FsStarResult {
   /// MINCOST_{<I,K>} (chain totals, including the base's mincost) for every
   /// K ⊆ J with |K| <= stop_k.
   std::unordered_map<util::Mask, std::uint64_t> mincost;
+
+  /// Deepest fully built layer.  Equals the requested stop_k when the run
+  /// completed; smaller iff a governor tripped, in which case `tables`
+  /// holds the last *completed* layer (partial layers are discarded).
+  int completed_layers = 0;
 };
 
 /// Runs the FS* DP from `base` over block J (disjoint from base.vars),
 /// stopping after layer `stop_k` (0 <= stop_k <= |J|).  `exec` controls
 /// the per-layer fan-out over subsets; the default is serial.  Results
 /// and merged OpCounter totals are identical for every thread count.
+///
+/// When `gov` is non-null the run is budgeted: each layer's work
+/// (C(|J|,k) subsets × k compactions × predecessor cells) and projected
+/// residency are admitted *before* the layer is built — a deterministic
+/// decision independent of thread count — and cancellation/deadline are
+/// polled per subset, discarding any partially built layer.  On a trip
+/// the result holds every layer up to `completed_layers` and remains
+/// fully consistent (valid tables, back-pointers, and mincosts for all
+/// published subsets).
 FsStarResult fs_star(const PrefixTable& base, util::Mask J, int stop_k,
                      DiagramKind kind, OpCounter* ops = nullptr,
-                     const par::ExecPolicy& exec = {});
+                     const par::ExecPolicy& exec = {},
+                     rt::Governor* gov = nullptr);
 
 /// Convenience: run to completion and return the single FS(<I, J>) table.
 PrefixTable fs_star_full(const PrefixTable& base, util::Mask J,

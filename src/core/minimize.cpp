@@ -42,7 +42,8 @@ namespace {
 std::uint64_t chain_size(PrefixTable table,
                          const std::vector<int>& order_root_first,
                          DiagramKind kind, OpCounter* ops,
-                         std::vector<std::uint64_t>* profile) {
+                         std::vector<std::uint64_t>* profile,
+                         const rt::Governor* gov = nullptr) {
   OVO_CHECK_MSG(static_cast<int>(order_root_first.size()) == table.n,
                 "order length mismatch");
   OVO_CHECK_MSG(util::is_permutation(order_root_first),
@@ -53,6 +54,7 @@ std::uint64_t chain_size(PrefixTable table,
   // allocating a fresh table per compaction.
   PrefixTable next;
   for (std::size_t j = order_root_first.size(); j-- > 0;) {
+    if (gov != nullptr && gov->stopped()) return kAbortedSize;
     const std::uint64_t before = table.mincost();
     compact_into(next, table, order_root_first[j], kind, ops);
     std::swap(table, next);
@@ -66,15 +68,18 @@ std::uint64_t chain_size(PrefixTable table,
 
 std::uint64_t diagram_size_for_order(const tt::TruthTable& f,
                                      const std::vector<int>& order_root_first,
-                                     DiagramKind kind, OpCounter* ops) {
-  return chain_size(initial_table(f), order_root_first, kind, ops, nullptr);
+                                     DiagramKind kind, OpCounter* ops,
+                                     const rt::Governor* gov) {
+  return chain_size(initial_table(f), order_root_first, kind, ops, nullptr,
+                    gov);
 }
 
 std::uint64_t diagram_size_for_order_values(
     const std::vector<std::int64_t>& values, int n,
-    const std::vector<int>& order_root_first, OpCounter* ops) {
+    const std::vector<int>& order_root_first, OpCounter* ops,
+    const rt::Governor* gov) {
   return chain_size(initial_table_values(values, n), order_root_first,
-                    DiagramKind::kMtbdd, ops, nullptr);
+                    DiagramKind::kMtbdd, ops, nullptr, gov);
 }
 
 std::vector<std::uint64_t> level_profile_for_order(

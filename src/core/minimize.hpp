@@ -45,18 +45,34 @@ inline MinimizeResult fs_minimize_zdd(const tt::TruthTable& f,
 MinimizeResult fs_minimize_mtbdd(const std::vector<std::int64_t>& values,
                                  int n, const par::ExecPolicy& exec = {});
 
+/// Sentinel returned by governed size evaluations hard-stopped mid-chain.
+/// Larger than any real size, so an aborted candidate is never selected.
+inline constexpr std::uint64_t kAbortedSize = ~std::uint64_t{0};
+
 /// Internal node count of the diagram for `f` under a full reading order
 /// (root first), computed by a single chain of table compactions; O(2^n).
 /// This is the exact size oracle used by the heuristic baselines.
+/// A non-null `gov` is checked between compactions for hard stops
+/// (cancel / wall deadline); an aborted evaluation returns kAbortedSize.
+/// Work is NOT charged here — batch callers pre-admit the closed-form
+/// chain cost (2^{n+1} - 2 cells per evaluation) to stay deterministic.
 std::uint64_t diagram_size_for_order(const tt::TruthTable& f,
                                      const std::vector<int>& order_root_first,
                                      DiagramKind kind = DiagramKind::kBdd,
-                                     OpCounter* ops = nullptr);
+                                     OpCounter* ops = nullptr,
+                                     const rt::Governor* gov = nullptr);
 
 /// MTBDD variant of diagram_size_for_order.
 std::uint64_t diagram_size_for_order_values(
     const std::vector<std::int64_t>& values, int n,
-    const std::vector<int>& order_root_first, OpCounter* ops = nullptr);
+    const std::vector<int>& order_root_first, OpCounter* ops = nullptr,
+    const rt::Governor* gov = nullptr);
+
+/// Work units one full-chain size evaluation costs (cells read by the n
+/// compactions: 2^n + 2^{n-1} + ... + 2 = 2^{n+1} - 2).
+inline std::uint64_t chain_eval_cost(int n) {
+  return (std::uint64_t{2} << n) - 2;
+}
 
 /// Per-level widths (the paper's Cost_{pi[j]} profile, bottom-up: entry 0
 /// is the lowest level) under a full reading order.

@@ -86,15 +86,16 @@ PrefixTable initial_table_values(const std::vector<std::int64_t>& values,
 }
 
 PrefixTable compact(const PrefixTable& t, int var, DiagramKind kind,
-                    OpCounter* ops) {
+                    OpCounter* ops, rt::Governor* gov) {
   PrefixTable out;
-  compact_into(out, t, var, kind, ops);
+  compact_into(out, t, var, kind, ops, gov);
   return out;
 }
 
 void compact_into(PrefixTable& out, const PrefixTable& t, int var,
-                  DiagramKind kind, OpCounter* ops) {
+                  DiagramKind kind, OpCounter* ops, rt::Governor* gov) {
   OVO_DCHECK(&out != &t);
+  if (gov != nullptr) gov->charge(t.cells.size());
   out.n = t.n;
   out.vars = t.vars | (util::Mask{1} << var);
   out.num_terminals = t.num_terminals;

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "ds/unique_table.hpp"
+#include "rt/budget.hpp"
 #include "tt/truth_table.hpp"
 #include "util/bits.hpp"
 
@@ -95,15 +96,24 @@ PrefixTable initial_table_values(const std::vector<std::int64_t>& values,
 /// The paper's COMPACT: produces (TABLE_{(I,k)}, MINCOST_{(I,k)}) from
 /// (TABLE_I, MINCOST_I) by compacting with respect to variable `var`
 /// (which must be free in `t`).  Linear in |TABLE_I|.
+///
+/// A non-null `gov` charges |TABLE_I| work units (one per cell read —
+/// the paper's own work measure) before the sweep.  The compaction
+/// always runs to completion either way; governed callers check the
+/// governor *between* compactions, so a finished table is never left
+/// half-built.  Callers that pre-admit whole batches (the DP layers,
+/// the candidate evaluators) pass gov = nullptr here and charge the
+/// closed-form batch total instead.
 PrefixTable compact(const PrefixTable& t, int var, DiagramKind kind,
-                    OpCounter* ops = nullptr);
+                    OpCounter* ops = nullptr, rt::Governor* gov = nullptr);
 
 /// compact() writing into `out`, reusing out's cells buffer (no
 /// allocation once out's capacity covers |TABLE_I| / 2).  The workhorse
 /// of the DP inner loop and the chain evaluator, where a fresh table per
 /// compaction would churn the allocator.  `out` must not alias `t`.
 void compact_into(PrefixTable& out, const PrefixTable& t, int var,
-                  DiagramKind kind, OpCounter* ops = nullptr);
+                  DiagramKind kind, OpCounter* ops = nullptr,
+                  rt::Governor* gov = nullptr);
 
 /// The width Cost_var(f, pi_{(I,var)}) this compaction would add, without
 /// materializing the new table (same cost; used when only the size matters).

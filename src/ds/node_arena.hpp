@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "rt/fault.hpp"
 #include "util/check.hpp"
 
 namespace ovo::ds {
@@ -28,6 +29,9 @@ class NodeArena {
   }
 
   std::uint32_t push(std::int32_t level, std::uint32_t lo, std::uint32_t hi) {
+    // Fault-injection point at buffer-growth granularity; throwing here
+    // (before any append) keeps the three arrays the same length.
+    if (level_.size() == level_.capacity()) rt::fault_alloc_hook();
     const std::uint32_t id = static_cast<std::uint32_t>(level_.size());
     level_.push_back(level);
     lo_.push_back(lo);

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "ds/hash.hpp"
+#include "rt/fault.hpp"
 #include "util/check.hpp"
 
 namespace ovo::ds {
@@ -163,6 +164,10 @@ class UniqueTable {
   }
 
   void rehash(std::size_t new_slots) {
+    // Fault-injection point: growth is the only allocation this table
+    // performs, and the hook throws before any state changes, so a
+    // simulated allocation failure leaves the table untouched.
+    rt::fault_alloc_hook();
     std::vector<std::uint64_t> old_keys = std::move(keys_);
     std::vector<std::uint32_t> old_vals = std::move(vals_);
     keys_.assign(new_slots, 0);

@@ -76,6 +76,9 @@ void ThreadPool::worker_main() {
 
 void ThreadPool::drain_chunks(Region& region, int slot) {
   for (;;) {
+    if (region.stop != nullptr &&
+        region.stop->load(std::memory_order_relaxed))
+      return;  // cooperative drain: stop pulling, detach normally
     const std::uint64_t lo =
         region.next.fetch_add(region.grain, std::memory_order_relaxed);
     if (lo >= region.end) return;

@@ -28,6 +28,14 @@
 // Nested regions: a parallel_for issued from inside a pool worker runs
 // serially on that worker (slot 0 of the inner region).  This keeps
 // composition deadlock-free; only the outermost region fans out.
+//
+// Cooperative cancellation: the overloads taking a `stop` flag check it
+// once per chunk — before pulling the next chunk off the cursor — and
+// drain cooperatively (stop pulling, detach normally) when it flips.
+// Already-started chunks run to completion, so a stopped region never
+// leaves a chunk half-executed; callers discard the region's output when
+// the flag is set.  The flag is typically rt::Governor::stop_flag().
+// Passing stop == nullptr compiles to the ungoverned code path.
 
 #include <atomic>
 #include <condition_variable>
@@ -75,18 +83,40 @@ class ThreadPool {
   template <typename Fn>
   void parallel_for(std::uint64_t begin, std::uint64_t end,
                     std::uint64_t grain, int threads, Fn&& fn) {
+    parallel_for(begin, end, grain, threads,
+                 static_cast<const std::atomic<bool>*>(nullptr),
+                 std::forward<Fn>(fn));
+  }
+
+  /// As above, plus a cooperative stop flag checked at chunk boundaries
+  /// (see header comment).  stop may be nullptr.
+  template <typename Fn>
+  void parallel_for(std::uint64_t begin, std::uint64_t end,
+                    std::uint64_t grain, int threads,
+                    const std::atomic<bool>* stop, Fn&& fn) {
     if (begin >= end) return;
     if (grain == 0) grain = 1;
     threads = clamp_threads(threads);
     const std::uint64_t chunks = (end - begin + grain - 1) / grain;
     if (threads <= 1 || chunks <= 1 || in_worker()) {
-      for (std::uint64_t i = begin; i < end; ++i) fn(i, 0);
+      if (stop == nullptr) {
+        for (std::uint64_t i = begin; i < end; ++i) fn(i, 0);
+        return;
+      }
+      // Serial path honours the same chunk-boundary stop granularity as
+      // the parallel one, so governed runs degrade identically.
+      for (std::uint64_t lo = begin; lo < end; lo += grain) {
+        if (stop->load(std::memory_order_relaxed)) return;
+        const std::uint64_t hi = lo + grain < end ? lo + grain : end;
+        for (std::uint64_t i = lo; i < hi; ++i) fn(i, 0);
+      }
       return;
     }
     Region region;
     region.next.store(begin, std::memory_order_relaxed);
     region.end = end;
     region.grain = grain;
+    region.stop = stop;
     auto body = [&fn](std::uint64_t lo, std::uint64_t hi, int slot) {
       for (std::uint64_t i = lo; i < hi; ++i) fn(i, slot);
     };
@@ -104,14 +134,32 @@ class ThreadPool {
   T parallel_reduce(std::uint64_t begin, std::uint64_t end,
                     std::uint64_t grain, int threads, T init,
                     MapChunk&& map_chunk, Combine&& combine) {
+    return parallel_reduce(begin, end, grain, threads,
+                           static_cast<const std::atomic<bool>*>(nullptr),
+                           std::move(init), std::forward<MapChunk>(map_chunk),
+                           std::forward<Combine>(combine));
+  }
+
+  /// As above with a cooperative stop flag.  When the flag trips
+  /// mid-region the unmapped chunks contribute default-constructed
+  /// partials, so the caller must treat the result as garbage whenever
+  /// the flag is set on return.
+  template <typename T, typename MapChunk, typename Combine>
+  T parallel_reduce(std::uint64_t begin, std::uint64_t end,
+                    std::uint64_t grain, int threads,
+                    const std::atomic<bool>* stop, T init,
+                    MapChunk&& map_chunk, Combine&& combine) {
     if (begin >= end) return init;
     if (grain == 0) grain = 1;
     threads = clamp_threads(threads);
     const std::uint64_t chunks = (end - begin + grain - 1) / grain;
-    if (threads <= 1 || chunks <= 1 || in_worker())
+    if (threads <= 1 || chunks <= 1 || in_worker()) {
+      if (stop != nullptr && stop->load(std::memory_order_relaxed))
+        return init;
       return combine(std::move(init), map_chunk(begin, end));
+    }
     std::vector<T> partials(chunks);
-    parallel_for(0, chunks, 1, threads, [&](std::uint64_t c, int) {
+    parallel_for(0, chunks, 1, threads, stop, [&](std::uint64_t c, int) {
       const std::uint64_t lo = begin + c * grain;
       const std::uint64_t hi = lo + grain < end ? lo + grain : end;
       partials[c] = map_chunk(lo, hi);
@@ -128,6 +176,9 @@ class ThreadPool {
     std::atomic<std::uint64_t> next{0};  ///< chunk cursor
     std::uint64_t end = 0;
     std::uint64_t grain = 1;
+    /// Optional cooperative stop flag (not owned); checked before every
+    /// chunk pull.
+    const std::atomic<bool>* stop = nullptr;
     /// Type-erased chunk body: (chunk_begin, chunk_end, slot).
     std::function<void(std::uint64_t, std::uint64_t, int)> run_chunk;
     std::mutex mu;

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "parallel/exec_policy.hpp"
+#include "rt/budget.hpp"
 #include "util/rng.hpp"
 
 namespace ovo::quantum {
@@ -24,10 +25,17 @@ struct GroverStats {
 /// Returns nullopt if the iteration budget is exhausted without a verified
 /// hit (possible both when no solution exists and, with small probability,
 /// when one does).
+///
+/// When governed, each BBHT run is admitted as a whole — (j+1) Grover
+/// iterations at 3·dimension amplitude-cells each — at a serial program
+/// point after the schedule draw, so the RNG stream consumed under a fixed
+/// work budget is thread-count-independent.  A refused run or a hard stop
+/// returns nullopt (no verified hit), and the statevector's mutating
+/// sweeps drain at chunk boundaries on hard stops.
 std::optional<std::uint64_t> grover_search(
     std::uint64_t space, const std::function<bool(std::uint64_t)>& marked,
     util::Xoshiro256& rng, GroverStats* stats = nullptr,
-    const par::ExecPolicy& exec = {});
+    const par::ExecPolicy& exec = {}, rt::Governor* gov = nullptr);
 
 struct MinFindResult {
   std::size_t best_index = 0;
@@ -40,8 +48,15 @@ struct MinFindResult {
 /// final answer is the best index seen across `rounds` rounds, so the
 /// failure probability decays exponentially in `rounds` (the
 /// log(1/epsilon) factor of Lemma 6).
+///
+/// When governed, the descent degrades gracefully: a budget-refused
+/// search looks like an exhausted one (descent stops at the current
+/// threshold), later rounds are skipped once the governor reports any
+/// non-complete outcome, and the returned index is always the best
+/// candidate actually inspected.
 MinFindResult durr_hoyer_min(const std::vector<std::int64_t>& values,
                              util::Xoshiro256& rng, int rounds = 3,
-                             const par::ExecPolicy& exec = {});
+                             const par::ExecPolicy& exec = {},
+                             rt::Governor* gov = nullptr);
 
 }  // namespace ovo::quantum

@@ -32,7 +32,7 @@ void Statevector::apply_diffusion() {
       [](std::complex<double> a, std::complex<double> b) { return a + b; });
   mean /= static_cast<double>(amps_.size());
   pool.parallel_for(std::uint64_t{0}, amps_.size(), kAmpGrain, threads,
-                    [&](std::uint64_t x, int) {
+                    stop_flag(), [&](std::uint64_t x, int) {
                       amps_[x] = 2.0 * mean - amps_[x];
                     });
 }
@@ -74,7 +74,7 @@ void Statevector::apply_mcz(std::uint64_t mask) {
                 "apply_mcz: bad control mask");
   par::ThreadPool::shared().parallel_for(
       std::uint64_t{0}, amps_.size(), kAmpGrain, exec_.resolved_threads(),
-      [&](std::uint64_t x, int) {
+      stop_flag(), [&](std::uint64_t x, int) {
         if ((x & mask) == mask) amps_[x] = -amps_[x];
       });
 }

@@ -11,12 +11,14 @@
 // standard gate decompositions, so query counts and success probabilities
 // are exact.
 
+#include <atomic>
 #include <complex>
 #include <cstdint>
 #include <vector>
 
 #include "parallel/exec_policy.hpp"
 #include "parallel/thread_pool.hpp"
+#include "rt/budget.hpp"
 #include "util/rng.hpp"
 
 namespace ovo::quantum {
@@ -36,6 +38,14 @@ class Statevector {
   void set_exec_policy(const par::ExecPolicy& exec) { exec_ = exec; }
   const par::ExecPolicy& exec_policy() const { return exec_; }
 
+  /// Attaches a governor whose hard-stop flag the *state-mutating* sweeps
+  /// (oracle, diffusion, mcz) watch at chunk boundaries.  A sweep cut
+  /// short leaves the amplitudes indeterminate — callers observe
+  /// `gov->stopped()` and discard the state (Grover re-prepares it anyway).
+  /// Read-only reductions are not cut (they are cheap and their result
+  /// would otherwise be silently wrong).  Null detaches.
+  void set_governor(const rt::Governor* gov) { gov_ = gov; }
+
   /// Resets to the uniform superposition.
   void reset_uniform();
 
@@ -46,7 +56,7 @@ class Statevector {
   void apply_phase_oracle(Pred&& marked) {
     par::ThreadPool::shared().parallel_for(
         std::uint64_t{0}, amps_.size(), kAmpGrain, exec_.resolved_threads(),
-        [&](std::uint64_t x, int) {
+        stop_flag(), [&](std::uint64_t x, int) {
           if (marked(x)) amps_[x] = -amps_[x];
         });
   }
@@ -108,9 +118,14 @@ class Statevector {
   /// same for all thread counts > 1.
   static constexpr std::uint64_t kAmpGrain = 4096;
 
+  const std::atomic<bool>* stop_flag() const {
+    return gov_ != nullptr ? gov_->stop_flag() : nullptr;
+  }
+
   int qubits_;
   std::vector<std::complex<double>> amps_;
   par::ExecPolicy exec_;
+  const rt::Governor* gov_ = nullptr;
 };
 
 }  // namespace ovo::quantum

@@ -12,7 +12,7 @@ namespace ovo::reorder {
 AnnealResult simulated_annealing(const tt::TruthTable& f,
                                  std::vector<int> order,
                                  const AnnealOptions& options,
-                                 util::Xoshiro256& rng) {
+                                 util::Xoshiro256& rng, rt::Governor* gov) {
   const int n = f.num_vars();
   OVO_CHECK_MSG(static_cast<int>(order.size()) == n,
                 "annealing: order length mismatch");
@@ -21,22 +21,38 @@ AnnealResult simulated_annealing(const tt::TruthTable& f,
   OVO_CHECK(options.cooling > 0.0 && options.cooling < 1.0);
 
   AnnealResult r;
+  if (gov != nullptr) gov->charge(core::chain_eval_cost(n));
   std::uint64_t current =
       core::diagram_size_for_order(f, order, options.kind);
   ++r.orders_evaluated;
   r.internal_nodes = current;
   r.order_root_first = order;
 
+  bool out_of_budget = false;
   double temperature = options.initial_temperature;
-  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+  for (int epoch = 0; epoch < options.epochs && !out_of_budget; ++epoch) {
     for (int move = 0; move < options.moves_per_epoch; ++move) {
       if (n < 2) break;
+      // Admit the move's evaluation before drawing it, so the RNG
+      // stream of a budget-tripped run is a prefix of the unbudgeted
+      // one and the stopping move is deterministic.
+      if (gov != nullptr && (gov->stopped() ||
+                             !gov->admit_work(core::chain_eval_cost(n)))) {
+        out_of_budget = true;
+        break;
+      }
+      if (gov != nullptr) gov->charge(core::chain_eval_cost(n));
       const std::size_t i = rng.below(static_cast<std::uint64_t>(n));
       std::size_t j = rng.below(static_cast<std::uint64_t>(n));
       if (i == j) j = (j + 1) % static_cast<std::size_t>(n);
       std::swap(order[i], order[j]);
       const std::uint64_t cand =
-          core::diagram_size_for_order(f, order, options.kind);
+          core::diagram_size_for_order(f, order, options.kind, nullptr, gov);
+      if (cand == core::kAbortedSize) {  // hard stop mid-chain
+        std::swap(order[i], order[j]);
+        out_of_budget = true;
+        break;
+      }
       ++r.orders_evaluated;
       const double delta = static_cast<double>(cand) -
                            static_cast<double>(current);

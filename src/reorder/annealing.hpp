@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/prefix_table.hpp"
+#include "rt/budget.hpp"
 #include "tt/truth_table.hpp"
 #include "util/rng.hpp"
 
@@ -30,9 +31,13 @@ struct AnnealResult {
 };
 
 /// Anneals from `initial_order` (root first). Deterministic given `rng`.
+/// A non-null `gov` admits each move's evaluation cost before drawing it,
+/// so a work-limited run stops after the same move for any thread count
+/// and returns the best order seen so far.
 AnnealResult simulated_annealing(const tt::TruthTable& f,
                                  std::vector<int> initial_order,
                                  const AnnealOptions& options,
-                                 util::Xoshiro256& rng);
+                                 util::Xoshiro256& rng,
+                                 rt::Governor* gov = nullptr);
 
 }  // namespace ovo::reorder

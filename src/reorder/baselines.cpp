@@ -22,18 +22,38 @@ std::uint64_t size_of(const tt::TruthTable& f, const std::vector<int>& order,
 /// chunk: each evaluation is an O(2^n) compaction chain).  Selection stays
 /// with the caller's serial scan, so tie-breaking is identical to the
 /// serial code for every thread count.
+///
+/// With a governor, the batch is truncated — serially, before the fan-out
+/// — to the prefix the remaining work budget admits, so the set of
+/// evaluated candidates is identical for every thread count.  Entries not
+/// evaluated (truncated, or hard-stopped mid-chain) hold kAbortedSize,
+/// which no selection scan can pick as a best.
 std::vector<std::uint64_t> sizes_of(
     const tt::TruthTable& f, const std::vector<std::vector<int>>& candidates,
-    core::DiagramKind kind, const par::ExecPolicy& exec) {
-  std::vector<std::uint64_t> sizes(candidates.size());
+    core::DiagramKind kind, const par::ExecPolicy& exec,
+    rt::Governor* gov = nullptr) {
+  std::vector<std::uint64_t> sizes(candidates.size(), core::kAbortedSize);
+  std::uint64_t count = candidates.size();
+  if (gov != nullptr)
+    count = gov->admit_charge_batch(core::chain_eval_cost(f.num_vars()),
+                                    count);
   const std::uint64_t grain = exec.grain != 0 ? exec.grain : 1;
   par::ThreadPool::shared().parallel_for(
-      std::uint64_t{0}, candidates.size(), grain, exec.resolved_threads(),
+      std::uint64_t{0}, count, grain, exec.resolved_threads(),
+      gov != nullptr ? gov->stop_flag() : nullptr,
       [&](std::uint64_t i, int) {
-        sizes[static_cast<std::size_t>(i)] =
-            size_of(f, candidates[static_cast<std::size_t>(i)], kind);
+        sizes[static_cast<std::size_t>(i)] = core::diagram_size_for_order(
+            f, candidates[static_cast<std::size_t>(i)], kind, nullptr, gov);
       });
   return sizes;
+}
+
+/// Candidates actually evaluated in a sizes_of batch.
+std::uint64_t evaluated_count(const std::vector<std::uint64_t>& sizes) {
+  std::uint64_t c = 0;
+  for (const std::uint64_t s : sizes)
+    if (s != core::kAbortedSize) ++c;
+  return c;
 }
 
 }  // namespace
@@ -92,14 +112,18 @@ OrderSearchResult brute_force_minimize(const tt::TruthTable& f,
 OrderSearchResult sift(const tt::TruthTable& f,
                        std::vector<int> order,
                        core::DiagramKind kind, int max_passes,
-                       const par::ExecPolicy& exec) {
+                       const par::ExecPolicy& exec, rt::Governor* gov) {
   const int n = f.num_vars();
   OVO_CHECK_MSG(static_cast<int>(order.size()) == n, "sift: order length");
   OVO_CHECK_MSG(util::is_permutation(order), "sift: not a permutation");
   OrderSearchResult r;
+  // The initial evaluation is charged but never skipped: a governed sift
+  // must know its incumbent's size to improve on it.
+  if (gov != nullptr) gov->charge(core::chain_eval_cost(n));
   r.internal_nodes = size_of(f, order, kind);
   ++r.orders_evaluated;
-  for (int pass = 0; pass < max_passes; ++pass) {
+  bool out_of_budget = false;
+  for (int pass = 0; pass < max_passes && !out_of_budget; ++pass) {
     bool improved = false;
     for (int v = 0; v < n; ++v) {
       // Current position of variable v.
@@ -116,8 +140,10 @@ OrderSearchResult sift(const tt::TruthTable& f,
         cand.insert(cand.begin() + static_cast<std::ptrdiff_t>(p), v);
         cands.push_back(std::move(cand));
       }
-      const std::vector<std::uint64_t> sizes = sizes_of(f, cands, kind, exec);
-      r.orders_evaluated += cands.size();
+      const std::vector<std::uint64_t> sizes =
+          sizes_of(f, cands, kind, exec, gov);
+      const std::uint64_t evaluated = evaluated_count(sizes);
+      r.orders_evaluated += evaluated;
       std::size_t best_pos = pos;
       std::uint64_t best_size = r.internal_nodes;
       for (std::size_t p = 0; p < sizes.size(); ++p) {
@@ -132,6 +158,10 @@ OrderSearchResult sift(const tt::TruthTable& f,
         r.internal_nodes = best_size;
         improved = true;
       }
+      if (gov != nullptr && (gov->stopped() || evaluated < sizes.size())) {
+        out_of_budget = true;  // keep the incumbent found so far
+        break;
+      }
     }
     if (!improved) break;
   }
@@ -142,16 +172,19 @@ OrderSearchResult sift(const tt::TruthTable& f,
 OrderSearchResult window_permute(const tt::TruthTable& f,
                                  std::vector<int> order, int window,
                                  core::DiagramKind kind, int max_passes,
-                                 const par::ExecPolicy& exec) {
+                                 const par::ExecPolicy& exec,
+                                 rt::Governor* gov) {
   const int n = f.num_vars();
   OVO_CHECK_MSG(static_cast<int>(order.size()) == n, "window: order length");
   OVO_CHECK_MSG(util::is_permutation(order), "window: not a permutation");
   OVO_CHECK_MSG(window >= 2 && window <= 5, "window: size must be in [2,5]");
   OrderSearchResult r;
+  if (gov != nullptr) gov->charge(core::chain_eval_cost(n));
   r.internal_nodes = size_of(f, order, kind);
   ++r.orders_evaluated;
   if (window > n) window = n;
-  for (int pass = 0; pass < max_passes; ++pass) {
+  bool out_of_budget = false;
+  for (int pass = 0; pass < max_passes && !out_of_budget; ++pass) {
     bool improved = false;
     for (int s = 0; s + window <= n; ++s) {
       // Materialize the window's permutations in lexicographic order,
@@ -169,8 +202,10 @@ OrderSearchResult window_permute(const tt::TruthTable& f,
         std::copy(sl.begin(), sl.end(), cand.begin() + s);
         cands.push_back(std::move(cand));
       }
-      const std::vector<std::uint64_t> sizes = sizes_of(f, cands, kind, exec);
-      r.orders_evaluated += cands.size();
+      const std::vector<std::uint64_t> sizes =
+          sizes_of(f, cands, kind, exec, gov);
+      const std::uint64_t evaluated = evaluated_count(sizes);
+      r.orders_evaluated += evaluated;
       std::vector<int> best_slot(order.begin() + s,
                                  order.begin() + s + window);
       std::uint64_t best_size = r.internal_nodes;
@@ -185,6 +220,10 @@ OrderSearchResult window_permute(const tt::TruthTable& f,
         r.internal_nodes = best_size;
         improved = true;
       }
+      if (gov != nullptr && (gov->stopped() || evaluated < sizes.size())) {
+        out_of_budget = true;
+        break;
+      }
     }
     if (!improved) break;
   }
@@ -195,7 +234,8 @@ OrderSearchResult window_permute(const tt::TruthTable& f,
 OrderSearchResult random_restart(const tt::TruthTable& f, int restarts,
                                  util::Xoshiro256& rng,
                                  core::DiagramKind kind,
-                                 const par::ExecPolicy& exec) {
+                                 const par::ExecPolicy& exec,
+                                 rt::Governor* gov) {
   const int n = f.num_vars();
   OrderSearchResult best;
   best.internal_nodes = std::numeric_limits<std::uint64_t>::max();
@@ -212,8 +252,8 @@ OrderSearchResult random_restart(const tt::TruthTable& f, int restarts,
                 order[rng.below(static_cast<std::uint64_t>(i) + 1)]);
     cands.push_back(order);
   }
-  const std::vector<std::uint64_t> sizes = sizes_of(f, cands, kind, exec);
-  best.orders_evaluated = cands.size();
+  const std::vector<std::uint64_t> sizes = sizes_of(f, cands, kind, exec, gov);
+  best.orders_evaluated = evaluated_count(sizes);
   for (std::size_t t = 0; t < sizes.size(); ++t) {
     if (sizes[t] < best.internal_nodes) {
       best.internal_nodes = sizes[t];

@@ -15,6 +15,7 @@
 
 #include "core/prefix_table.hpp"
 #include "parallel/exec_policy.hpp"
+#include "rt/budget.hpp"
 #include "tt/truth_table.hpp"
 #include "util/rng.hpp"
 
@@ -41,30 +42,44 @@ OrderSearchResult brute_force_minimize(
 /// position, until a fixpoint or `max_passes`.  `exec` parallelizes the
 /// per-position size evaluations; the chosen position (first best, ties to
 /// the smallest index) is thread-count-independent.
+///
+/// A non-null `gov` budgets the search: every candidate batch is
+/// deterministically truncated to what the remaining work budget admits
+/// (core::chain_eval_cost(n) units per candidate, decided serially before
+/// the batch fans out), so a budget-tripped run stops at the same point
+/// for every thread count and returns the best order found so far —
+/// always a valid permutation at least as good as the initial one.
 OrderSearchResult sift(const tt::TruthTable& f,
                        std::vector<int> initial_order_root_first,
                        core::DiagramKind kind = core::DiagramKind::kBdd,
                        int max_passes = 8,
-                       const par::ExecPolicy& exec = {});
+                       const par::ExecPolicy& exec = {},
+                       rt::Governor* gov = nullptr);
 
 /// Window permutation: exhaustively permute every window of `window`
 /// adjacent levels, sliding left to right, until a fixpoint.  `exec`
 /// parallelizes the per-window candidate evaluations deterministically.
+/// `gov` budgets the search exactly as in sift().
 OrderSearchResult window_permute(const tt::TruthTable& f,
                                  std::vector<int> initial_order_root_first,
                                  int window,
                                  core::DiagramKind kind =
                                      core::DiagramKind::kBdd,
                                  int max_passes = 8,
-                                 const par::ExecPolicy& exec = {});
+                                 const par::ExecPolicy& exec = {},
+                                 rt::Governor* gov = nullptr);
 
 /// Best of `restarts` uniformly random orderings.  Orders are drawn from
 /// `rng` serially (the stream is identical to the serial implementation);
-/// only their size evaluations fan out over the pool.
+/// only their size evaluations fan out over the pool.  `gov` budgets the
+/// evaluations as in sift(); if the budget admits none, the result has an
+/// empty order and internal_nodes == core::kAbortedSize — callers with a
+/// prior incumbent keep it.
 OrderSearchResult random_restart(const tt::TruthTable& f, int restarts,
                                  util::Xoshiro256& rng,
                                  core::DiagramKind kind =
                                      core::DiagramKind::kBdd,
-                                 const par::ExecPolicy& exec = {});
+                                 const par::ExecPolicy& exec = {},
+                                 rt::Governor* gov = nullptr);
 
 }  // namespace ovo::reorder

@@ -40,8 +40,9 @@ class Search {
   /// tables are tiny and dispatch would dominate the compactions.
   static constexpr std::uint64_t kParallelCellThreshold = 1ull << 12;
 
-  Search(DiagramKind kind, std::uint64_t upper, const par::ExecPolicy& exec)
-      : kind_(kind), best_(upper), exec_(exec) {}
+  Search(DiagramKind kind, std::uint64_t upper, const par::ExecPolicy& exec,
+         rt::Governor* gov)
+      : kind_(kind), best_(upper), exec_(exec), gov_(gov) {}
 
   void run(const PrefixTable& root, BnbResult* out) {
     chain_.clear();
@@ -51,6 +52,7 @@ class Search {
     out->states_expanded = expanded_;
     out->states_pruned_bound = pruned_bound_;
     out->states_pruned_dominance = pruned_dominance_;
+    out->complete = !tripped_;
   }
 
   bool found() const { return !best_chain_.empty(); }
@@ -64,6 +66,19 @@ class Search {
         best_chain_ = chain_;
       }
       return;
+    }
+    if (gov_ != nullptr) {
+      // The DFS entry is a serial program point, so admitting this
+      // state's child-generation cost here makes the trip state-exact
+      // and thread-count-independent.
+      const std::uint64_t gen_cost =
+          static_cast<std::uint64_t>(state.free_count()) *
+          state.cells.size();
+      if (gov_->stopped() || !gov_->admit_work(gen_cost)) {
+        tripped_ = true;
+        return;
+      }
+      gov_->charge(gen_cost);
     }
     // Generate children (one per free variable), cheapest width first so
     // good incumbents appear early.  The compactions are independent, each
@@ -91,6 +106,7 @@ class Search {
                 return a.table.mincost() < b.table.mincost();
               });
     for (Child& c : children) {
+      if (tripped_) return;  // unwind without exploring further siblings
       const std::uint64_t cost = c.table.mincost();
       // Until an incumbent *order* exists the bound may stem from an
       // external estimate that some optimal chain meets with equality, so
@@ -117,6 +133,8 @@ class Search {
   DiagramKind kind_;
   std::uint64_t best_;
   par::ExecPolicy exec_;
+  rt::Governor* gov_ = nullptr;
+  bool tripped_ = false;
   std::vector<int> chain_;        // bottom-up insertion order so far
   std::vector<int> best_chain_;
   std::unordered_map<util::Mask, std::uint64_t> seen_;
@@ -124,6 +142,31 @@ class Search {
   std::uint64_t pruned_bound_ = 0;
   std::uint64_t pruned_dominance_ = 0;
 };
+
+/// Greedy descent (min child mincost, ties to the first free variable):
+/// the incumbent a governed cold start falls back on.  Returns the chain
+/// bottom-up and the final table's mincost.
+std::uint64_t greedy_descent(const PrefixTable& root, DiagramKind kind,
+                             std::vector<int>* chain_bottom_up) {
+  PrefixTable t = root;
+  PrefixTable cand, best_child;
+  chain_bottom_up->clear();
+  while (t.free_count() > 0) {
+    std::uint64_t best_cost = ~std::uint64_t{0};
+    int best_var = -1;
+    util::for_each_bit(t.free_mask(), [&](int v) {
+      compact_into(cand, t, v, kind);
+      if (cand.mincost() < best_cost) {
+        best_cost = cand.mincost();
+        best_var = v;
+        std::swap(best_child, cand);
+      }
+    });
+    chain_bottom_up->push_back(best_var);
+    std::swap(t, best_child);
+  }
+  return t.mincost();
+}
 
 }  // namespace
 
@@ -147,11 +190,29 @@ std::uint64_t bnb_lower_bound(const PrefixTable& t, DiagramKind kind) {
 BnbResult branch_and_bound_minimize(const tt::TruthTable& f,
                                     DiagramKind kind,
                                     std::uint64_t initial_upper_bound,
-                                    const par::ExecPolicy& exec) {
+                                    const par::ExecPolicy& exec,
+                                    rt::Governor* gov) {
   OVO_CHECK_MSG(f.num_vars() >= 1, "branch_and_bound: need >= 1 variable");
+  const PrefixTable root = core::initial_table(f);
+
+  // A governed cold start seeds a greedy incumbent first, so even an
+  // immediately tripped search has a valid ordering to return.
+  std::vector<int> greedy_chain;
+  std::uint64_t greedy_cost = ~std::uint64_t{0};
+  if (gov != nullptr && initial_upper_bound == ~std::uint64_t{0}) {
+    greedy_cost = greedy_descent(root, kind, &greedy_chain);
+    initial_upper_bound = greedy_cost;
+  }
+
   BnbResult out;
-  Search search(kind, initial_upper_bound, exec);
-  search.run(core::initial_table(f), &out);
+  Search search(kind, initial_upper_bound, exec, gov);
+  search.run(root, &out);
+  if (!search.found() && !greedy_chain.empty()) {
+    // The search never reached a leaf better than the greedy incumbent
+    // (tripped early, or proved it unbeatable): fall back to it.
+    out.internal_nodes = greedy_cost;
+    out.order_root_first.assign(greedy_chain.rbegin(), greedy_chain.rend());
+  }
   OVO_CHECK_MSG(!out.order_root_first.empty(),
                 "branch_and_bound: initial upper bound excluded all "
                 "solutions");

@@ -25,6 +25,7 @@
 
 #include "core/prefix_table.hpp"
 #include "parallel/exec_policy.hpp"
+#include "rt/budget.hpp"
 #include "tt/truth_table.hpp"
 
 namespace ovo::reorder {
@@ -35,6 +36,9 @@ struct BnbResult {
   std::uint64_t states_expanded = 0;  ///< prefix states visited
   std::uint64_t states_pruned_bound = 0;
   std::uint64_t states_pruned_dominance = 0;
+  /// False iff a governor stopped the search early; the result is then
+  /// the best incumbent found, not a proven optimum.
+  bool complete = true;
 };
 
 /// Exact minimization by branch and bound. `initial_upper_bound` is an
@@ -42,11 +46,20 @@ struct BnbResult {
 /// `exec` parallelizes per-node child generation (one compaction per free
 /// variable) on states large enough to amortize dispatch; the DFS itself
 /// — and therefore every statistic — is unchanged by the thread count.
+///
+/// A non-null `gov` budgets the search: each state's child-generation
+/// cost (free variables × table cells) is admitted and charged at the
+/// serial DFS entry, so a work-limit trip cuts the search at the same
+/// state for every thread count.  A cold-started governed run first
+/// seeds a greedy-descent incumbent (charged outside the budget, the
+/// price of guaranteeing *some* valid answer), so the result always
+/// carries a valid ordering; `complete` reports whether the optimum was
+/// proven.
 BnbResult branch_and_bound_minimize(
     const tt::TruthTable& f,
     core::DiagramKind kind = core::DiagramKind::kBdd,
     std::uint64_t initial_upper_bound = ~std::uint64_t{0},
-    const par::ExecPolicy& exec = {});
+    const par::ExecPolicy& exec = {}, rt::Governor* gov = nullptr);
 
 /// The admissible lower bound used by the search (exposed for tests):
 /// minimum extra nodes any completion of prefix state `t` must add.

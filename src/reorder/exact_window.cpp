@@ -11,7 +11,8 @@ namespace ovo::reorder {
 
 ExactWindowResult exact_window(const tt::TruthTable& f,
                                std::vector<int> order, int window,
-                               core::DiagramKind kind, int max_passes) {
+                               core::DiagramKind kind, int max_passes,
+                               rt::Governor* gov) {
   const int n = f.num_vars();
   OVO_CHECK_MSG(static_cast<int>(order.size()) == n,
                 "exact_window: order length mismatch");
@@ -21,31 +22,47 @@ ExactWindowResult exact_window(const tt::TruthTable& f,
   window = std::min(window, n);
 
   ExactWindowResult r;
+  if (gov != nullptr) gov->charge(core::chain_eval_cost(n));
   r.internal_nodes = core::diagram_size_for_order(f, order, kind, &r.ops);
 
-  for (int pass = 0; pass < max_passes; ++pass) {
+  bool out_of_budget = false;
+  for (int pass = 0; pass < max_passes && !out_of_budget; ++pass) {
     ++r.passes;
     bool improved = false;
     for (int s = 0; s + window <= n; ++s) {
+      // The setup chains below charge per compaction; the windowed FS*
+      // run pre-admits each DP layer itself.  Either refusal aborts the
+      // window before the order is touched, so the incumbent stays
+      // consistent.
+      if (gov != nullptr &&
+          (gov->stopped() || !gov->admit_work(core::chain_eval_cost(n)))) {
+        out_of_budget = true;
+        break;
+      }
       // Prefix table of the levels strictly below the window.
       core::PrefixTable base = core::initial_table(f);
       for (int p = n - 1; p >= s + window; --p)
         base = core::compact(base, order[static_cast<std::size_t>(p)], kind,
-                             &r.ops);
+                             &r.ops, gov);
       // Cost of the current arrangement of the window.
       core::PrefixTable current = base;
       for (int p = s + window - 1; p >= s; --p)
         current = core::compact(current,
                                 order[static_cast<std::size_t>(p)], kind,
-                                &r.ops);
+                                &r.ops, gov);
       // Exact optimum over the window's variable set (Lemma 3: levels
       // above the window are unaffected by the within-window order).
       util::Mask J = 0;
       for (int p = s; p < s + window; ++p)
         J |= util::Mask{1} << order[static_cast<std::size_t>(p)];
-      std::vector<int> block_bottom_up;
-      const core::PrefixTable best =
-          core::fs_star_full(base, J, kind, &r.ops, &block_bottom_up);
+      core::FsStarResult dp =
+          core::fs_star(base, J, window, kind, &r.ops, {}, gov);
+      if (dp.completed_layers < window) {
+        out_of_budget = true;  // budget can no longer fit a window DP
+        break;
+      }
+      std::vector<int> block_bottom_up = core::reconstruct_block_order(dp, J);
+      const core::PrefixTable& best = dp.tables.at(J);
       ++r.windows_optimized;
       if (best.mincost() < current.mincost()) {
         for (int i = 0; i < window; ++i)
@@ -57,6 +74,7 @@ ExactWindowResult exact_window(const tt::TruthTable& f,
     }
     if (!improved) break;
   }
+  r.complete = !out_of_budget;
   OVO_DCHECK(core::diagram_size_for_order(f, order, kind) ==
              r.internal_nodes);
   r.order_root_first = std::move(order);

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/prefix_table.hpp"
+#include "rt/budget.hpp"
 #include "tt/truth_table.hpp"
 
 namespace ovo::reorder {
@@ -22,16 +23,23 @@ struct ExactWindowResult {
   std::uint64_t internal_nodes = 0;
   int passes = 0;
   std::uint64_t windows_optimized = 0;
+  /// False iff a governor stopped the optimization early; the order is
+  /// then the best reached so far (always valid).
+  bool complete = true;
   core::OpCounter ops;
 };
 
 /// Optimizes `initial_order` (root first) with exact windows of size
 /// `window` (2..16), until a full pass makes no improvement or
-/// `max_passes` is reached.
+/// `max_passes` is reached.  A non-null `gov` charges every chain
+/// compaction and lets the per-window FS* DP pre-admit its layers; a
+/// window whose DP cannot complete under the remaining budget is skipped
+/// and the search stops, keeping the incumbent order.
 ExactWindowResult exact_window(const tt::TruthTable& f,
                                std::vector<int> initial_order, int window,
                                core::DiagramKind kind =
                                    core::DiagramKind::kBdd,
-                               int max_passes = 8);
+                               int max_passes = 8,
+                               rt::Governor* gov = nullptr);
 
 }  // namespace ovo::reorder

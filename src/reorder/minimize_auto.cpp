@@ -1,0 +1,122 @@
+#include "reorder/minimize_auto.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/fs_star.hpp"
+#include "reorder/baselines.hpp"
+#include "util/check.hpp"
+#include "util/combinatorics.hpp"
+#include "util/rng.hpp"
+
+namespace ovo::reorder {
+
+namespace {
+
+/// Completes a partial DP chain upward: repeatedly compacts the free
+/// variable with the smallest resulting width (ties to the smallest
+/// variable index).  Deterministic, and cheap relative to the DP —
+/// O(n^2 · |cells|) — so it is not charged against the budget: it is the
+/// fixed cost of guaranteeing *some* valid answer.
+void greedy_complete(core::PrefixTable& t, core::DiagramKind kind,
+                     std::vector<int>* order_bottom_up,
+                     core::OpCounter* ops) {
+  while (t.free_count() > 0) {
+    std::uint64_t best_width = ~std::uint64_t{0};
+    int best_var = -1;
+    util::for_each_bit(t.free_mask(), [&](int v) {
+      const std::uint64_t w = core::compaction_width(t, v, kind, ops);
+      if (w < best_width) {
+        best_width = w;
+        best_var = v;
+      }
+    });
+    t = core::compact(t, best_var, kind, ops);
+    order_bottom_up->push_back(best_var);
+  }
+}
+
+}  // namespace
+
+rt::Result<AutoMinimizeResult> minimize_auto(
+    const tt::TruthTable& f, const rt::Budget& budget,
+    const AutoMinimizeOptions& options) {
+  const int n = f.num_vars();
+  OVO_CHECK_MSG(n >= 1, "minimize_auto: need >= 1 variable");
+  OVO_CHECK_MSG(options.kind != core::DiagramKind::kMtbdd,
+                "minimize_auto: value tables not supported here");
+
+  rt::Governor gov(budget);
+  rt::Result<AutoMinimizeResult> out;
+  AutoMinimizeResult& v = out.value;
+
+  // Stage 1: the exact DP, layer-admitted against the budget.
+  const core::PrefixTable base = core::initial_table(f);
+  const util::Mask all = util::full_mask(n);
+  core::FsStarResult dp =
+      core::fs_star(base, all, n, options.kind, &v.ops, options.exec, &gov);
+  v.dp_layers_completed = dp.completed_layers;
+
+  if (dp.completed_layers == n) {
+    const std::vector<int> bottom_up = core::reconstruct_block_order(dp, all);
+    v.order_root_first.assign(bottom_up.rbegin(), bottom_up.rend());
+    v.internal_nodes = dp.tables.at(all).mincost();
+    v.lower_bound = v.internal_nodes;
+    v.optimal = true;
+    out.outcome = rt::Outcome::kComplete;
+    out.stats = gov.stats();
+    return out;
+  }
+
+  // Stage 2: salvage the deepest completed layer.  The cheapest subset
+  // (ties to the numerically smallest mask, for determinism) seeds the
+  // fallback, and its cost over the layer is a proven lower bound: any
+  // complete order's bottom block of this size costs at least this much.
+  util::Mask seed_mask = 0;
+  std::uint64_t seed_cost = ~std::uint64_t{0};
+  std::uint64_t layer_min = ~std::uint64_t{0};
+  for (const auto& [mask, table] : dp.tables) {
+    const std::uint64_t cost = table.mincost();
+    layer_min = std::min(layer_min, cost);
+    if (cost < seed_cost || (cost == seed_cost && mask < seed_mask)) {
+      seed_cost = cost;
+      seed_mask = mask;
+    }
+  }
+  v.lower_bound = layer_min;
+
+  std::vector<int> bottom_up =
+      dp.completed_layers > 0
+          ? core::reconstruct_block_order(dp, seed_mask)
+          : std::vector<int>{};
+  core::PrefixTable table = std::move(dp.tables.at(seed_mask));
+  greedy_complete(table, options.kind, &bottom_up, &v.ops);
+  v.order_root_first.assign(bottom_up.rbegin(), bottom_up.rend());
+  v.internal_nodes = table.mincost();
+
+  // Stage 3: sifting from the salvaged order, on the remaining budget.
+  const OrderSearchResult sifted =
+      sift(f, v.order_root_first, options.kind, options.sift_max_passes,
+           options.exec, &gov);
+  if (sifted.internal_nodes < v.internal_nodes) {
+    v.order_root_first = sifted.order_root_first;
+    v.internal_nodes = sifted.internal_nodes;
+  }
+
+  // Stage 4: random restarts with whatever is left.
+  if (options.restarts > 0 && !gov.stopped()) {
+    util::Xoshiro256 rng(options.restart_seed);
+    const OrderSearchResult rr = random_restart(
+        f, options.restarts, rng, options.kind, options.exec, &gov);
+    if (rr.internal_nodes < v.internal_nodes) {
+      v.order_root_first = rr.order_root_first;
+      v.internal_nodes = rr.internal_nodes;
+    }
+  }
+
+  out.outcome = gov.outcome();
+  out.stats = gov.stats();
+  return out;
+}
+
+}  // namespace ovo::reorder

@@ -1,0 +1,69 @@
+#pragma once
+// Graceful degradation for exact minimization: run the Friedman–Supowit
+// DP under a budget, and when it trips, salvage the partial DP into a
+// heuristic search instead of failing.
+//
+// The ladder:
+//   1. Exact FS* DP, layer by layer, each layer pre-admitted against the
+//      budget (work, nodes, bytes — see core::fs_star).
+//   2. On a trip: pick the cheapest subset of the deepest completed
+//      layer, reconstruct its within-block order from the DP
+//      back-pointers, and complete it upward greedily (smallest
+//      compaction width first).  This alone yields a valid ordering and
+//      an exact size for it, plus a true lower bound: every complete
+//      order's bottom-k block costs at least min_K MINCOST_K over the
+//      deepest completed layer k.
+//   3. Rudell sifting seeded with that order, under the remaining
+//      budget.
+//   4. Random restarts under whatever budget still remains.
+//
+// Every stage makes its budget decisions at serial program points, so a
+// run with a fixed work-unit budget returns the same order, size, and
+// outcome for every thread count; only wall-clock/cancel trips vary.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/minimize.hpp"
+#include "parallel/exec_policy.hpp"
+#include "rt/budget.hpp"
+#include "tt/truth_table.hpp"
+
+namespace ovo::reorder {
+
+struct AutoMinimizeOptions {
+  core::DiagramKind kind = core::DiagramKind::kBdd;
+  int sift_max_passes = 8;
+  /// Random orders drawn for the final stage (the budget truncates the
+  /// evaluated prefix deterministically).
+  int restarts = 64;
+  std::uint64_t restart_seed = 0x5eed5eed5eedull;
+  par::ExecPolicy exec{};
+};
+
+struct AutoMinimizeResult {
+  /// Always a valid permutation, even on the tightest budgets.
+  std::vector<int> order_root_first;
+  /// Exact internal node count of the diagram under that order.
+  std::uint64_t internal_nodes = 0;
+  /// True iff the exact DP completed (the order is proven optimal).
+  bool optimal = false;
+  /// DP layers fully built before the budget intervened (== n if
+  /// optimal).
+  int dp_layers_completed = 0;
+  /// Proven lower bound on the optimal size, from the deepest completed
+  /// DP layer (equals internal_nodes when optimal).
+  std::uint64_t lower_bound = 0;
+  core::OpCounter ops;
+};
+
+/// Minimizes under `budget` with graceful degradation (see file
+/// comment).  The Result's outcome is kComplete iff the exact DP
+/// finished; otherwise it reports why it could not (the limit that bound
+/// first, or the hard stop), while `value` still carries the best order
+/// found by the fallback stages.
+rt::Result<AutoMinimizeResult> minimize_auto(
+    const tt::TruthTable& f, const rt::Budget& budget,
+    const AutoMinimizeOptions& options = {});
+
+}  // namespace ovo::reorder

@@ -1,0 +1,70 @@
+#include "rt/fault.hpp"
+
+#include <atomic>
+#include <new>
+
+#include "rt/budget.hpp"
+#include "util/check.hpp"
+
+namespace ovo::rt {
+
+struct ScopedFaultPlan::State {
+  FaultPlan plan;
+  std::atomic<std::uint64_t> allocations{0};
+  std::atomic<std::uint64_t> checkpoints{0};
+};
+
+namespace {
+std::atomic<ScopedFaultPlan::State*> g_fault{nullptr};
+}  // namespace
+
+ScopedFaultPlan::ScopedFaultPlan(const FaultPlan& plan)
+    : state_(new State{}) {
+  state_->plan = plan;
+  State* expected = nullptr;
+  const bool installed =
+      g_fault.compare_exchange_strong(expected, state_,
+                                      std::memory_order_acq_rel);
+  if (!installed) {
+    delete state_;
+    state_ = nullptr;
+    OVO_CHECK_MSG(false, "a FaultPlan is already installed");
+  }
+}
+
+ScopedFaultPlan::~ScopedFaultPlan() {
+  g_fault.store(nullptr, std::memory_order_release);
+  delete state_;
+}
+
+std::uint64_t ScopedFaultPlan::allocations_seen() const {
+  return state_->allocations.load(std::memory_order_relaxed);
+}
+
+std::uint64_t ScopedFaultPlan::checkpoints_seen() const {
+  return state_->checkpoints.load(std::memory_order_relaxed);
+}
+
+void fault_alloc_hook() {
+  ScopedFaultPlan::State* s = g_fault.load(std::memory_order_acquire);
+  if (s == nullptr) return;
+  const std::uint64_t n =
+      s->allocations.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (s->plan.fail_alloc_at != 0 && n == s->plan.fail_alloc_at)
+    throw std::bad_alloc();
+}
+
+bool fault_checkpoint_hook() {
+  ScopedFaultPlan::State* s = g_fault.load(std::memory_order_acquire);
+  if (s == nullptr) return false;
+  const std::uint64_t n =
+      s->checkpoints.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (s->plan.cancel_at_checkpoint != 0 &&
+      n >= s->plan.cancel_at_checkpoint) {
+    if (s->plan.cancel != nullptr) s->plan.cancel->cancel();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace ovo::rt

@@ -3,6 +3,7 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "tt/parse_error.hpp"
 #include "util/check.hpp"
 
 namespace ovo::tt {
@@ -10,9 +11,7 @@ namespace ovo::tt {
 namespace {
 
 [[noreturn]] void fail(int line_no, const std::string& msg) {
-  OVO_CHECK_MSG(false,
-                "BLIF line " + std::to_string(line_no) + ": " + msg);
-  __builtin_unreachable();
+  throw ParseError("BLIF line " + std::to_string(line_no) + ": " + msg);
 }
 
 std::vector<std::string> split_ws(const std::string& line) {
@@ -104,6 +103,7 @@ BlifModel parse_blif(const std::string& text) {
   BlifModel model;
   bool ended = false;
   BlifCover* current = nullptr;
+  std::unordered_set<std::string> cover_outputs;
 
   // Pre-join continuation lines.
   std::vector<std::pair<int, std::string>> lines;
@@ -130,7 +130,8 @@ BlifModel parse_blif(const std::string& text) {
         lines.emplace_back(line_no, raw);
       }
     }
-    if (!pending.empty()) lines.emplace_back(pending_line, pending);
+    if (!pending.empty())
+      fail(pending_line, "truncated file: line continuation at end of file");
   }
 
   for (const auto& [line_no, line] : lines) {
@@ -149,6 +150,9 @@ BlifModel parse_blif(const std::string& text) {
       current = nullptr;
     } else if (tok[0] == ".names") {
       if (tok.size() < 2) fail(line_no, ".names needs an output signal");
+      if (!cover_outputs.insert(tok.back()).second)
+        fail(line_no, "duplicate .names for '" + tok.back() +
+                          "' (the evaluator would silently use the first)");
       BlifCover cover;
       cover.fanins.assign(tok.begin() + 1, tok.end() - 1);
       cover.output = tok.back();
@@ -194,8 +198,9 @@ BlifModel parse_blif(const std::string& text) {
       current->cubes.push_back(plane);
     }
   }
-  OVO_CHECK_MSG(!model.inputs.empty(), "BLIF: no .inputs");
-  OVO_CHECK_MSG(!model.outputs.empty(), "BLIF: no .outputs");
+  if (model.inputs.empty()) throw ParseError("BLIF: no .inputs");
+  if (model.outputs.empty()) throw ParseError("BLIF: no .outputs");
+  if (!ended) throw ParseError("BLIF: truncated file: missing .end");
   return model;
 }
 

@@ -1,7 +1,9 @@
 #include "tt/pla.hpp"
 
+#include <charconv>
 #include <sstream>
 
+#include "tt/parse_error.hpp"
 #include "util/check.hpp"
 
 namespace ovo::tt {
@@ -17,9 +19,21 @@ std::vector<std::string> split_ws(const std::string& line) {
 }
 
 [[noreturn]] void fail(int line_no, const std::string& msg) {
-  OVO_CHECK_MSG(false,
-                "PLA line " + std::to_string(line_no) + ": " + msg);
-  __builtin_unreachable();
+  throw ParseError("PLA line " + std::to_string(line_no) + ": " + msg);
+}
+
+/// Strict decimal parse: the whole token, no sign, no trailing junk, and
+/// in-range for long.  std::stoi would throw untyped std exceptions on
+/// "12x" / "999...9" and silently accept "12 " — a header field must be a
+/// clean number or a ParseError.
+long parse_count(int line_no, const std::string& tok,
+                 const std::string& what) {
+  long v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), v);
+  if (ec != std::errc{} || ptr != tok.data() + tok.size() || v < 0)
+    fail(line_no, what + " is not a valid count: '" + tok + "'");
+  return v;
 }
 
 }  // namespace
@@ -88,18 +102,20 @@ Pla parse_pla(const std::string& text) {
 
     if (tok[0] == ".i") {
       if (tok.size() != 2) fail(line_no, ".i needs one argument");
-      pla.num_inputs = std::stoi(tok[1]);
-      if (pla.num_inputs < 1 || pla.num_inputs > TruthTable::kMaxVars)
+      const long v = parse_count(line_no, tok[1], ".i");
+      if (v < 1 || v > TruthTable::kMaxVars)
         fail(line_no, "unsupported input count");
+      pla.num_inputs = static_cast<int>(v);
       saw_i = true;
     } else if (tok[0] == ".o") {
       if (tok.size() != 2) fail(line_no, ".o needs one argument");
-      pla.num_outputs = std::stoi(tok[1]);
-      if (pla.num_outputs < 1) fail(line_no, "unsupported output count");
+      const long v = parse_count(line_no, tok[1], ".o");
+      if (v < 1 || v > 1'000'000) fail(line_no, "unsupported output count");
+      pla.num_outputs = static_cast<int>(v);
       saw_o = true;
     } else if (tok[0] == ".p") {
       if (tok.size() != 2) fail(line_no, ".p needs one argument");
-      declared_products = std::stol(tok[1]);
+      declared_products = parse_count(line_no, tok[1], ".p");
     } else if (tok[0] == ".ilb") {
       pla.input_names.assign(tok.begin() + 1, tok.end());
     } else if (tok[0] == ".ob") {
@@ -134,6 +150,7 @@ Pla parse_pla(const std::string& text) {
     }
   }
   if (!saw_i || !saw_o) fail(line_no, "missing .i/.o header");
+  if (!ended) fail(line_no, "truncated file: missing .e/.end");
   if (declared_products >= 0 &&
       declared_products != static_cast<long>(pla.cubes.size()))
     fail(line_no, ".p count disagrees with product lines");

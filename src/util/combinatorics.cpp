@@ -23,15 +23,19 @@ double binomial(int n, int k) {
 std::uint64_t binomial_u64(int n, int k) {
   if (k < 0 || k > n) return 0;
   k = std::min(k, n - k);
-  std::uint64_t r = 1;
+  // 128-bit intermediates: r * num can exceed 64 bits even when the final
+  // result fits (e.g. binom(62, 31)), so guarding the multiply in 64 bits
+  // would reject representable values.  Only the running quotient — which
+  // is itself a binomial coefficient, hence the tightest possible bound —
+  // is required to fit.
+  unsigned __int128 r = 1;
   for (int i = 1; i <= k; ++i) {
-    // r * (n-k+i) / i is always integral at this point; guard the multiply.
-    const std::uint64_t num = static_cast<std::uint64_t>(n - k + i);
-    OVO_CHECK_MSG(r <= std::numeric_limits<std::uint64_t>::max() / num,
+    // r * (n-k+i) / i is always integral at this point.
+    r = r * static_cast<unsigned>(n - k + i) / static_cast<unsigned>(i);
+    OVO_CHECK_MSG(r <= std::numeric_limits<std::uint64_t>::max(),
                   "binomial_u64 overflow");
-    r = r * num / static_cast<std::uint64_t>(i);
   }
-  return r;
+  return static_cast<std::uint64_t>(r);
 }
 
 double binary_entropy(double d) {

@@ -14,8 +14,10 @@ namespace ovo::util {
 /// binom(n, k) as a double (exact for the ranges used here, n <= 64).
 double binomial(int n, int k);
 
-/// binom(n, k) as an exact unsigned 64-bit value; throws CheckError on
-/// overflow. Valid for all n <= 61 and many larger cases.
+/// binom(n, k) as an exact unsigned 64-bit value; throws CheckError iff
+/// the *result* does not fit in 64 bits (intermediates are computed in
+/// 128 bits, so every representable value — all n <= 67, and larger n
+/// with small enough k — is returned exactly).
 std::uint64_t binomial_u64(int n, int k);
 
 /// Binary entropy H(d) = -d log2 d - (1-d) log2 (1-d); H(0) = H(1) = 0.
@@ -46,7 +48,9 @@ class BinomialTable {
   BinomialTable();
 
   std::uint64_t choose(int n, int k) const {
-    OVO_DCHECK(n >= 0 && n <= kMaxN);
+    // Hard check, not OVO_DCHECK: an out-of-range n reads past the end of
+    // c_ in release builds, so malformed callers must throw, not corrupt.
+    OVO_CHECK_MSG(n >= 0 && n <= kMaxN, "BinomialTable::choose: n > kMaxN");
     if (k < 0 || k > n) return 0;
     return c_[n][k];
   }

@@ -7,6 +7,7 @@
 #include "core/multi_output.hpp"
 #include "tt/blif.hpp"
 #include "tt/function_zoo.hpp"
+#include "tt/parse_error.hpp"
 #include "util/check.hpp"
 
 namespace ovo::tt {
@@ -105,6 +106,31 @@ TEST(Blif, Errors) {
   const BlifModel cyc = parse_blif(
       ".inputs a\n.outputs f\n.names g f\n1 1\n.names f g\n1 1\n.end\n");
   EXPECT_THROW(cyc.eval("f", 0), util::CheckError);
+}
+
+// Malformed netlists must raise the typed ParseError (a subclass of
+// util::CheckError, so the expectations above keep holding too).
+TEST(Blif, MalformedFilesThrowTypedError) {
+  // Truncated: no .end terminator.
+  EXPECT_THROW(
+      parse_blif(".inputs a\n.outputs f\n.names a f\n1 1\n"), ParseError);
+  // Truncated: the file ends in the middle of a continuation line.
+  EXPECT_THROW(parse_blif(".inputs a\n.outputs f\n.names a f \\"),
+               ParseError);
+  // Two covers driving the same signal: the evaluator would silently use
+  // the first and ignore the second.
+  EXPECT_THROW(parse_blif(".inputs a b\n.outputs f\n.names a f\n1 1\n"
+                          ".names b f\n1 1\n.end\n"),
+               ParseError);
+}
+
+TEST(Blif, ParseErrorIsACheckError) {
+  try {
+    parse_blif(".inputs a\n.outputs f\n.gate and2 f\n.end\n");
+    FAIL() << "expected ParseError";
+  } catch (const util::CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("BLIF line 3"), std::string::npos);
+  }
 }
 
 TEST(Blif, PipelineToOptimalOrdering) {

@@ -1,0 +1,138 @@
+// Tests for reorder::minimize_auto — the graceful-degradation ladder:
+// exact DP under budget, salvage + sift + restarts on a trip.  The key
+// contracts: the returned order is always valid with its exact size, the
+// Outcome says why the run degraded, and a fixed work-unit budget gives
+// bit-identical results for every thread count.
+
+#include <gtest/gtest.h>
+
+#include "core/minimize.hpp"
+#include "reorder/minimize_auto.hpp"
+#include "rt/budget.hpp"
+#include "tt/function_zoo.hpp"
+#include "util/combinatorics.hpp"
+#include "util/rng.hpp"
+
+namespace ovo::reorder {
+namespace {
+
+void expect_valid(const tt::TruthTable& f,
+                  const rt::Result<AutoMinimizeResult>& r) {
+  ASSERT_TRUE(util::is_permutation(r.value.order_root_first));
+  ASSERT_EQ(r.value.order_root_first.size(),
+            static_cast<std::size_t>(f.num_vars()));
+  EXPECT_EQ(core::diagram_size_for_order(f, r.value.order_root_first,
+                                         core::DiagramKind::kBdd),
+            r.value.internal_nodes);
+  EXPECT_LE(r.value.lower_bound, r.value.internal_nodes);
+}
+
+TEST(MinimizeAuto, UnlimitedBudgetIsExact) {
+  const tt::TruthTable f = tt::hidden_weighted_bit(8);
+  const auto r = minimize_auto(f, rt::Budget{});
+  expect_valid(f, r);
+  EXPECT_TRUE(r.complete());
+  EXPECT_TRUE(r.value.optimal);
+  EXPECT_EQ(r.value.dp_layers_completed, 8);
+  EXPECT_EQ(r.value.internal_nodes,
+            core::fs_minimize(f).min_internal_nodes);
+  EXPECT_EQ(r.value.lower_bound, r.value.internal_nodes);
+}
+
+TEST(MinimizeAuto, TinyWorkBudgetStillReturnsAValidOrder) {
+  const tt::TruthTable f = tt::hidden_weighted_bit(9);
+  const auto r = minimize_auto(f, rt::Budget::with_work_limit(1));
+  expect_valid(f, r);
+  EXPECT_FALSE(r.value.optimal);
+  EXPECT_EQ(r.outcome, rt::Outcome::kDeadline);
+  EXPECT_LT(r.value.dp_layers_completed, 9);
+}
+
+TEST(MinimizeAuto, PartialDpTightensTheLowerBound) {
+  const tt::TruthTable f = tt::hidden_weighted_bit(9);
+  // Enough budget for a few DP layers but not all of them.
+  const auto exact = minimize_auto(f, rt::Budget{});
+  const auto partial = minimize_auto(f, rt::Budget::with_work_limit(20'000));
+  expect_valid(f, partial);
+  if (!partial.value.optimal) {
+    EXPECT_LT(partial.value.dp_layers_completed, 9);
+    EXPECT_LE(partial.value.lower_bound, exact.value.internal_nodes);
+    EXPECT_GE(partial.value.internal_nodes, exact.value.internal_nodes);
+  }
+}
+
+TEST(MinimizeAuto, NodeLimitTripReportsNodeLimit) {
+  const tt::TruthTable f = tt::hidden_weighted_bit(9);
+  rt::Budget b;
+  b.node_limit = 8;  // below even the first DP layer's footprint
+  const auto r = minimize_auto(f, b);
+  expect_valid(f, r);
+  EXPECT_FALSE(r.value.optimal);
+  EXPECT_EQ(r.value.dp_layers_completed, 0);
+  EXPECT_EQ(r.outcome, rt::Outcome::kNodeLimit);
+}
+
+TEST(MinimizeAuto, MemLimitTripReportsMemLimit) {
+  const tt::TruthTable f = tt::hidden_weighted_bit(9);
+  rt::Budget b;
+  b.bytes_limit = 64;
+  const auto r = minimize_auto(f, b);
+  expect_valid(f, r);
+  EXPECT_FALSE(r.value.optimal);
+  EXPECT_EQ(r.outcome, rt::Outcome::kMemLimit);
+}
+
+TEST(MinimizeAuto, CancellationIsReported) {
+  const tt::TruthTable f = tt::hidden_weighted_bit(8);
+  rt::CancelToken token;
+  token.cancel();  // cancelled before the run even starts
+  rt::Budget b;
+  b.cancel = &token;
+  const auto r = minimize_auto(f, b);
+  expect_valid(f, r);
+  EXPECT_EQ(r.outcome, rt::Outcome::kCancelled);
+}
+
+// The determinism contract: for a fixed work-unit budget every thread
+// count returns the same order, size, outcome, and charged work — only
+// wall-clock and cancellation trips may vary between runs.
+TEST(MinimizeAuto, WorkBudgetIsDeterministicAcrossThreadCounts) {
+  util::Xoshiro256 rng(7);
+  const tt::TruthTable f = tt::random_function(9, rng);
+  for (const std::uint64_t limit :
+       {std::uint64_t{500}, std::uint64_t{20'000}, std::uint64_t{200'000}}) {
+    AutoMinimizeOptions base;
+    base.exec.num_threads = 1;
+    const auto serial =
+        minimize_auto(f, rt::Budget::with_work_limit(limit), base);
+    expect_valid(f, serial);
+    for (const int threads : {2, 4}) {
+      AutoMinimizeOptions opt;
+      opt.exec.num_threads = threads;
+      const auto r =
+          minimize_auto(f, rt::Budget::with_work_limit(limit), opt);
+      EXPECT_EQ(r.value.order_root_first, serial.value.order_root_first)
+          << "limit=" << limit << " threads=" << threads;
+      EXPECT_EQ(r.value.internal_nodes, serial.value.internal_nodes);
+      EXPECT_EQ(r.value.dp_layers_completed,
+                serial.value.dp_layers_completed);
+      EXPECT_EQ(r.value.lower_bound, serial.value.lower_bound);
+      EXPECT_EQ(r.outcome, serial.outcome);
+      EXPECT_EQ(r.stats.work_units, serial.stats.work_units);
+    }
+  }
+}
+
+// A generous budget must not change the answer relative to the exact DP.
+TEST(MinimizeAuto, LargeBudgetMatchesUnbudgetedResult) {
+  const tt::TruthTable f = tt::multiplier_middle_bit(4);
+  const auto governed =
+      minimize_auto(f, rt::Budget::with_work_limit(std::uint64_t{1} << 40));
+  EXPECT_TRUE(governed.complete());
+  EXPECT_TRUE(governed.value.optimal);
+  EXPECT_EQ(governed.value.internal_nodes,
+            core::fs_minimize(f).min_internal_nodes);
+}
+
+}  // namespace
+}  // namespace ovo::reorder

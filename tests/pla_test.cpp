@@ -6,6 +6,7 @@
 #include "core/minimize.hpp"
 #include "core/multi_output.hpp"
 #include "tt/function_zoo.hpp"
+#include "tt/parse_error.hpp"
 #include "tt/pla.hpp"
 #include "util/check.hpp"
 
@@ -67,6 +68,35 @@ TEST(PlaParse, Errors) {
                util::CheckError);
   EXPECT_THROW(parse_pla(".i 2\n.o 1\n.type fd\n01 1\n.e\n"),
                util::CheckError);
+}
+
+// Every malformed input must surface as the typed ParseError (which is-a
+// util::CheckError, so the legacy expectations above also hold).
+TEST(PlaParse, MalformedFilesThrowTypedError) {
+  // Truncated: header only, no .e.
+  EXPECT_THROW(parse_pla(".i 2\n.o 1\n01 1\n"), ParseError);
+  // Truncated mid-product: cube cut short by the missing tail.
+  EXPECT_THROW(parse_pla(".i 4\n.o 1\n01"), ParseError);
+  // Non-numeric and junk-suffixed header fields (std::stoi would have
+  // thrown std::invalid_argument instead of a parse error).
+  EXPECT_THROW(parse_pla(".i x\n.o 1\n.e\n"), ParseError);
+  EXPECT_THROW(parse_pla(".i 2z\n.o 1\n01 1\n.e\n"), ParseError);
+  EXPECT_THROW(parse_pla(".i -2\n.o 1\n01 1\n.e\n"), ParseError);
+  // Out-of-range counts (std::stoi would have thrown std::out_of_range).
+  EXPECT_THROW(parse_pla(".i 99999999999999999999\n.o 1\n.e\n"), ParseError);
+  EXPECT_THROW(parse_pla(".i 2\n.o 1\n.p 99999999999999999999\n01 1\n.e\n"),
+               ParseError);
+  // Input count beyond the tabulation limit.
+  EXPECT_THROW(parse_pla(".i 1000\n.o 1\n.e\n"), ParseError);
+}
+
+TEST(PlaParse, ParseErrorIsACheckError) {
+  try {
+    parse_pla(".i nope\n.o 1\n.e\n");
+    FAIL() << "expected ParseError";
+  } catch (const util::CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("PLA line 1"), std::string::npos);
+  }
 }
 
 TEST(PlaRoundtrip, WriteParseWrite) {

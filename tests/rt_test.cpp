@@ -1,0 +1,173 @@
+// Tests for the ovo::rt resource governor: budget accounting, the
+// soft-refusal / hard-stop split, deterministic batch admission, and the
+// fault-injection hooks wired into the node stores.
+
+#include <gtest/gtest.h>
+
+#include <new>
+#include <string>
+
+#include "bdd/manager.hpp"
+#include "rt/budget.hpp"
+#include "rt/fault.hpp"
+#include "tt/function_zoo.hpp"
+#include "util/check.hpp"
+
+namespace ovo::rt {
+namespace {
+
+TEST(Governor, UnlimitedBudgetAdmitsEverything) {
+  Governor gov(Budget{});
+  EXPECT_TRUE(gov.budget().unlimited());
+  EXPECT_TRUE(gov.admit_work(~std::uint64_t{0} / 2));
+  EXPECT_TRUE(gov.admit_nodes(1u << 30));
+  EXPECT_TRUE(gov.admit_bytes(std::uint64_t{1} << 40));
+  EXPECT_TRUE(gov.charge(12345));
+  EXPECT_FALSE(gov.stopped());
+  EXPECT_EQ(gov.outcome(), Outcome::kComplete);
+  EXPECT_EQ(gov.stats().work_units, 12345u);
+}
+
+TEST(Governor, WorkRefusalIsSoftNotHard) {
+  Governor gov(Budget::with_work_limit(100));
+  EXPECT_TRUE(gov.admit_work(100));
+  gov.charge(100);
+  // The budget is now exhausted: further admissions are refused...
+  EXPECT_FALSE(gov.admit_work(1));
+  EXPECT_EQ(gov.outcome(), Outcome::kDeadline);
+  // ...but the refusal must NOT hard-stop — later ladder stages may
+  // still observe a clear stop flag and spend a *different* budget
+  // dimension, and zero-cost admissions still pass.
+  EXPECT_FALSE(gov.stopped());
+  EXPECT_TRUE(gov.admit_work(0));
+}
+
+TEST(Governor, BatchAdmissionTruncatesDeterministically) {
+  Governor gov(Budget::with_work_limit(35));
+  // 10 candidates at 10 units each: only 3 fit.
+  EXPECT_EQ(gov.admit_charge_batch(10, 10), 3u);
+  EXPECT_EQ(gov.stats().work_units, 30u);
+  // 5 units remain; nothing at 10 units fits any more.
+  EXPECT_EQ(gov.admit_charge_batch(10, 4), 0u);
+  // A cheaper batch still gets its share of the remainder.
+  EXPECT_EQ(gov.admit_charge_batch(5, 7), 1u);
+  EXPECT_EQ(gov.stats().work_units, 35u);
+  EXPECT_EQ(gov.outcome(), Outcome::kDeadline);
+  EXPECT_FALSE(gov.stopped());
+}
+
+TEST(Governor, NodeAndByteLimits) {
+  Budget b;
+  b.node_limit = 1000;
+  b.bytes_limit = 1u << 20;
+  Governor gov(b);
+  EXPECT_TRUE(gov.admit_nodes(1000));
+  EXPECT_FALSE(gov.admit_nodes(1001));
+  EXPECT_TRUE(gov.admit_bytes(1u << 20));
+  EXPECT_FALSE(gov.admit_bytes((1u << 20) + 1));
+  // First soft refusal wins the outcome report.
+  EXPECT_EQ(gov.outcome(), Outcome::kNodeLimit);
+  EXPECT_EQ(gov.stats().peak_nodes, 1001u);
+  EXPECT_FALSE(gov.stopped());
+}
+
+TEST(Governor, CancelTokenIsAHardStop) {
+  CancelToken token;
+  Budget b;
+  b.cancel = &token;
+  Governor gov(b);
+  EXPECT_FALSE(gov.poll());
+  token.cancel();
+  EXPECT_TRUE(gov.poll());
+  EXPECT_TRUE(gov.stopped());
+  EXPECT_TRUE(gov.stop_flag()->load());
+  EXPECT_EQ(gov.outcome(), Outcome::kCancelled);
+  // Hard stops refuse everything, including zero-cost admissions.
+  EXPECT_FALSE(gov.admit_work(0));
+  EXPECT_EQ(gov.admit_charge_batch(1, 10), 0u);
+}
+
+TEST(Governor, HardReasonBeatsSoftAndFirstHardWins) {
+  Governor gov(Budget::with_work_limit(1));
+  EXPECT_FALSE(gov.admit_work(2));  // soft kDeadline
+  gov.stop(Outcome::kCancelled);
+  gov.stop(Outcome::kNodeLimit);  // second hard reason is ignored
+  EXPECT_EQ(gov.outcome(), Outcome::kCancelled);
+}
+
+TEST(Governor, WallDeadlineTripsEventually) {
+  Budget b;
+  b.deadline_ms = 1;
+  b.check_interval = 1;  // read the clock at every checkpoint
+  Governor gov(b);
+  bool stopped = false;
+  for (int i = 0; i < 1'000'000 && !stopped; ++i) stopped = gov.poll();
+  EXPECT_TRUE(stopped);
+  EXPECT_EQ(gov.outcome(), Outcome::kDeadline);
+}
+
+TEST(Outcome, Names) {
+  EXPECT_STREQ(outcome_name(Outcome::kComplete), "complete");
+  EXPECT_STREQ(outcome_name(Outcome::kCancelled), "cancelled");
+}
+
+// --- fault injection -------------------------------------------------------
+
+TEST(FaultInjection, NthAllocationFailsAndManagersUnwindCleanly) {
+  const tt::TruthTable f = tt::parity(10);
+  // Fault-free construction works and records how many allocation events
+  // a build needs.
+  std::uint64_t events = 0;
+  {
+    ScopedFaultPlan probe(FaultPlan{});
+    bdd::Manager m(10);
+    m.from_truth_table(f);
+    events = probe.allocations_seen();
+  }
+  ASSERT_GT(events, 0u);
+  // Failing each allocation event in turn must surface as std::bad_alloc
+  // and leave the manager consistent (strong guarantee: the hooks fire
+  // before any state changes).  ASan verifies nothing leaks on the way.
+  for (std::uint64_t k = 1; k <= events; ++k) {
+    FaultPlan plan;
+    plan.fail_alloc_at = k;
+    ScopedFaultPlan scoped(plan);
+    try {
+      bdd::Manager m(10);
+      m.from_truth_table(f);
+      FAIL() << "allocation " << k << " did not fail";
+    } catch (const std::bad_alloc&) {
+      // expected
+    }
+  }
+  // With the plan gone, the same build succeeds again.
+  bdd::Manager m(10);
+  EXPECT_GT(m.from_truth_table(f), bdd::kTrue);
+}
+
+TEST(FaultInjection, CancelAtNthCheckpoint) {
+  CancelToken token;
+  FaultPlan plan;
+  plan.cancel_at_checkpoint = 3;
+  plan.cancel = &token;
+  ScopedFaultPlan scoped(plan);
+
+  Budget b;
+  b.cancel = &token;
+  Governor gov(b);
+  EXPECT_FALSE(gov.poll());
+  EXPECT_FALSE(gov.poll());
+  EXPECT_TRUE(gov.poll());  // third checkpoint trips the plan
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(gov.stopped());
+  EXPECT_EQ(gov.outcome(), Outcome::kCancelled);
+  EXPECT_GE(scoped.checkpoints_seen(), 3u);
+}
+
+TEST(FaultInjection, OnePlanAtATime) {
+  ScopedFaultPlan first(FaultPlan{});
+  EXPECT_THROW(ScopedFaultPlan second(FaultPlan{}), util::CheckError);
+}
+
+}  // namespace
+}  // namespace ovo::rt

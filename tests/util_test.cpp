@@ -102,6 +102,35 @@ TEST(Combinatorics, BinomialEdges) {
   EXPECT_EQ(binomial_u64(0, 0), 1u);
 }
 
+// Regression: the 64-bit-guarded implementation spuriously threw on
+// binom(62, 31) — the running product momentarily exceeds 64 bits even
+// though every binomial coefficient along the way (and the result) fits.
+// The 128-bit intermediates must return every representable value exactly
+// and throw only when the result itself does not fit.
+TEST(Combinatorics, BinomialNearOverflowBoundary) {
+  EXPECT_EQ(binomial_u64(62, 31), 465428353255261088ull);
+  EXPECT_EQ(binomial_u64(64, 32), 1832624140942590534ull);
+  EXPECT_EQ(binomial_u64(66, 33), 7219428434016265740ull);
+  // The largest central coefficient that fits in 64 bits.
+  EXPECT_EQ(binomial_u64(67, 33), 14226520737620288370ull);
+  EXPECT_EQ(binomial_u64(67, 34), 14226520737620288370ull);
+  // binom(68, 34) ~ 2.8e19 > 2^64 - 1: a true overflow.
+  EXPECT_THROW(binomial_u64(68, 34), CheckError);
+  // Far off-center coefficients of huge n still fit and must not throw.
+  EXPECT_EQ(binomial_u64(500, 2), 124750u);
+  EXPECT_EQ(binomial_u64(200, 5), 2535650040ull);
+}
+
+// choose() must hard-throw (not silently read out of bounds in NDEBUG
+// builds) when n exceeds the table.
+TEST(Combinatorics, BinomialTableRejectsOutOfRangeN) {
+  const BinomialTable& table = BinomialTable::instance();
+  EXPECT_EQ(table.choose(BinomialTable::kMaxN, 1),
+            static_cast<std::uint64_t>(BinomialTable::kMaxN));
+  EXPECT_THROW(table.choose(BinomialTable::kMaxN + 1, 1), CheckError);
+  EXPECT_THROW(table.choose(-1, 0), CheckError);
+}
+
 TEST(Combinatorics, EntropyBasics) {
   EXPECT_DOUBLE_EQ(binary_entropy(0.0), 0.0);
   EXPECT_DOUBLE_EQ(binary_entropy(1.0), 0.0);

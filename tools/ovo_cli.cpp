@@ -1,11 +1,18 @@
 // ovo — command-line front end for the optimal-variable-ordering library.
 //
 //   ovo order   [--zdd] [--engine fs|bnb|quantum] [--shared] [--threads N]
-//               <input>
+//               [--timeout-ms N] [--node-limit N] [--mem-limit-mb N]
+//               [--work-limit N] [--json] <input>
 //   ovo size    --order v1,v2,... [--zdd] <input>
 //   ovo compare [--threads N] <input>   # exact vs heuristics report
 //   ovo tables  [--k K] [--iters N]     # reproduce paper Tables 1 and 2
 //   ovo dot     <input>                 # minimum OBDD as Graphviz
+//
+// The budget flags bound a run (see docs/INTERNALS.md, "Resource
+// governance"): the fs engine degrades to the minimize_auto ladder and
+// always prints a valid order plus why it stopped; the bnb engine
+// returns its best incumbent.  --json emits one machine-readable object
+// including the outcome.
 //
 // <input> is one of:
 //   - a path ending in .pla  (Berkeley PLA; first output used unless
@@ -32,6 +39,8 @@
 #include "quantum/params.hpp"
 #include "reorder/baselines.hpp"
 #include "reorder/branch_and_bound.hpp"
+#include "reorder/minimize_auto.hpp"
+#include "rt/budget.hpp"
 #include "tt/blif.hpp"
 #include "tt/expr.hpp"
 #include "tt/pla.hpp"
@@ -99,10 +108,36 @@ par::ExecPolicy parse_threads(const std::string& value) {
   return exec;
 }
 
+std::uint64_t parse_u64_flag(const char* flag, const std::string& value) {
+  try {
+    return std::stoull(value);
+  } catch (const std::exception&) {
+    OVO_CHECK_MSG(false, std::string(flag) + ": not a number: " + value);
+    __builtin_unreachable();
+  }
+}
+
+void print_json_order(const std::string& engine, core::DiagramKind kind,
+                      std::uint64_t nodes, bool optimal,
+                      const std::string& outcome, std::uint64_t work_units,
+                      const std::vector<int>& order) {
+  std::printf("{\"engine\":\"%s\",\"kind\":\"%s\",\"nodes\":%" PRIu64
+              ",\"optimal\":%s,\"outcome\":\"%s\",\"work_units\":%" PRIu64
+              ",\"order\":[",
+              engine.c_str(),
+              kind == core::DiagramKind::kZdd ? "zdd" : "bdd", nodes,
+              optimal ? "true" : "false", outcome.c_str(), work_units);
+  for (std::size_t i = 0; i < order.size(); ++i)
+    std::printf("%s%d", i == 0 ? "" : ",", order[i] + 1);
+  std::printf("]}\n");
+}
+
 int cmd_order(const std::vector<std::string>& args) {
   core::DiagramKind kind = core::DiagramKind::kBdd;
   std::string engine = "fs";
   bool shared = false;
+  bool json = false;
+  rt::Budget budget;
   par::ExecPolicy exec;
   std::string input;
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -112,18 +147,38 @@ int cmd_order(const std::vector<std::string>& args) {
       engine = args[++i];
     } else if (args[i] == "--shared") {
       shared = true;
+    } else if (args[i] == "--json") {
+      json = true;
     } else if (args[i] == "--threads" && i + 1 < args.size()) {
       exec = parse_threads(args[++i]);
+    } else if (args[i] == "--timeout-ms" && i + 1 < args.size()) {
+      budget.deadline_ms = parse_u64_flag("--timeout-ms", args[++i]);
+    } else if (args[i] == "--node-limit" && i + 1 < args.size()) {
+      budget.node_limit = parse_u64_flag("--node-limit", args[++i]);
+    } else if (args[i] == "--mem-limit-mb" && i + 1 < args.size()) {
+      budget.bytes_limit =
+          parse_u64_flag("--mem-limit-mb", args[++i]) * 1024 * 1024;
+    } else if (args[i] == "--work-limit" && i + 1 < args.size()) {
+      budget.work_limit = parse_u64_flag("--work-limit", args[++i]);
     } else {
       input = args[i];
     }
   }
   OVO_CHECK_MSG(!input.empty(), "order: missing input");
+  const bool budgeted = !budget.unlimited();
   const LoadedInput loaded = load_input(input);
-  std::printf("input: %s\n", loaded.description.c_str());
+  if (!json) std::printf("input: %s\n", loaded.description.c_str());
 
   if (shared) {
+    if (budgeted)
+      std::fprintf(stderr,
+                   "note: budget flags are not supported with --shared\n");
     const auto r = core::fs_minimize_shared(loaded.outputs, kind, exec);
+    if (json) {
+      print_json_order("fs-shared", kind, r.min_internal_nodes, true,
+                       "complete", r.ops.table_cells, r.order_root_first);
+      return 0;
+    }
     std::printf("shared minimum: %" PRIu64 " internal nodes\norder: ",
                 r.min_internal_nodes);
     print_order(r.order_root_first);
@@ -131,28 +186,58 @@ int cmd_order(const std::vector<std::string>& args) {
   }
 
   const tt::TruthTable& f = loaded.outputs.front();
-  if (loaded.outputs.size() > 1)
+  if (loaded.outputs.size() > 1 && !json)
     std::printf("note: %zu outputs; optimizing the first (use --shared "
                 "for all)\n",
                 loaded.outputs.size());
   std::vector<int> order;
   std::uint64_t nodes = 0;
-  if (engine == "fs") {
+  std::string outcome = "complete";
+  bool optimal = true;
+  std::uint64_t work_units = 0;
+  if (engine == "fs" && budgeted) {
+    reorder::AutoMinimizeOptions opt;
+    opt.kind = kind;
+    opt.exec = exec;
+    const auto r = reorder::minimize_auto(f, budget, opt);
+    order = r.value.order_root_first;
+    nodes = r.value.internal_nodes;
+    outcome = rt::outcome_name(r.outcome);
+    optimal = r.value.optimal;
+    work_units = r.stats.work_units;
+    if (!json)
+      std::printf("engine: governed FS ladder (outcome %s, %d/%d DP "
+                  "layers, lower bound %" PRIu64 ")\n",
+                  outcome.c_str(), r.value.dp_layers_completed, f.num_vars(),
+                  r.value.lower_bound);
+  } else if (engine == "fs") {
     const auto r = core::fs_minimize(f, kind, exec);
     order = r.order_root_first;
     nodes = r.min_internal_nodes;
-    std::printf("engine: Friedman-Supowit DP (%" PRIu64 " table cells)\n",
-                r.ops.table_cells);
+    work_units = r.ops.table_cells;
+    if (!json)
+      std::printf("engine: Friedman-Supowit DP (%" PRIu64 " table cells)\n",
+                  r.ops.table_cells);
   } else if (engine == "bnb") {
+    rt::Governor gov(budget);
     const auto r = reorder::branch_and_bound_minimize(
-        f, kind, ~std::uint64_t{0}, exec);
+        f, kind, ~std::uint64_t{0}, exec, budgeted ? &gov : nullptr);
     order = r.order_root_first;
     nodes = r.internal_nodes;
-    std::printf("engine: branch-and-bound (%" PRIu64 " states, %" PRIu64
-                " pruned)\n",
-                r.states_expanded,
-                r.states_pruned_bound + r.states_pruned_dominance);
+    outcome = budgeted ? rt::outcome_name(gov.outcome()) : "complete";
+    optimal = r.complete;
+    work_units = gov.stats().work_units;
+    if (!json)
+      std::printf("engine: branch-and-bound (%" PRIu64 " states, %" PRIu64
+                  " pruned%s)\n",
+                  r.states_expanded,
+                  r.states_pruned_bound + r.states_pruned_dominance,
+                  r.complete ? "" : ", stopped by budget");
   } else if (engine == "quantum") {
+    if (budgeted)
+      std::fprintf(stderr,
+                   "note: budget flags are not supported with "
+                   "--engine quantum\n");
     quantum::AccountingMinimumFinder finder(
         static_cast<double>(f.num_vars()));
     quantum::OptObddOptions opt;
@@ -163,13 +248,20 @@ int cmd_order(const std::vector<std::string>& args) {
     const auto r = quantum::opt_obdd_minimize(f, opt);
     order = r.order_root_first;
     nodes = r.min_internal_nodes;
-    std::printf("engine: OptOBDD (simulated; %.0f quantum queries)\n",
-                r.quantum.quantum_queries);
+    if (!json)
+      std::printf("engine: OptOBDD (simulated; %.0f quantum queries)\n",
+                  r.quantum.quantum_queries);
   } else {
     std::fprintf(stderr, "unknown engine '%s'\n", engine.c_str());
     return 2;
   }
-  std::printf("minimum %s: %" PRIu64 " internal nodes\norder: ",
+  if (json) {
+    print_json_order(engine, kind, nodes, optimal, outcome, work_units,
+                     order);
+    return 0;
+  }
+  std::printf("%s %s: %" PRIu64 " internal nodes\norder: ",
+              optimal ? "minimum" : "best found",
               kind == core::DiagramKind::kZdd ? "ZDD" : "OBDD", nodes);
   print_order(order);
   return 0;
@@ -268,7 +360,8 @@ void usage() {
       stderr,
       "usage:\n"
       "  ovo order   [--zdd] [--engine fs|bnb|quantum] [--shared]\n"
-      "              [--threads N] <input>\n"
+      "              [--threads N] [--timeout-ms N] [--node-limit N]\n"
+      "              [--mem-limit-mb N] [--work-limit N] [--json] <input>\n"
       "  ovo size    --order v1,v2,... [--zdd] <input>\n"
       "  ovo compare [--threads N] <input>\n"
       "  ovo tables  [--k K] [--iters N]\n"

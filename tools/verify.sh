@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Full verification sweep: tier-1 tests on the default preset, then the
+# whole suite again under ASan+UBSan and TSan.  Each preset configures,
+# builds, and runs ctest (per-test timeout comes from the test
+# registration: 300 s).  Any failure stops the script.
+#
+# Usage: tools/verify.sh [-jN]   (parallelism forwarded to build and ctest)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:--j$(nproc)}"
+
+for preset in default asan tsan; do
+  echo "==== preset: ${preset} ===================================="
+  cmake --preset "${preset}"
+  cmake --build --preset "${preset}" "${JOBS}"
+  ctest --preset "${preset}" "${JOBS}"
+done
+
+echo "==== all presets green ====================================="
