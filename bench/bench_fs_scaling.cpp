@@ -10,9 +10,10 @@
 // Budget flags (--timeout-ms / --node-limit / --mem-limit-mb /
 // --work-limit) run each n through the governed minimize_auto ladder with
 // a fresh budget instead of the raw DP: every row then reports its
-// Outcome (also in --json), the growth-fit checks are skipped (a tripped
-// run no longer measures the DP), and the bench demonstrates bounded
-// degradation instead.
+// Outcome plus the shared cost-oracle counters (queries / evals /
+// memo hits, also in --json), the growth-fit checks are skipped (a
+// tripped run no longer measures the DP), and the bench demonstrates
+// bounded degradation instead.
 
 #include <cinttypes>
 #include <cstdio>
@@ -70,8 +71,9 @@ int main(int argc, char** argv) {
     // copy of the budget; rows report why each run stopped.
     util::Xoshiro256 grng(2024);
     std::printf("Governed FS (minimize_auto ladder, fresh budget per n)\n\n");
-    std::printf("%3s %12s %8s %6s %10s %14s %12s\n", "n", "nodes", "optimal",
-                "layers", "outcome", "work units", "time(s)");
+    std::printf("%3s %12s %8s %6s %10s %14s %9s %9s %12s\n", "n", "nodes",
+                "optimal", "layers", "outcome", "work units", "queries",
+                "memo hit", "time(s)");
     std::FILE* out = nullptr;
     if (!json_path.empty()) {
       out = std::fopen(json_path.c_str(), "w");
@@ -89,20 +91,29 @@ int main(int argc, char** argv) {
       util::Timer timer;
       const auto r = reorder::minimize_auto(t, budget, opt);
       const double secs = timer.seconds();
-      std::printf("%3d %12" PRIu64 " %8s %6d %10s %14" PRIu64 " %12.4f\n",
+      // The heuristic stages (sift + restarts) share one memoized cost
+      // oracle, so revisited orders show up as memo hits rather than
+      // repeated chain evaluations.
+      const reorder::OracleStats& os = r.value.oracle;
+      std::printf("%3d %12" PRIu64 " %8s %6d %10s %14" PRIu64 " %9" PRIu64
+                  " %9" PRIu64 " %12.4f\n",
                   n, r.value.internal_nodes, r.value.optimal ? "yes" : "no",
                   r.value.dp_layers_completed, rt::outcome_name(r.outcome),
-                  r.stats.work_units, secs);
+                  r.stats.work_units, os.queries, os.memo_hits, secs);
       if (out != nullptr) {
         std::fprintf(out,
                      "  {\"n\": %d, \"threads\": %d, \"nodes\": %" PRIu64
                      ", \"optimal\": %s, \"dp_layers\": %d, "
                      "\"outcome\": \"%s\", \"work_units\": %" PRIu64
+                     ", \"oracle_queries\": %" PRIu64
+                     ", \"oracle_evals\": %" PRIu64
+                     ", \"oracle_memo_hits\": %" PRIu64
                      ", \"seconds\": %.6f}%s\n",
                      n, resolved_threads, r.value.internal_nodes,
                      r.value.optimal ? "true" : "false",
                      r.value.dp_layers_completed, rt::outcome_name(r.outcome),
-                     r.stats.work_units, secs, n < kGovMaxN ? "," : "");
+                     r.stats.work_units, os.queries, os.evals, os.memo_hits,
+                     secs, n < kGovMaxN ? "," : "");
       }
     }
     if (out != nullptr) {

@@ -8,7 +8,9 @@
 
 // Flags: --threads N (re-run each OptOBDD simulation with N pool threads
 // and report the speedup; all statistics must agree exactly) and
-// --json <path> (emit the per-n simulation rows as a JSON array).
+// --json <path> (emit the per-n simulation rows as a JSON array; each
+// row mirrors the run into the unified reorder cost-oracle ledger and
+// carries its queries / evals / memo-hits counters).
 //
 // Budget flags (--timeout-ms / --node-limit / --mem-limit-mb /
 // --work-limit) put one rt::Governor over the whole simulation sweep:
@@ -18,6 +20,7 @@
 // rows are reported, and the growth-fit exit checks are waived (a
 // truncated sweep no longer measures the full shape).
 
+#include <cinttypes>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -86,6 +89,7 @@ int main(int argc, char** argv) {
   std::vector<int> sim_ns;
   std::vector<double> sim_serial, sim_threaded;
   std::vector<std::string> sim_outcomes;
+  std::vector<reorder::OracleStats> sim_oracle;
   int rows_skipped = 0;
   for (int n = 5; n <= 11; ++n) {
     if (budgeted &&
@@ -99,6 +103,10 @@ int main(int argc, char** argv) {
     quantum::OptObddOptions opt;
     opt.alphas = {0.27};
     opt.finder = &finder;
+    // Mirror the run into the unified cost-oracle ledger so the JSON rows
+    // carry the same queries/evals/memo-hits fields as the FS bench.
+    reorder::OracleStats ostats;
+    opt.oracle_stats = &ostats;
     util::Timer timer;
     const quantum::OptObddResult q = quantum::opt_obdd_minimize(t, opt);
     const double serial_time = timer.seconds();
@@ -108,13 +116,17 @@ int main(int argc, char** argv) {
       quantum::OptObddOptions opt_t = opt;
       opt_t.finder = &finder_t;
       opt_t.exec = exec;
+      reorder::OracleStats ostats_t;
+      opt_t.oracle_stats = &ostats_t;
       timer.reset();
       const quantum::OptObddResult qt = quantum::opt_obdd_minimize(t, opt_t);
       threaded_time = timer.seconds();
       threads_match &=
           qt.min_internal_nodes == q.min_internal_nodes &&
           qt.order_root_first == q.order_root_first &&
-          qt.classical_ops.table_cells == q.classical_ops.table_cells;
+          qt.classical_ops.table_cells == q.classical_ops.table_cells &&
+          ostats_t.queries == ostats.queries &&
+          ostats_t.evals == ostats.evals;
     }
     if (budgeted) {
       // The row ran to completion before its cost is known, so charge it
@@ -125,6 +137,7 @@ int main(int argc, char** argv) {
     sim_serial.push_back(serial_time);
     sim_threaded.push_back(threaded_time);
     sim_outcomes.push_back(rt::outcome_name(gov.outcome()));
+    sim_oracle.push_back(ostats);
     const bool ok = q.min_internal_nodes == fs.min_internal_nodes;
     all_optimal &= ok;
     std::printf("%3d %12llu %16llu %18.0f %10s\n", n,
@@ -186,10 +199,13 @@ int main(int argc, char** argv) {
       std::fprintf(out,
                    "  {\"n\": %d, \"threads\": %d, \"seconds_serial\": %.6f, "
                    "\"seconds_threads\": %.6f, \"speedup\": %.4f, "
-                   "\"outcome\": \"%s\"}%s\n",
+                   "\"outcome\": \"%s\", \"oracle_queries\": %" PRIu64
+                   ", \"oracle_evals\": %" PRIu64
+                   ", \"oracle_memo_hits\": %" PRIu64 "}%s\n",
                    sim_ns[i], resolved_threads, sim_serial[i],
                    sim_threaded[i], sim_serial[i] / sim_threaded[i],
-                   sim_outcomes[i].c_str(),
+                   sim_outcomes[i].c_str(), sim_oracle[i].queries,
+                   sim_oracle[i].evals, sim_oracle[i].memo_hits,
                    i + 1 < sim_ns.size() ? "," : "");
     }
     std::fprintf(out, "]\n");

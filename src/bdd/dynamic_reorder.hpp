@@ -20,6 +20,8 @@
 #include <vector>
 
 #include "bdd/manager.hpp"
+#include "parallel/exec_policy.hpp"
+#include "reorder/eval_context.hpp"
 
 namespace ovo::bdd {
 
@@ -37,6 +39,9 @@ struct SiftResult {
   std::uint64_t final_nodes = 0;
   std::uint64_t swaps = 0;
   int passes = 0;
+  /// False iff a governor stopped the sift early; the manager is then
+  /// left in a consistent state at the best level reached so far.
+  bool complete = true;
 };
 
 /// Rudell sifting on the live DAG: repeatedly moves each variable to its
@@ -46,9 +51,31 @@ struct SiftResult {
 SiftResult sift_in_place(Manager& m, const std::vector<NodeId>& roots,
                          int max_passes = 4);
 
+/// Governed/parallel sifting.  ctx.gov budgets the search: one
+/// variable's sweep (~2n swaps, each followed by a reachability scan
+/// over the live DAG) is admitted as a unit at the serial per-variable
+/// point, so a work-limit trip lands between sweeps and the result is
+/// identical at every thread count; a hard stop (deadline, cancel) is
+/// polled per swap and still settles the in-flight variable at its best
+/// level, keeping the DAG consistent.  ctx.exec parallelizes the
+/// reachability scans on pools large enough to amortize the fan-out.
+/// ctx.stats, when non-null, receives one query/eval plus the scanned
+/// live size per reachability measurement.  The default context
+/// reproduces the legacy overload exactly.
+SiftResult sift_in_place(Manager& m, const std::vector<NodeId>& roots,
+                         int max_passes, const reorder::EvalContext& ctx);
+
 /// Union of non-terminal nodes reachable from all roots (the live size a
 /// multi-root application cares about).
 std::uint64_t shared_reachable_size(const Manager& m,
                                     const std::vector<NodeId>& roots);
+
+/// As above, fanned out over the thread pool as a frontier BFS with
+/// atomic node claiming when `exec` asks for threads and the arena is
+/// large enough to amortize dispatch; the count is the size of a fixed
+/// set, so it is identical at every thread count.
+std::uint64_t shared_reachable_size(const Manager& m,
+                                    const std::vector<NodeId>& roots,
+                                    const par::ExecPolicy& exec);
 
 }  // namespace ovo::bdd

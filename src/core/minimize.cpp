@@ -39,20 +39,26 @@ MinimizeResult fs_minimize_mtbdd(const std::vector<std::int64_t>& values,
 
 namespace {
 
-std::uint64_t chain_size(PrefixTable table,
-                         const std::vector<int>& order_root_first,
-                         DiagramKind kind, OpCounter* ops,
-                         std::vector<std::uint64_t>* profile,
-                         const rt::Governor* gov = nullptr) {
-  OVO_CHECK_MSG(static_cast<int>(order_root_first.size()) == table.n,
+std::uint64_t chain_size_impl(const PrefixTable& base,
+                              const std::vector<int>& order_root_first,
+                              DiagramKind kind, PrefixTable& table,
+                              PrefixTable& next, OpCounter* ops,
+                              std::vector<std::uint64_t>* profile,
+                              const rt::Governor* gov) {
+  OVO_CHECK_MSG(static_cast<int>(order_root_first.size()) == base.n,
                 "order length mismatch");
   OVO_CHECK_MSG(util::is_permutation(order_root_first),
                 "order not a permutation");
   if (profile != nullptr) profile->assign(order_root_first.size(), 0);
+  // Copy the base into the scratch table, reusing its cells capacity.
+  table.n = base.n;
+  table.vars = base.vars;
+  table.num_terminals = base.num_terminals;
+  table.next_id = base.next_id;
+  table.cells.assign(base.cells.begin(), base.cells.end());
   // Compact bottom-up (last-read variable first), ping-ponging between
   // two tables so each step reuses the other's cells buffer instead of
   // allocating a fresh table per compaction.
-  PrefixTable next;
   for (std::size_t j = order_root_first.size(); j-- > 0;) {
     if (gov != nullptr && gov->stopped()) return kAbortedSize;
     const std::uint64_t before = table.mincost();
@@ -64,7 +70,28 @@ std::uint64_t chain_size(PrefixTable table,
   return table.mincost();
 }
 
+std::uint64_t chain_size(const PrefixTable& base,
+                         const std::vector<int>& order_root_first,
+                         DiagramKind kind, OpCounter* ops,
+                         std::vector<std::uint64_t>* profile,
+                         const rt::Governor* gov = nullptr) {
+  PrefixTable cur, next;
+  return chain_size_impl(base, order_root_first, kind, cur, next, ops,
+                         profile, gov);
+}
+
 }  // namespace
+
+std::uint64_t diagram_size_from_base(const PrefixTable& base,
+                                     const std::vector<int>& order_root_first,
+                                     DiagramKind kind,
+                                     PrefixTable& scratch_cur,
+                                     PrefixTable& scratch_next,
+                                     OpCounter* ops,
+                                     const rt::Governor* gov) {
+  return chain_size_impl(base, order_root_first, kind, scratch_cur,
+                         scratch_next, ops, nullptr, gov);
+}
 
 std::uint64_t diagram_size_for_order(const tt::TruthTable& f,
                                      const std::vector<int>& order_root_first,

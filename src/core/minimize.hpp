@@ -62,6 +62,20 @@ std::uint64_t diagram_size_for_order(const tt::TruthTable& f,
                                      OpCounter* ops = nullptr,
                                      const rt::Governor* gov = nullptr);
 
+/// diagram_size_for_order starting from a prebuilt TABLE_{emptyset}
+/// (`base` is copied into `scratch_cur`, never mutated) and ping-ponging
+/// between the two caller-provided scratch tables, so a caller that
+/// evaluates many orders against one function allocates nothing once the
+/// scratch capacity covers one chain.  This is the primitive under
+/// reorder::CostOracle.
+std::uint64_t diagram_size_from_base(const PrefixTable& base,
+                                     const std::vector<int>& order_root_first,
+                                     DiagramKind kind,
+                                     PrefixTable& scratch_cur,
+                                     PrefixTable& scratch_next,
+                                     OpCounter* ops = nullptr,
+                                     const rt::Governor* gov = nullptr);
+
 /// MTBDD variant of diagram_size_for_order.
 std::uint64_t diagram_size_for_order_values(
     const std::vector<std::int64_t>& values, int n,

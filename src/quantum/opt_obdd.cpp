@@ -171,6 +171,21 @@ Partial run_instance(const PrefixTable& base, Mask J, DiagramKind kind,
   return inst.run(base, J);
 }
 
+/// Adds a finished run's accounting to the caller's unified OracleStats
+/// (each candidate evaluated in simulated superposition is one query
+/// answered by one actual evaluation; the simulation's table cells are
+/// the ops ledger; the finder's query counts go to the min_find mirror).
+void mirror_oracle_stats(const OptObddResult& result,
+                         reorder::OracleStats* os) {
+  if (os == nullptr) return;
+  os->queries += result.quantum.candidates_evaluated;
+  os->evals += result.quantum.candidates_evaluated;
+  os->ops += result.classical_ops;
+  os->min_find_calls +=
+      static_cast<std::uint64_t>(result.quantum.min_find_calls);
+  os->min_find_queries += result.quantum.quantum_queries;
+}
+
 }  // namespace
 
 std::vector<int> realize_boundaries(const std::vector<double>& alphas,
@@ -219,6 +234,7 @@ OptObddResult opt_obdd_minimize(const tt::TruthTable& f,
   result.quantum.quantum_charged_cells = top.quantum_cost;
   result.order_root_first.assign(top.order_bottom_up.rbegin(),
                                  top.order_bottom_up.rend());
+  mirror_oracle_stats(result, options.oracle_stats);
   return result;
 }
 
@@ -245,6 +261,7 @@ OptObddResult opt_obdd_minimize_shared(
   result.quantum.quantum_charged_cells = top.quantum_cost;
   result.order_root_first.assign(top.order_bottom_up.rbegin(),
                                  top.order_bottom_up.rend());
+  mirror_oracle_stats(result, options.oracle_stats);
   return result;
 }
 

@@ -25,6 +25,7 @@
 #include "core/minimize.hpp"
 #include "parallel/exec_policy.hpp"
 #include "quantum/min_find.hpp"
+#include "reorder/eval_context.hpp"
 #include "tt/truth_table.hpp"
 
 namespace ovo::quantum {
@@ -65,6 +66,11 @@ struct OptObddOptions {
   /// Execution policy forwarded to every FS* invocation (preprocess and
   /// block extensions); serial by default.
   par::ExecPolicy exec;
+  /// Optional unified-counter mirror: on return, the run's candidate
+  /// evaluations, classical simulation cells, and minimum-finder query
+  /// accounting are added here in the shared OracleStats vocabulary.
+  /// QuantumStats is unaffected; this is a second view, not a move.
+  reorder::OracleStats* oracle_stats = nullptr;
 };
 
 /// OptOBDD(k, alpha) on a truth table (Theorem 10 when finder errors are

@@ -9,21 +9,21 @@
 
 namespace ovo::reorder {
 
-AnnealResult simulated_annealing(const tt::TruthTable& f,
-                                 std::vector<int> order,
+AnnealResult simulated_annealing(CostOracle& oracle, std::vector<int> order,
                                  const AnnealOptions& options,
-                                 util::Xoshiro256& rng, rt::Governor* gov) {
-  const int n = f.num_vars();
+                                 util::Xoshiro256& rng,
+                                 const EvalContext& ctx) {
+  const int n = oracle.num_vars();
   OVO_CHECK_MSG(static_cast<int>(order.size()) == n,
                 "annealing: order length mismatch");
   OVO_CHECK_MSG(util::is_permutation(order), "annealing: not a permutation");
   OVO_CHECK(options.initial_temperature > 0.0);
   OVO_CHECK(options.cooling > 0.0 && options.cooling < 1.0);
+  rt::Governor* gov = ctx.gov;
 
   AnnealResult r;
-  if (gov != nullptr) gov->charge(core::chain_eval_cost(n));
-  std::uint64_t current =
-      core::diagram_size_for_order(f, order, options.kind);
+  if (gov != nullptr) gov->charge(oracle.chain_eval_cost());
+  std::uint64_t current = oracle.size_for_order(order);
   ++r.orders_evaluated;
   r.internal_nodes = current;
   r.order_root_first = order;
@@ -35,19 +35,20 @@ AnnealResult simulated_annealing(const tt::TruthTable& f,
       if (n < 2) break;
       // Admit the move's evaluation before drawing it, so the RNG
       // stream of a budget-tripped run is a prefix of the unbudgeted
-      // one and the stopping move is deterministic.
+      // one and the stopping move is deterministic.  The charge happens
+      // whether or not the candidate then hits the memo — memoization
+      // must not change governed outcomes.
       if (gov != nullptr && (gov->stopped() ||
-                             !gov->admit_work(core::chain_eval_cost(n)))) {
+                             !gov->admit_work(oracle.chain_eval_cost()))) {
         out_of_budget = true;
         break;
       }
-      if (gov != nullptr) gov->charge(core::chain_eval_cost(n));
+      if (gov != nullptr) gov->charge(oracle.chain_eval_cost());
       const std::size_t i = rng.below(static_cast<std::uint64_t>(n));
       std::size_t j = rng.below(static_cast<std::uint64_t>(n));
       if (i == j) j = (j + 1) % static_cast<std::size_t>(n);
       std::swap(order[i], order[j]);
-      const std::uint64_t cand =
-          core::diagram_size_for_order(f, order, options.kind, nullptr, gov);
+      const std::uint64_t cand = oracle.size_for_order(order, gov);
       if (cand == core::kAbortedSize) {  // hard stop mid-chain
         std::swap(order[i], order[j]);
         out_of_budget = true;
@@ -72,6 +73,16 @@ AnnealResult simulated_annealing(const tt::TruthTable& f,
     temperature *= options.cooling;
   }
   return r;
+}
+
+AnnealResult simulated_annealing(const tt::TruthTable& f,
+                                 std::vector<int> order,
+                                 const AnnealOptions& options,
+                                 util::Xoshiro256& rng, rt::Governor* gov) {
+  CostOracle oracle(f, options.kind);
+  EvalContext ctx;
+  ctx.gov = gov;
+  return simulated_annealing(oracle, std::move(order), options, rng, ctx);
 }
 
 }  // namespace ovo::reorder

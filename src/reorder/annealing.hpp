@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/prefix_table.hpp"
+#include "reorder/oracle.hpp"
 #include "rt/budget.hpp"
 #include "tt/truth_table.hpp"
 #include "util/rng.hpp"
@@ -39,5 +40,14 @@ AnnealResult simulated_annealing(const tt::TruthTable& f,
                                  const AnnealOptions& options,
                                  util::Xoshiro256& rng,
                                  rt::Governor* gov = nullptr);
+
+/// Oracle-based primary implementation; the oracle's kind governs
+/// (options.kind is ignored here).  Re-proposed orders — a rejected move
+/// re-proposed later, or a revert-and-retry — hit the oracle's memo.
+AnnealResult simulated_annealing(CostOracle& oracle,
+                                 std::vector<int> initial_order,
+                                 const AnnealOptions& options,
+                                 util::Xoshiro256& rng,
+                                 const EvalContext& ctx = {});
 
 }  // namespace ovo::reorder

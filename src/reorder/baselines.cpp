@@ -13,42 +13,7 @@ namespace ovo::reorder {
 
 namespace {
 
-std::uint64_t size_of(const tt::TruthTable& f, const std::vector<int>& order,
-                      core::DiagramKind kind) {
-  return core::diagram_size_for_order(f, order, kind);
-}
-
-/// Evaluates every candidate order's size over the pool (one candidate per
-/// chunk: each evaluation is an O(2^n) compaction chain).  Selection stays
-/// with the caller's serial scan, so tie-breaking is identical to the
-/// serial code for every thread count.
-///
-/// With a governor, the batch is truncated — serially, before the fan-out
-/// — to the prefix the remaining work budget admits, so the set of
-/// evaluated candidates is identical for every thread count.  Entries not
-/// evaluated (truncated, or hard-stopped mid-chain) hold kAbortedSize,
-/// which no selection scan can pick as a best.
-std::vector<std::uint64_t> sizes_of(
-    const tt::TruthTable& f, const std::vector<std::vector<int>>& candidates,
-    core::DiagramKind kind, const par::ExecPolicy& exec,
-    rt::Governor* gov = nullptr) {
-  std::vector<std::uint64_t> sizes(candidates.size(), core::kAbortedSize);
-  std::uint64_t count = candidates.size();
-  if (gov != nullptr)
-    count = gov->admit_charge_batch(core::chain_eval_cost(f.num_vars()),
-                                    count);
-  const std::uint64_t grain = exec.grain != 0 ? exec.grain : 1;
-  par::ThreadPool::shared().parallel_for(
-      std::uint64_t{0}, count, grain, exec.resolved_threads(),
-      gov != nullptr ? gov->stop_flag() : nullptr,
-      [&](std::uint64_t i, int) {
-        sizes[static_cast<std::size_t>(i)] = core::diagram_size_for_order(
-            f, candidates[static_cast<std::size_t>(i)], kind, nullptr, gov);
-      });
-  return sizes;
-}
-
-/// Candidates actually evaluated in a sizes_of batch.
+/// Candidates actually evaluated (or memo-resolved) in a batch.
 std::uint64_t evaluated_count(const std::vector<std::uint64_t>& sizes) {
   std::uint64_t c = 0;
   for (const std::uint64_t s : sizes)
@@ -58,10 +23,9 @@ std::uint64_t evaluated_count(const std::vector<std::uint64_t>& sizes) {
 
 }  // namespace
 
-OrderSearchResult brute_force_minimize(const tt::TruthTable& f,
-                                       core::DiagramKind kind,
-                                       const par::ExecPolicy& exec) {
-  const int n = f.num_vars();
+OrderSearchResult brute_force_minimize(CostOracle& oracle,
+                                       const EvalContext& ctx) {
+  const int n = oracle.num_vars();
   OVO_CHECK_MSG(n >= 1 && n <= 10, "brute_force_minimize: n must be in [1,10]");
   std::uint64_t total = 1;
   for (int i = 2; i <= n; ++i) total *= static_cast<std::uint64_t>(i);
@@ -70,19 +34,25 @@ OrderSearchResult brute_force_minimize(const tt::TruthTable& f,
   // permutation and advances with next_permutation.  Strict-< folds (both
   // inside a chunk and across chunks, which combine in rank order) keep
   // the first lexicographic minimizer, matching the serial sweep exactly.
+  // The memo is bypassed — all n! orders are distinct — but every chunk
+  // shares the oracle's base table and keeps its own scratch pair.
   struct ChunkBest {
     std::uint64_t best_rank = 0;
     std::uint64_t best_size = std::numeric_limits<std::uint64_t>::max();
     std::uint64_t worst_size = 0;
+    core::OpCounter ops;
   };
-  const std::uint64_t grain = exec.grain != 0 ? exec.grain : 1024;
+  const std::uint64_t grain = ctx.exec.grain != 0 ? ctx.exec.grain : 1024;
   const ChunkBest agg = par::ThreadPool::shared().parallel_reduce(
-      std::uint64_t{0}, total, grain, exec.resolved_threads(), ChunkBest{},
+      std::uint64_t{0}, total, grain, ctx.exec.resolved_threads(),
+      ChunkBest{},
       [&](std::uint64_t b, std::uint64_t e) {
         ChunkBest c;
+        core::PrefixTable cur, next;
         std::vector<int> order = util::permutation_unrank(n, b);
         for (std::uint64_t r = b; r < e; ++r) {
-          const std::uint64_t s = size_of(f, order, kind);
+          const std::uint64_t s = core::diagram_size_from_base(
+              oracle.base(), order, oracle.kind(), cur, next, &c.ops);
           if (s < c.best_size) {
             c.best_size = s;
             c.best_rank = r;
@@ -98,8 +68,13 @@ OrderSearchResult brute_force_minimize(const tt::TruthTable& f,
           a.best_rank = b.best_rank;
         }
         a.worst_size = std::max(a.worst_size, b.worst_size);
+        a.ops += b.ops;
         return a;
       });
+
+  oracle.stats().queries += total;
+  oracle.stats().evals += total;
+  oracle.stats().ops += agg.ops;
 
   OrderSearchResult best;
   best.orders_evaluated = total;
@@ -109,18 +84,26 @@ OrderSearchResult brute_force_minimize(const tt::TruthTable& f,
   return best;
 }
 
-OrderSearchResult sift(const tt::TruthTable& f,
-                       std::vector<int> order,
-                       core::DiagramKind kind, int max_passes,
-                       const par::ExecPolicy& exec, rt::Governor* gov) {
-  const int n = f.num_vars();
+OrderSearchResult brute_force_minimize(const tt::TruthTable& f,
+                                       core::DiagramKind kind,
+                                       const par::ExecPolicy& exec) {
+  CostOracle oracle(f, kind);
+  EvalContext ctx;
+  ctx.exec = exec;
+  return brute_force_minimize(oracle, ctx);
+}
+
+OrderSearchResult sift(CostOracle& oracle, std::vector<int> order,
+                       int max_passes, const EvalContext& ctx) {
+  const int n = oracle.num_vars();
   OVO_CHECK_MSG(static_cast<int>(order.size()) == n, "sift: order length");
   OVO_CHECK_MSG(util::is_permutation(order), "sift: not a permutation");
+  rt::Governor* gov = ctx.gov;
   OrderSearchResult r;
   // The initial evaluation is charged but never skipped: a governed sift
   // must know its incumbent's size to improve on it.
-  if (gov != nullptr) gov->charge(core::chain_eval_cost(n));
-  r.internal_nodes = size_of(f, order, kind);
+  if (gov != nullptr) gov->charge(oracle.chain_eval_cost());
+  r.internal_nodes = oracle.size_for_order(order);
   ++r.orders_evaluated;
   bool out_of_budget = false;
   for (int pass = 0; pass < max_passes && !out_of_budget; ++pass) {
@@ -141,7 +124,7 @@ OrderSearchResult sift(const tt::TruthTable& f,
         cands.push_back(std::move(cand));
       }
       const std::vector<std::uint64_t> sizes =
-          sizes_of(f, cands, kind, exec, gov);
+          oracle.sizes_for_orders(cands, ctx);
       const std::uint64_t evaluated = evaluated_count(sizes);
       r.orders_evaluated += evaluated;
       std::size_t best_pos = pos;
@@ -169,18 +152,28 @@ OrderSearchResult sift(const tt::TruthTable& f,
   return r;
 }
 
-OrderSearchResult window_permute(const tt::TruthTable& f,
-                                 std::vector<int> order, int window,
-                                 core::DiagramKind kind, int max_passes,
-                                 const par::ExecPolicy& exec,
-                                 rt::Governor* gov) {
-  const int n = f.num_vars();
+OrderSearchResult sift(const tt::TruthTable& f,
+                       std::vector<int> order,
+                       core::DiagramKind kind, int max_passes,
+                       const par::ExecPolicy& exec, rt::Governor* gov) {
+  CostOracle oracle(f, kind);
+  EvalContext ctx;
+  ctx.exec = exec;
+  ctx.gov = gov;
+  return sift(oracle, std::move(order), max_passes, ctx);
+}
+
+OrderSearchResult window_permute(CostOracle& oracle, std::vector<int> order,
+                                 int window, int max_passes,
+                                 const EvalContext& ctx) {
+  const int n = oracle.num_vars();
   OVO_CHECK_MSG(static_cast<int>(order.size()) == n, "window: order length");
   OVO_CHECK_MSG(util::is_permutation(order), "window: not a permutation");
   OVO_CHECK_MSG(window >= 2 && window <= 5, "window: size must be in [2,5]");
+  rt::Governor* gov = ctx.gov;
   OrderSearchResult r;
-  if (gov != nullptr) gov->charge(core::chain_eval_cost(n));
-  r.internal_nodes = size_of(f, order, kind);
+  if (gov != nullptr) gov->charge(oracle.chain_eval_cost());
+  r.internal_nodes = oracle.size_for_order(order);
   ++r.orders_evaluated;
   if (window > n) window = n;
   bool out_of_budget = false;
@@ -203,7 +196,7 @@ OrderSearchResult window_permute(const tt::TruthTable& f,
         cands.push_back(std::move(cand));
       }
       const std::vector<std::uint64_t> sizes =
-          sizes_of(f, cands, kind, exec, gov);
+          oracle.sizes_for_orders(cands, ctx);
       const std::uint64_t evaluated = evaluated_count(sizes);
       r.orders_evaluated += evaluated;
       std::vector<int> best_slot(order.begin() + s,
@@ -231,12 +224,22 @@ OrderSearchResult window_permute(const tt::TruthTable& f,
   return r;
 }
 
-OrderSearchResult random_restart(const tt::TruthTable& f, int restarts,
-                                 util::Xoshiro256& rng,
-                                 core::DiagramKind kind,
+OrderSearchResult window_permute(const tt::TruthTable& f,
+                                 std::vector<int> order, int window,
+                                 core::DiagramKind kind, int max_passes,
                                  const par::ExecPolicy& exec,
                                  rt::Governor* gov) {
-  const int n = f.num_vars();
+  CostOracle oracle(f, kind);
+  EvalContext ctx;
+  ctx.exec = exec;
+  ctx.gov = gov;
+  return window_permute(oracle, std::move(order), window, max_passes, ctx);
+}
+
+OrderSearchResult random_restart(CostOracle& oracle, int restarts,
+                                 util::Xoshiro256& rng,
+                                 const EvalContext& ctx) {
+  const int n = oracle.num_vars();
   OrderSearchResult best;
   best.internal_nodes = std::numeric_limits<std::uint64_t>::max();
   // Draw the orders serially first — the RNG stream (carried shuffle
@@ -252,7 +255,8 @@ OrderSearchResult random_restart(const tt::TruthTable& f, int restarts,
                 order[rng.below(static_cast<std::uint64_t>(i) + 1)]);
     cands.push_back(order);
   }
-  const std::vector<std::uint64_t> sizes = sizes_of(f, cands, kind, exec, gov);
+  const std::vector<std::uint64_t> sizes =
+      oracle.sizes_for_orders(cands, ctx);
   best.orders_evaluated = evaluated_count(sizes);
   for (std::size_t t = 0; t < sizes.size(); ++t) {
     if (sizes[t] < best.internal_nodes) {
@@ -261,6 +265,18 @@ OrderSearchResult random_restart(const tt::TruthTable& f, int restarts,
     }
   }
   return best;
+}
+
+OrderSearchResult random_restart(const tt::TruthTable& f, int restarts,
+                                 util::Xoshiro256& rng,
+                                 core::DiagramKind kind,
+                                 const par::ExecPolicy& exec,
+                                 rt::Governor* gov) {
+  CostOracle oracle(f, kind);
+  EvalContext ctx;
+  ctx.exec = exec;
+  ctx.gov = gov;
+  return random_restart(oracle, restarts, rng, ctx);
 }
 
 }  // namespace ovo::reorder

@@ -15,6 +15,7 @@
 
 #include "core/prefix_table.hpp"
 #include "parallel/exec_policy.hpp"
+#include "reorder/oracle.hpp"
 #include "rt/budget.hpp"
 #include "tt/truth_table.hpp"
 #include "util/rng.hpp"
@@ -38,6 +39,12 @@ OrderSearchResult brute_force_minimize(
     const tt::TruthTable& f, core::DiagramKind kind = core::DiagramKind::kBdd,
     const par::ExecPolicy& exec = {});
 
+/// Oracle-based primary implementation: chains run against oracle.base()
+/// with per-chunk scratch buffers (the memo is bypassed — all n! orders
+/// are distinct), and the sweep's work is recorded in oracle.stats().
+OrderSearchResult brute_force_minimize(CostOracle& oracle,
+                                       const EvalContext& ctx = {});
+
 /// Rudell sifting: repeatedly move each variable to its locally best
 /// position, until a fixpoint or `max_passes`.  `exec` parallelizes the
 /// per-position size evaluations; the chosen position (first best, ties to
@@ -56,6 +63,12 @@ OrderSearchResult sift(const tt::TruthTable& f,
                        const par::ExecPolicy& exec = {},
                        rt::Governor* gov = nullptr);
 
+/// Oracle-based primary implementation; candidate batches go through
+/// oracle.sizes_for_orders (memoized), policy/budget through ctx.
+OrderSearchResult sift(CostOracle& oracle,
+                       std::vector<int> initial_order_root_first,
+                       int max_passes = 8, const EvalContext& ctx = {});
+
 /// Window permutation: exhaustively permute every window of `window`
 /// adjacent levels, sliding left to right, until a fixpoint.  `exec`
 /// parallelizes the per-window candidate evaluations deterministically.
@@ -69,6 +82,12 @@ OrderSearchResult window_permute(const tt::TruthTable& f,
                                  const par::ExecPolicy& exec = {},
                                  rt::Governor* gov = nullptr);
 
+/// Oracle-based primary implementation of window_permute.
+OrderSearchResult window_permute(CostOracle& oracle,
+                                 std::vector<int> initial_order_root_first,
+                                 int window, int max_passes = 8,
+                                 const EvalContext& ctx = {});
+
 /// Best of `restarts` uniformly random orderings.  Orders are drawn from
 /// `rng` serially (the stream is identical to the serial implementation);
 /// only their size evaluations fan out over the pool.  `gov` budgets the
@@ -81,5 +100,13 @@ OrderSearchResult random_restart(const tt::TruthTable& f, int restarts,
                                      core::DiagramKind::kBdd,
                                  const par::ExecPolicy& exec = {},
                                  rt::Governor* gov = nullptr);
+
+/// Oracle-based primary implementation of random_restart.  `rng` stays an
+/// explicit parameter: the draw stream is part of the determinism
+/// contract (ladder stages pass a seeded stream; ctx.seed is only used
+/// by the strategy registry to construct one).
+OrderSearchResult random_restart(CostOracle& oracle, int restarts,
+                                 util::Xoshiro256& rng,
+                                 const EvalContext& ctx = {});
 
 }  // namespace ovo::reorder

@@ -25,6 +25,7 @@
 
 #include "core/prefix_table.hpp"
 #include "parallel/exec_policy.hpp"
+#include "reorder/oracle.hpp"
 #include "rt/budget.hpp"
 #include "tt/truth_table.hpp"
 
@@ -60,6 +61,16 @@ BnbResult branch_and_bound_minimize(
     core::DiagramKind kind = core::DiagramKind::kBdd,
     std::uint64_t initial_upper_bound = ~std::uint64_t{0},
     const par::ExecPolicy& exec = {}, rt::Governor* gov = nullptr);
+
+/// Oracle-based primary implementation: the search runs from
+/// oracle.base() (no second TABLE_{emptyset} build) and records its
+/// compaction work — child generation, free variables × table cells per
+/// expanded state — into oracle.stats().ops, the same ledger the chain
+/// evaluators use.
+BnbResult branch_and_bound_minimize(
+    CostOracle& oracle,
+    std::uint64_t initial_upper_bound = ~std::uint64_t{0},
+    const EvalContext& ctx = {});
 
 /// The admissible lower bound used by the search (exposed for tests):
 /// minimum extra nodes any completion of prefix state `t` must add.

@@ -1,0 +1,59 @@
+#pragma once
+// The single way execution policy, budget, and seed reach an ordering
+// algorithm, plus the unified cost-oracle counters every algorithm
+// reports through.  Header-only on purpose: the bdd and quantum layers
+// use these types without linking ovo_reorder (only ovo_rt, for the
+// Governor the context points at).
+
+#include <cstdint>
+
+#include "core/prefix_table.hpp"
+#include "parallel/exec_policy.hpp"
+#include "rt/budget.hpp"
+
+namespace ovo::reorder {
+
+/// Unified per-search statistics, replacing the per-algorithm
+/// orders_evaluated / chain-cost counters.  Every size query an algorithm
+/// makes is either answered from the memo (memo_hits) or actually
+/// evaluated (evals); queries == memo_hits + evals always holds, and
+/// evals < queries is the observable proof that memoization is live.
+struct OracleStats {
+  std::uint64_t queries = 0;    ///< size queries answered
+  std::uint64_t evals = 0;      ///< chain evaluations actually performed
+  std::uint64_t memo_hits = 0;  ///< queries served from the memo cache
+  /// Table cells processed by the evaluations (the paper's work measure);
+  /// also collects DP/compaction work for the non-chain engines.
+  core::OpCounter ops;
+  /// Quantum minimum-finding mirror: calls made and the queries a quantum
+  /// computer would have spent, so classical and Grover-simulated paths
+  /// count their oracle queries in the same ledger.
+  std::uint64_t min_find_calls = 0;
+  double min_find_queries = 0.0;
+
+  OracleStats& operator+=(const OracleStats& o) {
+    queries += o.queries;
+    evals += o.evals;
+    memo_hits += o.memo_hits;
+    ops += o.ops;
+    min_find_calls += o.min_find_calls;
+    min_find_queries += o.min_find_queries;
+    return *this;
+  }
+};
+
+/// Everything an ordering algorithm needs from its caller.  Defaults
+/// reproduce the ungoverned serial path exactly: no governor, one thread,
+/// the library's canonical seed.
+struct EvalContext {
+  par::ExecPolicy exec{};
+  /// Budget enforcement; nullptr = unlimited.  Not owned.
+  rt::Governor* gov = nullptr;
+  /// Seed for stochastic strategies (annealing, restarts).
+  std::uint64_t seed = 0x5eed5eed5eedull;
+  /// Optional external counter sink for algorithms that run without a
+  /// CostOracle of their own (dynamic sifting, the quantum layer).
+  OracleStats* stats = nullptr;
+};
+
+}  // namespace ovo::reorder

@@ -9,21 +9,21 @@
 
 namespace ovo::reorder {
 
-ExactWindowResult exact_window(const tt::TruthTable& f,
-                               std::vector<int> order, int window,
-                               core::DiagramKind kind, int max_passes,
-                               rt::Governor* gov) {
-  const int n = f.num_vars();
+ExactWindowResult exact_window(CostOracle& oracle, std::vector<int> order,
+                               int window, int max_passes,
+                               const EvalContext& ctx) {
+  const int n = oracle.num_vars();
   OVO_CHECK_MSG(static_cast<int>(order.size()) == n,
                 "exact_window: order length mismatch");
   OVO_CHECK_MSG(util::is_permutation(order),
                 "exact_window: not a permutation");
   OVO_CHECK_MSG(window >= 2 && window <= 16, "exact_window: window in [2,16]");
   window = std::min(window, n);
+  rt::Governor* gov = ctx.gov;
 
   ExactWindowResult r;
-  if (gov != nullptr) gov->charge(core::chain_eval_cost(n));
-  r.internal_nodes = core::diagram_size_for_order(f, order, kind, &r.ops);
+  if (gov != nullptr) gov->charge(oracle.chain_eval_cost());
+  r.internal_nodes = oracle.size_for_order(order);
 
   bool out_of_budget = false;
   for (int pass = 0; pass < max_passes && !out_of_budget; ++pass) {
@@ -35,28 +35,28 @@ ExactWindowResult exact_window(const tt::TruthTable& f,
       // window before the order is touched, so the incumbent stays
       // consistent.
       if (gov != nullptr &&
-          (gov->stopped() || !gov->admit_work(core::chain_eval_cost(n)))) {
+          (gov->stopped() || !gov->admit_work(oracle.chain_eval_cost()))) {
         out_of_budget = true;
         break;
       }
       // Prefix table of the levels strictly below the window.
-      core::PrefixTable base = core::initial_table(f);
+      core::PrefixTable base = oracle.base();
       for (int p = n - 1; p >= s + window; --p)
-        base = core::compact(base, order[static_cast<std::size_t>(p)], kind,
-                             &r.ops, gov);
+        base = core::compact(base, order[static_cast<std::size_t>(p)],
+                             oracle.kind(), &r.ops, gov);
       // Cost of the current arrangement of the window.
       core::PrefixTable current = base;
       for (int p = s + window - 1; p >= s; --p)
         current = core::compact(current,
-                                order[static_cast<std::size_t>(p)], kind,
-                                &r.ops, gov);
+                                order[static_cast<std::size_t>(p)],
+                                oracle.kind(), &r.ops, gov);
       // Exact optimum over the window's variable set (Lemma 3: levels
       // above the window are unaffected by the within-window order).
       util::Mask J = 0;
       for (int p = s; p < s + window; ++p)
         J |= util::Mask{1} << order[static_cast<std::size_t>(p)];
-      core::FsStarResult dp =
-          core::fs_star(base, J, window, kind, &r.ops, {}, gov);
+      core::FsStarResult dp = core::fs_star(base, J, window, oracle.kind(),
+                                            &r.ops, ctx.exec, gov);
       if (dp.completed_layers < window) {
         out_of_budget = true;  // budget can no longer fit a window DP
         break;
@@ -75,10 +75,28 @@ ExactWindowResult exact_window(const tt::TruthTable& f,
     if (!improved) break;
   }
   r.complete = !out_of_budget;
-  OVO_DCHECK(core::diagram_size_for_order(f, order, kind) ==
-             r.internal_nodes);
+#ifndef NDEBUG
+  {
+    // Verify the incremental bookkeeping against a fresh chain — outside
+    // the oracle, so debug builds report the same stats as release ones.
+    core::PrefixTable dcur, dnext;
+    OVO_DCHECK(core::diagram_size_from_base(oracle.base(), order,
+                                            oracle.kind(), dcur, dnext) ==
+               r.internal_nodes);
+  }
+#endif
   r.order_root_first = std::move(order);
   return r;
+}
+
+ExactWindowResult exact_window(const tt::TruthTable& f,
+                               std::vector<int> order, int window,
+                               core::DiagramKind kind, int max_passes,
+                               rt::Governor* gov) {
+  CostOracle oracle(f, kind);
+  EvalContext ctx;
+  ctx.gov = gov;
+  return exact_window(oracle, std::move(order), window, max_passes, ctx);
 }
 
 }  // namespace ovo::reorder

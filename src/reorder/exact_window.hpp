@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/prefix_table.hpp"
+#include "reorder/oracle.hpp"
 #include "rt/budget.hpp"
 #include "tt/truth_table.hpp"
 
@@ -41,5 +42,14 @@ ExactWindowResult exact_window(const tt::TruthTable& f,
                                    core::DiagramKind::kBdd,
                                int max_passes = 8,
                                rt::Governor* gov = nullptr);
+
+/// Oracle-based primary implementation: the initial full-chain evaluation
+/// goes through the (memoized) oracle and the per-window setup chains
+/// start from oracle.base(); the windowed FS* runs use ctx.exec.  The
+/// window DP/compaction work stays in ExactWindowResult::ops.
+ExactWindowResult exact_window(CostOracle& oracle,
+                               std::vector<int> initial_order, int window,
+                               int max_passes = 8,
+                               const EvalContext& ctx = {});
 
 }  // namespace ovo::reorder

@@ -5,6 +5,7 @@
 
 #include "core/fs_star.hpp"
 #include "reorder/baselines.hpp"
+#include "reorder/oracle.hpp"
 #include "util/check.hpp"
 #include "util/combinatorics.hpp"
 #include "util/rng.hpp"
@@ -41,20 +42,33 @@ void greedy_complete(core::PrefixTable& t, core::DiagramKind kind,
 rt::Result<AutoMinimizeResult> minimize_auto(
     const tt::TruthTable& f, const rt::Budget& budget,
     const AutoMinimizeOptions& options) {
+  rt::Governor gov(budget);
+  return minimize_auto(f, gov, options);
+}
+
+rt::Result<AutoMinimizeResult> minimize_auto(
+    const tt::TruthTable& f, rt::Governor& gov,
+    const AutoMinimizeOptions& options) {
   const int n = f.num_vars();
   OVO_CHECK_MSG(n >= 1, "minimize_auto: need >= 1 variable");
   OVO_CHECK_MSG(options.kind != core::DiagramKind::kMtbdd,
                 "minimize_auto: value tables not supported here");
 
-  rt::Governor gov(budget);
   rt::Result<AutoMinimizeResult> out;
   AutoMinimizeResult& v = out.value;
 
+  // One oracle for the whole ladder: its TABLE_{emptyset} feeds the DP,
+  // and the heuristic stages share its memo, so an order sifting already
+  // evaluated costs the restarts stage a lookup, not a chain.
+  CostOracle oracle(f, options.kind);
+  EvalContext ctx;
+  ctx.exec = options.exec;
+  ctx.gov = &gov;
+
   // Stage 1: the exact DP, layer-admitted against the budget.
-  const core::PrefixTable base = core::initial_table(f);
   const util::Mask all = util::full_mask(n);
-  core::FsStarResult dp =
-      core::fs_star(base, all, n, options.kind, &v.ops, options.exec, &gov);
+  core::FsStarResult dp = core::fs_star(oracle.base(), all, n, options.kind,
+                                        &v.ops, options.exec, &gov);
   v.dp_layers_completed = dp.completed_layers;
 
   if (dp.completed_layers == n) {
@@ -63,6 +77,7 @@ rt::Result<AutoMinimizeResult> minimize_auto(
     v.internal_nodes = dp.tables.at(all).mincost();
     v.lower_bound = v.internal_nodes;
     v.optimal = true;
+    v.oracle = oracle.stats();
     out.outcome = rt::Outcome::kComplete;
     out.stats = gov.stats();
     return out;
@@ -96,8 +111,7 @@ rt::Result<AutoMinimizeResult> minimize_auto(
 
   // Stage 3: sifting from the salvaged order, on the remaining budget.
   const OrderSearchResult sifted =
-      sift(f, v.order_root_first, options.kind, options.sift_max_passes,
-           options.exec, &gov);
+      sift(oracle, v.order_root_first, options.sift_max_passes, ctx);
   if (sifted.internal_nodes < v.internal_nodes) {
     v.order_root_first = sifted.order_root_first;
     v.internal_nodes = sifted.internal_nodes;
@@ -106,14 +120,15 @@ rt::Result<AutoMinimizeResult> minimize_auto(
   // Stage 4: random restarts with whatever is left.
   if (options.restarts > 0 && !gov.stopped()) {
     util::Xoshiro256 rng(options.restart_seed);
-    const OrderSearchResult rr = random_restart(
-        f, options.restarts, rng, options.kind, options.exec, &gov);
+    const OrderSearchResult rr =
+        random_restart(oracle, options.restarts, rng, ctx);
     if (rr.internal_nodes < v.internal_nodes) {
       v.order_root_first = rr.order_root_first;
       v.internal_nodes = rr.internal_nodes;
     }
   }
 
+  v.oracle = oracle.stats();
   out.outcome = gov.outcome();
   out.stats = gov.stats();
   return out;

@@ -26,6 +26,7 @@
 
 #include "core/minimize.hpp"
 #include "parallel/exec_policy.hpp"
+#include "reorder/eval_context.hpp"
 #include "rt/budget.hpp"
 #include "tt/truth_table.hpp"
 
@@ -54,7 +55,12 @@ struct AutoMinimizeResult {
   /// Proven lower bound on the optimal size, from the deepest completed
   /// DP layer (equals internal_nodes when optimal).
   std::uint64_t lower_bound = 0;
+  /// DP + salvage compaction work (stages 1–2).
   core::OpCounter ops;
+  /// Chain-evaluation oracle stats for the heuristic stages (3–4): the
+  /// sifting and restart stages share one memoized oracle, so an order
+  /// both stages visit is evaluated once (`evals` < `queries`).
+  OracleStats oracle;
 };
 
 /// Minimizes under `budget` with graceful degradation (see file
@@ -64,6 +70,12 @@ struct AutoMinimizeResult {
 /// found by the fallback stages.
 rt::Result<AutoMinimizeResult> minimize_auto(
     const tt::TruthTable& f, const rt::Budget& budget,
+    const AutoMinimizeOptions& options = {});
+
+/// Same ladder against a caller-owned governor, so minimize_auto can run
+/// under an already-ticking budget shared with surrounding work.
+rt::Result<AutoMinimizeResult> minimize_auto(
+    const tt::TruthTable& f, rt::Governor& gov,
     const AutoMinimizeOptions& options = {});
 
 }  // namespace ovo::reorder

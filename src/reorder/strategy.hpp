@@ -1,0 +1,75 @@
+#pragma once
+// Name-keyed strategy registry — one front door for every variable-
+// ordering minimizer in the library: the classical reorder searches, the
+// exact engines (FS DP, branch-and-bound, the governed minimize_auto
+// ladder), in-place dynamic sifting on the live DAG, and the simulated
+// quantum OptOBDD.  The CLI's --strategy flag, the benches, and the
+// tests all resolve algorithms here, so adding a minimizer is one
+// registry entry — not a new flag plumbed through every consumer.
+//
+// Every strategy reports through the same StrategyResult: the order
+// found, its exact size, whether optimality was proven, the governed
+// outcome, and the unified OracleStats counters (size queries, actual
+// chain evaluations, memo hits, table cells — plus the quantum
+// minimum-finder mirror).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/prefix_table.hpp"
+#include "reorder/eval_context.hpp"
+#include "rt/budget.hpp"
+#include "tt/truth_table.hpp"
+
+namespace ovo::reorder {
+
+/// Per-strategy tuning knobs; each field is read only by the strategies
+/// it names.  Policy, budget, and threading come from EvalContext, not
+/// from here.
+struct StrategyOptions {
+  core::DiagramKind kind = core::DiagramKind::kBdd;
+  /// Block width for `window` and `exact-window`.
+  int window = 3;
+  /// Pass cap for the fixpoint heuristics (`sift`, `window`,
+  /// `exact-window`, `dynamic`) and the `auto` ladder's sifting stage.
+  int max_passes = 8;
+  /// Random orders drawn by `restarts`.
+  int restarts = 16;
+  /// RNG seed for the stochastic strategies (`anneal`, `restarts`).
+  std::uint64_t seed = 42;
+  /// Division-point fractions for `quantum` (Theorem 10's alphas).
+  std::vector<double> alphas = {0.27};
+};
+
+struct StrategyResult {
+  /// Always a valid permutation (root first), even on tight budgets.
+  std::vector<int> order_root_first;
+  /// Exact internal node count of the diagram under that order.
+  std::uint64_t internal_nodes = 0;
+  /// True iff the order is proven optimal for the requested kind.
+  bool optimal = false;
+  /// Why the run ended (kComplete unless a governor intervened).
+  rt::Outcome outcome = rt::Outcome::kComplete;
+  /// Unified cost-oracle counters (see eval_context.hpp).
+  OracleStats oracle;
+  /// Governor accounting when ctx.gov was non-null.
+  rt::RunStats run;
+};
+
+struct Strategy {
+  const char* name;
+  const char* description;
+  StrategyResult (*run)(const tt::TruthTable& f,
+                        const StrategyOptions& options,
+                        const EvalContext& ctx);
+};
+
+/// All registered strategies, in presentation order (exact engines
+/// first, then the heuristics, then the DAG/quantum paths).
+const std::vector<Strategy>& strategies();
+
+/// The registered strategy named `name`, or nullptr if unknown.
+const Strategy* find_strategy(const std::string& name);
+
+}  // namespace ovo::reorder

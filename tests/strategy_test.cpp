@@ -1,0 +1,337 @@
+// Migration pins and registry tests for the unified reorder cost-oracle
+// and strategy layer.
+//
+// The pins hard-code the results every algorithm produced *before* the
+// CostOracle refactor (same function, same seeds), at thread counts 1
+// and 4: the refactor's contract is bit-identical orders, sizes, and
+// tie-breaks, with memoization changing only how much work runs, never
+// what comes out.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "bdd/dynamic_reorder.hpp"
+#include "bdd/manager.hpp"
+#include "core/minimize.hpp"
+#include "quantum/min_find.hpp"
+#include "quantum/opt_obdd.hpp"
+#include "reorder/annealing.hpp"
+#include "reorder/baselines.hpp"
+#include "reorder/branch_and_bound.hpp"
+#include "reorder/exact_window.hpp"
+#include "reorder/minimize_auto.hpp"
+#include "reorder/oracle.hpp"
+#include "reorder/strategy.hpp"
+#include "tt/function_zoo.hpp"
+#include "util/rng.hpp"
+
+namespace ovo::reorder {
+namespace {
+
+/// The fixed 7-variable function every pin below was measured on.
+tt::TruthTable pin_function() {
+  util::Xoshiro256 rng(99);
+  return tt::random_function(7, rng);
+}
+
+std::vector<int> identity(int n) {
+  std::vector<int> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  return order;
+}
+
+using Order = std::vector<int>;
+
+class MigrationPins : public ::testing::TestWithParam<int> {
+ protected:
+  par::ExecPolicy exec() const {
+    par::ExecPolicy e;
+    e.num_threads = GetParam();
+    return e;
+  }
+};
+
+TEST_P(MigrationPins, Sift) {
+  const tt::TruthTable f = pin_function();
+  const auto r = sift(f, identity(7), core::DiagramKind::kBdd, 8, exec());
+  EXPECT_EQ(r.internal_nodes, 38u);
+  EXPECT_EQ(r.order_root_first, (Order{1, 2, 3, 0, 5, 4, 6}));
+  EXPECT_EQ(r.orders_evaluated, 99u);
+}
+
+TEST_P(MigrationPins, WindowPermute) {
+  const tt::TruthTable f = pin_function();
+  const auto r =
+      window_permute(f, identity(7), 3, core::DiagramKind::kBdd, 8, exec());
+  EXPECT_EQ(r.internal_nodes, 39u);
+  EXPECT_EQ(r.order_root_first, (Order{0, 1, 2, 3, 5, 4, 6}));
+}
+
+TEST_P(MigrationPins, BruteForce) {
+  const tt::TruthTable f = pin_function();
+  const auto r = brute_force_minimize(f, core::DiagramKind::kBdd, exec());
+  EXPECT_EQ(r.internal_nodes, 36u);
+  EXPECT_EQ(r.order_root_first, (Order{1, 3, 5, 4, 6, 0, 2}));
+  EXPECT_EQ(r.orders_evaluated, 5040u);
+}
+
+TEST_P(MigrationPins, Annealing) {
+  const tt::TruthTable f = pin_function();
+  util::Xoshiro256 rng(42);
+  // The legacy entry has no exec parameter (candidates are sequential by
+  // nature); run it at every MigrationPins instantiation anyway so the
+  // suite shape stays uniform.
+  const auto r = simulated_annealing(f, identity(7), AnnealOptions{}, rng);
+  EXPECT_EQ(r.internal_nodes, 36u);
+  EXPECT_EQ(r.order_root_first, (Order{5, 3, 1, 4, 6, 0, 2}));
+  EXPECT_EQ(r.orders_evaluated, 1201u);
+  EXPECT_EQ(r.moves_accepted, 656u);
+}
+
+TEST_P(MigrationPins, RandomRestart) {
+  const tt::TruthTable f = pin_function();
+  util::Xoshiro256 rng(42);
+  const auto r =
+      random_restart(f, 16, rng, core::DiagramKind::kBdd, exec());
+  EXPECT_EQ(r.internal_nodes, 38u);
+  EXPECT_EQ(r.order_root_first, (Order{3, 1, 5, 4, 2, 6, 0}));
+}
+
+TEST_P(MigrationPins, BranchAndBound) {
+  const tt::TruthTable f = pin_function();
+  const auto r = branch_and_bound_minimize(f, core::DiagramKind::kBdd,
+                                           ~std::uint64_t{0}, exec());
+  EXPECT_EQ(r.internal_nodes, 36u);
+  EXPECT_EQ(r.order_root_first, (Order{5, 3, 1, 4, 6, 0, 2}));
+  EXPECT_EQ(r.states_expanded, 61u);
+  EXPECT_TRUE(r.complete);
+}
+
+TEST_P(MigrationPins, FsAndExactWindow) {
+  const tt::TruthTable f = pin_function();
+  const auto fs = core::fs_minimize(f, core::DiagramKind::kBdd, exec());
+  EXPECT_EQ(fs.min_internal_nodes, 36u);
+  EXPECT_EQ(fs.order_root_first, (Order{1, 3, 5, 4, 6, 0, 2}));
+  const auto ew = exact_window(f, identity(7), 3);
+  EXPECT_EQ(ew.internal_nodes, 39u);
+  EXPECT_EQ(ew.order_root_first, (Order{0, 1, 2, 3, 5, 4, 6}));
+}
+
+TEST_P(MigrationPins, MinimizeAutoUnbudgeted) {
+  const tt::TruthTable f = pin_function();
+  AutoMinimizeOptions opt;
+  opt.exec = exec();
+  const auto r = minimize_auto(f, rt::Budget{}, opt);
+  EXPECT_EQ(r.outcome, rt::Outcome::kComplete);
+  EXPECT_TRUE(r.value.optimal);
+  EXPECT_EQ(r.value.internal_nodes, 36u);
+  EXPECT_EQ(r.value.order_root_first, (Order{1, 3, 5, 4, 6, 0, 2}));
+}
+
+TEST_P(MigrationPins, MinimizeAutoBudgeted) {
+  const tt::TruthTable f = pin_function();
+  AutoMinimizeOptions opt;
+  opt.exec = exec();
+  const auto r =
+      minimize_auto(f, rt::Budget::with_work_limit(3000), opt);
+  EXPECT_EQ(r.outcome, rt::Outcome::kDeadline);
+  EXPECT_EQ(r.value.internal_nodes, 38u);
+  EXPECT_EQ(r.value.order_root_first, (Order{6, 5, 4, 2, 3, 0, 1}));
+  EXPECT_EQ(r.value.dp_layers_completed, 1);
+  EXPECT_EQ(r.value.lower_bound, 2u);
+  EXPECT_EQ(r.stats.work_units, 2928u);
+}
+
+TEST_P(MigrationPins, DynamicSift) {
+  const tt::TruthTable f = pin_function();
+  bdd::Manager m(7);
+  const bdd::NodeId root = m.from_truth_table(f);
+  const auto r = bdd::sift_in_place(m, {root});
+  EXPECT_EQ(r.final_nodes, 38u);
+  EXPECT_EQ(r.swaps, 172u);
+  EXPECT_EQ(r.passes, 2);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(m.order(), (Order{1, 2, 3, 0, 5, 4, 6}));
+}
+
+TEST_P(MigrationPins, QuantumOptObdd) {
+  const tt::TruthTable f = pin_function();
+  quantum::AccountingMinimumFinder finder(7.0);
+  quantum::OptObddOptions opt;
+  opt.alphas = {0.27};
+  opt.finder = &finder;
+  opt.exec = exec();
+  const auto r = quantum::opt_obdd_minimize(f, opt);
+  EXPECT_EQ(r.min_internal_nodes, 36u);
+  EXPECT_EQ(r.order_root_first, (Order{1, 3, 5, 4, 6, 0, 2}));
+  EXPECT_EQ(r.quantum.candidates_evaluated, 21u);
+  EXPECT_NEAR(r.quantum.quantum_queries, 32.078, 0.01);
+  EXPECT_EQ(r.classical_ops.table_cells, 20594u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, MigrationPins, ::testing::Values(1, 4));
+
+// ---------------------------------------------------------------------------
+
+TEST(StrategyRegistry, HasElevenEntriesAndRejectsUnknown) {
+  EXPECT_EQ(strategies().size(), 11u);
+  EXPECT_EQ(find_strategy("no-such-strategy"), nullptr);
+  for (const Strategy& s : strategies()) {
+    const Strategy* found = find_strategy(s.name);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found, &s);
+  }
+}
+
+TEST(StrategyRegistry, EveryStrategyMatchesItsDirectCall) {
+  const tt::TruthTable f = pin_function();
+  const StrategyOptions opt;  // window 3, max_passes 8, 16 restarts, seed 42
+  const EvalContext ctx;
+
+  const auto run = [&](const char* name) {
+    const Strategy* s = find_strategy(name);
+    EXPECT_NE(s, nullptr) << name;
+    return s->run(f, opt, ctx);
+  };
+
+  // Exact engines agree with each other and the registry.
+  for (const char* exact : {"fs", "auto", "bnb", "brute", "quantum"}) {
+    const StrategyResult r = run(exact);
+    EXPECT_EQ(r.internal_nodes, 36u) << exact;
+    EXPECT_TRUE(r.optimal) << exact;
+    EXPECT_EQ(r.outcome, rt::Outcome::kComplete) << exact;
+  }
+  EXPECT_EQ(run("fs").order_root_first, (Order{1, 3, 5, 4, 6, 0, 2}));
+  EXPECT_EQ(run("bnb").order_root_first, (Order{5, 3, 1, 4, 6, 0, 2}));
+
+  // Heuristics reproduce their direct-call pins.
+  EXPECT_EQ(run("sift").internal_nodes, 38u);
+  EXPECT_EQ(run("sift").order_root_first, (Order{1, 2, 3, 0, 5, 4, 6}));
+  EXPECT_EQ(run("window").internal_nodes, 39u);
+  EXPECT_EQ(run("exact-window").internal_nodes, 39u);
+  EXPECT_EQ(run("anneal").internal_nodes, 36u);
+  EXPECT_EQ(run("anneal").order_root_first, (Order{5, 3, 1, 4, 6, 0, 2}));
+  EXPECT_EQ(run("restarts").internal_nodes, 38u);
+  EXPECT_EQ(run("restarts").order_root_first, (Order{3, 1, 5, 4, 2, 6, 0}));
+  EXPECT_EQ(run("dynamic").internal_nodes, 38u);
+  EXPECT_EQ(run("dynamic").order_root_first, (Order{1, 2, 3, 0, 5, 4, 6}));
+
+  // Every strategy reports through the unified counters, and the
+  // invariant queries == evals + memo_hits holds wherever queries flow.
+  for (const Strategy& s : strategies()) {
+    const StrategyResult r = s.run(f, opt, ctx);
+    EXPECT_EQ(r.oracle.queries, r.oracle.evals + r.oracle.memo_hits)
+        << s.name;
+    EXPECT_FALSE(r.order_root_first.empty()) << s.name;
+  }
+}
+
+TEST(CostOracle, MemoDeterminismAcrossThreadCounts) {
+  const tt::TruthTable f = pin_function();
+  Order ref_order;
+  std::uint64_t ref_nodes = 0, ref_q = 0, ref_e = 0, ref_h = 0;
+  for (const int threads : {1, 2, 4, 8}) {
+    CostOracle oracle(f, core::DiagramKind::kBdd);
+    EvalContext ctx;
+    ctx.exec.num_threads = threads;
+    const auto r = sift(oracle, identity(7), 8, ctx);
+    const OracleStats& st = oracle.stats();
+    EXPECT_EQ(st.queries, st.evals + st.memo_hits);
+    if (threads == 1) {
+      ref_order = r.order_root_first;
+      ref_nodes = r.internal_nodes;
+      ref_q = st.queries;
+      ref_e = st.evals;
+      ref_h = st.memo_hits;
+      EXPECT_GT(st.memo_hits, 0u);  // sift revisits neighboring orders
+    } else {
+      EXPECT_EQ(r.order_root_first, ref_order) << threads;
+      EXPECT_EQ(r.internal_nodes, ref_nodes) << threads;
+      EXPECT_EQ(st.queries, ref_q) << threads;
+      EXPECT_EQ(st.evals, ref_e) << threads;
+      EXPECT_EQ(st.memo_hits, ref_h) << threads;
+    }
+  }
+}
+
+TEST(CostOracle, MemoNeverLies) {
+  // Every memoized answer must equal a fresh evaluation.
+  const tt::TruthTable f = pin_function();
+  CostOracle memoized(f, core::DiagramKind::kBdd);
+  std::vector<Order> orders;
+  Order o = identity(7);
+  for (int i = 0; i < 50; ++i) {  // successive permutations: all distinct
+    orders.push_back(o);
+    std::next_permutation(o.begin(), o.end());
+  }
+  for (int round = 0; round < 2; ++round)  // second round is all hits
+    for (const Order& o : orders)
+      EXPECT_EQ(memoized.size_for_order(o),
+                core::diagram_size_for_order(f, o));
+  EXPECT_EQ(memoized.stats().evals, memoized.stats().queries / 2);
+  EXPECT_GE(memoized.stats().memo_hits, 50u);
+}
+
+TEST(LadderMemoization, SharedOracleSavesChainEvals) {
+  // The budgeted ladder runs sifting then restarts on one oracle: some
+  // orders recur, so strictly fewer chains run than queries are made,
+  // and the memo hits are observable in the result.
+  const tt::TruthTable f = pin_function();
+  const auto r = minimize_auto(f, rt::Budget::with_work_limit(3000));
+  EXPECT_GT(r.value.oracle.memo_hits, 0u);
+  EXPECT_LT(r.value.oracle.evals, r.value.oracle.queries);
+  EXPECT_EQ(r.value.oracle.evals + r.value.oracle.memo_hits,
+            r.value.oracle.queries);
+}
+
+TEST(DynamicSiftGoverned, HonorsWorkLimitDeterministically) {
+  const tt::TruthTable f = pin_function();
+  // Reference: ungoverned result.
+  bdd::Manager ref(7);
+  const bdd::NodeId ref_root = ref.from_truth_table(f);
+  const auto full = bdd::sift_in_place(ref, {ref_root});
+  EXPECT_TRUE(full.complete);
+
+  // A tiny work limit trips between variable sweeps; the result is
+  // still a consistent manager and is identical at 1 and 4 threads.
+  bdd::SiftResult tripped[2];
+  Order orders[2];
+  const int threads[2] = {1, 4};
+  for (int i = 0; i < 2; ++i) {
+    bdd::Manager m(7);
+    const bdd::NodeId root = m.from_truth_table(f);
+    rt::Governor gov(rt::Budget::with_work_limit(2000));
+    EvalContext ctx;
+    ctx.exec.num_threads = threads[i];
+    ctx.gov = &gov;
+    tripped[i] = bdd::sift_in_place(m, {root}, 4, ctx);
+    orders[i] = m.order();
+    EXPECT_FALSE(tripped[i].complete);
+    EXPECT_LT(tripped[i].swaps, full.swaps);
+    EXPECT_EQ(bdd::shared_reachable_size(m, {root}),
+              tripped[i].final_nodes);
+  }
+  EXPECT_EQ(orders[0], orders[1]);
+  EXPECT_EQ(tripped[0].final_nodes, tripped[1].final_nodes);
+  EXPECT_EQ(tripped[0].swaps, tripped[1].swaps);
+}
+
+TEST(ParallelReachableSize, MatchesSerialOnLargeDag) {
+  // Force the parallel BFS path (threshold is on the arena size) and
+  // check it against the serial scan.
+  util::Xoshiro256 rng(5);
+  const tt::TruthTable f = tt::random_function(18, rng);
+  bdd::Manager m(18);
+  const bdd::NodeId root = m.from_truth_table(f);
+  ASSERT_GE(m.pool_size(), std::size_t{1} << 14);
+  par::ExecPolicy exec;
+  exec.num_threads = 4;
+  EXPECT_EQ(bdd::shared_reachable_size(m, {root}, exec),
+            bdd::shared_reachable_size(m, {root}));
+}
+
+}  // namespace
+}  // namespace ovo::reorder

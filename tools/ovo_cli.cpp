@@ -1,18 +1,22 @@
 // ovo — command-line front end for the optimal-variable-ordering library.
 //
-//   ovo order   [--zdd] [--engine fs|bnb|quantum] [--shared] [--threads N]
-//               [--timeout-ms N] [--node-limit N] [--mem-limit-mb N]
-//               [--work-limit N] [--json] <input>
+//   ovo order   [--zdd] [--strategy NAME] [--engine fs|bnb|quantum]
+//               [--shared] [--threads N] [--timeout-ms N] [--node-limit N]
+//               [--mem-limit-mb N] [--work-limit N] [--json] <input>
 //   ovo size    --order v1,v2,... [--zdd] <input>
 //   ovo compare [--threads N] <input>   # exact vs heuristics report
 //   ovo tables  [--k K] [--iters N]     # reproduce paper Tables 1 and 2
 //   ovo dot     <input>                 # minimum OBDD as Graphviz
+//   ovo --list-strategies               # registered ordering strategies
 //
-// The budget flags bound a run (see docs/INTERNALS.md, "Resource
-// governance"): the fs engine degrades to the minimize_auto ladder and
-// always prints a valid order plus why it stopped; the bnb engine
-// returns its best incumbent.  --json emits one machine-readable object
-// including the outcome.
+// Every minimizer is a named strategy in the reorder::strategies()
+// registry; --strategy selects one directly, and the legacy --engine
+// flag is an alias (fs → "fs", or "auto" when budget flags are present;
+// bnb → "bnb"; quantum → "quantum").  The budget flags bound a run (see
+// docs/INTERNALS.md, "Resource governance"); every strategy then returns
+// its best incumbent plus why it stopped.  --json emits one
+// machine-readable object including the outcome and the unified oracle
+// counters (size queries / chain evaluations / memo hits).
 //
 // <input> is one of:
 //   - a path ending in .pla  (Berkeley PLA; first output used unless
@@ -40,6 +44,7 @@
 #include "reorder/baselines.hpp"
 #include "reorder/branch_and_bound.hpp"
 #include "reorder/minimize_auto.hpp"
+#include "reorder/strategy.hpp"
 #include "rt/budget.hpp"
 #include "tt/blif.hpp"
 #include "tt/expr.hpp"
@@ -117,24 +122,37 @@ std::uint64_t parse_u64_flag(const char* flag, const std::string& value) {
   }
 }
 
-void print_json_order(const std::string& engine, core::DiagramKind kind,
+void print_json_order(const std::string& strategy, core::DiagramKind kind,
                       std::uint64_t nodes, bool optimal,
                       const std::string& outcome, std::uint64_t work_units,
-                      const std::vector<int>& order) {
-  std::printf("{\"engine\":\"%s\",\"kind\":\"%s\",\"nodes\":%" PRIu64
-              ",\"optimal\":%s,\"outcome\":\"%s\",\"work_units\":%" PRIu64
-              ",\"order\":[",
-              engine.c_str(),
+                      const std::vector<int>& order,
+                      const reorder::OracleStats* oracle = nullptr) {
+  std::printf("{\"strategy\":\"%s\",\"kind\":\"%s\",\"nodes\":%" PRIu64
+              ",\"optimal\":%s,\"outcome\":\"%s\",\"work_units\":%" PRIu64,
+              strategy.c_str(),
               kind == core::DiagramKind::kZdd ? "zdd" : "bdd", nodes,
               optimal ? "true" : "false", outcome.c_str(), work_units);
+  if (oracle != nullptr)
+    std::printf(",\"oracle_queries\":%" PRIu64 ",\"oracle_evals\":%" PRIu64
+                ",\"oracle_memo_hits\":%" PRIu64
+                ",\"oracle_table_cells\":%" PRIu64,
+                oracle->queries, oracle->evals, oracle->memo_hits,
+                oracle->ops.table_cells);
+  std::printf(",\"order\":[");
   for (std::size_t i = 0; i < order.size(); ++i)
     std::printf("%s%d", i == 0 ? "" : ",", order[i] + 1);
   std::printf("]}\n");
 }
 
+void print_strategy_list() {
+  for (const reorder::Strategy& s : reorder::strategies())
+    std::printf("%-13s %s\n", s.name, s.description);
+}
+
 int cmd_order(const std::vector<std::string>& args) {
   core::DiagramKind kind = core::DiagramKind::kBdd;
   std::string engine = "fs";
+  std::string strategy_name;
   bool shared = false;
   bool json = false;
   rt::Budget budget;
@@ -145,6 +163,11 @@ int cmd_order(const std::vector<std::string>& args) {
       kind = core::DiagramKind::kZdd;
     } else if (args[i] == "--engine" && i + 1 < args.size()) {
       engine = args[++i];
+    } else if (args[i] == "--strategy" && i + 1 < args.size()) {
+      strategy_name = args[++i];
+    } else if (args[i] == "--list-strategies") {
+      print_strategy_list();
+      return 0;
     } else if (args[i] == "--shared") {
       shared = true;
     } else if (args[i] == "--json") {
@@ -190,80 +213,49 @@ int cmd_order(const std::vector<std::string>& args) {
     std::printf("note: %zu outputs; optimizing the first (use --shared "
                 "for all)\n",
                 loaded.outputs.size());
-  std::vector<int> order;
-  std::uint64_t nodes = 0;
-  std::string outcome = "complete";
-  bool optimal = true;
-  std::uint64_t work_units = 0;
-  if (engine == "fs" && budgeted) {
-    reorder::AutoMinimizeOptions opt;
-    opt.kind = kind;
-    opt.exec = exec;
-    const auto r = reorder::minimize_auto(f, budget, opt);
-    order = r.value.order_root_first;
-    nodes = r.value.internal_nodes;
-    outcome = rt::outcome_name(r.outcome);
-    optimal = r.value.optimal;
-    work_units = r.stats.work_units;
-    if (!json)
-      std::printf("engine: governed FS ladder (outcome %s, %d/%d DP "
-                  "layers, lower bound %" PRIu64 ")\n",
-                  outcome.c_str(), r.value.dp_layers_completed, f.num_vars(),
-                  r.value.lower_bound);
-  } else if (engine == "fs") {
-    const auto r = core::fs_minimize(f, kind, exec);
-    order = r.order_root_first;
-    nodes = r.min_internal_nodes;
-    work_units = r.ops.table_cells;
-    if (!json)
-      std::printf("engine: Friedman-Supowit DP (%" PRIu64 " table cells)\n",
-                  r.ops.table_cells);
-  } else if (engine == "bnb") {
-    rt::Governor gov(budget);
-    const auto r = reorder::branch_and_bound_minimize(
-        f, kind, ~std::uint64_t{0}, exec, budgeted ? &gov : nullptr);
-    order = r.order_root_first;
-    nodes = r.internal_nodes;
-    outcome = budgeted ? rt::outcome_name(gov.outcome()) : "complete";
-    optimal = r.complete;
-    work_units = gov.stats().work_units;
-    if (!json)
-      std::printf("engine: branch-and-bound (%" PRIu64 " states, %" PRIu64
-                  " pruned%s)\n",
-                  r.states_expanded,
-                  r.states_pruned_bound + r.states_pruned_dominance,
-                  r.complete ? "" : ", stopped by budget");
-  } else if (engine == "quantum") {
-    if (budgeted)
-      std::fprintf(stderr,
-                   "note: budget flags are not supported with "
-                   "--engine quantum\n");
-    quantum::AccountingMinimumFinder finder(
-        static_cast<double>(f.num_vars()));
-    quantum::OptObddOptions opt;
-    opt.kind = kind;
-    opt.alphas = {0.27};
-    opt.finder = &finder;
-    opt.exec = exec;
-    const auto r = quantum::opt_obdd_minimize(f, opt);
-    order = r.order_root_first;
-    nodes = r.min_internal_nodes;
-    if (!json)
-      std::printf("engine: OptOBDD (simulated; %.0f quantum queries)\n",
-                  r.quantum.quantum_queries);
-  } else {
-    std::fprintf(stderr, "unknown engine '%s'\n", engine.c_str());
+  // --engine is an alias into the strategy registry; --strategy wins
+  // when both are given.
+  if (strategy_name.empty()) {
+    if (engine == "fs") {
+      strategy_name = budgeted ? "auto" : "fs";
+    } else if (engine == "bnb" || engine == "quantum") {
+      strategy_name = engine;
+    } else {
+      std::fprintf(stderr, "unknown engine '%s'\n", engine.c_str());
+      return 2;
+    }
+  }
+  const reorder::Strategy* strategy = reorder::find_strategy(strategy_name);
+  if (strategy == nullptr) {
+    std::fprintf(stderr,
+                 "unknown strategy '%s' (see ovo --list-strategies)\n",
+                 strategy_name.c_str());
     return 2;
   }
+
+  rt::Governor gov(budget);
+  reorder::EvalContext ctx;
+  ctx.exec = exec;
+  if (budgeted) ctx.gov = &gov;
+  reorder::StrategyOptions sopt;
+  sopt.kind = kind;
+  const reorder::StrategyResult r = strategy->run(f, sopt, ctx);
+  const std::string outcome = rt::outcome_name(r.outcome);
   if (json) {
-    print_json_order(engine, kind, nodes, optimal, outcome, work_units,
-                     order);
+    print_json_order(strategy->name, kind, r.internal_nodes, r.optimal,
+                     outcome, r.run.work_units, r.order_root_first,
+                     &r.oracle);
     return 0;
   }
+  std::printf("strategy: %s (%" PRIu64 " size queries, %" PRIu64
+              " evaluated, %" PRIu64 " memo hits; outcome %s)\n",
+              strategy->name, r.oracle.queries, r.oracle.evals,
+              r.oracle.memo_hits, outcome.c_str());
   std::printf("%s %s: %" PRIu64 " internal nodes\norder: ",
-              optimal ? "minimum" : "best found",
-              kind == core::DiagramKind::kZdd ? "ZDD" : "OBDD", nodes);
-  print_order(order);
+              r.optimal ? "minimum" : "best found",
+              kind == core::DiagramKind::kZdd ? "ZDD" : "OBDD",
+              r.internal_nodes);
+  print_order(r.order_root_first);
   return 0;
 }
 
@@ -359,13 +351,15 @@ void usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  ovo order   [--zdd] [--engine fs|bnb|quantum] [--shared]\n"
-      "              [--threads N] [--timeout-ms N] [--node-limit N]\n"
-      "              [--mem-limit-mb N] [--work-limit N] [--json] <input>\n"
+      "  ovo order   [--zdd] [--strategy NAME] [--engine fs|bnb|quantum]\n"
+      "              [--shared] [--threads N] [--timeout-ms N]\n"
+      "              [--node-limit N] [--mem-limit-mb N] [--work-limit N]\n"
+      "              [--json] <input>\n"
       "  ovo size    --order v1,v2,... [--zdd] <input>\n"
       "  ovo compare [--threads N] <input>\n"
       "  ovo tables  [--k K] [--iters N]\n"
       "  ovo dot     <input>\n"
+      "  ovo --list-strategies\n"
       "<input>: file.pla | file.blif | a formula like \"x1 & x2 | x3\"\n");
 }
 
@@ -379,6 +373,10 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   const std::vector<std::string> args(argv + 2, argv + argc);
   try {
+    if (cmd == "--list-strategies") {
+      print_strategy_list();
+      return 0;
+    }
     if (cmd == "order") return cmd_order(args);
     if (cmd == "size") return cmd_size(args);
     if (cmd == "compare") return cmd_compare(args);

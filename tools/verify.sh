@@ -1,21 +1,83 @@
 #!/usr/bin/env bash
-# Full verification sweep: tier-1 tests on the default preset, then the
-# whole suite again under ASan+UBSan and TSan.  Each preset configures,
-# builds, and runs ctest (per-test timeout comes from the test
-# registration: 300 s).  Any failure stops the script.
+# Verification sweep.
 #
-# Usage: tools/verify.sh [-jN]   (parallelism forwarded to build and ctest)
+# Full mode (default): tier-1 tests on the default preset, then the whole
+# suite again under ASan+UBSan and TSan.  Each preset configures, builds,
+# and runs ctest (per-test timeout comes from the test registration:
+# 300 s).  Any failure stops the script.
+#
+# Quick mode (--quick): default preset only, plus a governed smoke run of
+# the two scaling benches so the bench JSON surface is exercised too.
+#
+# Both modes check that the strategy table in README.md (between the
+# `<!-- strategies:begin -->` / `<!-- strategies:end -->` markers) matches
+# `ovo --list-strategies` exactly — the registry is the source of truth,
+# and the docs must not drift from it.
+#
+# Usage: tools/verify.sh [--quick] [-jN]
+#        (parallelism forwarded to build and ctest)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-JOBS="${1:--j$(nproc)}"
+QUICK=0
+JOBS="-j$(nproc)"
+for arg in "$@"; do
+  case "${arg}" in
+    --quick) QUICK=1 ;;
+    -j*) JOBS="${arg}" ;;
+    *)
+      echo "usage: tools/verify.sh [--quick] [-jN]" >&2
+      exit 2
+      ;;
+  esac
+done
 
-for preset in default asan tsan; do
+# The README strategy table must be byte-equivalent (modulo column
+# whitespace) to the registry's own listing.
+check_strategy_table() {
+  local ovo_bin="$1"
+  local expected actual
+  expected="$(sed -n '/<!-- strategies:begin -->/,/<!-- strategies:end -->/p' README.md |
+    grep '^|' | tail -n +3 |
+    sed -e 's/^| *`//' -e 's/` *| */ /' -e 's/ *|$//' |
+    tr -s ' ')"
+  actual="$("${ovo_bin}" --list-strategies | tr -s ' ')"
+  if ! diff <(printf '%s\n' "${expected}") <(printf '%s\n' "${actual}"); then
+    echo "FAIL: README.md strategy table drifted from" \
+         "'ovo --list-strategies' (registry is the source of truth)" >&2
+    exit 1
+  fi
+  echo "strategy table: README.md matches --list-strategies"
+}
+
+run_preset() {
+  local preset="$1"
   echo "==== preset: ${preset} ===================================="
   cmake --preset "${preset}"
   cmake --build --preset "${preset}" "${JOBS}"
   ctest --preset "${preset}" "${JOBS}"
-done
+}
+
+run_preset default
+check_strategy_table build/tools/ovo
+
+if [[ "${QUICK}" -eq 1 ]]; then
+  echo "==== quick: governed bench smoke ==========================="
+  smoke_dir="$(mktemp -d)"
+  trap 'rm -rf "${smoke_dir}"' EXIT
+  build/bench/bench_fs_scaling --work-limit 200000 \
+    --json "${smoke_dir}/fs.json"
+  build/bench/bench_quantum_scaling --work-limit 200000 \
+    --json "${smoke_dir}/quantum.json"
+  # The governed rows must carry the unified oracle counters.
+  grep -q '"oracle_memo_hits"' "${smoke_dir}/fs.json"
+  grep -q '"oracle_memo_hits"' "${smoke_dir}/quantum.json"
+  echo "==== quick sweep green ====================================="
+  exit 0
+fi
+
+run_preset asan
+run_preset tsan
 
 echo "==== all presets green ====================================="
