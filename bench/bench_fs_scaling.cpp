@@ -24,6 +24,7 @@
 #include "core/minimize.hpp"
 #include "ds/unique_table.hpp"
 #include "parallel/exec_policy.hpp"
+#include "parallel/task_graph.hpp"
 #include "quantum/analysis.hpp"
 #include "reorder/baselines.hpp"
 #include "reorder/minimize_auto.hpp"
@@ -95,6 +96,7 @@ int main(int argc, char** argv) {
       // oracle, so revisited orders show up as memo hits rather than
       // repeated chain evaluations.
       const reorder::OracleStats& os = r.value.oracle;
+      const par::SchedStats& ss = r.value.sched;
       std::printf("%3d %12" PRIu64 " %8s %6d %10s %14" PRIu64 " %9" PRIu64
                   " %9" PRIu64 " %12.4f\n",
                   n, r.value.internal_nodes, r.value.optimal ? "yes" : "no",
@@ -108,12 +110,20 @@ int main(int argc, char** argv) {
                      ", \"oracle_queries\": %" PRIu64
                      ", \"oracle_evals\": %" PRIu64
                      ", \"oracle_memo_hits\": %" PRIu64
-                     ", \"seconds\": %.6f}%s\n",
+                     ", \"seconds\": %.6f"
+                     ", \"sched_tasks\": %" PRIu64
+                     ", \"sched_chunks\": %" PRIu64
+                     ", \"sched_ready_hwm\": %" PRIu64
+                     ", \"sched_overlap_tasks\": %" PRIu64
+                     ", \"sched_overlap_ns\": %" PRIu64
+                     ", \"sched_barrier_wait_ns\": %" PRIu64 "}%s\n",
                      n, resolved_threads, r.value.internal_nodes,
                      r.value.optimal ? "true" : "false",
                      r.value.dp_layers_completed, rt::outcome_name(r.outcome),
                      r.stats.work_units, os.queries, os.evals, os.memo_hits,
-                     secs, n < kGovMaxN ? "," : "");
+                     secs, ss.tasks, ss.chunks, ss.ready_hwm,
+                     ss.overlap_tasks, ss.overlap_ns, ss.barrier_wait_ns,
+                     n < kGovMaxN ? "," : "");
       }
     }
     if (out != nullptr) {
@@ -135,7 +145,8 @@ int main(int argc, char** argv) {
 
   std::vector<int> ns;
   std::vector<double> fs_cells, fs_space;
-  std::vector<double> serial_times, threaded_times;
+  std::vector<double> serial_times, threaded_times, barrier_times;
+  std::vector<par::SchedStats> pipe_sched, barrier_sched;
   ds::TableStats dedup_total;
   const int kMaxN = 13;
   const int kMaxBruteN = 8;
@@ -148,18 +159,40 @@ int main(int argc, char** argv) {
     const double fs_time = timer.seconds();
 
     double threaded_time = fs_time;
+    double barrier_time = fs_time;
+    par::SchedStats sp, sb;
     if (resolved_threads > 1) {
+      // A/B the two engines: the pipelined TaskGraph DP (the default)
+      // against the PR 2 per-layer-barrier engine (pipeline = false).
+      // Both must reproduce the serial results bit-exactly; the sched
+      // deltas expose barrier-wait vs. cross-layer-overlap time.
+      par::SchedStats snap = par::sched_stats();
       timer.reset();
       const core::MinimizeResult rt =
           core::fs_minimize(t, core::DiagramKind::kBdd, exec);
       threaded_time = timer.seconds();
+      sp = par::sched_stats() - snap;
+      par::ExecPolicy no_pipe = exec;
+      no_pipe.pipeline = false;
+      snap = par::sched_stats();
+      timer.reset();
+      const core::MinimizeResult rb =
+          core::fs_minimize(t, core::DiagramKind::kBdd, no_pipe);
+      barrier_time = timer.seconds();
+      sb = par::sched_stats() - snap;
       threads_match &=
           rt.min_internal_nodes == r.min_internal_nodes &&
           rt.order_root_first == r.order_root_first &&
-          rt.ops.table_cells == r.ops.table_cells;
+          rt.ops.table_cells == r.ops.table_cells &&
+          rb.min_internal_nodes == r.min_internal_nodes &&
+          rb.order_root_first == r.order_root_first &&
+          rb.ops.table_cells == r.ops.table_cells;
     }
     serial_times.push_back(fs_time);
     threaded_times.push_back(threaded_time);
+    barrier_times.push_back(barrier_time);
+    pipe_sched.push_back(sp);
+    barrier_sched.push_back(sb);
 
     double brute_time = -1.0;
     if (n <= kMaxBruteN) {
@@ -211,6 +244,25 @@ int main(int argc, char** argv) {
                 resolved_threads,
                 serial_times.back() / threaded_times.back(),
                 threads_match ? "yes" : "NO");
+    par::SchedStats sp_total, sb_total;
+    for (std::size_t i = 0; i < pipe_sched.size(); ++i) {
+      sp_total += pipe_sched[i];
+      sb_total += barrier_sched[i];
+    }
+    std::printf("scheduler (pipelined):  tasks=%" PRIu64 " overlap_tasks=%"
+                PRIu64 " overlap_ms=%.2f barrier_wait_ms=%.2f\n",
+                sp_total.tasks, sp_total.overlap_tasks,
+                sp_total.overlap_ns / 1e6, sp_total.barrier_wait_ns / 1e6);
+    std::printf("scheduler (barrier):    tasks=%" PRIu64 " overlap_tasks=%"
+                PRIu64 " overlap_ms=%.2f barrier_wait_ms=%.2f\n",
+                sb_total.tasks, sb_total.overlap_tasks,
+                sb_total.overlap_ns / 1e6, sb_total.barrier_wait_ns / 1e6);
+    std::printf("cross-layer overlap engaged: %s; barrier-wait reduced vs "
+                "PR 2 engine: %s\n",
+                sp_total.overlap_tasks > 0 ? "yes" : "NO",
+                sp_total.barrier_wait_ns <= sb_total.barrier_wait_ns
+                    ? "yes"
+                    : "no");
   }
 
   if (!json_path.empty()) {
@@ -224,10 +276,22 @@ int main(int argc, char** argv) {
       std::fprintf(out,
                    "  {\"n\": %d, \"threads\": %d, \"seconds_serial\": %.6f, "
                    "\"seconds_threads\": %.6f, \"speedup\": %.4f, "
-                   "\"table_cells\": %.0f}%s\n",
+                   "\"table_cells\": %.0f, "
+                   "\"seconds_barrier_engine\": %.6f, "
+                   "\"sched_tasks\": %" PRIu64
+                   ", \"sched_ready_hwm\": %" PRIu64
+                   ", \"sched_overlap_tasks\": %" PRIu64
+                   ", \"sched_overlap_ns\": %" PRIu64
+                   ", \"sched_barrier_wait_ns\": %" PRIu64
+                   ", \"sched_barrier_wait_ns_barrier_engine\": %" PRIu64
+                   "}%s\n",
                    ns[i], resolved_threads, serial_times[i],
                    threaded_times[i], serial_times[i] / threaded_times[i],
-                   fs_cells[i], i + 1 < ns.size() ? "," : "");
+                   fs_cells[i], barrier_times[i], pipe_sched[i].tasks,
+                   pipe_sched[i].ready_hwm, pipe_sched[i].overlap_tasks,
+                   pipe_sched[i].overlap_ns, pipe_sched[i].barrier_wait_ns,
+                   barrier_sched[i].barrier_wait_ns,
+                   i + 1 < ns.size() ? "," : "");
     }
     std::fprintf(out, "]\n");
     std::fclose(out);

@@ -29,6 +29,7 @@
 
 #include "core/minimize.hpp"
 #include "parallel/exec_policy.hpp"
+#include "parallel/task_graph.hpp"
 #include "quantum/analysis.hpp"
 #include "quantum/opt_obdd.hpp"
 #include "quantum/params.hpp"
@@ -90,6 +91,7 @@ int main(int argc, char** argv) {
   std::vector<double> sim_serial, sim_threaded;
   std::vector<std::string> sim_outcomes;
   std::vector<reorder::OracleStats> sim_oracle;
+  std::vector<par::SchedStats> sim_sched;
   int rows_skipped = 0;
   for (int n = 5; n <= 11; ++n) {
     if (budgeted &&
@@ -111,6 +113,7 @@ int main(int argc, char** argv) {
     const quantum::OptObddResult q = quantum::opt_obdd_minimize(t, opt);
     const double serial_time = timer.seconds();
     double threaded_time = serial_time;
+    par::SchedStats row_sched;
     if (resolved_threads > 1) {
       quantum::AccountingMinimumFinder finder_t(static_cast<double>(n));
       quantum::OptObddOptions opt_t = opt;
@@ -118,9 +121,11 @@ int main(int argc, char** argv) {
       opt_t.exec = exec;
       reorder::OracleStats ostats_t;
       opt_t.oracle_stats = &ostats_t;
+      const par::SchedStats snap = par::sched_stats();
       timer.reset();
       const quantum::OptObddResult qt = quantum::opt_obdd_minimize(t, opt_t);
       threaded_time = timer.seconds();
+      row_sched = par::sched_stats() - snap;
       threads_match &=
           qt.min_internal_nodes == q.min_internal_nodes &&
           qt.order_root_first == q.order_root_first &&
@@ -138,6 +143,7 @@ int main(int argc, char** argv) {
     sim_threaded.push_back(threaded_time);
     sim_outcomes.push_back(rt::outcome_name(gov.outcome()));
     sim_oracle.push_back(ostats);
+    sim_sched.push_back(row_sched);
     const bool ok = q.min_internal_nodes == fs.min_internal_nodes;
     all_optimal &= ok;
     std::printf("%3d %12llu %16llu %18.0f %10s\n", n,
@@ -201,11 +207,20 @@ int main(int argc, char** argv) {
                    "\"seconds_threads\": %.6f, \"speedup\": %.4f, "
                    "\"outcome\": \"%s\", \"oracle_queries\": %" PRIu64
                    ", \"oracle_evals\": %" PRIu64
-                   ", \"oracle_memo_hits\": %" PRIu64 "}%s\n",
+                   ", \"oracle_memo_hits\": %" PRIu64
+                   ", \"sched_tasks\": %" PRIu64
+                   ", \"sched_chunks\": %" PRIu64
+                   ", \"sched_ready_hwm\": %" PRIu64
+                   ", \"sched_overlap_tasks\": %" PRIu64
+                   ", \"sched_overlap_ns\": %" PRIu64
+                   ", \"sched_barrier_wait_ns\": %" PRIu64 "}%s\n",
                    sim_ns[i], resolved_threads, sim_serial[i],
                    sim_threaded[i], sim_serial[i] / sim_threaded[i],
                    sim_outcomes[i].c_str(), sim_oracle[i].queries,
                    sim_oracle[i].evals, sim_oracle[i].memo_hits,
+                   sim_sched[i].tasks, sim_sched[i].chunks,
+                   sim_sched[i].ready_hwm, sim_sched[i].overlap_tasks,
+                   sim_sched[i].overlap_ns, sim_sched[i].barrier_wait_ns,
                    i + 1 < sim_ns.size() ? "," : "");
     }
     std::fprintf(out, "]\n");

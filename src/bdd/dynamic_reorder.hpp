@@ -70,10 +70,11 @@ SiftResult sift_in_place(Manager& m, const std::vector<NodeId>& roots,
 std::uint64_t shared_reachable_size(const Manager& m,
                                     const std::vector<NodeId>& roots);
 
-/// As above, fanned out over the thread pool as a frontier BFS with
-/// atomic node claiming when `exec` asks for threads and the arena is
-/// large enough to amortize dispatch; the count is the size of a fixed
-/// set, so it is identical at every thread count.
+/// As above, fanned out on the task-graph scheduler as a frontier BFS
+/// (one region per level) with atomic node claiming when `exec` asks
+/// for threads and the arena is large enough to amortize dispatch; the
+/// count is the size of a fixed set, so it is identical at every
+/// thread count.
 std::uint64_t shared_reachable_size(const Manager& m,
                                     const std::vector<NodeId>& roots,
                                     const par::ExecPolicy& exec);

@@ -1,9 +1,12 @@
 #include "core/fs_star.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <cstddef>
 #include <limits>
 #include <utility>
 
+#include "parallel/task_graph.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/check.hpp"
 #include "util/combinatorics.hpp"
@@ -21,25 +24,69 @@ util::Mask spread_mask(util::Mask dense, const std::vector<int>& j_vars) {
   return K;
 }
 
-}  // namespace
+/// Shared per-subset kernel of both engines: finds the best last variable
+/// for dense subset `d` by compacting each predecessor table, writing the
+/// winner into `best` (Lemma 7's argmin; first-candidate-wins tie-break,
+/// identical in every engine because candidates are visited in ascending
+/// bit order).
+void best_last_for_subset(util::Mask d, const std::vector<PrefixTable>& prev,
+                          const std::vector<util::Mask>& prev_dense,
+                          const std::vector<int>& j_vars, DiagramKind kind,
+                          const util::BinomialTable& binom, OpCounter* shard,
+                          PrefixTable& cand, PrefixTable& best,
+                          int* best_var_out, std::uint64_t* best_cost_out) {
+  std::uint64_t bc = std::numeric_limits<std::uint64_t>::max();
+  int bv = -1;
+  util::for_each_bit(d, [&](int b) {
+    // Predecessor = this subset minus one element, found at its colex
+    // rank in the previous layer — an O(layer) table-driven computation
+    // in place of the seed's hash find.
+    const util::Mask pd = d & ~(util::Mask{1} << b);
+    const std::uint64_t pred = binom.rank(pd);
+    OVO_DCHECK(pred < prev.size() &&
+               prev_dense[static_cast<std::size_t>(pred)] == pd);
+    compact_into(cand, prev[static_cast<std::size_t>(pred)],
+                 j_vars[static_cast<std::size_t>(b)], kind, shard);
+    const std::uint64_t cost = cand.mincost();
+    if (cost < bc) {
+      bc = cost;
+      bv = j_vars[static_cast<std::size_t>(b)];
+      std::swap(best, cand);
+    }
+  });
+  *best_var_out = bv;
+  *best_cost_out = bc;
+}
 
-FsStarResult fs_star(const PrefixTable& base, util::Mask J, int stop_k,
-                     DiagramKind kind, OpCounter* ops,
-                     const par::ExecPolicy& exec, rt::Governor* gov) {
-  OVO_CHECK_MSG((base.vars & J) == 0, "fs_star: J overlaps prefix I");
-  OVO_CHECK_MSG(util::is_subset(J, util::full_mask(base.n)),
-                "fs_star: J outside variable universe");
+std::uint64_t engine_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// The PR 2 engine: one parallel_for per layer with an implicit barrier.
+/// Kept as the serial path and the pipeline=false A/B reference — its
+/// published results are identical to the pipelined engine's.
+///
+/// Barrier-wait accounting (symmetric with the pipelined engine):
+/// charged time is the *layer-boundary serialization each engine's
+/// design imposes* — here, the per-layer publish epilogue after every
+/// fanned-out region plus the final extraction, each costing
+/// (threads - 1) x its duration in parked participants.  The pipelined
+/// engine overlaps those epilogues with the next layer's chunk work
+/// (they run inside fences), so this is exactly the stall pipelining
+/// removes.  Serial work BOTH engines pay identically before any fan-out
+/// (admission, enumeration, allocation; the pipelined engine's graph
+/// build) is excluded on both sides: it is setup overhead, visible in
+/// wall clock, not barrier stall.
+FsStarResult fs_star_barrier(const PrefixTable& base, util::Mask J,
+                             int stop_k, DiagramKind kind, OpCounter* ops,
+                             int threads, std::uint64_t grain,
+                             rt::Governor* gov) {
   const int j_size = util::popcount(J);
-  OVO_CHECK_MSG(stop_k >= 0 && stop_k <= j_size, "fs_star: bad stop layer");
-
   const std::vector<int> j_vars = util::bits_of(J);
   const auto& binom = util::BinomialTable::instance();
-
-  const int threads =
-      par::ThreadPool::clamp_threads(exec.resolved_threads());
-  // Per-subset work is exponential in the free-variable count, so the
-  // default chunk is a single subset.
-  const std::uint64_t grain = exec.grain != 0 ? exec.grain : 1;
   par::ThreadPool& pool = par::ThreadPool::shared();
 
   FsStarResult result;
@@ -61,9 +108,9 @@ FsStarResult fs_star(const PrefixTable& base, util::Mask J, int stop_k,
       gov != nullptr ? gov->stop_flag() : nullptr;
   std::uint64_t prev_resident = base.cells.size();
   std::uint64_t layer_work = 0;
+  std::uint64_t serial_ns = 0;
   for (int layer = 1; layer <= stop_k; ++layer) {
-    const std::uint64_t layer_size =
-        binom.choose(j_size, layer);
+    const std::uint64_t layer_size = binom.choose(j_size, layer);
     if (gov != nullptr) {
       // Deterministic pre-admission: the whole layer's cost is known in
       // closed form, so the trip decision is independent of thread count
@@ -96,36 +143,22 @@ FsStarResult fs_star(const PrefixTable& base, util::Mask J, int stop_k,
     std::vector<std::uint64_t> best_cost(
         static_cast<std::size_t>(layer_size));
 
+    // A layer of <= grain subsets takes parallel_for's serial fast path;
+    // its epilogue is not a fan-out seam, so it is not charged.
+    const bool fans_out = threads > 1 && layer_size > grain;
     pool.parallel_for(0, layer_size, grain, threads, stop_flag,
                       [&](std::uint64_t rank, int slot) {
       if (gov != nullptr) gov->poll();  // cancel/deadline responsiveness
-      const util::Mask d = dense[static_cast<std::size_t>(rank)];
       OpCounter* shard =
           ops != nullptr ? &shards[static_cast<std::size_t>(slot)] : nullptr;
-      PrefixTable& cand = scratch[static_cast<std::size_t>(slot)];
-      PrefixTable& best = cur[static_cast<std::size_t>(rank)];
-      std::uint64_t bc = std::numeric_limits<std::uint64_t>::max();
-      int bv = -1;
-      util::for_each_bit(d, [&](int b) {
-        // Predecessor = this subset minus one element, found at its colex
-        // rank in the previous layer — an O(layer) table-driven
-        // computation in place of the seed's hash find.
-        const util::Mask pd = d & ~(util::Mask{1} << b);
-        const std::uint64_t pred = binom.rank(pd);
-        OVO_DCHECK(pred < prev.size() &&
-                   prev_dense[static_cast<std::size_t>(pred)] == pd);
-        compact_into(cand, prev[static_cast<std::size_t>(pred)],
-                     j_vars[static_cast<std::size_t>(b)], kind, shard);
-        const std::uint64_t cost = cand.mincost();
-        if (cost < bc) {
-          bc = cost;
-          bv = j_vars[static_cast<std::size_t>(b)];
-          std::swap(best, cand);
-        }
-      });
-      best_var[static_cast<std::size_t>(rank)] = bv;
-      best_cost[static_cast<std::size_t>(rank)] = bc;
+      best_last_for_subset(dense[static_cast<std::size_t>(rank)], prev,
+                           prev_dense, j_vars, kind, binom, shard,
+                           scratch[static_cast<std::size_t>(slot)],
+                           cur[static_cast<std::size_t>(rank)],
+                           &best_var[static_cast<std::size_t>(rank)],
+                           &best_cost[static_cast<std::size_t>(rank)]);
     });
+    const std::uint64_t epilogue_t0 = fans_out ? engine_now_ns() : 0;
     if (gov != nullptr && gov->stopped()) break;  // discard partial layer
 
     // Serial epilogue per layer: publish back-pointers/costs in rank
@@ -153,12 +186,257 @@ FsStarResult fs_star(const PrefixTable& base, util::Mask J, int stop_k,
     prev_dense = std::move(dense);
     result.completed_layers = layer;
     if (gov != nullptr) gov->charge(layer_work);
+    if (fans_out) serial_ns += engine_now_ns() - epilogue_t0;
   }
 
+  const std::uint64_t extract_t0 = threads > 1 ? engine_now_ns() : 0;
   for (std::size_t r = 0; r < prev.size(); ++r)
     result.tables.emplace(spread_mask(prev_dense[r], j_vars),
                           std::move(prev[r]));
+  if (threads > 1) {
+    serial_ns += engine_now_ns() - extract_t0;
+    par::charge_barrier_wait(static_cast<std::uint64_t>(threads - 1) *
+                             serial_ns);
+  }
   return result;
+}
+
+/// Ceiling on subset-group task nodes per DP layer: big layers are cut
+/// into at most this many graph nodes (each still work-chunked at the
+/// subset grain internally), bounding graph size at O(layers × 512)
+/// while keeping dependency edges sparse enough to pipeline.
+constexpr std::uint64_t kMaxGroupsPerLayer = 512;
+
+/// The tentpole engine: the whole admitted DP is built as ONE TaskGraph.
+/// Each layer's subsets are grouped into up to kMaxGroupsPerLayer range
+/// nodes; a layer-(k+1) group depends only on the layer-k groups that
+/// hold its predecessors (dependency count = number of incomplete
+/// predecessor groups), so compaction of layer k+1 starts while layer k
+/// is still draining — the per-layer barrier is gone from the hot path.
+/// A seq_epoch fence per layer publishes back-pointers/costs in rank
+/// order, accounts residency, charges the governor, and frees layer k-1;
+/// fences are serialized by the fence chain, so they run the exact
+/// serial-epilogue code of the barrier engine.
+///
+/// Determinism: every subset writes its table/best-var/best-cost into
+/// its own colex-rank slot and the candidate loop is identical code, so
+/// published results are bit-identical to the barrier engine at every
+/// thread count.  Governor interaction is kept deterministic by doing
+/// ALL admit decisions serially up front: admit_work(cum + w_k) with
+/// nothing charged yet tests the same predicate work0 + w_1 + … + w_k <=
+/// limit the interleaved admit/charge sequence does (closed-form layer
+/// costs are exact — compaction halves cells), and each fence then
+/// charges its layer exactly where the barrier engine would.
+///
+/// Residency under pipelining: reported peak_cells stays the Remark-1
+/// two-layer model (fences observe prev+cur, identical values to the
+/// barrier engine); the true transient footprint can briefly hold parts
+/// of three layers, since layer k-1 is freed only when fence k runs.
+FsStarResult fs_star_pipelined(const PrefixTable& base, util::Mask J,
+                               int stop_k, DiagramKind kind, OpCounter* ops,
+                               int threads, std::uint64_t grain,
+                               rt::Governor* gov) {
+  const int j_size = util::popcount(J);
+  const std::vector<int> j_vars = util::bits_of(J);
+  const auto& binom = util::BinomialTable::instance();
+
+  FsStarResult result;
+  result.mincost.emplace(util::Mask{0}, base.mincost());
+
+  // --- Serial pre-admission (see function comment). ---
+  int last_layer = 0;
+  std::vector<std::uint64_t> layer_work(
+      static_cast<std::size_t>(stop_k) + 1, 0);
+  {
+    std::uint64_t cum = 0;
+    std::uint64_t prev_res = base.cells.size();
+    for (int layer = 1; layer <= stop_k; ++layer) {
+      const std::uint64_t layer_size = binom.choose(j_size, layer);
+      const std::uint64_t pred_cells =
+          static_cast<std::uint64_t>(base.cells.size()) >> (layer - 1);
+      const std::uint64_t w =
+          layer_size * static_cast<std::uint64_t>(layer) * pred_cells;
+      if (gov != nullptr) {
+        const std::uint64_t resident =
+            prev_res + layer_size * (pred_cells >> 1);
+        if (!gov->admit_nodes(resident) ||
+            !gov->admit_bytes(resident * sizeof(base.cells[0])) ||
+            !gov->admit_work(cum + w))
+          break;
+      }
+      cum += w;
+      layer_work[static_cast<std::size_t>(layer)] = w;
+      prev_res = layer_size * (pred_cells >> 1);
+      last_layer = layer;
+    }
+  }
+
+  struct Layer {
+    std::vector<util::Mask> dense;
+    std::vector<PrefixTable> tables;
+    std::vector<int> best_var;
+    std::vector<std::uint64_t> best_cost;
+    std::uint64_t group_size = 1;
+    std::uint64_t n_groups = 0;
+    par::TaskGraph::TaskId first_group = 0;
+  };
+  std::vector<Layer> layers(static_cast<std::size_t>(last_layer) + 1);
+  layers[0].dense.push_back(util::Mask{0});
+  layers[0].tables.push_back(base);
+
+  if (last_layer == 0) {
+    result.tables.emplace(util::Mask{0}, std::move(layers[0].tables[0]));
+    return result;
+  }
+
+  std::vector<PrefixTable> scratch(static_cast<std::size_t>(threads));
+  std::vector<OpCounter> shards(static_cast<std::size_t>(threads));
+
+  // Chained fence state: fences are serialized, so plain variables.
+  std::uint64_t fence_prev_resident = base.cells.size();
+
+  par::TaskGraph graph;
+  for (int layer = 1; layer <= last_layer; ++layer) {
+    Layer& L = layers[static_cast<std::size_t>(layer)];
+    Layer& P = layers[static_cast<std::size_t>(layer) - 1];
+    const std::uint64_t layer_size = binom.choose(j_size, layer);
+    L.dense.reserve(static_cast<std::size_t>(layer_size));
+    util::for_each_subset_of_size(j_size, layer, [&](util::Mask m) {
+      L.dense.push_back(m);
+    });
+    OVO_CHECK_MSG(L.dense.size() == layer_size,
+                  "fs_star: layer enumeration incomplete");
+    L.tables.resize(static_cast<std::size_t>(layer_size));
+    L.best_var.assign(static_cast<std::size_t>(layer_size), -1);
+    L.best_cost.resize(static_cast<std::size_t>(layer_size));
+
+    std::uint64_t group = (layer_size + kMaxGroupsPerLayer - 1) /
+                          kMaxGroupsPerLayer;
+    if (group < grain) group = grain;
+    group = (group + grain - 1) / grain * grain;  // align chunk boundaries
+    L.group_size = group;
+    L.n_groups = (layer_size + group - 1) / group;
+
+    auto body = [&layers, &scratch, &shards, &j_vars, &binom, layer, kind,
+                 ops, gov](std::uint64_t rank, int slot) {
+      if (gov != nullptr) gov->poll();  // cancel/deadline responsiveness
+      Layer& cur = layers[static_cast<std::size_t>(layer)];
+      Layer& pre = layers[static_cast<std::size_t>(layer) - 1];
+      OpCounter* shard =
+          ops != nullptr ? &shards[static_cast<std::size_t>(slot)] : nullptr;
+      best_last_for_subset(cur.dense[static_cast<std::size_t>(rank)],
+                           pre.tables, pre.dense, j_vars, kind, binom, shard,
+                           scratch[static_cast<std::size_t>(slot)],
+                           cur.tables[static_cast<std::size_t>(rank)],
+                           &cur.best_var[static_cast<std::size_t>(rank)],
+                           &cur.best_cost[static_cast<std::size_t>(rank)]);
+    };
+
+    // One range node per group; dependency edges to exactly the previous
+    // layer's groups that hold this group's predecessors, deduplicated
+    // with a stamp array.  Layer 1's only predecessor is the base, which
+    // is not a task — its groups seed the ready queue.
+    std::vector<std::uint32_t> stamp(
+        layer >= 2 ? static_cast<std::size_t>(P.n_groups) : 0,
+        std::numeric_limits<std::uint32_t>::max());
+    for (std::uint64_t g = 0; g < L.n_groups; ++g) {
+      const std::uint64_t lo = g * group;
+      const std::uint64_t hi =
+          lo + group < layer_size ? lo + group : layer_size;
+      const par::TaskGraph::TaskId id = graph.add_range(lo, hi, grain, body);
+      if (g == 0) L.first_group = id;
+      if (layer < 2) continue;
+      for (std::uint64_t r = lo; r < hi; ++r) {
+        util::for_each_bit(L.dense[static_cast<std::size_t>(r)], [&](int b) {
+          const util::Mask pd =
+              L.dense[static_cast<std::size_t>(r)] & ~(util::Mask{1} << b);
+          const std::uint64_t pg = binom.rank(pd) / P.group_size;
+          if (stamp[static_cast<std::size_t>(pg)] !=
+              static_cast<std::uint32_t>(g)) {
+            stamp[static_cast<std::size_t>(pg)] =
+                static_cast<std::uint32_t>(g);
+            graph.add_edge(
+                P.first_group + static_cast<par::TaskGraph::TaskId>(pg), id);
+          }
+        });
+      }
+    }
+
+    // The layer fence: the one consumer that truly needs every subset of
+    // the layer.  Runs the barrier engine's serial epilogue verbatim —
+    // publish in rank order, account residency, charge, free layer-1.
+    graph.seq_epoch([&result, &layers, &layer_work, &fence_prev_resident,
+                     &j_vars, layer, layer_size, ops, gov](int) {
+      Layer& cur = layers[static_cast<std::size_t>(layer)];
+      std::uint64_t cur_resident = 0;
+      for (std::uint64_t r = 0; r < layer_size; ++r) {
+        OVO_CHECK(cur.best_var[static_cast<std::size_t>(r)] >= 0);
+        const util::Mask K =
+            spread_mask(cur.dense[static_cast<std::size_t>(r)], j_vars);
+        result.best_last.emplace(K,
+                                 cur.best_var[static_cast<std::size_t>(r)]);
+        result.mincost.emplace(K,
+                               cur.best_cost[static_cast<std::size_t>(r)]);
+        cur_resident += cur.tables[static_cast<std::size_t>(r)].cells.size();
+      }
+      if (ops != nullptr)
+        ops->observe_resident(fence_prev_resident + cur_resident);
+      fence_prev_resident = cur_resident;
+      result.completed_layers = layer;
+      if (gov != nullptr)
+        gov->charge(layer_work[static_cast<std::size_t>(layer)]);
+      // Every reader of layer-1 (this layer's subsets) has completed.
+      std::vector<PrefixTable>().swap(
+          layers[static_cast<std::size_t>(layer) - 1].tables);
+    });
+  }
+
+  graph.run(threads, gov != nullptr ? gov->stop_flag() : nullptr);
+  // Barrier-wait accounting: the only layer-boundary serialization this
+  // engine retains is the final extraction (per-layer epilogues run
+  // inside fences, overlapped with the next layer's chunks; in-graph
+  // no-work bubbles are counted by the scheduler itself).  Setup cost —
+  // pre-admission, enumeration, graph build — is excluded on both sides
+  // of the A/B; see fs_star_barrier.
+  const std::uint64_t extract_t0 = engine_now_ns();
+
+  // Shards merge once, after the drain (fences overlap layer k+1 chunk
+  // work, so per-layer merges would race).  All fields commute, so
+  // completed-run totals equal the barrier engine's; a hard-stopped run
+  // additionally counts work from its discarded partial layer.
+  if (ops != nullptr)
+    for (OpCounter& shard : shards) *ops += shard;
+
+  Layer& last = layers[static_cast<std::size_t>(result.completed_layers)];
+  for (std::size_t r = 0; r < last.tables.size(); ++r)
+    result.tables.emplace(spread_mask(last.dense[r], j_vars),
+                          std::move(last.tables[r]));
+  par::charge_barrier_wait(static_cast<std::uint64_t>(threads - 1) *
+                           (engine_now_ns() - extract_t0));
+  return result;
+}
+
+}  // namespace
+
+FsStarResult fs_star(const PrefixTable& base, util::Mask J, int stop_k,
+                     DiagramKind kind, OpCounter* ops,
+                     const par::ExecPolicy& exec, rt::Governor* gov) {
+  OVO_CHECK_MSG((base.vars & J) == 0, "fs_star: J overlaps prefix I");
+  OVO_CHECK_MSG(util::is_subset(J, util::full_mask(base.n)),
+                "fs_star: J outside variable universe");
+  const int j_size = util::popcount(J);
+  OVO_CHECK_MSG(stop_k >= 0 && stop_k <= j_size, "fs_star: bad stop layer");
+
+  const int threads =
+      par::ThreadPool::clamp_threads(exec.resolved_threads());
+  // Per-subset work is exponential in the free-variable count, so the
+  // default chunk is a single subset.
+  const std::uint64_t grain = exec.grain != 0 ? exec.grain : 1;
+
+  if (exec.pipeline && threads > 1 && stop_k > 0)
+    return fs_star_pipelined(base, J, stop_k, kind, ops, threads, grain,
+                             gov);
+  return fs_star_barrier(base, J, stop_k, kind, ops, threads, grain, gov);
 }
 
 PrefixTable fs_star_full(const PrefixTable& base, util::Mask J,

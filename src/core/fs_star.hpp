@@ -11,11 +11,26 @@
 // subset (over J's bit positions), so predecessor lookup in the inner loop
 // is an O(k) rank computation against the previous layer's vector instead
 // of a hash probe.  Subsets within a layer only read the previous layer,
-// so the per-subset best-last-variable searches are independent; they fan
-// out over the ovo::par thread pool when the ExecPolicy asks for threads,
-// with each subset writing results to its own rank's slot (race-free and
-// scheduling-independent).  The default policy is serial and bit-identical
-// to the original single-threaded implementation.
+// so the per-subset best-last-variable searches are independent, and a
+// layer-(k+1) subset depends on exactly its k+1 one-element-removed
+// predecessors in layer k.
+//
+// Two engines share one per-subset kernel:
+//  * Barrier engine (serial, or ExecPolicy{.pipeline = false}): one
+//    parallel_for per layer with an implicit barrier and a serial
+//    publish epilogue — the PR 2 structure, kept as the bit-identity
+//    reference and the serial path.
+//  * Pipelined engine (pipeline = true and threads > 1): the whole
+//    admitted DP is one ovo::par::TaskGraph.  Subset groups become nodes
+//    whose dependency counters track incomplete predecessor groups, so
+//    layer k+1 compactions start while layer k is still draining; a
+//    seq_epoch fence per layer publishes results in rank order.  Every
+//    subset writes to its own colex-rank slot, so orders, sizes,
+//    tie-breaks, and merged OpCounter totals are bit-identical across
+//    engines and thread counts (governor admits are decided serially up
+//    front, preserving deterministic budget trips; see fs_star.cpp).
+// The default policy is serial and bit-identical to the original
+// single-threaded implementation.
 
 #include <unordered_map>
 #include <vector>

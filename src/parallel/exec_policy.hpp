@@ -30,6 +30,14 @@ struct ExecPolicy {
   /// results depend on the grain but not on the thread count.
   std::uint64_t grain = 0;
 
+  /// Cross-layer pipelining in the FS* DP (and any future task-graph
+  /// client): when true and threads > 1, layer k+1 subsets whose
+  /// predecessors have all compacted may start before layer k finishes
+  /// draining.  The publish protocol (pre-assigned colex-rank slots)
+  /// keeps results bit-identical either way; set false to force the
+  /// PR 2 per-layer-barrier engine, e.g. for A/B bench comparisons.
+  bool pipeline = true;
+
   int resolved_threads() const {
     return num_threads == 0 ? default_threads() : num_threads;
   }

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <string>
 
+#include "parallel/task_graph.hpp"
+
 namespace ovo::par {
 
 int default_threads() {
@@ -63,58 +65,43 @@ void ThreadPool::worker_main() {
       job = queue_.front();
       queue_.pop_front();
     }
-    drain_chunks(*job.region, job.slot);
+    job.region->participate(job.slot);
     // Detach from the region while holding its lock: once pending hits
-    // zero the caller may destroy the region, so do not touch it after
-    // the unlock.
+    // zero the dispatching thread may destroy the region, so do not
+    // touch it after the unlock.
     {
-      std::lock_guard<std::mutex> lk(job.region->mu);
-      if (--job.region->pending == 0) job.region->done_cv.notify_all();
+      std::lock_guard<std::mutex> lk(job.region->detach_mu_);
+      if (--job.region->pending_ == 0) job.region->detach_cv_.notify_all();
     }
   }
 }
 
-void ThreadPool::drain_chunks(Region& region, int slot) {
-  for (;;) {
-    if (region.stop != nullptr &&
-        region.stop->load(std::memory_order_relaxed))
-      return;  // cooperative drain: stop pulling, detach normally
-    const std::uint64_t lo =
-        region.next.fetch_add(region.grain, std::memory_order_relaxed);
-    if (lo >= region.end) return;
-    const std::uint64_t hi =
-        lo + region.grain < region.end ? lo + region.grain : region.end;
-    try {
-      region.run_chunk(lo, hi, slot);
-    } catch (...) {
-      {
-        std::lock_guard<std::mutex> lk(region.mu);
-        if (!region.error) region.error = std::current_exception();
-      }
-      // Park the cursor past the end so all participants wind down.
-      region.next.store(region.end, std::memory_order_relaxed);
-      return;
-    }
-  }
-}
-
-void ThreadPool::run_region(Region& region, int extra) {
+void ThreadPool::run_region(RegionBase& region, int extra) {
+  if (extra < 0) extra = 0;
   if (extra > kMaxThreads - 1) extra = kMaxThreads - 1;
   ensure_workers(extra);
   {
     std::lock_guard<std::mutex> lk(mu_);
     const int available = static_cast<int>(workers_.size());
     if (extra > available) extra = available;
-    region.pending = extra;
+    region.pending_ = extra;
     for (int s = 1; s <= extra; ++s) queue_.push_back(Job{&region, s});
   }
   cv_.notify_all();
-  drain_chunks(region, 0);
+  region.participate(0);
   {
-    std::unique_lock<std::mutex> lk(region.mu);
-    region.done_cv.wait(lk, [&] { return region.pending == 0; });
+    std::unique_lock<std::mutex> lk(region.detach_mu_);
+    region.detach_cv_.wait(lk, [&] { return region.pending_ == 0; });
   }
-  if (region.error) std::rethrow_exception(region.error);
+}
+
+void ThreadPool::run_chunked(
+    std::uint64_t begin, std::uint64_t end, std::uint64_t grain, int threads,
+    const std::atomic<bool>* stop,
+    std::function<void(std::uint64_t, std::uint64_t, int)> chunk_body) {
+  TaskGraph graph;
+  graph.add_chunked(begin, end, grain, std::move(chunk_body));
+  graph.run(threads, stop);
 }
 
 }  // namespace ovo::par

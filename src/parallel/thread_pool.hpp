@@ -1,17 +1,24 @@
 #pragma once
-// Work-chunked thread pool (ovo::par) — the shared parallel-execution
-// substrate under the Friedman–Supowit DP, the statevector sweeps, and
-// the per-candidate order evaluations.  No external dependencies.
+// Worker-pool substrate of the ovo::par execution layer.  Since the
+// task-graph refactor this header owns only the *threads*: a lazily
+// grown set of pool workers plus the region-dispatch protocol.  All
+// scheduling lives in ovo::par::TaskGraph (task_graph.hpp) — nodes with
+// atomic dependency counters, work-chunked bodies, per-worker ready
+// deques, and a deterministic publish protocol.  parallel_for and
+// parallel_reduce below are thin wrappers that build a one-node graph.
 //
 // Model: a parallel region splits an index range [begin, end) into
 // chunks of `grain` consecutive indices; participating threads pull
-// chunks off a shared atomic cursor until the range is exhausted.  The
-// calling thread always participates (as slot 0), so `threads = t`
-// means the caller plus up to t - 1 pool workers.
+// chunks until the range is exhausted.  The calling thread always
+// participates (as slot 0), so `threads = t` means the caller plus up to
+// t - 1 pool workers.
 //
 // Determinism contract:
-//  * parallel_for(threads <= 1) runs a plain serial loop on the calling
-//    thread — no pool machinery, bit-identical to pre-parallel code.
+//  * parallel_for(threads <= 1, stop == nullptr) runs a plain serial
+//    loop on the calling thread — no pool machinery, bit-identical to
+//    pre-parallel code.  With a stop flag, the serial path polls it at
+//    the same per-chunk granularity as pooled execution, so budgets
+//    interrupt 1-thread runs no later than 4-thread runs.
 //  * Which thread runs which chunk is scheduling-dependent; callers make
 //    results deterministic by giving every index its own write slot
 //    (e.g. the DP writes subset results at the subset's colex rank).
@@ -21,27 +28,32 @@
 //    deterministic, because slot-to-chunk assignment is not.
 //  * parallel_reduce computes one partial per *chunk* and folds the
 //    partials in chunk order, so its result depends on the grain but not
-//    on the thread count — except threads <= 1, which maps the whole
-//    range as a single chunk (bit-identical to a pre-parallel serial
-//    accumulation loop).
+//    on the thread count — except threads <= 1 without a stop flag,
+//    which maps the whole range as a single chunk (bit-identical to a
+//    pre-parallel serial accumulation loop).  A *governed* serial reduce
+//    (stop != nullptr) folds chunk by chunk like the pooled path — same
+//    fold order, same cancellation granularity at every thread count.
 //
-// Nested regions: a parallel_for issued from inside a pool worker runs
-// serially on that worker (slot 0 of the inner region).  This keeps
-// composition deadlock-free; only the outermost region fans out.
+// Nested regions: a region issued from inside ANY active region — a
+// pool worker servicing one, or a caller thread participating in a
+// graph run — executes serially on that thread (slot 0 of the inner
+// region).  Graph participants park waiting for future ready nodes
+// instead of returning when idle, so handing a nested region to the
+// pool could deadlock against the outer region's sleepers; only the
+// outermost region fans out.
 //
 // Cooperative cancellation: the overloads taking a `stop` flag check it
-// once per chunk — before pulling the next chunk off the cursor — and
-// drain cooperatively (stop pulling, detach normally) when it flips.
-// Already-started chunks run to completion, so a stopped region never
-// leaves a chunk half-executed; callers discard the region's output when
-// the flag is set.  The flag is typically rt::Governor::stop_flag().
-// Passing stop == nullptr compiles to the ungoverned code path.
+// once per chunk — before pulling the next chunk — and drain
+// cooperatively when it flips.  Already-started chunks run to
+// completion, so a stopped region never leaves a chunk half-executed;
+// callers discard the region's output when the flag is set.  The flag is
+// typically rt::Governor::stop_flag().  Passing stop == nullptr compiles
+// to the ungoverned code path.
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -76,6 +88,35 @@ class ThreadPool {
   static int clamp_threads(int threads) {
     return threads < 1 ? 1 : (threads > kMaxThreads ? kMaxThreads : threads);
   }
+
+  /// True on threads owned by this pool.  Regions started from a pool
+  /// worker must execute inline (nested fan-out is forbidden by design).
+  static bool in_pool_worker() { return in_worker(); }
+
+  /// One in-flight parallel region.  TaskGraph::run implements this to
+  /// dispatch a graph over the pool; participate(slot) is the scheduling
+  /// loop each cooperating thread runs (slot 0 = caller) and must not
+  /// throw — regions capture task exceptions and rethrow after the
+  /// region drains.  The detach fields let the pool hand workers back:
+  /// once pending_ hits zero the dispatching thread may destroy the
+  /// region, so workers must not touch it after detaching.
+  class RegionBase {
+   public:
+    virtual ~RegionBase() = default;
+
+   protected:
+    friend class ThreadPool;
+    virtual void participate(int slot) = 0;
+
+   private:
+    std::mutex detach_mu_;
+    std::condition_variable detach_cv_;
+    int pending_ = 0;
+  };
+
+  /// Enqueues `extra` worker jobs for `region` (slots 1..extra),
+  /// participates as slot 0, and waits for the workers to detach.
+  void run_region(RegionBase& region, int extra);
 
   /// Runs fn(i, slot) for every i in [begin, end), chunked by `grain`
   /// over at most `threads` threads (caller included).  slot identifies
@@ -112,19 +153,10 @@ class ThreadPool {
       }
       return;
     }
-    Region region;
-    region.next.store(begin, std::memory_order_relaxed);
-    region.end = end;
-    region.grain = grain;
-    region.stop = stop;
-    auto body = [&fn](std::uint64_t lo, std::uint64_t hi, int slot) {
-      for (std::uint64_t i = lo; i < hi; ++i) fn(i, slot);
-    };
-    region.run_chunk = std::ref(body);
-    const std::uint64_t extra64 =
-        std::min<std::uint64_t>(static_cast<std::uint64_t>(threads - 1),
-                                chunks - 1);
-    run_region(region, static_cast<int>(extra64));
+    run_chunked(begin, end, grain, threads, stop,
+                [&fn](std::uint64_t lo, std::uint64_t hi, int slot) {
+                  for (std::uint64_t i = lo; i < hi; ++i) fn(i, slot);
+                });
   }
 
   /// Maps chunks [lo, hi) of [begin, end) with `map_chunk` and folds the
@@ -142,8 +174,10 @@ class ThreadPool {
 
   /// As above with a cooperative stop flag.  When the flag trips
   /// mid-region the unmapped chunks contribute default-constructed
-  /// partials, so the caller must treat the result as garbage whenever
-  /// the flag is set on return.
+  /// partials (parallel) or are simply missing from the fold (serial),
+  /// so the caller must treat the result as garbage whenever the flag is
+  /// set on return.  The governed serial path maps and folds chunk by
+  /// chunk — the pooled fold order — polling the flag between chunks.
   template <typename T, typename MapChunk, typename Combine>
   T parallel_reduce(std::uint64_t begin, std::uint64_t end,
                     std::uint64_t grain, int threads,
@@ -154,9 +188,19 @@ class ThreadPool {
     threads = clamp_threads(threads);
     const std::uint64_t chunks = (end - begin + grain - 1) / grain;
     if (threads <= 1 || chunks <= 1 || in_worker()) {
-      if (stop != nullptr && stop->load(std::memory_order_relaxed))
-        return init;
-      return combine(std::move(init), map_chunk(begin, end));
+      if (stop == nullptr)
+        return combine(std::move(init), map_chunk(begin, end));
+      if (chunks <= 1) {
+        if (stop->load(std::memory_order_relaxed)) return init;
+        return combine(std::move(init), map_chunk(begin, end));
+      }
+      T acc = std::move(init);
+      for (std::uint64_t lo = begin; lo < end; lo += grain) {
+        if (stop->load(std::memory_order_relaxed)) return acc;
+        const std::uint64_t hi = lo + grain < end ? lo + grain : end;
+        acc = combine(std::move(acc), map_chunk(lo, hi));
+      }
+      return acc;
     }
     std::vector<T> partials(chunks);
     parallel_for(0, chunks, 1, threads, stop, [&](std::uint64_t c, int) {
@@ -170,38 +214,23 @@ class ThreadPool {
   }
 
  private:
-  /// Shared state of one in-flight parallel region; lives on the
-  /// caller's stack for the duration of the region.
-  struct Region {
-    std::atomic<std::uint64_t> next{0};  ///< chunk cursor
-    std::uint64_t end = 0;
-    std::uint64_t grain = 1;
-    /// Optional cooperative stop flag (not owned); checked before every
-    /// chunk pull.
-    const std::atomic<bool>* stop = nullptr;
-    /// Type-erased chunk body: (chunk_begin, chunk_end, slot).
-    std::function<void(std::uint64_t, std::uint64_t, int)> run_chunk;
-    std::mutex mu;
-    std::condition_variable done_cv;
-    int pending = 0;  ///< workers still attached to this region
-    std::exception_ptr error;
-  };
-
   struct Job {
-    Region* region = nullptr;
+    RegionBase* region = nullptr;
     int slot = 0;
   };
 
   /// True on threads owned by this pool (blocks nested fan-out).
   static bool& in_worker();
 
+  /// Builds a one-node TaskGraph over [begin, end) and runs it; defined
+  /// in thread_pool.cpp so this header need not include task_graph.hpp.
+  void run_chunked(
+      std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
+      int threads, const std::atomic<bool>* stop,
+      std::function<void(std::uint64_t, std::uint64_t, int)> chunk_body);
+
   void ensure_workers(int count);
   void worker_main();
-  /// Enqueues `extra` worker jobs, participates as slot 0, waits for the
-  /// workers to detach, rethrows the first captured exception.
-  void run_region(Region& region, int extra);
-  /// The chunk-pulling loop every participant runs.
-  static void drain_chunks(Region& region, int slot);
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -32,9 +32,10 @@ class Statevector {
   std::uint64_t dimension() const { return std::uint64_t{1} << qubits_; }
 
   /// Fans the amplitude sweeps (oracle, diffusion, probabilities, norms)
-  /// out over the ovo::par pool.  Serial by default.  Amplitude chunks are
-  /// fixed-size (kAmpGrain) and reduction partials are folded in chunk
-  /// order, so results do not depend on which thread ran which chunk.
+  /// out as one-node regions on the ovo::par task-graph scheduler.
+  /// Serial by default.  Amplitude chunks are fixed-size (kAmpGrain) and
+  /// reduction partials are folded in chunk order, so results do not
+  /// depend on which thread ran which chunk.
   void set_exec_policy(const par::ExecPolicy& exec) { exec_ = exec; }
   const par::ExecPolicy& exec_policy() const { return exec_; }
 

@@ -56,6 +56,7 @@ rt::Result<AutoMinimizeResult> minimize_auto(
 
   rt::Result<AutoMinimizeResult> out;
   AutoMinimizeResult& v = out.value;
+  const par::SchedStats sched_before = par::sched_stats();
 
   // One oracle for the whole ladder: its TABLE_{emptyset} feeds the DP,
   // and the heuristic stages share its memo, so an order sifting already
@@ -78,6 +79,7 @@ rt::Result<AutoMinimizeResult> minimize_auto(
     v.lower_bound = v.internal_nodes;
     v.optimal = true;
     v.oracle = oracle.stats();
+    v.sched = par::sched_stats() - sched_before;
     out.outcome = rt::Outcome::kComplete;
     out.stats = gov.stats();
     return out;
@@ -129,6 +131,7 @@ rt::Result<AutoMinimizeResult> minimize_auto(
   }
 
   v.oracle = oracle.stats();
+  v.sched = par::sched_stats() - sched_before;
   out.outcome = gov.outcome();
   out.stats = gov.stats();
   return out;

@@ -26,6 +26,7 @@
 
 #include "core/minimize.hpp"
 #include "parallel/exec_policy.hpp"
+#include "parallel/task_graph.hpp"
 #include "reorder/eval_context.hpp"
 #include "rt/budget.hpp"
 #include "tt/truth_table.hpp"
@@ -61,6 +62,11 @@ struct AutoMinimizeResult {
   /// sifting and restart stages share one memoized oracle, so an order
   /// both stages visit is evaluated once (`evals` < `queries`).
   OracleStats oracle;
+  /// ovo::par scheduler counters attributed to this run (delta of the
+  /// process-wide totals around the ladder): tasks/chunks executed,
+  /// ready-queue high-water mark, and the barrier-wait vs.
+  /// pipelined-overlap split.  All zero for a serial policy.
+  par::SchedStats sched;
 };
 
 /// Minimizes under `budget` with graceful degradation (see file

@@ -69,8 +69,9 @@ class CostOracle {
   std::uint64_t size_for_order(const std::vector<int>& order_root_first,
                                const rt::Governor* gov = nullptr);
 
-  /// Batch evaluation of candidate orders over the pool, preserving the
-  /// pre-oracle semantics bit for bit: with ctx.gov the batch is first
+  /// Batch evaluation of candidate orders, fanned out as a one-node
+  /// region on the task-graph scheduler, preserving the pre-oracle
+  /// semantics bit for bit: with ctx.gov the batch is first
   /// truncated — serially — to the prefix the remaining work budget
   /// admits (chain_eval_cost() units per candidate, charged whether or
   /// not the candidate later hits the memo), then memo hits are resolved

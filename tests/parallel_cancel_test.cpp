@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "parallel/task_graph.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace ovo::par {
@@ -166,6 +167,64 @@ TEST(PoolExceptions, NestedRegionsSerializeAndPropagate) {
     caught.fetch_add(1);
   }
   EXPECT_EQ(caught.load(), 1);
+}
+
+// --- task-graph drain ------------------------------------------------------
+
+// Cancellation of a dependency DAG is a drain, not a loop exit: the stop
+// flag is polled before every chunk, in-flight chunks complete, and
+// unstarted nodes are abandoned.  Repeated rounds make the mid-flight
+// interleavings show up under the tsan preset.
+TEST(Cancellation, MidDagTripDrainsTheGraphWithoutDeadlock) {
+  int drained_early = 0;
+  for (int round = 0; round < 30; ++round) {
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> ran{0};
+    TaskGraph g;
+    TaskGraph::TaskId prev = 0;
+    for (int layer = 0; layer < 4; ++layer) {
+      const TaskGraph::TaskId id = g.add_range(
+          std::uint64_t{0}, std::uint64_t{5'000}, 32,
+          [&](std::uint64_t i, int) {
+            ran.fetch_add(1, std::memory_order_relaxed);
+            if (i == 1'000) stop.store(true);
+          });
+      if (layer > 0) g.add_edge(prev, id);
+      prev = id;
+    }
+    g.run(4, &stop);
+    EXPECT_GT(ran.load(), 0u);
+    EXPECT_LE(ran.load(), 20'000u);
+    if (ran.load() < 20'000u) ++drained_early;
+  }
+  EXPECT_GT(drained_early, 0);
+}
+
+// A stop and a task exception racing inside one DAG: either outcome
+// (drain or throw) is legal; returning is the assertion.
+TEST(Cancellation, DagThrowAndCancelRacingDoNotDeadlock) {
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<bool> stop{false};
+    bool threw = false;
+    TaskGraph g;
+    const TaskGraph::TaskId a = g.add_range(
+        std::uint64_t{0}, std::uint64_t{10'000}, 16,
+        [&](std::uint64_t i, int) {
+          // Different chunks (grain 16), so the stop poll before the
+          // throwing chunk races the other worker claiming it.
+          if (i == 500) stop.store(true);
+          if (i == 520) throw std::runtime_error("race");
+        });
+    const TaskGraph::TaskId b =
+        g.add([](int) {});  // dependent, abandoned either way
+    g.add_edge(a, b);
+    try {
+      g.run(4, &stop);
+    } catch (const std::runtime_error&) {
+      threw = true;
+    }
+    (void)threw;
+  }
 }
 
 // Exception in one chunk and a stop flag tripped by another: whichever

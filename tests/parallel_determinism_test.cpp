@@ -40,6 +40,15 @@ par::ExecPolicy policy(int threads) {
   return exec;
 }
 
+// The PR 2 per-layer barrier engine, kept as the A/B reference: the
+// determinism contract requires it to match the pipelined default
+// bit-for-bit at every thread count.
+par::ExecPolicy barrier_policy(int threads) {
+  par::ExecPolicy exec = policy(threads);
+  exec.pipeline = false;
+  return exec;
+}
+
 // ---------------------------------------------------------------- pool --
 
 TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
@@ -160,6 +169,9 @@ TEST(FsDeterminism, BddIdenticalAcrossThreadCountsUpToN13) {
       const core::MinimizeResult par_r =
           core::fs_minimize(f, core::DiagramKind::kBdd, policy(threads));
       expect_same_minimize(serial, par_r, threads);
+      const core::MinimizeResult barrier_r = core::fs_minimize(
+          f, core::DiagramKind::kBdd, barrier_policy(threads));
+      expect_same_minimize(serial, barrier_r, threads);
     }
   }
 }
@@ -168,9 +180,12 @@ TEST(FsDeterminism, ZddIdenticalAcrossThreadCounts) {
   util::Xoshiro256 rng(7);
   const tt::TruthTable f = tt::random_function(10, rng);
   const core::MinimizeResult serial = core::fs_minimize_zdd(f);
-  for (const int threads : {2, 4, 8})
+  for (const int threads : {2, 4, 8}) {
     expect_same_minimize(serial, core::fs_minimize_zdd(f, policy(threads)),
                          threads);
+    expect_same_minimize(
+        serial, core::fs_minimize_zdd(f, barrier_policy(threads)), threads);
+  }
 }
 
 TEST(FsDeterminism, MtbddIdenticalAcrossThreadCounts) {
@@ -179,9 +194,13 @@ TEST(FsDeterminism, MtbddIdenticalAcrossThreadCounts) {
   std::vector<std::int64_t> values(std::uint64_t{1} << n);
   for (auto& v : values) v = static_cast<std::int64_t>(rng.below(5));
   const core::MinimizeResult serial = core::fs_minimize_mtbdd(values, n);
-  for (const int threads : {2, 4, 8})
+  for (const int threads : {2, 4, 8}) {
     expect_same_minimize(
         serial, core::fs_minimize_mtbdd(values, n, policy(threads)), threads);
+    expect_same_minimize(
+        serial, core::fs_minimize_mtbdd(values, n, barrier_policy(threads)),
+        threads);
+  }
 }
 
 TEST(FsDeterminism, SharedDiagramIdenticalAcrossThreadCounts) {
@@ -199,7 +218,8 @@ TEST(FsDeterminism, SharedDiagramIdenticalAcrossThreadCounts) {
 }
 
 // The stop-early form returns one table per k-subset; every cell of every
-// table (and every back-pointer) must be bit-identical to the serial run.
+// table (and every back-pointer) must be bit-identical to the serial run,
+// for the pipelined default AND the pipeline=false barrier engine.
 TEST(FsDeterminism, FsStarLayerTablesBitIdentical) {
   util::Xoshiro256 rng(4242);
   const tt::TruthTable f = tt::random_function(9, rng);
@@ -207,12 +227,12 @@ TEST(FsDeterminism, FsStarLayerTablesBitIdentical) {
   const util::Mask J = util::full_mask(9);
   const core::FsStarResult serial =
       core::fs_star(base, J, /*stop_k=*/5, core::DiagramKind::kBdd);
-  for (const int threads : {2, 4, 8}) {
-    const core::FsStarResult par_r =
-        core::fs_star(base, J, 5, core::DiagramKind::kBdd, nullptr,
-                      policy(threads));
-    EXPECT_EQ(par_r.best_last, serial.best_last);
-    EXPECT_EQ(par_r.mincost, serial.mincost);
+  const auto expect_same = [&](const core::FsStarResult& par_r, int threads,
+                               const char* engine) {
+    EXPECT_EQ(par_r.best_last, serial.best_last)
+        << engine << " threads=" << threads;
+    EXPECT_EQ(par_r.mincost, serial.mincost)
+        << engine << " threads=" << threads;
     ASSERT_EQ(par_r.tables.size(), serial.tables.size());
     for (const auto& [mask, table] : serial.tables) {
       const auto it = par_r.tables.find(mask);
@@ -221,6 +241,14 @@ TEST(FsDeterminism, FsStarLayerTablesBitIdentical) {
       EXPECT_EQ(it->second.next_id, table.next_id);
       EXPECT_EQ(it->second.vars, table.vars);
     }
+  };
+  for (const int threads : {2, 4, 8}) {
+    expect_same(core::fs_star(base, J, 5, core::DiagramKind::kBdd, nullptr,
+                              policy(threads)),
+                threads, "pipelined");
+    expect_same(core::fs_star(base, J, 5, core::DiagramKind::kBdd, nullptr,
+                              barrier_policy(threads)),
+                threads, "barrier");
   }
 }
 

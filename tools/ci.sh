@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Single-entry CI gate.  Composes the verification sweep:
+#
+#   1. tools/verify.sh (full): tier-1 tests on the default preset, then
+#      the whole suite again under ASan+UBSan and under TSan (the
+#      task-graph scheduler and the pipelined FS* DP are exercised by
+#      task_graph_test / parallel_determinism_test / parallel_cancel_test
+#      on every preset), plus the README strategy-table drift check —
+#      the registry is the source of truth and drift fails the gate.
+#   2. tools/verify.sh --quick: a governed smoke run of both scaling
+#      benches, asserting the JSON rows carry the unified oracle ledger
+#      and the ovo::par scheduler counters.
+#
+# Any failure stops the script with a nonzero exit.
+#
+# Usage: tools/ci.sh [-jN]   (parallelism forwarded to build and ctest)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="-j$(nproc)"
+for arg in "$@"; do
+  case "${arg}" in
+    -j*) JOBS="${arg}" ;;
+    *)
+      echo "usage: tools/ci.sh [-jN]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+echo "#### ci: full preset sweep (default / asan / tsan) ############"
+tools/verify.sh "${JOBS}"
+
+echo "#### ci: governed bench smoke #################################"
+tools/verify.sh --quick "${JOBS}"
+
+echo "#### ci green #################################################"

@@ -70,9 +70,12 @@ if [[ "${QUICK}" -eq 1 ]]; then
     --json "${smoke_dir}/fs.json"
   build/bench/bench_quantum_scaling --work-limit 200000 \
     --json "${smoke_dir}/quantum.json"
-  # The governed rows must carry the unified oracle counters.
+  # The governed rows must carry the unified oracle counters and the
+  # ovo::par scheduler counters.
   grep -q '"oracle_memo_hits"' "${smoke_dir}/fs.json"
   grep -q '"oracle_memo_hits"' "${smoke_dir}/quantum.json"
+  grep -q '"sched_barrier_wait_ns"' "${smoke_dir}/fs.json"
+  grep -q '"sched_barrier_wait_ns"' "${smoke_dir}/quantum.json"
   echo "==== quick sweep green ====================================="
   exit 0
 fi
