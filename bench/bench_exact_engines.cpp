@@ -1,14 +1,17 @@
-// Cross-engine comparison of the three exact ordering methods in this
-// repository: the FS dynamic program (the paper's algorithm), branch and
-// bound with admissible bounds, and brute force — plus the stochastic
-// baselines. All must agree on the optimum; the interesting columns are
-// the work counters.
+// Cross-engine comparison of the exact ordering methods in this
+// repository: the FS dynamic program (the paper's algorithm), the
+// bound-pruned sparse FS* variant (sift-seeded incumbent), and branch
+// and bound with admissible bounds — plus the stochastic baselines.
+// All must agree on the optimum; the interesting columns are the work
+// counters, and for the pruned DP the fraction of the subset lattice it
+// never materializes.
 
 #include <cinttypes>
 #include <cstdio>
 #include <numeric>
 
 #include "core/minimize.hpp"
+#include "parallel/exec_policy.hpp"
 #include "reorder/annealing.hpp"
 #include "reorder/baselines.hpp"
 #include "reorder/branch_and_bound.hpp"
@@ -32,8 +35,15 @@ int main() {
   cases.push_back({"random(10)", tt::random_function(10, rng)});
 
   std::printf("Exact-engine agreement and work (n = 10)\n\n");
-  std::printf("%-20s %8s | %12s %10s | %12s %10s %10s\n", "function", "opt",
-              "FS cells", "FS ms", "BnB states", "BnB ms", "pruned");
+  std::printf("%-20s %8s | %12s %10s | %12s %8s %10s | %12s %10s %10s\n",
+              "function", "opt", "FS cells", "FS ms", "FS* cells", "prune%",
+              "FS* ms", "BnB states", "BnB ms", "pruned");
+
+  // The pruned FS* runs share the B&B warm start: one sift pass seeds
+  // both incumbents, so the two pruning columns are an apples-to-apples
+  // read on the same upper bound.
+  par::ExecPolicy pruned_exec;
+  pruned_exec.prune = par::PruneMode::kBounds;
 
   bool agree = true;
   for (const Case& c : cases) {
@@ -41,19 +51,29 @@ int main() {
     const core::MinimizeResult fs = core::fs_minimize(c.t);
     const double fs_ms = t1.millis();
 
-    // Warm-start B&B with sifting.
+    // Warm-start B&B and the pruned DP with sifting.
     std::vector<int> id(static_cast<std::size_t>(c.t.num_vars()));
     std::iota(id.begin(), id.end(), 0);
     const std::uint64_t incumbent = reorder::sift(c.t, id).internal_nodes;
+
+    util::Timer t3;
+    const core::MinimizeResult fsp = core::fs_minimize(
+        c.t, core::DiagramKind::kBdd, pruned_exec, incumbent);
+    const double fsp_ms = t3.millis();
+
     util::Timer t2;
     const reorder::BnbResult bnb = reorder::branch_and_bound_minimize(
         c.t, core::DiagramKind::kBdd, incumbent);
     const double bnb_ms = t2.millis();
 
-    agree &= fs.min_internal_nodes == bnb.internal_nodes;
+    agree &= fs.min_internal_nodes == bnb.internal_nodes &&
+             fsp.min_internal_nodes == fs.min_internal_nodes &&
+             fsp.order_root_first == fs.order_root_first;
     std::printf("%-20s %8" PRIu64 " | %12" PRIu64 " %10.1f | %12" PRIu64
-                " %10.1f %10" PRIu64 "\n",
+                " %7.2f%% %10.1f | %12" PRIu64 " %10.1f %10" PRIu64 "\n",
                 c.name, fs.min_internal_nodes, fs.ops.table_cells, fs_ms,
+                fsp.ops.prune.sparse_cells,
+                100.0 * fsp.ops.prune.prune_ratio(), fsp_ms,
                 bnb.states_expanded, bnb_ms,
                 bnb.states_pruned_bound + bnb.states_pruned_dominance);
   }
@@ -70,7 +90,8 @@ int main() {
               sa.internal_nodes, sa.orders_evaluated, rr.internal_nodes);
 
   std::printf("\nresult: %s\n",
-              agree ? "FS and branch-and-bound agree on every optimum"
+              agree ? "FS, bound-pruned FS*, and branch-and-bound agree "
+                      "on every optimum"
                     : "MISMATCH between exact engines");
   return agree ? 0 : 1;
 }

@@ -7,6 +7,15 @@
 // the speedup over the serial run; results must agree exactly) and
 // --json <path> (emit the per-n rows as a JSON array).
 //
+// Every ungoverned row also carries a bound-pruned ablation: the same
+// function re-run with ExecPolicy.prune = kBounds and a sift-seeded
+// incumbent.  The pruned run must reproduce the dense optimum and order
+// bit-exactly; the row reports states_pruned / prune_ratio and the
+// measured sparse peak against peak_cells_dense_equiv (the closed-form
+// dense peak from quantum::fs_peak_cells).  Random functions prune
+// weakly at large n, so two structured functions (hwb, adder_carry) are
+// ablated at the largest n as well.
+//
 // Budget flags (--timeout-ms / --node-limit / --mem-limit-mb /
 // --work-limit) run each n through the governed minimize_auto ladder with
 // a fresh budget instead of the raw DP: every row then reports its
@@ -19,6 +28,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <numeric>
 #include <string>
 
 #include "core/minimize.hpp"
@@ -41,11 +51,23 @@ int main(int argc, char** argv) {
   int bench_threads = 1;
   std::string json_path;
   rt::Budget budget;
+  par::PruneMode gov_prune = par::PruneMode::kOff;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       bench_threads = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--prune") == 0 && i + 1 < argc) {
+      // Governed mode only: the ungoverned sweep always A/Bs dense
+      // against the bound-pruned engine, so the flag has nothing to add
+      // there.
+      const std::string mode = argv[++i];
+      if (mode == "bounds") {
+        gov_prune = par::PruneMode::kBounds;
+      } else if (mode != "off") {
+        std::fprintf(stderr, "--prune takes 'off' or 'bounds'\n");
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--timeout-ms") == 0 && i + 1 < argc) {
       budget.deadline_ms = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--node-limit") == 0 && i + 1 < argc) {
@@ -58,8 +80,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: bench_fs_scaling [--threads N] [--json path] "
-                   "[--timeout-ms N] [--node-limit N] [--mem-limit-mb N] "
-                   "[--work-limit N]\n");
+                   "[--prune off|bounds] [--timeout-ms N] [--node-limit N] "
+                   "[--mem-limit-mb N] [--work-limit N]\n");
       return 2;
     }
   }
@@ -89,6 +111,7 @@ int main(int argc, char** argv) {
       const tt::TruthTable t = tt::random_function(n, grng);
       reorder::AutoMinimizeOptions opt;
       opt.exec = exec;
+      opt.exec.prune = gov_prune;
       util::Timer timer;
       const auto r = reorder::minimize_auto(t, budget, opt);
       const double secs = timer.seconds();
@@ -97,6 +120,10 @@ int main(int argc, char** argv) {
       // repeated chain evaluations.
       const reorder::OracleStats& os = r.value.oracle;
       const par::SchedStats& ss = r.value.sched;
+      // The DP/salvage ledger (including the prune counters) lives in
+      // value.ops, beside the heuristic stages' oracle counters.
+      core::OpCounter ops = os.ops;
+      ops += r.value.ops;
       std::printf("%3d %12" PRIu64 " %8s %6d %10s %14" PRIu64 " %9" PRIu64
                   " %9" PRIu64 " %12.4f\n",
                   n, r.value.internal_nodes, r.value.optimal ? "yes" : "no",
@@ -116,13 +143,22 @@ int main(int argc, char** argv) {
                      ", \"sched_ready_hwm\": %" PRIu64
                      ", \"sched_overlap_tasks\": %" PRIu64
                      ", \"sched_overlap_ns\": %" PRIu64
-                     ", \"sched_barrier_wait_ns\": %" PRIu64 "}%s\n",
+                     ", \"sched_barrier_wait_ns\": %" PRIu64
+                     ", \"sched_pruned_chunks\": %" PRIu64
+                     ", \"prune_upper_bound\": %" PRIu64
+                     ", \"states_generated\": %" PRIu64
+                     ", \"states_pruned\": %" PRIu64
+                     ", \"states_dead\": %" PRIu64
+                     ", \"prune_ratio\": %.4f}%s\n",
                      n, resolved_threads, r.value.internal_nodes,
                      r.value.optimal ? "true" : "false",
                      r.value.dp_layers_completed, rt::outcome_name(r.outcome),
                      r.stats.work_units, os.queries, os.evals, os.memo_hits,
                      secs, ss.tasks, ss.chunks, ss.ready_hwm,
                      ss.overlap_tasks, ss.overlap_ns, ss.barrier_wait_ns,
+                     ss.pruned_chunks, ops.prune.upper_bound,
+                     ops.prune.states_generated, ops.prune.states_pruned,
+                     ops.prune.states_dead, ops.prune.prune_ratio(),
                      n < kGovMaxN ? "," : "");
       }
     }
@@ -147,11 +183,36 @@ int main(int argc, char** argv) {
   std::vector<double> fs_cells, fs_space;
   std::vector<double> serial_times, threaded_times, barrier_times;
   std::vector<par::SchedStats> pipe_sched, barrier_sched;
+  std::vector<double> pruned_times;
+  std::vector<core::PruneStats> prune_rows;
+  std::vector<std::uint64_t> pruned_peaks;
   ds::TableStats dedup_total;
   const int kMaxN = 13;
   const int kMaxBruteN = 8;
   bool space_matches = true;
   bool threads_match = true;
+  bool prune_matches = true;
+
+  // Bound-pruned ablation: sift-seeded incumbent, sparse layers, same
+  // thread count as the threaded dense run.  Must reproduce `dense`
+  // bit-exactly.
+  par::ExecPolicy pruned_exec = exec;
+  pruned_exec.prune = par::PruneMode::kBounds;
+  const auto run_pruned = [&](const tt::TruthTable& t,
+                              const core::MinimizeResult& dense,
+                              double* secs) {
+    std::vector<int> id(static_cast<std::size_t>(t.num_vars()));
+    std::iota(id.begin(), id.end(), 0);
+    const std::uint64_t ub = reorder::sift(t, id).internal_nodes;
+    util::Timer timer;
+    const core::MinimizeResult rp =
+        core::fs_minimize(t, core::DiagramKind::kBdd, pruned_exec, ub);
+    *secs = timer.seconds();
+    prune_matches &= rp.min_internal_nodes == dense.min_internal_nodes &&
+                     rp.order_root_first == dense.order_root_first;
+    return rp;
+  };
+
   for (int n = 2; n <= kMaxN; ++n) {
     const tt::TruthTable t = tt::random_function(n, rng);
     util::Timer timer;
@@ -201,6 +262,12 @@ int main(int argc, char** argv) {
       brute_time = timer.seconds();
     }
 
+    double pruned_time = 0.0;
+    const core::MinimizeResult rp = run_pruned(t, r, &pruned_time);
+    pruned_times.push_back(pruned_time);
+    prune_rows.push_back(rp.ops.prune);
+    pruned_peaks.push_back(rp.ops.peak_cells);
+
     const double peak_pred = quantum::fs_peak_cells(n);
     space_matches &=
         static_cast<double>(r.ops.peak_cells) == peak_pred;
@@ -238,6 +305,64 @@ int main(int argc, char** argv) {
               dedup_total.lookups, dedup_total.hit_rate(),
               dedup_total.avg_probe_length(), dedup_total.resizes);
 
+  // Bound-pruned ablation.  Random functions have near-worst-case
+  // ordering spread, so structured functions join at the largest n to
+  // show the sparse layers actually shrinking the resident set.
+  struct PruneRow {
+    std::string function;
+    int n;
+    double seconds;
+    core::PruneStats p;
+    std::uint64_t peak_cells;
+  };
+  std::vector<PruneRow> ablation;
+  for (std::size_t i = 0; i < ns.size(); ++i)
+    ablation.push_back({"random", ns[i], pruned_times[i], prune_rows[i],
+                        pruned_peaks[i]});
+  {
+    struct Structured {
+      const char* name;
+      tt::TruthTable t;
+    };
+    const Structured structured[] = {
+        {"hwb", tt::hidden_weighted_bit(kMaxN)},
+        // adder_carry needs an even width; 12 is its largest n <= kMaxN.
+        {"adder_carry", tt::adder_carry(kMaxN - 1)},
+    };
+    for (const Structured& s : structured) {
+      const core::MinimizeResult dense = core::fs_minimize(s.t);
+      double secs = 0.0;
+      const core::MinimizeResult rp = run_pruned(s.t, dense, &secs);
+      ablation.push_back({s.name, s.t.num_vars(), secs, rp.ops.prune,
+                          rp.ops.peak_cells});
+    }
+  }
+
+  std::printf("\nBound-pruned FS* (sift-seeded incumbent, sparse layers; "
+              "dense equivalents in parentheses)\n");
+  std::printf("%-12s %3s %12s %12s %9s %8s %14s %18s %10s\n", "function",
+              "n", "states gen", "pruned+dead", "surviving", "prune%",
+              "sparse cells", "peak (dense eq.)", "time(s)");
+  bool prune_bites_at_max_n = false;
+  for (const PruneRow& row : ablation) {
+    const double dense_peak = quantum::fs_peak_cells(row.n);
+    std::printf("%-12s %3d %12" PRIu64 " %12" PRIu64 " %9" PRIu64
+                " %7.2f%% %14" PRIu64 " %9" PRIu64 " (%8.0f) %10.4f\n",
+                row.function.c_str(), row.n, row.p.states_enumerated(),
+                row.p.states_pruned + row.p.states_dead,
+                row.p.states_surviving, 100.0 * row.p.prune_ratio(),
+                row.p.sparse_cells, row.peak_cells, dense_peak, row.seconds);
+    if (row.n == kMaxN) {
+      prune_bites_at_max_n |=
+          row.p.prune_ratio() > 0.0 &&
+          static_cast<double>(row.peak_cells) < dense_peak;
+    }
+  }
+  std::printf("pruned runs identical to dense: %s;  prune engaged at "
+              "n=%d (ratio > 0, peak below dense): %s\n",
+              prune_matches ? "yes" : "NO", kMaxN,
+              prune_bites_at_max_n ? "yes" : "NO");
+
   if (resolved_threads > 1) {
     std::printf("\nparallel FS (%d threads): largest-n speedup %.2fx, "
                 "results identical to serial: %s\n",
@@ -274,7 +399,8 @@ int main(int argc, char** argv) {
     std::fprintf(out, "[\n");
     for (std::size_t i = 0; i < ns.size(); ++i) {
       std::fprintf(out,
-                   "  {\"n\": %d, \"threads\": %d, \"seconds_serial\": %.6f, "
+                   "  {\"n\": %d, \"function\": \"random\", "
+                   "\"threads\": %d, \"seconds_serial\": %.6f, "
                    "\"seconds_threads\": %.6f, \"speedup\": %.4f, "
                    "\"table_cells\": %.0f, "
                    "\"seconds_barrier_engine\": %.6f, "
@@ -284,14 +410,55 @@ int main(int argc, char** argv) {
                    ", \"sched_overlap_ns\": %" PRIu64
                    ", \"sched_barrier_wait_ns\": %" PRIu64
                    ", \"sched_barrier_wait_ns_barrier_engine\": %" PRIu64
-                   "}%s\n",
+                   ", \"seconds_pruned\": %.6f"
+                   ", \"prune_upper_bound\": %" PRIu64
+                   ", \"states_generated\": %" PRIu64
+                   ", \"states_pruned\": %" PRIu64
+                   ", \"states_dead\": %" PRIu64
+                   ", \"states_surviving\": %" PRIu64
+                   ", \"prune_ratio\": %.4f"
+                   ", \"sparse_cells\": %" PRIu64
+                   ", \"dense_cells\": %" PRIu64
+                   ", \"peak_cells_pruned\": %" PRIu64
+                   ", \"peak_cells_dense_equiv\": %.0f}%s\n",
                    ns[i], resolved_threads, serial_times[i],
                    threaded_times[i], serial_times[i] / threaded_times[i],
                    fs_cells[i], barrier_times[i], pipe_sched[i].tasks,
                    pipe_sched[i].ready_hwm, pipe_sched[i].overlap_tasks,
                    pipe_sched[i].overlap_ns, pipe_sched[i].barrier_wait_ns,
-                   barrier_sched[i].barrier_wait_ns,
-                   i + 1 < ns.size() ? "," : "");
+                   barrier_sched[i].barrier_wait_ns, pruned_times[i],
+                   prune_rows[i].upper_bound, prune_rows[i].states_generated,
+                   prune_rows[i].states_pruned, prune_rows[i].states_dead,
+                   prune_rows[i].states_surviving,
+                   prune_rows[i].prune_ratio(), prune_rows[i].sparse_cells,
+                   prune_rows[i].dense_cells, pruned_peaks[i],
+                   quantum::fs_peak_cells(ns[i]), ",");
+    }
+    // The structured-function ablation rows carry only the pruning
+    // surface; scaling-fit consumers key on "function" == "random".
+    for (std::size_t i = ns.size(); i < ablation.size(); ++i) {
+      const PruneRow& row = ablation[i];
+      std::fprintf(out,
+                   "  {\"n\": %d, \"function\": \"%s\", \"threads\": %d"
+                   ", \"seconds_pruned\": %.6f"
+                   ", \"prune_upper_bound\": %" PRIu64
+                   ", \"states_generated\": %" PRIu64
+                   ", \"states_pruned\": %" PRIu64
+                   ", \"states_dead\": %" PRIu64
+                   ", \"states_surviving\": %" PRIu64
+                   ", \"prune_ratio\": %.4f"
+                   ", \"sparse_cells\": %" PRIu64
+                   ", \"dense_cells\": %" PRIu64
+                   ", \"peak_cells_pruned\": %" PRIu64
+                   ", \"peak_cells_dense_equiv\": %.0f}%s\n",
+                   row.n, row.function.c_str(), resolved_threads,
+                   row.seconds, row.p.upper_bound,
+                   row.p.states_generated, row.p.states_pruned,
+                   row.p.states_dead, row.p.states_surviving,
+                   row.p.prune_ratio(), row.p.sparse_cells,
+                   row.p.dense_cells, row.peak_cells,
+                   quantum::fs_peak_cells(row.n),
+                   i + 1 < ablation.size() ? "," : "");
     }
     std::fprintf(out, "]\n");
     std::fclose(out);
@@ -300,10 +467,13 @@ int main(int argc, char** argv) {
 
   const bool shape_ok = cell_fit.base > 2.6 && cell_fit.base < 3.4 &&
                         space_fit.base > 2.5 && space_fit.base < 3.4 &&
-                        space_matches && threads_match;
+                        space_matches && threads_match && prune_matches &&
+                        prune_bites_at_max_n;
   std::printf("result: %s\n",
               shape_ok
-                  ? "FS time and space both scale as ~3^n as claimed"
-                  : "MISMATCH: FS growth base off");
+                  ? "FS time and space both scale as ~3^n as claimed; "
+                    "bound pruning is exact and engages at the largest n"
+                  : "MISMATCH: FS growth base off, or pruning diverged "
+                    "from the dense optimum");
   return shape_ok ? 0 : 1;
 }

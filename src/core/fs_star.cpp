@@ -1,11 +1,13 @@
 #include "core/fs_star.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <limits>
 #include <utility>
 
+#include "ds/sparse_index.hpp"
 #include "parallel/task_graph.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/check.hpp"
@@ -63,6 +65,149 @@ std::uint64_t engine_now_ns() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
+}
+
+// ---------------------------------------------------------------------------
+// Bound-pruned mode: admissible per-state lower bounds and sparse layers.
+
+/// Free variables of `t` whose assignment can change a cell id.  Because
+/// ids are canonical per table, v is in the support iff two cells
+/// differing only in v's coordinate differ — i.e. some pair of
+/// subfunctions over the placed variables differs, a property invariant
+/// under compacting *other* variables.  So the support computed once on
+/// the base table is each DP state's exact remaining-dependence set.
+util::Mask table_support(const PrefixTable& t) {
+  util::Mask support = 0;
+  const std::vector<int> free_vars = util::bits_of(t.free_mask());
+  for (std::size_t p = 0; p < free_vars.size(); ++p) {
+    const std::size_t stride = std::size_t{1} << p;
+    bool depends = false;
+    for (std::size_t lo = 0; lo < t.cells.size() && !depends;
+         lo += 2 * stride) {
+      for (std::size_t i = lo; i < lo + stride; ++i) {
+        if (t.cells[i] != t.cells[i + stride]) {
+          depends = true;
+          break;
+        }
+      }
+    }
+    if (depends) support |= util::Mask{1} << free_vars[p];
+  }
+  return support;
+}
+
+/// Per-slot scratch for the distinct-id count: a generation-stamped array
+/// over node ids — O(|cells|) per count, no clearing between states.
+struct BoundScratch {
+  std::vector<std::uint32_t> stamp;
+  std::uint32_t gen = 0;
+};
+
+/// Number of distinct ids among t.cells — the distinct subfunctions any
+/// completion of the block must still reach.
+std::uint64_t distinct_cell_count(const PrefixTable& t, BoundScratch& bs) {
+  if (bs.stamp.size() < t.next_id)
+    bs.stamp.resize(static_cast<std::size_t>(t.next_id), 0);
+  if (++bs.gen == 0) {  // generation wrap: clear once, restart at 1
+    std::fill(bs.stamp.begin(), bs.stamp.end(), 0);
+    bs.gen = 1;
+  }
+  std::uint64_t d = 0;
+  for (std::uint32_t id : t.cells) {
+    if (bs.stamp[static_cast<std::size_t>(id)] != bs.gen) {
+      bs.stamp[static_cast<std::size_t>(id)] = bs.gen;
+      ++d;
+    }
+  }
+  return d;
+}
+
+/// Admissible completion bound: nodes ANY placement of the remaining
+/// block variables must still create from a state with table `t`.
+///  * Sink bound: the q nodes the completed block adds carry 2q outgoing
+///    pointers, the finished block's table contributes `final_cells`
+///    root pointers, and each of the q nodes plus each of t's d distinct
+///    cell ids needs at least one incoming pointer — so 2q + final_cells
+///    >= q + d, i.e. q >= d - final_cells.
+///  * Dependence bound: every remaining block variable in the function's
+///    support labels at least one created node (support is placement-
+///    invariant, see table_support).
+/// Both hold for every completion order, so their max is admissible.
+std::uint64_t completion_bound(const PrefixTable& t, util::Mask remaining,
+                               util::Mask base_support,
+                               std::uint64_t final_cells, BoundScratch& bs) {
+  const std::uint64_t d = distinct_cell_count(t, bs);
+  const std::uint64_t sinks = d > final_cells ? d - final_cells : 0;
+  const std::uint64_t dep =
+      static_cast<std::uint64_t>(util::popcount(base_support & remaining));
+  return sinks > dep ? sinks : dep;
+}
+
+/// best_last_for_subset against a *sparse* previous layer (packed
+/// survivors + sorted-mask index).  A missing predecessor was pruned:
+/// every chain through it already exceeds the incumbent, so skipping it
+/// never changes the argmin on a surviving state.  Surviving candidates
+/// are visited in the same ascending bit order as the dense kernel, so
+/// the winner — and every tie-break — coincides with the dense engine
+/// along any chain of surviving states.
+void best_last_for_subset_sparse(util::Mask d,
+                                 const std::vector<PrefixTable>& prev,
+                                 const ds::SparseIndex& prev_index,
+                                 const std::vector<int>& j_vars,
+                                 DiagramKind kind, OpCounter* shard,
+                                 PrefixTable& cand, PrefixTable& best,
+                                 int* best_var_out,
+                                 std::uint64_t* best_cost_out) {
+  std::uint64_t bc = std::numeric_limits<std::uint64_t>::max();
+  int bv = -1;
+  util::for_each_bit(d, [&](int b) {
+    const util::Mask pd = d & ~(util::Mask{1} << b);
+    const std::size_t pred = prev_index.rank(pd);
+    if (pred == ds::SparseIndex::npos) return;  // predecessor pruned
+    compact_into(cand, prev[pred], j_vars[static_cast<std::size_t>(b)], kind,
+                 shard);
+    const std::uint64_t cost = cand.mincost();
+    if (cost < bc) {
+      bc = cost;
+      bv = j_vars[static_cast<std::size_t>(b)];
+      std::swap(best, cand);
+    }
+  });
+  *best_var_out = bv;
+  *best_cost_out = bc;
+}
+
+/// DP state fates in the pruned pipelined engine's rank-indexed slots.
+enum : std::uint8_t { kStateDead = 0, kStatePruned = 1, kStateAlive = 2 };
+
+/// best_last_for_subset against a *status-gated* dense previous layer
+/// (the pruned pipelined engine keeps rank-indexed slots; pruned/dead
+/// slots hold no cells and are skipped).  Returns best_var -1 when every
+/// predecessor is gone — the caller marks the state dead.
+void best_last_for_subset_gated(
+    util::Mask d, const std::vector<PrefixTable>& prev,
+    const std::vector<std::uint8_t>& prev_status,
+    const std::vector<int>& j_vars, DiagramKind kind,
+    const util::BinomialTable& binom, OpCounter* shard, PrefixTable& cand,
+    PrefixTable& best, int* best_var_out, std::uint64_t* best_cost_out) {
+  std::uint64_t bc = std::numeric_limits<std::uint64_t>::max();
+  int bv = -1;
+  util::for_each_bit(d, [&](int b) {
+    const util::Mask pd = d & ~(util::Mask{1} << b);
+    const std::uint64_t pred = binom.rank(pd);
+    OVO_DCHECK(pred < prev.size());
+    if (prev_status[static_cast<std::size_t>(pred)] != kStateAlive) return;
+    compact_into(cand, prev[static_cast<std::size_t>(pred)],
+                 j_vars[static_cast<std::size_t>(b)], kind, shard);
+    const std::uint64_t cost = cand.mincost();
+    if (cost < bc) {
+      bc = cost;
+      bv = j_vars[static_cast<std::size_t>(b)];
+      std::swap(best, cand);
+    }
+  });
+  *best_var_out = bv;
+  *best_cost_out = bc;
 }
 
 /// The PR 2 engine: one parallel_for per layer with an implicit barrier.
@@ -416,22 +561,512 @@ FsStarResult fs_star_pipelined(const PrefixTable& base, util::Mask J,
   return result;
 }
 
+/// Bound-pruned barrier engine: sparse layers (packed survivors plus a
+/// sorted-mask ds::SparseIndex), per-state admissible bounds against the
+/// fixed incumbent `ub`, and the serial per-layer publish epilogue of
+/// the dense barrier engine.  Serves the serial path, pipeline=false,
+/// and every governed pruned run with deterministic limits: its
+/// admission uses the *running sparse counts* (surviving predecessors,
+/// live candidates) that are only known at a serial layer boundary.
+///
+/// Determinism: the incumbent never moves during the DP and each state's
+/// bound depends only on its own table, so the surviving set is a pure
+/// function of (base, J, ub) — identical at every thread count.  Along
+/// any chain of surviving states the candidate sweep sees exactly the
+/// dense engine's candidates in the same order, so the optimal order,
+/// size, and every tie-break match the dense engines bit for bit.
+FsStarResult fs_star_pruned_barrier(const PrefixTable& base, util::Mask J,
+                                    int stop_k, DiagramKind kind,
+                                    OpCounter* ops, int threads,
+                                    std::uint64_t grain, rt::Governor* gov,
+                                    std::uint64_t ub) {
+  const int j_size = util::popcount(J);
+  const std::vector<int> j_vars = util::bits_of(J);
+  const auto& binom = util::BinomialTable::instance();
+  par::ThreadPool& pool = par::ThreadPool::shared();
+
+  FsStarResult result;
+  result.prune.upper_bound = ub;
+  result.mincost.emplace(util::Mask{0}, base.mincost());
+
+  // Placement-invariant bound inputs, computed once per run.
+  const util::Mask base_support = table_support(base) & J;
+  const std::uint64_t final_cells =
+      static_cast<std::uint64_t>(base.cells.size()) >> j_size;
+
+  std::vector<PrefixTable> prev;
+  prev.push_back(base);
+  std::vector<util::Mask> prev_dense{util::Mask{0}};
+
+  std::vector<PrefixTable> scratch(static_cast<std::size_t>(threads));
+  std::vector<OpCounter> shards(static_cast<std::size_t>(threads));
+  std::vector<BoundScratch> bounds(static_cast<std::size_t>(threads));
+
+  // The run may trip before layer 1: layer 0's bound is still certified.
+  result.certified_lower_bound =
+      base.mincost() +
+      completion_bound(base, J, base_support, final_cells, bounds[0]);
+
+  const std::atomic<bool>* stop_flag =
+      gov != nullptr ? gov->stop_flag() : nullptr;
+  std::uint64_t prev_resident = base.cells.size();
+  std::uint64_t serial_ns = 0;
+  for (int layer = 1; layer <= stop_k; ++layer) {
+    const std::uint64_t layer_size = binom.choose(j_size, layer);
+    const std::uint64_t pred_cells =
+        static_cast<std::uint64_t>(base.cells.size()) >> (layer - 1);
+
+    // Serial candidate enumeration: states with at least one surviving
+    // predecessor.  O(C(|J|,k)·k·log s) mask work — noise next to the
+    // compactions it skips — and the surviving-predecessor total IS the
+    // layer's exact compaction work.
+    const ds::SparseIndex prev_index(prev_dense);
+    std::vector<util::Mask> cand;
+    std::uint64_t n_dead = 0;
+    std::uint64_t n_comp = 0;
+    util::for_each_subset_of_size(j_size, layer, [&](util::Mask m) {
+      int live = 0;
+      util::for_each_bit(m, [&](int b) {
+        if (prev_index.contains(m & ~(util::Mask{1} << b))) ++live;
+      });
+      if (live > 0) {
+        cand.push_back(m);
+        n_comp += static_cast<std::uint64_t>(live);
+      } else {
+        ++n_dead;
+      }
+    });
+
+    const std::uint64_t layer_work = n_comp * pred_cells;
+    if (gov != nullptr) {
+      // Running-sparse-count admission: live candidates stand in for the
+      // dense closed form, so a pruned run fits budgets a dense run of
+      // the same n would trip.
+      const std::uint64_t resident =
+          prev_resident +
+          static_cast<std::uint64_t>(cand.size()) * (pred_cells >> 1);
+      if (!gov->admit_nodes(resident) ||
+          !gov->admit_bytes(resident * sizeof(base.cells[0])) ||
+          !gov->admit_work(layer_work))
+        break;
+    }
+
+    std::vector<PrefixTable> cur(cand.size());
+    std::vector<int> best_var(cand.size(), -1);
+    std::vector<std::uint64_t> best_cost(cand.size());
+    std::vector<std::uint64_t> bound(cand.size());
+    std::vector<std::uint8_t> keep(cand.size(), 0);
+
+    const bool fans_out = threads > 1 && cand.size() > grain;
+    pool.parallel_for(
+        0, cand.size(), grain, threads, stop_flag,
+        [&](std::uint64_t i, int slot) {
+          if (gov != nullptr) gov->poll();
+          OpCounter* shard =
+              ops != nullptr ? &shards[static_cast<std::size_t>(slot)]
+                             : nullptr;
+          const std::size_t s = static_cast<std::size_t>(i);
+          best_last_for_subset_sparse(cand[s], prev, prev_index, j_vars,
+                                      kind, shard,
+                                      scratch[static_cast<std::size_t>(slot)],
+                                      cur[s], &best_var[s], &best_cost[s]);
+          // The prune decision is state-local and the incumbent is
+          // fixed, so deciding it inside the parallel body is safe and
+          // deterministic; a pruned state's cells are freed on the spot.
+          const util::Mask rest = J & ~spread_mask(cand[s], j_vars);
+          bound[s] = best_cost[s] +
+                     completion_bound(cur[s], rest, base_support, final_cells,
+                                      bounds[static_cast<std::size_t>(slot)]);
+          if (bound[s] <= ub)
+            keep[s] = 1;
+          else
+            std::vector<std::uint32_t>().swap(cur[s].cells);
+        });
+    const std::uint64_t epilogue_t0 = fans_out ? engine_now_ns() : 0;
+    if (gov != nullptr && gov->stopped()) break;  // discard partial layer
+
+    // Serial epilogue: publish survivors in rank order and re-pack the
+    // layer (surviving-mask index + packed payload vector).
+    std::vector<PrefixTable> nxt;
+    std::vector<util::Mask> nxt_dense;
+    std::uint64_t cur_resident = 0;
+    std::uint64_t layer_lb_min = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t i = 0; i < cand.size(); ++i) {
+      OVO_CHECK(best_var[i] >= 0);
+      if (keep[i] == 0) continue;
+      const util::Mask K = spread_mask(cand[i], j_vars);
+      result.best_last.emplace(K, best_var[i]);
+      result.mincost.emplace(K, best_cost[i]);
+      if (bound[i] < layer_lb_min) layer_lb_min = bound[i];
+      cur_resident += cur[i].cells.size();
+      nxt_dense.push_back(cand[i]);
+      nxt.push_back(std::move(cur[i]));
+    }
+    OVO_CHECK_MSG(!nxt.empty(),
+                  "fs_star: pruning incumbent below the true optimum");
+    result.prune.states_generated += cand.size();
+    result.prune.states_pruned += cand.size() - nxt.size();
+    result.prune.states_dead += n_dead;
+    result.prune.states_surviving += nxt.size();
+    result.prune.dense_cells += layer_size * (pred_cells >> 1);
+    result.prune.sparse_cells += cur_resident;
+    result.certified_lower_bound = layer_lb_min;
+    if (ops != nullptr) {
+      for (OpCounter& shard : shards) {
+        *ops += shard;
+        shard.reset();
+      }
+      ops->observe_resident(prev_resident + cur_resident);
+    }
+    prev_resident = cur_resident;
+    prev = std::move(nxt);
+    prev_dense = std::move(nxt_dense);
+    result.completed_layers = layer;
+    if (gov != nullptr) gov->charge(layer_work);
+    if (fans_out) serial_ns += engine_now_ns() - epilogue_t0;
+  }
+
+  const std::uint64_t extract_t0 = threads > 1 ? engine_now_ns() : 0;
+  for (std::size_t r = 0; r < prev.size(); ++r)
+    result.tables.emplace(spread_mask(prev_dense[r], j_vars),
+                          std::move(prev[r]));
+  if (threads > 1) {
+    serial_ns += engine_now_ns() - extract_t0;
+    par::charge_barrier_wait(static_cast<std::uint64_t>(threads - 1) *
+                             serial_ns);
+  }
+  if (ops != nullptr) ops->prune += result.prune;
+  return result;
+}
+
+/// Bound-pruned pipelined engine: the dense task graph with per-state
+/// prune gates.  The graph must be built before any prune decision
+/// exists, so slots stay rank-indexed — but dead states never allocate
+/// cells and pruned states free theirs inside the chunk body, so the
+/// heap holds survivors only (the fully packed representation lives in
+/// the barrier engine, which big memory-capped runs take anyway).  Each
+/// layer's fence publishes survivors in rank order, tallies the prune
+/// ledger and the chunks that held no surviving work, charges the
+/// governor the layer's *actual* sparse work, and frees layer k-1.
+///
+/// Runs only without deterministic budget limits (see fs_star dispatch):
+/// sparse admission needs the serial layer boundary the barrier engine
+/// has.  Deadline/cancel budgets still work — per-chunk polls, DAG
+/// drain, partial layers discarded.
+FsStarResult fs_star_pruned_pipelined(const PrefixTable& base, util::Mask J,
+                                      int stop_k, DiagramKind kind,
+                                      OpCounter* ops, int threads,
+                                      std::uint64_t grain, rt::Governor* gov,
+                                      std::uint64_t ub) {
+  const int j_size = util::popcount(J);
+  const std::vector<int> j_vars = util::bits_of(J);
+  const auto& binom = util::BinomialTable::instance();
+
+  FsStarResult result;
+  result.prune.upper_bound = ub;
+  result.mincost.emplace(util::Mask{0}, base.mincost());
+
+  const util::Mask base_support = table_support(base) & J;
+  const std::uint64_t final_cells =
+      static_cast<std::uint64_t>(base.cells.size()) >> j_size;
+
+  struct Layer {
+    std::vector<util::Mask> dense;
+    std::vector<PrefixTable> tables;
+    std::vector<int> best_var;
+    std::vector<std::uint64_t> best_cost;
+    std::vector<std::uint64_t> bound;
+    std::vector<std::uint8_t> status;
+    std::uint64_t group_size = 1;
+    std::uint64_t n_groups = 0;
+    par::TaskGraph::TaskId first_group = 0;
+  };
+  std::vector<Layer> layers(static_cast<std::size_t>(stop_k) + 1);
+  layers[0].dense.push_back(util::Mask{0});
+  layers[0].tables.push_back(base);
+  layers[0].status.push_back(kStateAlive);
+
+  std::vector<PrefixTable> scratch(static_cast<std::size_t>(threads));
+  std::vector<OpCounter> shards(static_cast<std::size_t>(threads));
+  std::vector<BoundScratch> bounds(static_cast<std::size_t>(threads));
+
+  result.certified_lower_bound =
+      base.mincost() +
+      completion_bound(base, J, base_support, final_cells, bounds[0]);
+
+  // Chained fence state: fences are serialized, so plain variables.
+  std::uint64_t fence_prev_resident = base.cells.size();
+
+  par::TaskGraph graph;
+  for (int layer = 1; layer <= stop_k; ++layer) {
+    Layer& L = layers[static_cast<std::size_t>(layer)];
+    Layer& P = layers[static_cast<std::size_t>(layer) - 1];
+    const std::uint64_t layer_size = binom.choose(j_size, layer);
+    L.dense.reserve(static_cast<std::size_t>(layer_size));
+    util::for_each_subset_of_size(j_size, layer, [&](util::Mask m) {
+      L.dense.push_back(m);
+    });
+    OVO_CHECK_MSG(L.dense.size() == layer_size,
+                  "fs_star: layer enumeration incomplete");
+    L.tables.resize(static_cast<std::size_t>(layer_size));
+    L.best_var.assign(static_cast<std::size_t>(layer_size), -1);
+    L.best_cost.resize(static_cast<std::size_t>(layer_size));
+    L.bound.resize(static_cast<std::size_t>(layer_size));
+    L.status.assign(static_cast<std::size_t>(layer_size), kStateDead);
+
+    std::uint64_t group = (layer_size + kMaxGroupsPerLayer - 1) /
+                          kMaxGroupsPerLayer;
+    if (group < grain) group = grain;
+    group = (group + grain - 1) / grain * grain;  // align chunk boundaries
+    L.group_size = group;
+    L.n_groups = (layer_size + group - 1) / group;
+
+    auto body = [&layers, &scratch, &shards, &bounds, &j_vars, &binom, layer,
+                 kind, ops, gov, ub, base_support, final_cells,
+                 J](std::uint64_t rank, int slot) {
+      if (gov != nullptr) gov->poll();  // cancel/deadline responsiveness
+      Layer& cur = layers[static_cast<std::size_t>(layer)];
+      Layer& pre = layers[static_cast<std::size_t>(layer) - 1];
+      const std::size_t r = static_cast<std::size_t>(rank);
+      OpCounter* shard =
+          ops != nullptr ? &shards[static_cast<std::size_t>(slot)] : nullptr;
+      best_last_for_subset_gated(cur.dense[r], pre.tables, pre.status,
+                                 j_vars, kind, binom, shard,
+                                 scratch[static_cast<std::size_t>(slot)],
+                                 cur.tables[r], &cur.best_var[r],
+                                 &cur.best_cost[r]);
+      if (cur.best_var[r] < 0) return;  // every predecessor pruned: dead
+      const util::Mask rest = J & ~spread_mask(cur.dense[r], j_vars);
+      cur.bound[r] =
+          cur.best_cost[r] +
+          completion_bound(cur.tables[r], rest, base_support, final_cells,
+                           bounds[static_cast<std::size_t>(slot)]);
+      if (cur.bound[r] <= ub) {
+        cur.status[r] = kStateAlive;
+      } else {
+        cur.status[r] = kStatePruned;
+        std::vector<std::uint32_t>().swap(cur.tables[r].cells);
+      }
+    };
+
+    // Same sparse-enough dependency structure as the dense engine: a
+    // group waits for every previous-layer group holding one of its
+    // predecessors.  Prune fates are not known at build time, so edges
+    // are conservative; a dead group body costs one status sweep.
+    std::vector<std::uint32_t> stamp(
+        layer >= 2 ? static_cast<std::size_t>(P.n_groups) : 0,
+        std::numeric_limits<std::uint32_t>::max());
+    for (std::uint64_t g = 0; g < L.n_groups; ++g) {
+      const std::uint64_t lo = g * group;
+      const std::uint64_t hi =
+          lo + group < layer_size ? lo + group : layer_size;
+      const par::TaskGraph::TaskId id = graph.add_range(lo, hi, grain, body);
+      if (g == 0) L.first_group = id;
+      if (layer < 2) continue;
+      for (std::uint64_t r = lo; r < hi; ++r) {
+        util::for_each_bit(L.dense[static_cast<std::size_t>(r)], [&](int b) {
+          const util::Mask pd =
+              L.dense[static_cast<std::size_t>(r)] & ~(util::Mask{1} << b);
+          const std::uint64_t pg = binom.rank(pd) / P.group_size;
+          if (stamp[static_cast<std::size_t>(pg)] !=
+              static_cast<std::uint32_t>(g)) {
+            stamp[static_cast<std::size_t>(pg)] =
+                static_cast<std::uint32_t>(g);
+            graph.add_edge(
+                P.first_group + static_cast<par::TaskGraph::TaskId>(pg), id);
+          }
+        });
+      }
+    }
+
+    // Layer fence: publish survivors in rank order, tally the ledger and
+    // the all-dead chunks, charge the actual sparse work, free layer-1.
+    graph.seq_epoch([&result, &layers, &fence_prev_resident, &j_vars, &binom,
+                     layer, layer_size, grain, pred_cells =
+                         static_cast<std::uint64_t>(base.cells.size()) >>
+                         (layer - 1),
+                     ops, gov](int) {
+      Layer& cur = layers[static_cast<std::size_t>(layer)];
+      Layer& pre = layers[static_cast<std::size_t>(layer) - 1];
+      std::uint64_t cur_resident = 0;
+      std::uint64_t n_alive = 0, n_pruned = 0, n_dead = 0, n_comp = 0;
+      std::uint64_t layer_lb_min = std::numeric_limits<std::uint64_t>::max();
+      for (std::uint64_t r = 0; r < layer_size; ++r) {
+        const std::size_t i = static_cast<std::size_t>(r);
+        switch (cur.status[i]) {
+          case kStateAlive: {
+            const util::Mask K = spread_mask(cur.dense[i], j_vars);
+            result.best_last.emplace(K, cur.best_var[i]);
+            result.mincost.emplace(K, cur.best_cost[i]);
+            if (cur.bound[i] < layer_lb_min) layer_lb_min = cur.bound[i];
+            cur_resident += cur.tables[i].cells.size();
+            ++n_alive;
+            break;
+          }
+          case kStatePruned:
+            ++n_pruned;
+            break;
+          default:
+            ++n_dead;
+            break;
+        }
+        // Actual compaction work this state cost: one predecessor-cells
+        // sweep per surviving predecessor (dead states cost none).
+        if (cur.status[i] != kStateDead) {
+          util::for_each_bit(cur.dense[i], [&](int b) {
+            const util::Mask pd = cur.dense[i] & ~(util::Mask{1} << b);
+            if (pre.status[static_cast<std::size_t>(binom.rank(pd))] ==
+                kStateAlive)
+              ++n_comp;
+          });
+        }
+      }
+      OVO_CHECK_MSG(n_alive > 0,
+                    "fs_star: pruning incumbent below the true optimum");
+      result.prune.states_generated += n_alive + n_pruned;
+      result.prune.states_pruned += n_pruned;
+      result.prune.states_dead += n_dead;
+      result.prune.states_surviving += n_alive;
+      result.prune.dense_cells += layer_size * (pred_cells >> 1);
+      result.prune.sparse_cells += cur_resident;
+      result.certified_lower_bound = layer_lb_min;
+      if (ops != nullptr)
+        ops->observe_resident(fence_prev_resident + cur_resident);
+      fence_prev_resident = cur_resident;
+      result.completed_layers = layer;
+      if (gov != nullptr) gov->charge(n_comp * pred_cells);
+      // Chunks whose whole range was dead retired without compacting
+      // anything — the scheduling overhead sparsity leaves behind.
+      std::uint64_t skipped_chunks = 0;
+      for (std::uint64_t g = 0; g < cur.n_groups; ++g) {
+        const std::uint64_t glo = g * cur.group_size;
+        const std::uint64_t ghi = glo + cur.group_size < layer_size
+                                      ? glo + cur.group_size
+                                      : layer_size;
+        for (std::uint64_t lo = glo; lo < ghi; lo += grain) {
+          const std::uint64_t hi = lo + grain < ghi ? lo + grain : ghi;
+          bool any_work = false;
+          for (std::uint64_t r = lo; r < hi && !any_work; ++r)
+            any_work = cur.status[static_cast<std::size_t>(r)] != kStateDead;
+          if (!any_work) ++skipped_chunks;
+        }
+      }
+      if (skipped_chunks > 0) par::charge_pruned_chunks(skipped_chunks);
+      // Every reader of layer-1 (this layer's subsets) has completed.
+      std::vector<PrefixTable>().swap(
+          layers[static_cast<std::size_t>(layer) - 1].tables);
+    });
+  }
+
+  graph.run(threads, gov != nullptr ? gov->stop_flag() : nullptr);
+  const std::uint64_t extract_t0 = engine_now_ns();
+
+  if (ops != nullptr)
+    for (OpCounter& shard : shards) *ops += shard;
+
+  Layer& last = layers[static_cast<std::size_t>(result.completed_layers)];
+  for (std::size_t r = 0; r < last.tables.size(); ++r) {
+    if (result.completed_layers > 0 && last.status[r] != kStateAlive)
+      continue;
+    result.tables.emplace(spread_mask(last.dense[r], j_vars),
+                          std::move(last.tables[r]));
+  }
+  par::charge_barrier_wait(static_cast<std::uint64_t>(threads - 1) *
+                           (engine_now_ns() - extract_t0));
+  if (ops != nullptr) ops->prune += result.prune;
+  return result;
+}
+
+}  // namespace
+
+namespace {
+
+/// Closed-form total compaction work of a dense full-depth run: each
+/// layer-k state costs k compactions over base_cells >> (k-1) predecessor
+/// cells.  Used by the small-n serial fallback — below this threshold the
+/// whole DP is cheaper than the fan-out it would buy (BENCH_fs.json shows
+/// speedup < 0.5 for n <= 6 on this structure).
+std::uint64_t dense_dp_work(int j_size, std::uint64_t base_cells,
+                            int stop_k) {
+  const auto& binom = util::BinomialTable::instance();
+  std::uint64_t total = 0;
+  for (int k = 1; k <= stop_k; ++k)
+    total += binom.choose(j_size, k) * static_cast<std::uint64_t>(k) *
+             (base_cells >> (k - 1));
+  return total;
+}
+
+constexpr std::uint64_t kSerialFallbackWork = std::uint64_t{1} << 13;
+
+/// Self-seed incumbent: the chain cost of placing J's variables in
+/// ascending bit order on top of `base` — one real completion, so always
+/// an admissible upper bound.  Counted into `ops` like any other chain
+/// evaluation; not governor-charged (it replaces work the caller's
+/// heuristic seeding would otherwise have spent).
+std::uint64_t ascending_chain_bound(const PrefixTable& base, util::Mask J,
+                                    DiagramKind kind, OpCounter* ops) {
+  PrefixTable cur = base;
+  PrefixTable nxt;
+  util::for_each_bit(J, [&](int v) {
+    compact_into(nxt, cur, v, kind, ops);
+    std::swap(cur, nxt);
+  });
+  return cur.mincost();
+}
+
 }  // namespace
 
 FsStarResult fs_star(const PrefixTable& base, util::Mask J, int stop_k,
                      DiagramKind kind, OpCounter* ops,
-                     const par::ExecPolicy& exec, rt::Governor* gov) {
+                     const par::ExecPolicy& exec, rt::Governor* gov,
+                     std::uint64_t prune_upper_bound) {
   OVO_CHECK_MSG((base.vars & J) == 0, "fs_star: J overlaps prefix I");
   OVO_CHECK_MSG(util::is_subset(J, util::full_mask(base.n)),
                 "fs_star: J outside variable universe");
   const int j_size = util::popcount(J);
   OVO_CHECK_MSG(stop_k >= 0 && stop_k <= j_size, "fs_star: bad stop layer");
 
-  const int threads =
-      par::ThreadPool::clamp_threads(exec.resolved_threads());
+  int threads = par::ThreadPool::clamp_threads(exec.resolved_threads());
   // Per-subset work is exponential in the free-variable count, so the
   // default chunk is a single subset.
   const std::uint64_t grain = exec.grain != 0 ? exec.grain : 1;
+
+  // Small-n serial fallback: when the whole DP's closed-form work is
+  // below the fan-out's break-even, or no layer even fills one chunk,
+  // run serially — same engines, same results, no pool round-trip.
+  if (threads > 1 && stop_k > 0) {
+    const auto& binom = util::BinomialTable::instance();
+    std::uint64_t widest = 0;
+    for (int k = 1; k <= stop_k; ++k)
+      if (binom.choose(j_size, k) > widest) widest = binom.choose(j_size, k);
+    if (dense_dp_work(j_size, base.cells.size(), stop_k) <
+            kSerialFallbackWork ||
+        widest <= grain)
+      threads = 1;
+  }
+
+  // Bound pruning applies only to full-block runs: stop-early callers
+  // (partition search over block boundaries) require a table for *every*
+  // stop-layer subset, which pruning deliberately violates.
+  const bool prune = exec.prune == par::PruneMode::kBounds &&
+                     stop_k == j_size && j_size > 0;
+  if (prune) {
+    const std::uint64_t ub =
+        prune_upper_bound != 0 ? prune_upper_bound
+                               : ascending_chain_bound(base, J, kind, ops);
+    // Sparse admission counts exist only at serial layer boundaries, so
+    // deterministic budget limits force the barrier engine (see
+    // Budget::deterministic_limits); deadline/cancel-only budgets keep
+    // their per-chunk polling on either engine.
+    const bool may_pipeline =
+        exec.pipeline && threads > 1 &&
+        !(gov != nullptr && gov->budget().deterministic_limits());
+    if (may_pipeline)
+      return fs_star_pruned_pipelined(base, J, stop_k, kind, ops, threads,
+                                      grain, gov, ub);
+    return fs_star_pruned_barrier(base, J, stop_k, kind, ops, threads,
+                                  grain, gov, ub);
+  }
 
   if (exec.pipeline && threads > 1 && stop_k > 0)
     return fs_star_pipelined(base, J, stop_k, kind, ops, threads, grain,
@@ -442,8 +1077,10 @@ FsStarResult fs_star(const PrefixTable& base, util::Mask J, int stop_k,
 PrefixTable fs_star_full(const PrefixTable& base, util::Mask J,
                          DiagramKind kind, OpCounter* ops,
                          std::vector<int>* block_order_bottom_up,
-                         const par::ExecPolicy& exec) {
-  FsStarResult r = fs_star(base, J, util::popcount(J), kind, ops, exec);
+                         const par::ExecPolicy& exec,
+                         std::uint64_t prune_upper_bound) {
+  FsStarResult r = fs_star(base, J, util::popcount(J), kind, ops, exec,
+                           nullptr, prune_upper_bound);
   if (block_order_bottom_up != nullptr)
     *block_order_bottom_up = reconstruct_block_order(r, J);
   auto it = r.tables.find(J);

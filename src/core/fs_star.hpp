@@ -31,6 +31,22 @@
 //    front, preserving deterministic budget trips; see fs_star.cpp).
 // The default policy is serial and bit-identical to the original
 // single-threaded implementation.
+//
+// Bound-pruned mode (ExecPolicy.prune = PruneMode::kBounds): full-block
+// runs (stop_k == |J|) additionally compute an admissible per-state
+// lower bound — cost so far plus a completion bound from the table's
+// distinct-subfunction count and the block variables the function still
+// depends on — and skip every state whose bound exceeds a seeded upper
+// bound (callers pass one from a cheap heuristic; 0 self-seeds from one
+// ascending chain over J).  Layers are stored sparsely: only surviving
+// states hold cells, so pruned states cost zero bytes.  Because the
+// incumbent is fixed before the DP starts and every state's bound is
+// local, the surviving set — and therefore the optimal order, size, and
+// every tie-break — is bit-identical to the dense engines at every
+// thread count (see docs/INTERNALS.md for the admissibility and
+// determinism arguments).  Stop-early runs (stop_k < |J|) ignore the
+// prune flag: their contract is one table per subset at the stop layer.
+// The default mode is kOff: dense engines, untouched.
 
 #include <unordered_map>
 #include <vector>
@@ -59,6 +75,20 @@ struct FsStarResult {
   /// completed; smaller iff a governor tripped, in which case `tables`
   /// holds the last *completed* layer (partial layers are discarded).
   int completed_layers = 0;
+
+  /// Bound-pruned runs only (all-zero otherwise).  In pruned mode,
+  /// `tables`/`best_last`/`mincost` hold the *surviving* states of each
+  /// layer; every chain the dense engine would reconstruct survives, so
+  /// reconstruct_block_order works unchanged.
+  PruneStats prune;
+
+  /// Certified lower bound on MINCOST_{<I,J>}: the minimum, over the
+  /// deepest completed layer's surviving states, of cost-so-far plus the
+  /// admissible completion bound.  Valid even when a budget interrupted
+  /// the run (the optimal chain's bottom-k state always survives); equals
+  /// the optimal mincost when the pruned DP completed.  0 in dense mode —
+  /// dense callers derive bounds from the tables themselves.
+  std::uint64_t certified_lower_bound = 0;
 };
 
 /// Runs the FS* DP from `base` over block J (disjoint from base.vars),
@@ -70,20 +100,35 @@ struct FsStarResult {
 /// (C(|J|,k) subsets × k compactions × predecessor cells) and projected
 /// residency are admitted *before* the layer is built — a deterministic
 /// decision independent of thread count — and cancellation/deadline are
-/// polled per subset, discarding any partially built layer.  On a trip
-/// the result holds every layer up to `completed_layers` and remains
-/// fully consistent (valid tables, back-pointers, and mincosts for all
-/// published subsets).
+/// polled per subset, discarding any partially built layer.  In pruned
+/// mode the admission estimate uses the *running sparse counts* (actual
+/// surviving predecessors and candidate states) instead of the dense
+/// closed form; sparse counts are only known layer by layer, so a pruned
+/// run with deterministic limits always takes the serially-admitting
+/// barrier engine, regardless of `exec.pipeline`.  On a trip the result
+/// holds every layer up to `completed_layers` and remains fully
+/// consistent (valid tables, back-pointers, and mincosts for all
+/// published subsets) and — in pruned mode — still carries a consistent
+/// prune ledger and a certified lower bound.
+///
+/// `prune_upper_bound` is the pruning incumbent: the exact size of some
+/// real completion of the block (chain totals, including base.mincost()),
+/// typically seeded from a cheap heuristic by the reorder layer.  0 means
+/// "self-seed" (one ascending-order chain over J).  Ignored in dense
+/// mode.  Passing a bound below the true optimum is a contract violation
+/// (every state could be pruned) and is caught by an OVO_CHECK.
 FsStarResult fs_star(const PrefixTable& base, util::Mask J, int stop_k,
                      DiagramKind kind, OpCounter* ops = nullptr,
                      const par::ExecPolicy& exec = {},
-                     rt::Governor* gov = nullptr);
+                     rt::Governor* gov = nullptr,
+                     std::uint64_t prune_upper_bound = 0);
 
 /// Convenience: run to completion and return the single FS(<I, J>) table.
 PrefixTable fs_star_full(const PrefixTable& base, util::Mask J,
                          DiagramKind kind, OpCounter* ops = nullptr,
                          std::vector<int>* block_order_bottom_up = nullptr,
-                         const par::ExecPolicy& exec = {});
+                         const par::ExecPolicy& exec = {},
+                         std::uint64_t prune_upper_bound = 0);
 
 /// Recovers the optimal within-block variable order of J from the DP
 /// back-pointers: result[0] is the variable at the lowest level of the

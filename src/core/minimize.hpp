@@ -29,10 +29,14 @@ struct MinimizeResult {
 /// Exact minimum OBDD ordering by the Friedman–Supowit DP; O*(3^n) time and
 /// space in the number of variables of `f`.  `exec` fans the per-layer
 /// subset sweep out over the ovo::par pool; the default is serial, and
-/// results are identical for every thread count.
+/// results are identical for every thread count.  With exec.prune ==
+/// PruneMode::kBounds, `prune_upper_bound` seeds the DP's pruning
+/// incumbent (0 self-seeds; see fs_star) — the result is still exact and
+/// bit-identical to the dense run.
 MinimizeResult fs_minimize(const tt::TruthTable& f,
                            DiagramKind kind = DiagramKind::kBdd,
-                           const par::ExecPolicy& exec = {});
+                           const par::ExecPolicy& exec = {},
+                           std::uint64_t prune_upper_bound = 0);
 
 /// Exact minimum ZDD ordering (Appendix D adaptation).
 inline MinimizeResult fs_minimize_zdd(const tt::TruthTable& f,

@@ -41,6 +41,51 @@ namespace ovo::core {
 /// Appendix D's two-line modification for ZDDs, Remark 2 for MTBDDs).
 enum class DiagramKind { kBdd, kZdd, kMtbdd };
 
+/// Ledger of the bound-pruned FS* execution mode (all zero when pruning
+/// is off).  A DP state is *dead* when every predecessor was pruned (it
+/// is skipped without computing its table), *generated* when its table
+/// was computed, and then either *pruned* (its admissible lower bound
+/// exceeded the incumbent upper bound; the table is freed immediately)
+/// or *surviving* (published into the layer).  Cell counts compare the
+/// cells the dense engine would have materialized for the same layers
+/// against what the sparse layers actually held; the difference times
+/// sizeof(cell) is the bytes pruning saved.
+struct PruneStats {
+  std::uint64_t upper_bound = 0;       ///< incumbent the DP pruned against
+  std::uint64_t states_generated = 0;  ///< tables computed (pruned + surviving)
+  std::uint64_t states_pruned = 0;     ///< generated, then cut by the bound
+  std::uint64_t states_dead = 0;       ///< skipped: no surviving predecessor
+  std::uint64_t states_surviving = 0;  ///< published into sparse layers
+  std::uint64_t dense_cells = 0;       ///< cells a dense run would have held
+  std::uint64_t sparse_cells = 0;      ///< cells actually materialized
+
+  /// All states a dense run would have expanded for the same layers.
+  std::uint64_t states_enumerated() const {
+    return states_generated + states_dead;
+  }
+  /// Fraction of enumerated states that never reached a layer (dead or
+  /// bound-pruned); 0 when pruning never ran.
+  double prune_ratio() const {
+    const std::uint64_t total = states_enumerated();
+    return total == 0 ? 0.0
+                      : static_cast<double>(states_pruned + states_dead) /
+                            static_cast<double>(total);
+  }
+
+  /// Merge across runs: counts add, the incumbent keeps the loosest
+  /// (largest) bound seen.
+  PruneStats& operator+=(const PruneStats& o) {
+    if (o.upper_bound > upper_bound) upper_bound = o.upper_bound;
+    states_generated += o.states_generated;
+    states_pruned += o.states_pruned;
+    states_dead += o.states_dead;
+    states_surviving += o.states_surviving;
+    dense_cells += o.dense_cells;
+    sparse_cells += o.sparse_cells;
+    return *this;
+  }
+};
+
 /// Work accounting: the paper measures time as table cells processed (each
 /// compaction is linear in the table size up to log factors), and Remark 1
 /// observes that space is of the same order — peak_cells tracks the
@@ -50,6 +95,7 @@ struct OpCounter {
   std::uint64_t compactions = 0;  ///< number of COMPACT invocations
   std::uint64_t peak_cells = 0;   ///< max cells resident at once (Remark 1)
   ds::TableStats dedup;           ///< merged COMPACT dedup-table counters
+  PruneStats prune;               ///< bound-pruned DP ledger (see above)
 
   void observe_resident(std::uint64_t cells) {
     if (cells > peak_cells) peak_cells = cells;
@@ -64,6 +110,7 @@ struct OpCounter {
     compactions += o.compactions;
     if (o.peak_cells > peak_cells) peak_cells = o.peak_cells;
     dedup += o.dedup;
+    prune += o.prune;
     return *this;
   }
 };

@@ -1,0 +1,62 @@
+#pragma once
+// Sparse rank index over a sorted key set — the storage primitive behind
+// the bound-pruned FS* DP's sparse layers.
+//
+// A dense DP layer stores one payload per colexicographic rank; when
+// pruning removes most states, the layer instead keeps a strictly
+// ascending vector of surviving keys plus a packed payload vector in the
+// same order.  SparseIndex is the lookup half of that pair: a
+// non-owning view of the sorted key vector that maps a key to its packed
+// position (or npos) by binary search.  For equal-popcount subset masks
+// colexicographic order IS numeric order, so the DP's survivor masks are
+// already sorted by construction and need no side table.
+//
+// O(log s) per lookup over s survivors; the dense layers' O(k) rank
+// computation is cheaper per probe, but only sparse storage makes pruned
+// states cost zero bytes — which is the point (memory, not arithmetic,
+// caps the largest solvable n; see docs/INTERNALS.md).
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace ovo::ds {
+
+class SparseIndex {
+ public:
+  static constexpr std::size_t npos = ~std::size_t{0};
+
+  SparseIndex() = default;
+
+  /// Views `keys`, which must be strictly ascending and must outlive the
+  /// index (the DP keeps each layer's mask vector alive alongside it).
+  explicit SparseIndex(const std::vector<std::uint64_t>& keys)
+      : keys_(keys.data()), size_(keys.size()) {
+#ifndef NDEBUG
+    for (std::size_t i = 1; i < size_; ++i)
+      OVO_DCHECK(keys_[i - 1] < keys_[i]);
+#endif
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Packed position of `key`, or npos if it was pruned from the layer.
+  std::size_t rank(std::uint64_t key) const {
+    const std::uint64_t* end = keys_ + size_;
+    const std::uint64_t* it = std::lower_bound(keys_, end, key);
+    if (it == end || *it != key) return npos;
+    return static_cast<std::size_t>(it - keys_);
+  }
+
+  bool contains(std::uint64_t key) const { return rank(key) != npos; }
+
+ private:
+  const std::uint64_t* keys_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ovo::ds

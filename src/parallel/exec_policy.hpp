@@ -16,6 +16,13 @@ namespace ovo::par {
 /// first call.
 int default_threads();
 
+/// Bound pruning in the FS* DP.  kOff keeps the dense engines exactly as
+/// they shipped (the A/B reference); kBounds seeds an upper bound, skips
+/// every DP state whose admissible lower bound exceeds it, and stores
+/// layers sparsely (surviving states only).  Pruned runs return the same
+/// optimal order, size, and tie-breaks as dense runs — see fs_star.hpp.
+enum class PruneMode : std::uint8_t { kOff = 0, kBounds = 1 };
+
 struct ExecPolicy {
   /// Number of cooperating threads (including the calling thread).
   /// 1 (the default) selects the serial path, which is bit-identical to
@@ -37,6 +44,10 @@ struct ExecPolicy {
   /// keeps results bit-identical either way; set false to force the
   /// PR 2 per-layer-barrier engine, e.g. for A/B bench comparisons.
   bool pipeline = true;
+
+  /// Bound pruning for the FS* DP (see PruneMode).  Off by default so
+  /// every existing caller keeps the dense engines bit for bit.
+  PruneMode prune = PruneMode::kOff;
 
   int resolved_threads() const {
     return num_threads == 0 ? default_threads() : num_threads;

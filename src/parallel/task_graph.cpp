@@ -26,6 +26,7 @@ struct GlobalSched {
   std::atomic<std::uint64_t> overlap_tasks{0};
   std::atomic<std::uint64_t> overlap_ns{0};
   std::atomic<std::uint64_t> barrier_wait_ns{0};
+  std::atomic<std::uint64_t> pruned_chunks{0};
 };
 
 GlobalSched& global_sched() {
@@ -54,6 +55,10 @@ void charge_barrier_wait(std::uint64_t ns) {
   global_sched().barrier_wait_ns.fetch_add(ns, std::memory_order_relaxed);
 }
 
+void charge_pruned_chunks(std::uint64_t n) {
+  global_sched().pruned_chunks.fetch_add(n, std::memory_order_relaxed);
+}
+
 SchedStats sched_stats() {
   const GlobalSched& g = global_sched();
   SchedStats s;
@@ -64,6 +69,7 @@ SchedStats sched_stats() {
   s.overlap_tasks = g.overlap_tasks.load(std::memory_order_relaxed);
   s.overlap_ns = g.overlap_ns.load(std::memory_order_relaxed);
   s.barrier_wait_ns = g.barrier_wait_ns.load(std::memory_order_relaxed);
+  s.pruned_chunks = g.pruned_chunks.load(std::memory_order_relaxed);
   return s;
 }
 

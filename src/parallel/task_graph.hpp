@@ -74,6 +74,11 @@ struct SchedStats {
   /// latency excluded) plus engine-charged barrier seams (see
   /// charge_barrier_wait).
   std::uint64_t barrier_wait_ns = 0;
+  /// Chunks the bound-pruned FS* DP retired without compacting a single
+  /// state (every index in the chunk was dead or pruned) — the residual
+  /// scheduling overhead sparse chunk ranges leave behind.  Engine-
+  /// charged (see charge_pruned_chunks); zero when pruning is off.
+  std::uint64_t pruned_chunks = 0;
 
   SchedStats& operator+=(const SchedStats& o) {
     graphs += o.graphs;
@@ -83,6 +88,7 @@ struct SchedStats {
     overlap_tasks += o.overlap_tasks;
     overlap_ns += o.overlap_ns;
     barrier_wait_ns += o.barrier_wait_ns;
+    pruned_chunks += o.pruned_chunks;
     return *this;
   }
   /// Delta between two snapshots of the process-wide totals (hwm is a
@@ -95,6 +101,7 @@ struct SchedStats {
     d.overlap_tasks -= o.overlap_tasks;
     d.overlap_ns -= o.overlap_ns;
     d.barrier_wait_ns -= o.barrier_wait_ns;
+    d.pruned_chunks -= o.pruned_chunks;
     return d;
   }
 };
@@ -114,6 +121,11 @@ SchedStats sched_stats();
 /// bubbles (waiting with no ready work) are counted automatically;
 /// final join waits are not (identical teardown cost in every engine).
 void charge_barrier_wait(std::uint64_t ns);
+
+/// Adds `n` to the process-wide pruned_chunks total.  The bound-pruned
+/// FS* engines call this from their (serialized) layer fences after
+/// tallying which chunk ranges held no surviving work.
+void charge_pruned_chunks(std::uint64_t n);
 
 class TaskGraph {
  public:

@@ -1,9 +1,11 @@
 #include "reorder/minimize_auto.hpp"
 
 #include <algorithm>
+#include <numeric>
 #include <utility>
 
 #include "core/fs_star.hpp"
+#include "reorder/annealing.hpp"
 #include "reorder/baselines.hpp"
 #include "reorder/oracle.hpp"
 #include "util/check.hpp"
@@ -39,6 +41,38 @@ void greedy_complete(core::PrefixTable& t, core::DiagramKind kind,
 
 }  // namespace
 
+PruneSeedResult seed_prune_bound(CostOracle& oracle, const std::string& seed,
+                                 int max_passes, int restarts,
+                                 std::uint64_t rng_seed,
+                                 const EvalContext& ctx) {
+  PruneSeedResult out;
+  if (seed == "none") return out;
+  std::vector<int> identity(static_cast<std::size_t>(oracle.base().n));
+  std::iota(identity.begin(), identity.end(), 0);
+  if (seed == "anneal") {
+    util::Xoshiro256 rng(rng_seed);
+    const AnnealResult a =
+        simulated_annealing(oracle, identity, AnnealOptions{}, rng, ctx);
+    out.order_root_first = a.order_root_first;
+    out.upper_bound = a.internal_nodes;
+    return out;
+  }
+  OrderSearchResult r;
+  if (seed == "sift") {
+    r = sift(oracle, identity, max_passes, ctx);
+  } else if (seed == "window") {
+    r = window_permute(oracle, identity, /*window=*/3, max_passes, ctx);
+  } else if (seed == "restarts") {
+    util::Xoshiro256 rng(rng_seed);
+    r = random_restart(oracle, restarts, rng, ctx);
+  } else {
+    OVO_CHECK_MSG(false, "seed_prune_bound: unknown seed strategy");
+  }
+  out.order_root_first = r.order_root_first;
+  out.upper_bound = r.internal_nodes;
+  return out;
+}
+
 rt::Result<AutoMinimizeResult> minimize_auto(
     const tt::TruthTable& f, const rt::Budget& budget,
     const AutoMinimizeOptions& options) {
@@ -66,10 +100,21 @@ rt::Result<AutoMinimizeResult> minimize_auto(
   ctx.exec = options.exec;
   ctx.gov = &gov;
 
+  // Stage 0 (pruned mode only): seed the DP's pruning incumbent by
+  // running the configured cheap heuristic through the shared governed
+  // oracle.  Its order is also a salvage candidate, and its evaluations
+  // land in the memo the later heuristic stages reuse.
+  PruneSeedResult seeded;
+  if (options.exec.prune == par::PruneMode::kBounds)
+    seeded = seed_prune_bound(oracle, options.prune_seed,
+                              options.sift_max_passes, options.restarts,
+                              options.restart_seed, ctx);
+
   // Stage 1: the exact DP, layer-admitted against the budget.
   const util::Mask all = util::full_mask(n);
-  core::FsStarResult dp = core::fs_star(oracle.base(), all, n, options.kind,
-                                        &v.ops, options.exec, &gov);
+  core::FsStarResult dp =
+      core::fs_star(oracle.base(), all, n, options.kind, &v.ops,
+                    options.exec, &gov, seeded.upper_bound);
   v.dp_layers_completed = dp.completed_layers;
 
   if (dp.completed_layers == n) {
@@ -89,6 +134,10 @@ rt::Result<AutoMinimizeResult> minimize_auto(
   // (ties to the numerically smallest mask, for determinism) seeds the
   // fallback, and its cost over the layer is a proven lower bound: any
   // complete order's bottom block of this size costs at least this much.
+  // In pruned mode the layer holds *surviving* states only, but the
+  // bound stands — the optimal order's bottom-k state always survives
+  // with its true cost — and the DP's certified completion-aware bound
+  // can only tighten it.
   util::Mask seed_mask = 0;
   std::uint64_t seed_cost = ~std::uint64_t{0};
   std::uint64_t layer_min = ~std::uint64_t{0};
@@ -100,7 +149,7 @@ rt::Result<AutoMinimizeResult> minimize_auto(
       seed_mask = mask;
     }
   }
-  v.lower_bound = layer_min;
+  v.lower_bound = std::max(layer_min, dp.certified_lower_bound);
 
   std::vector<int> bottom_up =
       dp.completed_layers > 0
@@ -110,6 +159,14 @@ rt::Result<AutoMinimizeResult> minimize_auto(
   greedy_complete(table, options.kind, &bottom_up, &v.ops);
   v.order_root_first.assign(bottom_up.rbegin(), bottom_up.rend());
   v.internal_nodes = table.mincost();
+
+  // The prune-seed order is itself a salvage candidate: a tripped pruned
+  // run should never return worse than the heuristic that seeded it.
+  if (!seeded.order_root_first.empty() &&
+      seeded.upper_bound < v.internal_nodes) {
+    v.order_root_first = seeded.order_root_first;
+    v.internal_nodes = seeded.upper_bound;
+  }
 
   // Stage 3: sifting from the salvaged order, on the remaining budget.
   const OrderSearchResult sifted =

@@ -22,12 +22,14 @@
 // outcome for every thread count; only wall-clock/cancel trips vary.
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/minimize.hpp"
 #include "parallel/exec_policy.hpp"
 #include "parallel/task_graph.hpp"
 #include "reorder/eval_context.hpp"
+#include "reorder/oracle.hpp"
 #include "rt/budget.hpp"
 #include "tt/truth_table.hpp"
 
@@ -40,6 +42,9 @@ struct AutoMinimizeOptions {
   /// evaluated prefix deterministically).
   int restarts = 64;
   std::uint64_t restart_seed = 0x5eed5eed5eedull;
+  /// Heuristic that seeds the DP's pruning incumbent when exec.prune ==
+  /// PruneMode::kBounds (see seed_prune_bound); ignored in dense mode.
+  std::string prune_seed = "sift";
   par::ExecPolicy exec{};
 };
 
@@ -83,5 +88,24 @@ rt::Result<AutoMinimizeResult> minimize_auto(
 rt::Result<AutoMinimizeResult> minimize_auto(
     const tt::TruthTable& f, rt::Governor& gov,
     const AutoMinimizeOptions& options = {});
+
+/// A heuristic order and its exact size, used to seed the bound-pruned
+/// DP's incumbent.  The size is the cost of a real complete order, so it
+/// is always an admissible (>= optimum) upper bound.
+struct PruneSeedResult {
+  std::vector<int> order_root_first;  ///< empty for seed "none"
+  std::uint64_t upper_bound = 0;      ///< 0 for "none" (DP self-seeds)
+};
+
+/// Runs the cheap strategy named `seed` through `oracle` and returns the
+/// best order it found plus its exact size.  Recognized names: "sift"
+/// (default everywhere), "window", "restarts", "anneal", and "none"
+/// (skip seeding; the DP self-seeds from one ascending chain).  The
+/// evaluations go through the shared memoized oracle, so a later
+/// heuristic stage revisiting an order pays a lookup, not a chain.
+PruneSeedResult seed_prune_bound(CostOracle& oracle, const std::string& seed,
+                                 int max_passes, int restarts,
+                                 std::uint64_t rng_seed,
+                                 const EvalContext& ctx);
 
 }  // namespace ovo::reorder

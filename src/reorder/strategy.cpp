@@ -37,14 +37,26 @@ void finish(StrategyResult* r, const EvalContext& ctx) {
 
 StrategyResult run_fs(const tt::TruthTable& f, const StrategyOptions& o,
                       const EvalContext& ctx) {
+  StrategyResult r;
+  // Bound-pruned runs seed the incumbent from the configured cheap
+  // heuristic; ungoverned like the DP itself (budgets are `auto`'s job).
+  std::uint64_t prune_ub = 0;
+  if (ctx.exec.prune == par::PruneMode::kBounds && o.prune_seed != "none") {
+    CostOracle oracle(f, o.kind);
+    EvalContext seed_ctx;
+    seed_ctx.exec = ctx.exec;
+    prune_ub = seed_prune_bound(oracle, o.prune_seed, o.max_passes,
+                                o.restarts, o.seed, seed_ctx)
+                   .upper_bound;
+    r.oracle = oracle.stats();
+  }
   // The plain DP has no graceful degradation; `auto` is the governed
   // exact path.  A budget on ctx is ignored here by design.
-  core::MinimizeResult m = core::fs_minimize(f, o.kind, ctx.exec);
-  StrategyResult r;
+  core::MinimizeResult m = core::fs_minimize(f, o.kind, ctx.exec, prune_ub);
   r.order_root_first = std::move(m.order_root_first);
   r.internal_nodes = m.min_internal_nodes;
   r.optimal = true;
-  r.oracle.ops = m.ops;
+  r.oracle.ops += m.ops;
   finish(&r, ctx);
   return r;
 }
@@ -54,6 +66,7 @@ StrategyResult run_auto(const tt::TruthTable& f, const StrategyOptions& o,
   AutoMinimizeOptions ao;
   ao.kind = o.kind;
   ao.sift_max_passes = o.max_passes;
+  ao.prune_seed = o.prune_seed;
   ao.exec = ctx.exec;
   const rt::Result<AutoMinimizeResult> res =
       ctx.gov != nullptr ? minimize_auto(f, *ctx.gov, ao)

@@ -40,6 +40,11 @@ struct StrategyOptions {
   std::uint64_t seed = 42;
   /// Division-point fractions for `quantum` (Theorem 10's alphas).
   std::vector<double> alphas = {0.27};
+  /// Heuristic seeding the bound-pruned DP's incumbent for `fs` and
+  /// `auto` when EvalContext.exec.prune == PruneMode::kBounds: "sift"
+  /// (default), "window", "restarts", "anneal", or "none" (self-seed).
+  /// Ignored when pruning is off.
+  std::string prune_seed = "sift";
 };
 
 struct StrategyResult {

@@ -80,6 +80,16 @@ struct Budget {
            bytes_limit == 0 && cancel == nullptr;
   }
 
+  /// True iff any *deterministic* limit is set (work/nodes/bytes — the
+  /// ones decided by serial admit_*() calls).  Engines whose admission
+  /// inputs are only known as a run unfolds (the bound-pruned FS* DP's
+  /// sparse layer counts) must route to their serially-admitting variant
+  /// when this holds; deadline/cancel-only budgets need no admission and
+  /// may take any engine.
+  bool deterministic_limits() const {
+    return work_limit != 0 || node_limit != 0 || bytes_limit != 0;
+  }
+
   static Budget with_work_limit(std::uint64_t units) {
     Budget b;
     b.work_limit = units;

@@ -1,0 +1,399 @@
+// Tests for the bound-pruned sparse FS* DP (ExecPolicy.prune = kBounds):
+// bit-identity with the dense engines over exhaustive small-n sweeps and
+// randomized larger functions at every thread count and both pipeline
+// settings, ledger consistency, the certified lower bound, the small-n
+// serial fallback, governed engine routing, and fault injection
+// (cancellation and allocation failure) on the sparse path.  Run under
+// the asan/tsan presets by tools/ci.sh.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <new>
+#include <vector>
+
+#include "core/fs_star.hpp"
+#include "core/minimize.hpp"
+#include "ds/sparse_index.hpp"
+#include "parallel/exec_policy.hpp"
+#include "parallel/task_graph.hpp"
+#include "reorder/minimize_auto.hpp"
+#include "rt/budget.hpp"
+#include "rt/fault.hpp"
+#include "tt/function_zoo.hpp"
+#include "util/combinatorics.hpp"
+#include "util/rng.hpp"
+
+namespace ovo {
+namespace {
+
+par::ExecPolicy policy(int threads, bool pipeline = true,
+                       par::PruneMode prune = par::PruneMode::kOff) {
+  par::ExecPolicy exec;
+  exec.num_threads = threads;
+  exec.pipeline = pipeline;
+  exec.prune = prune;
+  return exec;
+}
+
+/// The dense ledger identities every pruned run must satisfy.
+void expect_consistent_ledger(const core::PruneStats& p) {
+  EXPECT_EQ(p.states_generated, p.states_pruned + p.states_surviving);
+  EXPECT_EQ(p.states_enumerated(), p.states_generated + p.states_dead);
+  EXPECT_LE(p.sparse_cells, p.dense_cells);
+}
+
+// ------------------------------------------------------------ SparseIndex --
+
+TEST(SparseIndex, RankContainsAndNpos) {
+  const std::vector<std::uint64_t> keys = {0b001, 0b100, 0b110, 0b1011};
+  const ds::SparseIndex idx(keys);
+  EXPECT_EQ(idx.size(), 4u);
+  EXPECT_FALSE(idx.empty());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(idx.rank(keys[i]), i);
+    EXPECT_TRUE(idx.contains(keys[i]));
+  }
+  for (const std::uint64_t missing : {0ull, 0b010ull, 0b111ull, ~0ull}) {
+    EXPECT_EQ(idx.rank(missing), ds::SparseIndex::npos);
+    EXPECT_FALSE(idx.contains(missing));
+  }
+  const std::vector<std::uint64_t> none;
+  EXPECT_TRUE(ds::SparseIndex(none).empty());
+}
+
+// ----------------------------------------------------- differential sweeps --
+
+// Every Boolean function on 3 variables, serial: the pruned DP must
+// return the dense optimum, order, and tie-breaks for all of them.
+TEST(FsPruneDifferential, ExhaustiveN3AllFunctions) {
+  for (std::uint32_t bits = 0; bits < 256; ++bits) {
+    const tt::TruthTable f = tt::TruthTable::tabulate(
+        3, [&](std::uint64_t a) { return (bits >> a) & 1u; });
+    const core::MinimizeResult dense = core::fs_minimize(f);
+    const core::MinimizeResult pruned = core::fs_minimize(
+        f, core::DiagramKind::kBdd,
+        policy(1, true, par::PruneMode::kBounds));
+    ASSERT_EQ(pruned.min_internal_nodes, dense.min_internal_nodes)
+        << "bits=" << bits;
+    ASSERT_EQ(pruned.order_root_first, dense.order_root_first)
+        << "bits=" << bits;
+    expect_consistent_ledger(pruned.ops.prune);
+  }
+}
+
+// Every Boolean function on 4 variables, serial (65536 functions; each
+// DP is a few hundred cells, so the sweep stays cheap).
+TEST(FsPruneDifferential, ExhaustiveN4AllFunctions) {
+  for (std::uint64_t bits = 0; bits < 65536; ++bits) {
+    const tt::TruthTable f = tt::TruthTable::tabulate(
+        4, [&](std::uint64_t a) { return (bits >> a) & 1u; });
+    const core::MinimizeResult dense = core::fs_minimize(f);
+    const core::MinimizeResult pruned = core::fs_minimize(
+        f, core::DiagramKind::kBdd,
+        policy(1, true, par::PruneMode::kBounds));
+    ASSERT_EQ(pruned.min_internal_nodes, dense.min_internal_nodes)
+        << "bits=" << bits;
+    ASSERT_EQ(pruned.order_root_first, dense.order_root_first)
+        << "bits=" << bits;
+  }
+}
+
+// Random functions up to n = 10 across thread counts and both pipeline
+// settings; n >= 7 clears the serial-fallback threshold, so threads > 1
+// genuinely exercises the pruned barrier AND pruned pipelined engines.
+TEST(FsPruneDifferential, RandomizedAcrossThreadsAndPipelines) {
+  util::Xoshiro256 rng(0xbead);
+  for (const int n : {5, 6, 7, 8, 10}) {
+    const tt::TruthTable f = tt::random_function(n, rng);
+    const core::MinimizeResult dense = core::fs_minimize(f);
+    for (const int threads : {1, 2, 4, 8}) {
+      for (const bool pipeline : {false, true}) {
+        const core::MinimizeResult pruned = core::fs_minimize(
+            f, core::DiagramKind::kBdd,
+            policy(threads, pipeline, par::PruneMode::kBounds));
+        ASSERT_EQ(pruned.min_internal_nodes, dense.min_internal_nodes)
+            << "n=" << n << " threads=" << threads
+            << " pipeline=" << pipeline;
+        ASSERT_EQ(pruned.order_root_first, dense.order_root_first)
+            << "n=" << n << " threads=" << threads
+            << " pipeline=" << pipeline;
+        expect_consistent_ledger(pruned.ops.prune);
+      }
+    }
+  }
+}
+
+// ZDD kind goes through the same pruned kernels.
+TEST(FsPruneDifferential, ZddKindMatchesDense) {
+  util::Xoshiro256 rng(0x5eed);
+  const tt::TruthTable f = tt::random_sparse_function(7, 11, rng);
+  const core::MinimizeResult dense =
+      core::fs_minimize(f, core::DiagramKind::kZdd);
+  for (const int threads : {1, 4}) {
+    const core::MinimizeResult pruned = core::fs_minimize(
+        f, core::DiagramKind::kZdd,
+        policy(threads, true, par::PruneMode::kBounds));
+    EXPECT_EQ(pruned.min_internal_nodes, dense.min_internal_nodes);
+    EXPECT_EQ(pruned.order_root_first, dense.order_root_first);
+  }
+}
+
+// The tightest admissible incumbent — the exact optimum — must keep the
+// optimal chain alive (pruning cuts strictly-greater bounds only).
+TEST(FsPruneDifferential, TightUpperBoundKeepsTheOptimum) {
+  util::Xoshiro256 rng(0x7137);
+  for (int trial = 0; trial < 3; ++trial) {
+    const tt::TruthTable f = tt::random_function(8, rng);
+    const core::MinimizeResult dense = core::fs_minimize(f);
+    for (const int threads : {1, 4}) {
+      const core::MinimizeResult pruned = core::fs_minimize(
+          f, core::DiagramKind::kBdd,
+          policy(threads, true, par::PruneMode::kBounds),
+          dense.min_internal_nodes);
+      EXPECT_EQ(pruned.min_internal_nodes, dense.min_internal_nodes);
+      EXPECT_EQ(pruned.order_root_first, dense.order_root_first);
+      EXPECT_EQ(pruned.ops.prune.upper_bound, dense.min_internal_nodes);
+    }
+  }
+}
+
+// ------------------------------------------------------- ledger and bound --
+
+TEST(FsPruneLedger, CountsCoverTheSubsetLatticeAndBoundIsExact) {
+  util::Xoshiro256 rng(0xcafe);
+  const int n = 8;
+  const tt::TruthTable f = tt::random_function(n, rng);
+  core::OpCounter ops;
+  const core::FsStarResult r = core::fs_star(
+      core::initial_table(f), util::full_mask(n), n, core::DiagramKind::kBdd,
+      &ops, policy(1, true, par::PruneMode::kBounds));
+  expect_consistent_ledger(r.prune);
+  // Enumerated states cover every non-empty subset of the lattice.
+  std::uint64_t lattice = 0;
+  for (int k = 1; k <= n; ++k) lattice += util::binomial_u64(n, k);
+  EXPECT_EQ(r.prune.states_enumerated(), lattice);
+  EXPECT_GT(r.prune.states_surviving, 0u);
+  // A completed pruned run's certified bound IS the optimum, and the
+  // engine's ledger reaches the caller through the OpCounter.
+  EXPECT_EQ(r.certified_lower_bound, r.tables.at(util::full_mask(n)).mincost());
+  EXPECT_EQ(ops.prune.states_generated, r.prune.states_generated);
+  // The self-seeded incumbent is a real chain cost: optimum <= ub.
+  EXPECT_GE(r.prune.upper_bound, r.certified_lower_bound);
+}
+
+TEST(FsPruneLedger, DenseModeLeavesLedgerUntouched) {
+  util::Xoshiro256 rng(0xd00d);
+  const tt::TruthTable f = tt::random_function(6, rng);
+  const core::MinimizeResult dense = core::fs_minimize(f);
+  EXPECT_EQ(dense.ops.prune.states_enumerated(), 0u);
+  EXPECT_EQ(dense.ops.prune.upper_bound, 0u);
+  // kOff is the default: an explicit kOff policy is the same engine.
+  const core::MinimizeResult off = core::fs_minimize(
+      f, core::DiagramKind::kBdd, policy(1, true, par::PruneMode::kOff));
+  EXPECT_EQ(off.min_internal_nodes, dense.min_internal_nodes);
+  EXPECT_EQ(off.order_root_first, dense.order_root_first);
+  EXPECT_EQ(off.ops.table_cells, dense.ops.table_cells);
+}
+
+// Stop-early runs must keep the dense all-subsets contract even when the
+// policy asks for pruning (partition searches read every stop-layer
+// subset).
+TEST(FsPruneLedger, StopEarlyRunsIgnoreThePruneFlag) {
+  const tt::TruthTable f = tt::majority(5);
+  const util::Mask all = util::full_mask(5);
+  for (int k = 1; k < 5; ++k) {
+    const core::FsStarResult r =
+        core::fs_star(core::initial_table(f), all, k, core::DiagramKind::kBdd,
+                      nullptr, policy(1, true, par::PruneMode::kBounds));
+    EXPECT_EQ(r.tables.size(), util::binomial_u64(5, k)) << "k=" << k;
+    EXPECT_EQ(r.prune.states_enumerated(), 0u) << "k=" << k;
+  }
+}
+
+// --------------------------------------------------- fallback and routing --
+
+// Below the serial-fallback work threshold a threads=4 run must not
+// touch the scheduler at all: zero graphs, zero chunks.
+TEST(FsPruneRouting, SmallInstancesFallBackToSerial) {
+  util::Xoshiro256 rng(0xfa11);
+  const tt::TruthTable small = tt::random_function(6, rng);
+  const par::SchedStats before = par::sched_stats();
+  const core::MinimizeResult r =
+      core::fs_minimize(small, core::DiagramKind::kBdd, policy(4));
+  const par::SchedStats delta = par::sched_stats() - before;
+  EXPECT_EQ(delta.graphs, 0u);
+  EXPECT_EQ(delta.chunks, 0u);
+  EXPECT_EQ(r.min_internal_nodes, core::fs_minimize(small).min_internal_nodes);
+
+  // One variable more clears the threshold: the pipelined engine runs
+  // the whole DP as one graph.
+  const tt::TruthTable big = tt::random_function(7, rng);
+  const par::SchedStats before2 = par::sched_stats();
+  core::fs_minimize(big, core::DiagramKind::kBdd, policy(4));
+  const par::SchedStats delta2 = par::sched_stats() - before2;
+  EXPECT_EQ(delta2.graphs, 1u);
+  EXPECT_GT(delta2.chunks, 0u);
+}
+
+// A pruned run under deterministic budget limits must take the barrier
+// engine (one parallel_for graph per fanned-out layer) even when the
+// policy asks to pipeline; without such limits it pipelines as one
+// graph.
+TEST(FsPruneRouting, DeterministicLimitsForceTheBarrierEngine) {
+  util::Xoshiro256 rng(0xbead);
+  const tt::TruthTable f = tt::random_function(7, rng);
+  const par::ExecPolicy exec = policy(4, true, par::PruneMode::kBounds);
+
+  const par::SchedStats before = par::sched_stats();
+  core::OpCounter ops;
+  rt::Governor roomy(rt::Budget::with_work_limit(~std::uint64_t{0} >> 1));
+  const core::FsStarResult governed =
+      core::fs_star(core::initial_table(f), util::full_mask(7), 7,
+                    core::DiagramKind::kBdd, &ops, exec, &roomy);
+  const par::SchedStats delta = par::sched_stats() - before;
+  EXPECT_GT(delta.graphs, 1u);  // one region per parallel layer
+
+  const par::SchedStats before2 = par::sched_stats();
+  const core::FsStarResult free_run =
+      core::fs_star(core::initial_table(f), util::full_mask(7), 7,
+                    core::DiagramKind::kBdd, nullptr, exec);
+  const par::SchedStats delta2 = par::sched_stats() - before2;
+  EXPECT_EQ(delta2.graphs, 1u);  // the whole DP is one task graph
+
+  EXPECT_EQ(governed.tables.at(util::full_mask(7)).mincost(),
+            free_run.tables.at(util::full_mask(7)).mincost());
+  EXPECT_EQ(core::reconstruct_block_order(governed, util::full_mask(7)),
+            core::reconstruct_block_order(free_run, util::full_mask(7)));
+}
+
+// ------------------------------------------------------- governed pruning --
+
+// A deterministic work-limit trip mid-DP must return the same partial
+// ledger, certified bound, and salvaged order at every thread count.
+TEST(FsPruneGoverned, WorkLimitTripIsThreadCountInvariant) {
+  util::Xoshiro256 rng(0x90b0);
+  const tt::TruthTable f = tt::random_function(9, rng);
+  const std::uint64_t optimal = core::fs_minimize(f).min_internal_nodes;
+
+  rt::Budget b;
+  b.work_limit = 30000;  // trips a few layers into the n=9 pruned DP
+  reorder::AutoMinimizeOptions opt;
+  opt.exec = policy(1, true, par::PruneMode::kBounds);
+
+  const auto reference = reorder::minimize_auto(f, b, opt);
+  EXPECT_EQ(reference.outcome, rt::Outcome::kDeadline);
+  EXPECT_FALSE(reference.value.optimal);
+  EXPECT_LE(reference.value.lower_bound, optimal);
+  EXPECT_GE(reference.value.internal_nodes, optimal);
+  expect_consistent_ledger(reference.value.ops.prune);
+
+  for (const int threads : {2, 4, 8}) {
+    reorder::AutoMinimizeOptions t_opt;
+    t_opt.exec = policy(threads, true, par::PruneMode::kBounds);
+    const auto r = reorder::minimize_auto(f, b, t_opt);
+    EXPECT_EQ(r.outcome, reference.outcome) << "threads=" << threads;
+    EXPECT_EQ(r.value.order_root_first, reference.value.order_root_first)
+        << "threads=" << threads;
+    EXPECT_EQ(r.value.internal_nodes, reference.value.internal_nodes)
+        << "threads=" << threads;
+    EXPECT_EQ(r.value.lower_bound, reference.value.lower_bound)
+        << "threads=" << threads;
+    EXPECT_EQ(r.value.dp_layers_completed,
+              reference.value.dp_layers_completed)
+        << "threads=" << threads;
+    EXPECT_EQ(r.value.ops.prune.states_surviving,
+              reference.value.ops.prune.states_surviving)
+        << "threads=" << threads;
+  }
+}
+
+// The governed ladder with pruning on and a roomy budget completes and
+// proves optimality, with the prune ledger in the result.
+TEST(FsPruneGoverned, RoomyBudgetCompletesOptimally) {
+  util::Xoshiro256 rng(0x600d);
+  const tt::TruthTable f = tt::random_function(8, rng);
+  const std::uint64_t optimal = core::fs_minimize(f).min_internal_nodes;
+  reorder::AutoMinimizeOptions opt;
+  opt.exec = policy(4, true, par::PruneMode::kBounds);
+  const auto r = reorder::minimize_auto(f, rt::Budget{}, opt);
+  EXPECT_EQ(r.outcome, rt::Outcome::kComplete);
+  EXPECT_TRUE(r.value.optimal);
+  EXPECT_EQ(r.value.internal_nodes, optimal);
+  EXPECT_EQ(r.value.lower_bound, optimal);
+  expect_consistent_ledger(r.value.ops.prune);
+  EXPECT_GT(r.value.ops.prune.states_surviving, 0u);
+}
+
+// ---------------------------------------------------------------- faults --
+
+// Cancellation mid-DP on the pruned pipelined path: the DAG drains, the
+// ladder salvages a valid order, the prune ledger stays consistent, and
+// the interrupted run still reports a certified lower bound.
+TEST(FsPruneFaults, CancelMidDagKeepsLedgerAndBoundConsistent) {
+  const tt::TruthTable f = tt::hidden_weighted_bit(10);
+  const std::uint64_t optimal = core::fs_minimize(f).min_internal_nodes;
+
+  rt::CancelToken token;
+  rt::FaultPlan plan;
+  plan.cancel_at_checkpoint = 100;  // lands inside the pruned DP
+  plan.cancel = &token;
+  rt::ScopedFaultPlan scoped(plan);
+
+  rt::Budget b;
+  b.cancel = &token;
+  reorder::AutoMinimizeOptions opt;
+  opt.exec = policy(4, true, par::PruneMode::kBounds);
+  opt.prune_seed = "none";  // keep every checkpoint inside the DP
+  const auto r = reorder::minimize_auto(f, b, opt);
+  EXPECT_EQ(r.outcome, rt::Outcome::kCancelled);
+  EXPECT_FALSE(r.value.optimal);
+  EXPECT_LT(r.value.dp_layers_completed, 10);
+  ASSERT_TRUE(util::is_permutation(r.value.order_root_first));
+  EXPECT_EQ(core::diagram_size_for_order(f, r.value.order_root_first),
+            r.value.internal_nodes);
+  expect_consistent_ledger(r.value.ops.prune);
+  EXPECT_GT(r.value.lower_bound, 0u);
+  EXPECT_LE(r.value.lower_bound, optimal);
+  EXPECT_GE(scoped.checkpoints_seen(), 100u);
+}
+
+// Allocation faults injected under the pruned pipelined DP: the
+// bad_alloc drains the DAG, propagates exactly once, and a rerun with
+// the plan gone is bit-identical to the dense serial reference.
+TEST(FsPruneFaults, AllocFaultDrainsAndLeavesNoCorruption) {
+  util::Xoshiro256 rng(0xa110c);
+  const tt::TruthTable f = tt::random_function(8, rng);
+  const core::MinimizeResult serial = core::fs_minimize(f);
+  const par::ExecPolicy exec = policy(4, true, par::PruneMode::kBounds);
+
+  std::uint64_t events = 0;
+  {
+    rt::ScopedFaultPlan probe(rt::FaultPlan{});
+    const core::MinimizeResult r =
+        core::fs_minimize(f, core::DiagramKind::kBdd, exec);
+    EXPECT_EQ(r.min_internal_nodes, serial.min_internal_nodes);
+    events = probe.allocations_seen();
+  }
+  ASSERT_GT(events, 0u);
+
+  for (const std::uint64_t k : {std::uint64_t{1}, events / 2, events}) {
+    rt::FaultPlan plan;
+    plan.fail_alloc_at = k;
+    rt::ScopedFaultPlan scoped(plan);
+    try {
+      core::fs_minimize(f, core::DiagramKind::kBdd, exec);
+      FAIL() << "allocation " << k << " did not fail";
+    } catch (const std::bad_alloc&) {
+      // expected
+    }
+  }
+
+  const core::MinimizeResult again =
+      core::fs_minimize(f, core::DiagramKind::kBdd, exec);
+  EXPECT_EQ(again.min_internal_nodes, serial.min_internal_nodes);
+  EXPECT_EQ(again.order_root_first, serial.order_root_first);
+}
+
+}  // namespace
+}  // namespace ovo

@@ -8,8 +8,11 @@
 #      on every preset), plus the README strategy-table drift check —
 #      the registry is the source of truth and drift fails the gate.
 #   2. tools/verify.sh --quick: a governed smoke run of both scaling
-#      benches, asserting the JSON rows carry the unified oracle ledger
-#      and the ovo::par scheduler counters.
+#      benches (the FS bench under --prune bounds), asserting the JSON
+#      rows carry the unified oracle ledger, the ovo::par scheduler
+#      counters, and the bound-pruning ledger (states_pruned /
+#      prune_ratio), plus the `ovo order --prune bounds` bit-identity
+#      guard against the dense default.
 #
 # Any failure stops the script with a nonzero exit.
 #

@@ -1,7 +1,8 @@
 // ovo — command-line front end for the optimal-variable-ordering library.
 //
 //   ovo order   [--zdd] [--strategy NAME] [--engine fs|bnb|quantum]
-//               [--shared] [--threads N] [--timeout-ms N] [--node-limit N]
+//               [--shared] [--threads N] [--prune off|bounds]
+//               [--prune-seed NAME] [--timeout-ms N] [--node-limit N]
 //               [--mem-limit-mb N] [--work-limit N] [--json] <input>
 //   ovo size    --order v1,v2,... [--zdd] <input>
 //   ovo compare [--threads N] <input>   # exact vs heuristics report
@@ -132,12 +133,23 @@ void print_json_order(const std::string& strategy, core::DiagramKind kind,
               strategy.c_str(),
               kind == core::DiagramKind::kZdd ? "zdd" : "bdd", nodes,
               optimal ? "true" : "false", outcome.c_str(), work_units);
-  if (oracle != nullptr)
+  if (oracle != nullptr) {
     std::printf(",\"oracle_queries\":%" PRIu64 ",\"oracle_evals\":%" PRIu64
                 ",\"oracle_memo_hits\":%" PRIu64
                 ",\"oracle_table_cells\":%" PRIu64,
                 oracle->queries, oracle->evals, oracle->memo_hits,
                 oracle->ops.table_cells);
+    const core::PruneStats& p = oracle->ops.prune;
+    if (p.states_enumerated() > 0)
+      std::printf(",\"prune_upper_bound\":%" PRIu64
+                  ",\"states_generated\":%" PRIu64
+                  ",\"states_pruned\":%" PRIu64 ",\"states_dead\":%" PRIu64
+                  ",\"states_surviving\":%" PRIu64 ",\"prune_ratio\":%.4f"
+                  ",\"dense_cells\":%" PRIu64 ",\"sparse_cells\":%" PRIu64,
+                  p.upper_bound, p.states_generated, p.states_pruned,
+                  p.states_dead, p.states_surviving, p.prune_ratio(),
+                  p.dense_cells, p.sparse_cells);
+  }
   std::printf(",\"order\":[");
   for (std::size_t i = 0; i < order.size(); ++i)
     std::printf("%s%d", i == 0 ? "" : ",", order[i] + 1);
@@ -157,6 +169,8 @@ int cmd_order(const std::vector<std::string>& args) {
   bool json = false;
   rt::Budget budget;
   par::ExecPolicy exec;
+  par::PruneMode prune = par::PruneMode::kOff;
+  std::string prune_seed = "sift";
   std::string input;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--zdd") {
@@ -174,6 +188,19 @@ int cmd_order(const std::vector<std::string>& args) {
       json = true;
     } else if (args[i] == "--threads" && i + 1 < args.size()) {
       exec = parse_threads(args[++i]);
+    } else if (args[i] == "--prune" && i + 1 < args.size()) {
+      const std::string& mode = args[++i];
+      if (mode == "off") {
+        prune = par::PruneMode::kOff;
+      } else if (mode == "bounds") {
+        prune = par::PruneMode::kBounds;
+      } else {
+        std::fprintf(stderr, "--prune: expected off|bounds, got '%s'\n",
+                     mode.c_str());
+        return 2;
+      }
+    } else if (args[i] == "--prune-seed" && i + 1 < args.size()) {
+      prune_seed = args[++i];
     } else if (args[i] == "--timeout-ms" && i + 1 < args.size()) {
       budget.deadline_ms = parse_u64_flag("--timeout-ms", args[++i]);
     } else if (args[i] == "--node-limit" && i + 1 < args.size()) {
@@ -188,6 +215,7 @@ int cmd_order(const std::vector<std::string>& args) {
     }
   }
   OVO_CHECK_MSG(!input.empty(), "order: missing input");
+  exec.prune = prune;  // after the loop: --threads rebuilds ExecPolicy
   const bool budgeted = !budget.unlimited();
   const LoadedInput loaded = load_input(input);
   if (!json) std::printf("input: %s\n", loaded.description.c_str());
@@ -239,6 +267,7 @@ int cmd_order(const std::vector<std::string>& args) {
   if (budgeted) ctx.gov = &gov;
   reorder::StrategyOptions sopt;
   sopt.kind = kind;
+  sopt.prune_seed = prune_seed;
   const reorder::StrategyResult r = strategy->run(f, sopt, ctx);
   const std::string outcome = rt::outcome_name(r.outcome);
   if (json) {
@@ -352,9 +381,10 @@ void usage() {
       stderr,
       "usage:\n"
       "  ovo order   [--zdd] [--strategy NAME] [--engine fs|bnb|quantum]\n"
-      "              [--shared] [--threads N] [--timeout-ms N]\n"
-      "              [--node-limit N] [--mem-limit-mb N] [--work-limit N]\n"
-      "              [--json] <input>\n"
+      "              [--shared] [--threads N] [--prune off|bounds]\n"
+      "              [--prune-seed sift|window|restarts|anneal|none]\n"
+      "              [--timeout-ms N] [--node-limit N] [--mem-limit-mb N]\n"
+      "              [--work-limit N] [--json] <input>\n"
       "  ovo size    --order v1,v2,... [--zdd] <input>\n"
       "  ovo compare [--threads N] <input>\n"
       "  ovo tables  [--k K] [--iters N]\n"

@@ -7,7 +7,10 @@
 # 300 s).  Any failure stops the script.
 #
 # Quick mode (--quick): default preset only, plus a governed smoke run of
-# the two scaling benches so the bench JSON surface is exercised too.
+# the two scaling benches so the bench JSON surface is exercised too —
+# the FS bench runs with --prune bounds and its rows must carry the
+# pruning ledger — and a CLI guard that a bound-pruned `ovo order` run
+# returns the identical order and size as the dense default.
 #
 # Both modes check that the strategy table in README.md (between the
 # `<!-- strategies:begin -->` / `<!-- strategies:end -->` markers) matches
@@ -66,16 +69,34 @@ if [[ "${QUICK}" -eq 1 ]]; then
   echo "==== quick: governed bench smoke ==========================="
   smoke_dir="$(mktemp -d)"
   trap 'rm -rf "${smoke_dir}"' EXIT
-  build/bench/bench_fs_scaling --work-limit 200000 \
+  build/bench/bench_fs_scaling --work-limit 200000 --prune bounds \
     --json "${smoke_dir}/fs.json"
   build/bench/bench_quantum_scaling --work-limit 200000 \
     --json "${smoke_dir}/quantum.json"
-  # The governed rows must carry the unified oracle counters and the
-  # ovo::par scheduler counters.
+  # The governed rows must carry the unified oracle counters, the
+  # ovo::par scheduler counters, and (FS, under --prune bounds) the
+  # bound-pruning ledger.
   grep -q '"oracle_memo_hits"' "${smoke_dir}/fs.json"
   grep -q '"oracle_memo_hits"' "${smoke_dir}/quantum.json"
   grep -q '"sched_barrier_wait_ns"' "${smoke_dir}/fs.json"
   grep -q '"sched_barrier_wait_ns"' "${smoke_dir}/quantum.json"
+  grep -q '"states_pruned"' "${smoke_dir}/fs.json"
+  grep -q '"prune_ratio"' "${smoke_dir}/fs.json"
+  echo "==== quick: bound-pruned bit-identity guard ================"
+  # `--prune bounds` must return the identical order and size as the
+  # dense default (`--prune off`); only the work ledger may differ.
+  smoke_fn="x1 & x2 | x3 & x4 | x5 & x6 | x7 & x8"
+  result_fields() {
+    grep -o '"nodes":[0-9]*\|"optimal":[a-z]*\|"order":\[[0-9,]*\]'
+  }
+  build/tools/ovo order --strategy fs --prune off --json "${smoke_fn}" \
+    | result_fields > "${smoke_dir}/dense.txt"
+  build/tools/ovo order --strategy fs --prune bounds --json "${smoke_fn}" \
+    | result_fields > "${smoke_dir}/pruned.txt"
+  diff "${smoke_dir}/dense.txt" "${smoke_dir}/pruned.txt"
+  # ...and the pruned CLI run must surface its ledger.
+  build/tools/ovo order --strategy fs --prune bounds --json "${smoke_fn}" \
+    | grep -q '"states_pruned"'
   echo "==== quick sweep green ====================================="
   exit 0
 fi
