@@ -5,23 +5,47 @@
 // All must agree on the optimum; the interesting columns are the work
 // counters, and for the pruned DP the fraction of the subset lattice it
 // never materializes.
+//
+// --json <path> writes the per-case rows as a JSON array, atomically
+// (temp file + fsync + rename), so an interrupted bench never leaves a
+// torn artifact.
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
 #include <numeric>
+#include <optional>
+#include <string>
 
 #include "core/minimize.hpp"
 #include "parallel/exec_policy.hpp"
 #include "reorder/annealing.hpp"
 #include "reorder/baselines.hpp"
 #include "reorder/branch_and_bound.hpp"
+#include "rt/checkpoint.hpp"
 #include "tt/function_zoo.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ovo;
   util::Xoshiro256 rng(2025);
+
+  std::string json_path;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+      json_path = argv[++i];
+  std::optional<rt::AtomicFileWriter> writer;
+  if (!json_path.empty()) {
+    try {
+      writer.emplace(json_path);
+    } catch (const rt::CheckpointError& e) {
+      std::fprintf(stderr, "cannot write '%s': %s\n", json_path.c_str(),
+                   e.what());
+      return 2;
+    }
+    std::fprintf(writer->stream(), "[\n");
+  }
 
   struct Case {
     const char* name;
@@ -46,7 +70,8 @@ int main() {
   pruned_exec.prune = par::PruneMode::kBounds;
 
   bool agree = true;
-  for (const Case& c : cases) {
+  for (std::size_t ci = 0; ci < cases.size(); ++ci) {
+    const Case& c = cases[ci];
     util::Timer t1;
     const core::MinimizeResult fs = core::fs_minimize(c.t);
     const double fs_ms = t1.millis();
@@ -76,6 +101,25 @@ int main() {
                 100.0 * fsp.ops.prune.prune_ratio(), fsp_ms,
                 bnb.states_expanded, bnb_ms,
                 bnb.states_pruned_bound + bnb.states_pruned_dominance);
+    if (writer) {
+      std::fprintf(writer->stream(),
+                   "  {\"function\": \"%s\", \"optimum\": %" PRIu64
+                   ", \"fs_cells\": %" PRIu64 ", \"fs_ms\": %.3f"
+                   ", \"fs_star_sparse_cells\": %" PRIu64
+                   ", \"prune_ratio\": %.4f, \"fs_star_ms\": %.3f"
+                   ", \"bnb_states\": %" PRIu64 ", \"bnb_ms\": %.3f"
+                   ", \"bnb_pruned\": %" PRIu64 "}%s\n",
+                   c.name, fs.min_internal_nodes, fs.ops.table_cells, fs_ms,
+                   fsp.ops.prune.sparse_cells, fsp.ops.prune.prune_ratio(),
+                   fsp_ms, bnb.states_expanded, bnb_ms,
+                   bnb.states_pruned_bound + bnb.states_pruned_dominance,
+                   ci + 1 < cases.size() ? "," : "");
+    }
+  }
+  if (writer) {
+    std::fprintf(writer->stream(), "]\n");
+    writer->commit();
+    std::printf("wrote %s\n", json_path.c_str());
   }
 
   std::printf("\nstochastic baselines on hwb(10) (optimum above):\n");

@@ -29,6 +29,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <numeric>
+#include <optional>
 #include <string>
 
 #include "core/minimize.hpp"
@@ -39,6 +40,7 @@
 #include "reorder/baselines.hpp"
 #include "reorder/minimize_auto.hpp"
 #include "rt/budget.hpp"
+#include "rt/checkpoint.hpp"
 #include "tt/function_zoo.hpp"
 #include "util/fit.hpp"
 #include "util/rng.hpp"
@@ -97,13 +99,20 @@ int main(int argc, char** argv) {
     std::printf("%3s %12s %8s %6s %10s %14s %9s %9s %12s\n", "n", "nodes",
                 "optimal", "layers", "outcome", "work units", "queries",
                 "memo hit", "time(s)");
+    // Atomic artifact: the rows stream to a temp file and only a
+    // committed run renames it over json_path, so a killed bench never
+    // leaves a torn JSON array.
+    std::optional<rt::AtomicFileWriter> writer;
     std::FILE* out = nullptr;
     if (!json_path.empty()) {
-      out = std::fopen(json_path.c_str(), "w");
-      if (out == nullptr) {
-        std::fprintf(stderr, "cannot write '%s'\n", json_path.c_str());
+      try {
+        writer.emplace(json_path);
+      } catch (const rt::CheckpointError& e) {
+        std::fprintf(stderr, "cannot write '%s': %s\n", json_path.c_str(),
+                     e.what());
         return 2;
       }
+      out = writer->stream();
       std::fprintf(out, "[\n");
     }
     const int kGovMaxN = 13;
@@ -164,7 +173,7 @@ int main(int argc, char** argv) {
     }
     if (out != nullptr) {
       std::fprintf(out, "]\n");
-      std::fclose(out);
+      writer->commit();
       std::printf("wrote %s\n", json_path.c_str());
     }
     std::printf("result: governed runs completed (growth fits skipped "
@@ -391,11 +400,17 @@ int main(int argc, char** argv) {
   }
 
   if (!json_path.empty()) {
-    std::FILE* out = std::fopen(json_path.c_str(), "w");
-    if (out == nullptr) {
-      std::fprintf(stderr, "cannot write '%s'\n", json_path.c_str());
+    // Same crash-atomic discipline as the governed path: commit or
+    // nothing.
+    std::optional<rt::AtomicFileWriter> writer;
+    try {
+      writer.emplace(json_path);
+    } catch (const rt::CheckpointError& e) {
+      std::fprintf(stderr, "cannot write '%s': %s\n", json_path.c_str(),
+                   e.what());
       return 2;
     }
+    std::FILE* out = writer->stream();
     std::fprintf(out, "[\n");
     for (std::size_t i = 0; i < ns.size(); ++i) {
       std::fprintf(out,
@@ -461,7 +476,7 @@ int main(int argc, char** argv) {
                    i + 1 < ablation.size() ? "," : "");
     }
     std::fprintf(out, "]\n");
-    std::fclose(out);
+    writer->commit();
     std::printf("wrote %s\n", json_path.c_str());
   }
 

@@ -1,0 +1,324 @@
+#include "core/fs_checkpoint.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/combinatorics.hpp"
+
+namespace ovo::core {
+
+namespace {
+
+using rt::ByteReader;
+using rt::ByteWriter;
+using rt::CheckpointError;
+using rt::CheckpointErrorKind;
+
+[[noreturn]] void malformed(const char* what) {
+  throw CheckpointError(CheckpointErrorKind::kMalformed, what);
+}
+
+/// FNV-1a over a little-endian integer of `bytes` bytes.
+void fnv_int(std::uint64_t& h, std::uint64_t v, int bytes) {
+  for (int i = 0; i < bytes; ++i) {
+    h ^= (v >> (8 * i)) & 0xFFu;
+    h *= 1099511628211ull;
+  }
+}
+
+std::uint64_t base_content_hash(const PrefixTable& base) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  fnv_int(h, static_cast<std::uint64_t>(base.n), 4);
+  fnv_int(h, base.vars, 8);
+  fnv_int(h, base.num_terminals, 4);
+  fnv_int(h, base.next_id, 4);
+  for (const std::uint32_t cell : base.cells) fnv_int(h, cell, 4);
+  return h;
+}
+
+void encode_prune_stats(ByteWriter& w, const PruneStats& p) {
+  w.u64(p.upper_bound);
+  w.u64(p.states_generated);
+  w.u64(p.states_pruned);
+  w.u64(p.states_dead);
+  w.u64(p.states_surviving);
+  w.u64(p.dense_cells);
+  w.u64(p.sparse_cells);
+}
+
+PruneStats decode_prune_stats(ByteReader& r) {
+  PruneStats p;
+  p.upper_bound = r.u64();
+  p.states_generated = r.u64();
+  p.states_pruned = r.u64();
+  p.states_dead = r.u64();
+  p.states_surviving = r.u64();
+  p.dense_cells = r.u64();
+  p.sparse_cells = r.u64();
+  return p;
+}
+
+void encode_ops(ByteWriter& w, const OpCounter& o) {
+  w.u64(o.table_cells);
+  w.u64(o.compactions);
+  w.u64(o.peak_cells);
+  w.u64(o.dedup.lookups);
+  w.u64(o.dedup.hits);
+  w.u64(o.dedup.inserts);
+  w.u64(o.dedup.resizes);
+  w.u64(o.dedup.probes);
+  for (int i = 0; i < 8; ++i) w.u64(o.dedup.probe_hist[i]);
+  encode_prune_stats(w, o.prune);
+}
+
+OpCounter decode_ops(ByteReader& r) {
+  OpCounter o;
+  o.table_cells = r.u64();
+  o.compactions = r.u64();
+  o.peak_cells = r.u64();
+  o.dedup.lookups = r.u64();
+  o.dedup.hits = r.u64();
+  o.dedup.inserts = r.u64();
+  o.dedup.resizes = r.u64();
+  o.dedup.probes = r.u64();
+  for (int i = 0; i < 8; ++i) o.dedup.probe_hist[i] = r.u64();
+  o.prune = decode_prune_stats(r);
+  return o;
+}
+
+util::Mask spread_dense(util::Mask dense, const std::vector<int>& j_vars) {
+  util::Mask K = 0;
+  util::for_each_bit(dense, [&](int b) {
+    K |= util::Mask{1} << j_vars[static_cast<std::size_t>(b)];
+  });
+  return K;
+}
+
+}  // namespace
+
+FsFingerprint fs_fingerprint(const PrefixTable& base, util::Mask J,
+                             int stop_k, DiagramKind kind,
+                             par::PruneMode prune) {
+  FsFingerprint fp;
+  fp.base_hash = base_content_hash(base);
+  fp.n = static_cast<std::uint32_t>(base.n);
+  fp.prefix_vars = base.vars;
+  fp.block = J;
+  fp.stop_k = static_cast<std::uint32_t>(stop_k);
+  fp.kind = static_cast<std::uint8_t>(kind);
+  fp.prune = static_cast<std::uint8_t>(prune);
+  return fp;
+}
+
+std::vector<std::uint8_t> encode_snapshot(const FsSnapshotView& view) {
+  OVO_CHECK(view.fingerprint != nullptr && view.dense != nullptr &&
+            view.tables != nullptr && view.best_last != nullptr &&
+            view.mincost != nullptr && view.prune != nullptr);
+  OVO_CHECK(view.dense->size() == view.tables->size());
+  ByteWriter w;
+  const FsFingerprint& fp = *view.fingerprint;
+  w.u64(fp.base_hash);
+  w.u32(fp.n);
+  w.u64(fp.prefix_vars);
+  w.u64(fp.block);
+  w.u32(fp.stop_k);
+  w.u8(fp.kind);
+  w.u8(fp.prune);
+  w.u32(view.num_terminals);
+  w.u32(static_cast<std::uint32_t>(view.layer));
+  w.u64(view.certified_lower_bound);
+  w.u64(view.work_charged);
+  w.u64(view.prune_upper_bound);
+  encode_prune_stats(w, *view.prune);
+  static const OpCounter kZeroOps{};
+  encode_ops(w, view.ops != nullptr ? *view.ops : kZeroOps);
+  w.u64(view.rng_seed);
+  static const std::string kEmpty;
+  w.str(view.seed_name != nullptr ? *view.seed_name : kEmpty);
+  if (view.seed_order != nullptr) {
+    w.u64(view.seed_order->size());
+    for (const int v : *view.seed_order)
+      w.u32(static_cast<std::uint32_t>(v));
+  } else {
+    w.u64(0);
+  }
+  static const FsSeedStats kZeroSeed{};
+  const FsSeedStats& ss =
+      view.seed_stats != nullptr ? *view.seed_stats : kZeroSeed;
+  w.u64(ss.queries);
+  w.u64(ss.evals);
+  w.u64(ss.memo_hits);
+  encode_ops(w, ss.ops);
+
+  // Layer tables, already in colex (ascending-mask) order in the engines.
+  w.u64(view.dense->size());
+  for (std::size_t i = 0; i < view.dense->size(); ++i) {
+    const PrefixTable& t = (*view.tables)[i];
+    w.u64((*view.dense)[i]);
+    w.u32(t.next_id);
+    w.u64(t.cells.size());
+    for (const std::uint32_t cell : t.cells) w.u32(cell);
+  }
+
+  // Map entries sorted by mask: deterministic bytes regardless of the
+  // unordered_map's iteration order.
+  std::vector<std::pair<util::Mask, int>> bl(view.best_last->begin(),
+                                             view.best_last->end());
+  std::sort(bl.begin(), bl.end());
+  w.u64(bl.size());
+  for (const auto& [mask, var] : bl) {
+    w.u64(mask);
+    w.u32(static_cast<std::uint32_t>(var));
+  }
+  std::vector<std::pair<util::Mask, std::uint64_t>> mc(view.mincost->begin(),
+                                                       view.mincost->end());
+  std::sort(mc.begin(), mc.end());
+  w.u64(mc.size());
+  for (const auto& [mask, cost] : mc) {
+    w.u64(mask);
+    w.u64(cost);
+  }
+  return w.take();
+}
+
+FsStarSnapshot decode_snapshot(const std::uint8_t* data, std::size_t len) {
+  ByteReader r(data, len);
+  FsStarSnapshot s;
+  FsFingerprint& fp = s.fingerprint;
+  fp.base_hash = r.u64();
+  fp.n = r.u32();
+  fp.prefix_vars = r.u64();
+  fp.block = r.u64();
+  fp.stop_k = r.u32();
+  fp.kind = r.u8();
+  fp.prune = r.u8();
+  if (fp.n < 1 || fp.n > 64) malformed("fingerprint n outside [1, 64]");
+  const util::Mask universe = util::full_mask(static_cast<int>(fp.n));
+  if ((fp.prefix_vars & ~universe) != 0)
+    malformed("fingerprint prefix outside the variable universe");
+  if ((fp.block & ~universe) != 0)
+    malformed("fingerprint block outside the variable universe");
+  if ((fp.prefix_vars & fp.block) != 0)
+    malformed("fingerprint block overlaps the prefix");
+  const int j_size = util::popcount(fp.block);
+  if (fp.stop_k > static_cast<std::uint32_t>(j_size))
+    malformed("fingerprint stop layer exceeds the block size");
+  if (fp.kind > 2) malformed("fingerprint diagram kind out of range");
+  if (fp.prune > 1) malformed("fingerprint prune mode out of range");
+
+  s.num_terminals = r.u32();
+  if (s.num_terminals < 1) malformed("num_terminals must be >= 1");
+  const std::uint32_t layer = r.u32();
+  if (layer > fp.stop_k) malformed("snapshot layer exceeds the stop layer");
+  s.layer = static_cast<int>(layer);
+  s.certified_lower_bound = r.u64();
+  s.work_charged = r.u64();
+  s.prune_upper_bound = r.u64();
+  s.prune = decode_prune_stats(r);
+  s.ops = decode_ops(r);
+  s.rng_seed = r.u64();
+  s.seed_name = r.str();
+  const std::uint64_t seed_len = r.array_count(4);
+  if (seed_len > 64) malformed("seed order longer than 64 variables");
+  s.seed_order.reserve(static_cast<std::size_t>(seed_len));
+  for (std::uint64_t i = 0; i < seed_len; ++i) {
+    const std::uint32_t v = r.u32();
+    if (v >= fp.n) malformed("seed order variable out of range");
+    s.seed_order.push_back(static_cast<int>(v));
+  }
+  s.seed_stats.queries = r.u64();
+  s.seed_stats.evals = r.u64();
+  s.seed_stats.memo_hits = r.u64();
+  s.seed_stats.ops = decode_ops(r);
+
+  const auto& binom = util::BinomialTable::instance();
+  const std::uint64_t layer_card =
+      binom.choose(j_size, static_cast<int>(layer));
+  const std::vector<int> j_vars = util::bits_of(fp.block);
+  const int free_count =
+      static_cast<int>(fp.n) - util::popcount(fp.prefix_vars);
+  if (static_cast<int>(layer) > free_count)
+    malformed("snapshot layer exceeds the base's free variables");
+  const std::uint64_t expected_cells =
+      std::uint64_t{1} << (free_count - static_cast<int>(layer));
+
+  const std::uint64_t n_tables = r.array_count(8 + 4 + 8);
+  // A dense snapshot must carry the *whole* layer; a pruned one carries
+  // at least one survivor (an empty layer would have tripped the
+  // incumbent-below-optimum check before any fence).
+  if (fp.prune == 0 && n_tables != layer_card)
+    malformed("dense snapshot does not cover its whole layer");
+  if (n_tables == 0 || n_tables > layer_card)
+    malformed("snapshot table count outside the layer's cardinality");
+  s.dense.reserve(static_cast<std::size_t>(n_tables));
+  s.tables.reserve(static_cast<std::size_t>(n_tables));
+  const util::Mask dense_universe = util::full_mask(j_size);
+  for (std::uint64_t i = 0; i < n_tables; ++i) {
+    const util::Mask d = r.u64();
+    if ((d & ~dense_universe) != 0)
+      malformed("layer mask outside the block's dense universe");
+    if (util::popcount(d) != static_cast<int>(layer))
+      malformed("layer mask cardinality disagrees with the layer");
+    if (!s.dense.empty() && d <= s.dense.back())
+      malformed("layer masks not strictly ascending");
+    PrefixTable t;
+    t.n = static_cast<int>(fp.n);
+    t.vars = fp.prefix_vars | spread_dense(d, j_vars);
+    t.num_terminals = s.num_terminals;
+    t.next_id = r.u32();
+    if (t.next_id < t.num_terminals)
+      malformed("table next_id below its terminal count");
+    const std::uint64_t n_cells = r.array_count(4);
+    if (n_cells != expected_cells)
+      malformed("table cell count disagrees with the fingerprint");
+    t.cells.reserve(static_cast<std::size_t>(n_cells));
+    for (std::uint64_t c = 0; c < n_cells; ++c) {
+      const std::uint32_t cell = r.u32();
+      if (cell >= t.next_id) malformed("table cell id out of range");
+      t.cells.push_back(cell);
+    }
+    s.dense.push_back(d);
+    s.tables.push_back(std::move(t));
+  }
+
+  const std::uint64_t n_bl = r.array_count(8 + 4);
+  s.best_last.reserve(static_cast<std::size_t>(n_bl));
+  for (std::uint64_t i = 0; i < n_bl; ++i) {
+    const util::Mask mask = r.u64();
+    const std::uint32_t var = r.u32();
+    if (mask == 0 || (mask & ~fp.block) != 0)
+      malformed("best-last mask outside the block");
+    if (!s.best_last.empty() && mask <= s.best_last.back().first)
+      malformed("best-last masks not strictly ascending");
+    if (var >= fp.n || (mask & (util::Mask{1} << var)) == 0)
+      malformed("best-last variable not a member of its mask");
+    s.best_last.emplace_back(mask, static_cast<int>(var));
+  }
+
+  const std::uint64_t n_mc = r.array_count(8 + 8);
+  s.mincost.reserve(static_cast<std::size_t>(n_mc));
+  for (std::uint64_t i = 0; i < n_mc; ++i) {
+    const util::Mask mask = r.u64();
+    const std::uint64_t cost = r.u64();
+    if ((mask & ~fp.block) != 0) malformed("mincost mask outside the block");
+    if (!s.mincost.empty() && mask <= s.mincost.back().first)
+      malformed("mincost masks not strictly ascending");
+    s.mincost.emplace_back(mask, cost);
+  }
+
+  if (!r.done()) malformed("trailing bytes after the snapshot payload");
+  return s;
+}
+
+void save_snapshot(const std::string& path,
+                   const std::vector<std::uint8_t>& payload) {
+  rt::save_checkpoint(path, kFsSnapshotVersion, payload);
+}
+
+FsStarSnapshot load_snapshot(const std::string& path) {
+  const rt::CheckpointData data =
+      rt::load_checkpoint(path, kFsSnapshotVersion, kFsSnapshotVersion);
+  return decode_snapshot(data.payload.data(), data.payload.size());
+}
+
+}  // namespace ovo::core

@@ -68,6 +68,76 @@ std::uint64_t engine_now_ns() {
 }
 
 // ---------------------------------------------------------------------------
+// Checkpoint/resume plumbing (see fs_checkpoint.hpp for the contract).
+
+/// Dispatch-resolved checkpoint plan handed to the engines: the caller's
+/// options plus the run's fingerprint and the effective pruning incumbent
+/// (recorded into every written snapshot so a resume prunes against the
+/// identical bound).
+struct CkptPlan {
+  const FsCheckpointOptions* opts = nullptr;
+  FsFingerprint fp;
+  std::uint32_t num_terminals = 2;
+  std::uint64_t prune_ub = 0;  ///< effective incumbent; 0 in dense mode
+
+  bool writes() const { return opts != nullptr && opts->writes(); }
+  const FsStarSnapshot* resume() const {
+    return opts != nullptr ? opts->resume : nullptr;
+  }
+};
+
+/// Emits one layer-fence snapshot from live engine state.  Only called at
+/// a fence of a barrier engine (dispatch forces barrier for writing
+/// runs), where `dense`/`tables` hold the completed layer, the result
+/// maps are published through it, and `ops`/`gov` hold merged totals.
+void emit_fence_snapshot(const CkptPlan& plan, int layer,
+                         const std::vector<util::Mask>& dense,
+                         const std::vector<PrefixTable>& tables,
+                         const FsStarResult& result, const OpCounter* ops,
+                         const rt::Governor* gov) {
+  FsSnapshotView v;
+  v.fingerprint = &plan.fp;
+  v.num_terminals = plan.num_terminals;
+  v.layer = layer;
+  v.dense = &dense;
+  v.tables = &tables;
+  v.best_last = &result.best_last;
+  v.mincost = &result.mincost;
+  v.prune = &result.prune;
+  v.certified_lower_bound = result.certified_lower_bound;
+  v.ops = ops;
+  v.work_charged = gov != nullptr ? gov->stats().work_units : 0;
+  v.prune_upper_bound = plan.prune_ub;
+  v.seed_order = &plan.opts->seed_order;
+  v.rng_seed = plan.opts->rng_seed;
+  v.seed_name = &plan.opts->seed_name;
+  v.seed_stats = &plan.opts->seed_stats;
+  const std::vector<std::uint8_t> payload = encode_snapshot(v);
+  if (plan.opts->on_bytes) plan.opts->on_bytes(payload);
+  if (!plan.opts->path.empty()) save_snapshot(plan.opts->path, payload);
+}
+
+/// True at a fence that should persist: the cadence hit (or a trip, which
+/// the engines handle separately).
+bool fence_due(const CkptPlan& plan, int layer, int stop_k) {
+  return plan.writes() && layer < stop_k && plan.opts->every > 0 &&
+         layer % plan.opts->every == 0;
+}
+
+/// Seeds a result with a snapshot's accumulated maps and ledgers.  The
+/// engine then replays layers `snapshot.layer + 1 ..` exactly as the
+/// uninterrupted run would have.
+void apply_resume(FsStarResult& result, const FsStarSnapshot& s) {
+  for (const auto& [mask, var] : s.best_last)
+    result.best_last.emplace(mask, var);
+  for (const auto& [mask, cost] : s.mincost)
+    result.mincost.emplace(mask, cost);
+  result.prune = s.prune;
+  result.certified_lower_bound = s.certified_lower_bound;
+  result.completed_layers = s.layer;
+}
+
+// ---------------------------------------------------------------------------
 // Bound-pruned mode: admissible per-state lower bounds and sparse layers.
 
 /// Free variables of `t` whose assignment can change a cell id.  Because
@@ -228,7 +298,7 @@ void best_last_for_subset_gated(
 FsStarResult fs_star_barrier(const PrefixTable& base, util::Mask J,
                              int stop_k, DiagramKind kind, OpCounter* ops,
                              int threads, std::uint64_t grain,
-                             rt::Governor* gov) {
+                             rt::Governor* gov, const CkptPlan& plan) {
   const int j_size = util::popcount(J);
   const std::vector<int> j_vars = util::bits_of(J);
   const auto& binom = util::BinomialTable::instance();
@@ -239,9 +309,19 @@ FsStarResult fs_star_barrier(const PrefixTable& base, util::Mask J,
 
   // Layer k holds one PrefixTable per k-subset of J, at the subset's
   // colex rank (over dense positions into j_vars).  Layer 0 is the base.
+  // A resume snapshot stands in for layers 0..snapshot.layer.
+  const FsStarSnapshot* resume = plan.resume();
+  const int start_layer = resume != nullptr ? resume->layer : 0;
   std::vector<PrefixTable> prev;
-  prev.push_back(base);
-  std::vector<util::Mask> prev_dense{util::Mask{0}};
+  std::vector<util::Mask> prev_dense;
+  if (resume != nullptr) {
+    apply_resume(result, *resume);
+    prev = resume->tables;  // copies: one snapshot may seed many runs
+    prev_dense = resume->dense;
+  } else {
+    prev.push_back(base);
+    prev_dense.push_back(util::Mask{0});
+  }
 
   // Per-thread-slot state: scratch tables so the inner loop's candidate
   // compaction reuses one buffer per thread, and OpCounter shards merged
@@ -251,10 +331,12 @@ FsStarResult fs_star_barrier(const PrefixTable& base, util::Mask J,
 
   const std::atomic<bool>* stop_flag =
       gov != nullptr ? gov->stop_flag() : nullptr;
-  std::uint64_t prev_resident = base.cells.size();
+  std::uint64_t prev_resident = 0;
+  for (const PrefixTable& t : prev) prev_resident += t.cells.size();
   std::uint64_t layer_work = 0;
   std::uint64_t serial_ns = 0;
-  for (int layer = 1; layer <= stop_k; ++layer) {
+  int last_snapshot_layer = -1;
+  for (int layer = start_layer + 1; layer <= stop_k; ++layer) {
     const std::uint64_t layer_size = binom.choose(j_size, layer);
     if (gov != nullptr) {
       // Deterministic pre-admission: the whole layer's cost is known in
@@ -332,7 +414,22 @@ FsStarResult fs_star_barrier(const PrefixTable& base, util::Mask J,
     result.completed_layers = layer;
     if (gov != nullptr) gov->charge(layer_work);
     if (fans_out) serial_ns += engine_now_ns() - epilogue_t0;
+    // Snapshot IO happens after charging, so a resumed run's first
+    // admit decision sees exactly the work total recorded here.
+    if (fence_due(plan, layer, stop_k)) {
+      emit_fence_snapshot(plan, layer, prev_dense, prev, result, ops, gov);
+      last_snapshot_layer = layer;
+    }
   }
+
+  // Trip snapshot: persist the deepest completed layer even off-cadence,
+  // so a budget/cancel trip never loses fence state.  Must run before
+  // extraction moves the tables out.
+  if (plan.writes() && plan.opts->on_trip &&
+      result.completed_layers < stop_k &&
+      result.completed_layers != last_snapshot_layer)
+    emit_fence_snapshot(plan, result.completed_layers, prev_dense, prev,
+                        result, ops, gov);
 
   const std::uint64_t extract_t0 = threads > 1 ? engine_now_ns() : 0;
   for (std::size_t r = 0; r < prev.size(); ++r)
@@ -380,7 +477,7 @@ constexpr std::uint64_t kMaxGroupsPerLayer = 512;
 FsStarResult fs_star_pipelined(const PrefixTable& base, util::Mask J,
                                int stop_k, DiagramKind kind, OpCounter* ops,
                                int threads, std::uint64_t grain,
-                               rt::Governor* gov) {
+                               rt::Governor* gov, const CkptPlan& plan) {
   const int j_size = util::popcount(J);
   const std::vector<int> j_vars = util::bits_of(J);
   const auto& binom = util::BinomialTable::instance();
@@ -388,14 +485,27 @@ FsStarResult fs_star_pipelined(const PrefixTable& base, util::Mask J,
   FsStarResult result;
   result.mincost.emplace(util::Mask{0}, base.mincost());
 
+  // Resume-only here: snapshot-writing runs take the barrier engine
+  // (fs_star dispatch), since this engine's ledger merges only after the
+  // DAG drains.  The snapshot's layer becomes the graph's seed layer.
+  const FsStarSnapshot* resume = plan.resume();
+  const int start_layer = resume != nullptr ? resume->layer : 0;
+  if (resume != nullptr) apply_resume(result, *resume);
+  std::uint64_t seed_resident = 0;
+  if (resume != nullptr)
+    for (const PrefixTable& t : resume->tables)
+      seed_resident += t.cells.size();
+  else
+    seed_resident = base.cells.size();
+
   // --- Serial pre-admission (see function comment). ---
-  int last_layer = 0;
+  int last_layer = start_layer;
   std::vector<std::uint64_t> layer_work(
       static_cast<std::size_t>(stop_k) + 1, 0);
   {
     std::uint64_t cum = 0;
-    std::uint64_t prev_res = base.cells.size();
-    for (int layer = 1; layer <= stop_k; ++layer) {
+    std::uint64_t prev_res = seed_resident;
+    for (int layer = start_layer + 1; layer <= stop_k; ++layer) {
       const std::uint64_t layer_size = binom.choose(j_size, layer);
       const std::uint64_t pred_cells =
           static_cast<std::uint64_t>(base.cells.size()) >> (layer - 1);
@@ -426,11 +536,19 @@ FsStarResult fs_star_pipelined(const PrefixTable& base, util::Mask J,
     par::TaskGraph::TaskId first_group = 0;
   };
   std::vector<Layer> layers(static_cast<std::size_t>(last_layer) + 1);
-  layers[0].dense.push_back(util::Mask{0});
-  layers[0].tables.push_back(base);
+  Layer& seed = layers[static_cast<std::size_t>(start_layer)];
+  if (resume != nullptr) {
+    seed.dense = resume->dense;
+    seed.tables = resume->tables;  // copies, as in the barrier engine
+  } else {
+    seed.dense.push_back(util::Mask{0});
+    seed.tables.push_back(base);
+  }
 
-  if (last_layer == 0) {
-    result.tables.emplace(util::Mask{0}, std::move(layers[0].tables[0]));
+  if (last_layer == start_layer) {
+    for (std::size_t r = 0; r < seed.tables.size(); ++r)
+      result.tables.emplace(spread_mask(seed.dense[r], j_vars),
+                            std::move(seed.tables[r]));
     return result;
   }
 
@@ -438,10 +556,10 @@ FsStarResult fs_star_pipelined(const PrefixTable& base, util::Mask J,
   std::vector<OpCounter> shards(static_cast<std::size_t>(threads));
 
   // Chained fence state: fences are serialized, so plain variables.
-  std::uint64_t fence_prev_resident = base.cells.size();
+  std::uint64_t fence_prev_resident = seed_resident;
 
   par::TaskGraph graph;
-  for (int layer = 1; layer <= last_layer; ++layer) {
+  for (int layer = start_layer + 1; layer <= last_layer; ++layer) {
     Layer& L = layers[static_cast<std::size_t>(layer)];
     Layer& P = layers[static_cast<std::size_t>(layer) - 1];
     const std::uint64_t layer_size = binom.choose(j_size, layer);
@@ -479,10 +597,11 @@ FsStarResult fs_star_pipelined(const PrefixTable& base, util::Mask J,
 
     // One range node per group; dependency edges to exactly the previous
     // layer's groups that hold this group's predecessors, deduplicated
-    // with a stamp array.  Layer 1's only predecessor is the base, which
-    // is not a task — its groups seed the ready queue.
+    // with a stamp array.  The first built layer's only predecessor is
+    // the seed (base or resume snapshot), which is not a task — its
+    // groups seed the ready queue.
     std::vector<std::uint32_t> stamp(
-        layer >= 2 ? static_cast<std::size_t>(P.n_groups) : 0,
+        layer >= start_layer + 2 ? static_cast<std::size_t>(P.n_groups) : 0,
         std::numeric_limits<std::uint32_t>::max());
     for (std::uint64_t g = 0; g < L.n_groups; ++g) {
       const std::uint64_t lo = g * group;
@@ -490,7 +609,7 @@ FsStarResult fs_star_pipelined(const PrefixTable& base, util::Mask J,
           lo + group < layer_size ? lo + group : layer_size;
       const par::TaskGraph::TaskId id = graph.add_range(lo, hi, grain, body);
       if (g == 0) L.first_group = id;
-      if (layer < 2) continue;
+      if (layer < start_layer + 2) continue;
       for (std::uint64_t r = lo; r < hi; ++r) {
         util::for_each_bit(L.dense[static_cast<std::size_t>(r)], [&](int b) {
           const util::Mask pd =
@@ -579,7 +698,7 @@ FsStarResult fs_star_pruned_barrier(const PrefixTable& base, util::Mask J,
                                     int stop_k, DiagramKind kind,
                                     OpCounter* ops, int threads,
                                     std::uint64_t grain, rt::Governor* gov,
-                                    std::uint64_t ub) {
+                                    std::uint64_t ub, const CkptPlan& plan) {
   const int j_size = util::popcount(J);
   const std::vector<int> j_vars = util::bits_of(J);
   const auto& binom = util::BinomialTable::instance();
@@ -594,24 +713,39 @@ FsStarResult fs_star_pruned_barrier(const PrefixTable& base, util::Mask J,
   const std::uint64_t final_cells =
       static_cast<std::uint64_t>(base.cells.size()) >> j_size;
 
+  // A resume snapshot's packed survivors stand in for layers
+  // 0..snapshot.layer; its ledger (including the restored layer-fence
+  // lower bound) replaces the layer-0 certification below.
+  const FsStarSnapshot* resume = plan.resume();
+  const int start_layer = resume != nullptr ? resume->layer : 0;
   std::vector<PrefixTable> prev;
-  prev.push_back(base);
-  std::vector<util::Mask> prev_dense{util::Mask{0}};
+  std::vector<util::Mask> prev_dense;
 
   std::vector<PrefixTable> scratch(static_cast<std::size_t>(threads));
   std::vector<OpCounter> shards(static_cast<std::size_t>(threads));
   std::vector<BoundScratch> bounds(static_cast<std::size_t>(threads));
 
-  // The run may trip before layer 1: layer 0's bound is still certified.
-  result.certified_lower_bound =
-      base.mincost() +
-      completion_bound(base, J, base_support, final_cells, bounds[0]);
+  if (resume != nullptr) {
+    apply_resume(result, *resume);
+    prev = resume->tables;  // copies: one snapshot may seed many runs
+    prev_dense = resume->dense;
+  } else {
+    prev.push_back(base);
+    prev_dense.push_back(util::Mask{0});
+    // The run may trip before layer 1: layer 0's bound is still
+    // certified.
+    result.certified_lower_bound =
+        base.mincost() +
+        completion_bound(base, J, base_support, final_cells, bounds[0]);
+  }
 
   const std::atomic<bool>* stop_flag =
       gov != nullptr ? gov->stop_flag() : nullptr;
-  std::uint64_t prev_resident = base.cells.size();
+  std::uint64_t prev_resident = 0;
+  for (const PrefixTable& t : prev) prev_resident += t.cells.size();
   std::uint64_t serial_ns = 0;
-  for (int layer = 1; layer <= stop_k; ++layer) {
+  int last_snapshot_layer = -1;
+  for (int layer = start_layer + 1; layer <= stop_k; ++layer) {
     const std::uint64_t layer_size = binom.choose(j_size, layer);
     const std::uint64_t pred_cells =
         static_cast<std::uint64_t>(base.cells.size()) >> (layer - 1);
@@ -724,7 +858,22 @@ FsStarResult fs_star_pruned_barrier(const PrefixTable& base, util::Mask J,
     result.completed_layers = layer;
     if (gov != nullptr) gov->charge(layer_work);
     if (fans_out) serial_ns += engine_now_ns() - epilogue_t0;
+    if (fence_due(plan, layer, stop_k)) {
+      emit_fence_snapshot(plan, layer, prev_dense, prev, result, ops, gov);
+      last_snapshot_layer = layer;
+    }
   }
+
+  // Trip snapshot, emitted BEFORE the final prune-ledger merge into
+  // `ops`: fence-time ops never include the merge (it happens once, at
+  // engine end), so a resumed run — which restores snapshot.ops and
+  // result.prune, then merges at its own end — reproduces the
+  // uninterrupted run's final totals exactly.
+  if (plan.writes() && plan.opts->on_trip &&
+      result.completed_layers < stop_k &&
+      result.completed_layers != last_snapshot_layer)
+    emit_fence_snapshot(plan, result.completed_layers, prev_dense, prev,
+                        result, ops, gov);
 
   const std::uint64_t extract_t0 = threads > 1 ? engine_now_ns() : 0;
   for (std::size_t r = 0; r < prev.size(); ++r)
@@ -757,7 +906,8 @@ FsStarResult fs_star_pruned_pipelined(const PrefixTable& base, util::Mask J,
                                       int stop_k, DiagramKind kind,
                                       OpCounter* ops, int threads,
                                       std::uint64_t grain, rt::Governor* gov,
-                                      std::uint64_t ub) {
+                                      std::uint64_t ub,
+                                      const CkptPlan& plan) {
   const int j_size = util::popcount(J);
   const std::vector<int> j_vars = util::bits_of(J);
   const auto& binom = util::BinomialTable::instance();
@@ -782,23 +932,52 @@ FsStarResult fs_star_pruned_pipelined(const PrefixTable& base, util::Mask J,
     par::TaskGraph::TaskId first_group = 0;
   };
   std::vector<Layer> layers(static_cast<std::size_t>(stop_k) + 1);
-  layers[0].dense.push_back(util::Mask{0});
-  layers[0].tables.push_back(base);
-  layers[0].status.push_back(kStateAlive);
 
   std::vector<PrefixTable> scratch(static_cast<std::size_t>(threads));
   std::vector<OpCounter> shards(static_cast<std::size_t>(threads));
   std::vector<BoundScratch> bounds(static_cast<std::size_t>(threads));
 
-  result.certified_lower_bound =
-      base.mincost() +
-      completion_bound(base, J, base_support, final_cells, bounds[0]);
-
-  // Chained fence state: fences are serialized, so plain variables.
-  std::uint64_t fence_prev_resident = base.cells.size();
+  // Resume-only here (writing runs take the barrier engine).  The seed
+  // layer must be rank-indexed like every other layer of this engine, so
+  // the snapshot's packed survivors are scattered back to their colex
+  // slots; non-survivors keep empty tables and a kStatePruned gate.
+  const FsStarSnapshot* resume = plan.resume();
+  const int start_layer = resume != nullptr ? resume->layer : 0;
+  std::uint64_t fence_prev_resident = 0;
+  Layer& seed = layers[static_cast<std::size_t>(start_layer)];
+  if (resume != nullptr) {
+    apply_resume(result, *resume);
+    const std::uint64_t seed_card =
+        binom.choose(j_size, start_layer);
+    seed.dense.reserve(static_cast<std::size_t>(seed_card));
+    util::for_each_subset_of_size(j_size, start_layer, [&](util::Mask m) {
+      seed.dense.push_back(m);
+    });
+    seed.tables.resize(static_cast<std::size_t>(seed_card));
+    seed.status.assign(static_cast<std::size_t>(seed_card), kStatePruned);
+    std::size_t si = 0;
+    for (std::size_t r = 0; r < seed.dense.size(); ++r) {
+      if (si < resume->dense.size() && resume->dense[si] == seed.dense[r]) {
+        seed.tables[r] = resume->tables[si];
+        seed.status[r] = kStateAlive;
+        fence_prev_resident += seed.tables[r].cells.size();
+        ++si;
+      }
+    }
+    OVO_CHECK_MSG(si == resume->dense.size(),
+                  "fs_star: snapshot survivor outside its layer");
+  } else {
+    seed.dense.push_back(util::Mask{0});
+    seed.tables.push_back(base);
+    seed.status.push_back(kStateAlive);
+    result.certified_lower_bound =
+        base.mincost() +
+        completion_bound(base, J, base_support, final_cells, bounds[0]);
+    fence_prev_resident = base.cells.size();
+  }
 
   par::TaskGraph graph;
-  for (int layer = 1; layer <= stop_k; ++layer) {
+  for (int layer = start_layer + 1; layer <= stop_k; ++layer) {
     Layer& L = layers[static_cast<std::size_t>(layer)];
     Layer& P = layers[static_cast<std::size_t>(layer) - 1];
     const std::uint64_t layer_size = binom.choose(j_size, layer);
@@ -854,7 +1033,7 @@ FsStarResult fs_star_pruned_pipelined(const PrefixTable& base, util::Mask J,
     // predecessors.  Prune fates are not known at build time, so edges
     // are conservative; a dead group body costs one status sweep.
     std::vector<std::uint32_t> stamp(
-        layer >= 2 ? static_cast<std::size_t>(P.n_groups) : 0,
+        layer >= start_layer + 2 ? static_cast<std::size_t>(P.n_groups) : 0,
         std::numeric_limits<std::uint32_t>::max());
     for (std::uint64_t g = 0; g < L.n_groups; ++g) {
       const std::uint64_t lo = g * group;
@@ -862,7 +1041,7 @@ FsStarResult fs_star_pruned_pipelined(const PrefixTable& base, util::Mask J,
           lo + group < layer_size ? lo + group : layer_size;
       const par::TaskGraph::TaskId id = graph.add_range(lo, hi, grain, body);
       if (g == 0) L.first_group = id;
-      if (layer < 2) continue;
+      if (layer < start_layer + 2) continue;
       for (std::uint64_t r = lo; r < hi; ++r) {
         util::for_each_bit(L.dense[static_cast<std::size_t>(r)], [&](int b) {
           const util::Mask pd =
@@ -966,8 +1145,7 @@ FsStarResult fs_star_pruned_pipelined(const PrefixTable& base, util::Mask J,
 
   Layer& last = layers[static_cast<std::size_t>(result.completed_layers)];
   for (std::size_t r = 0; r < last.tables.size(); ++r) {
-    if (result.completed_layers > 0 && last.status[r] != kStateAlive)
-      continue;
+    if (last.status[r] != kStateAlive) continue;  // pruned/dead slot
     result.tables.emplace(spread_mask(last.dense[r], j_vars),
                           std::move(last.tables[r]));
   }
@@ -1019,7 +1197,8 @@ std::uint64_t ascending_chain_bound(const PrefixTable& base, util::Mask J,
 FsStarResult fs_star(const PrefixTable& base, util::Mask J, int stop_k,
                      DiagramKind kind, OpCounter* ops,
                      const par::ExecPolicy& exec, rt::Governor* gov,
-                     std::uint64_t prune_upper_bound) {
+                     std::uint64_t prune_upper_bound,
+                     const FsCheckpointOptions* ckpt) {
   OVO_CHECK_MSG((base.vars & J) == 0, "fs_star: J overlaps prefix I");
   OVO_CHECK_MSG(util::is_subset(J, util::full_mask(base.n)),
                 "fs_star: J outside variable universe");
@@ -1050,37 +1229,74 @@ FsStarResult fs_star(const PrefixTable& base, util::Mask J, int stop_k,
   // stop-layer subset, which pruning deliberately violates.
   const bool prune = exec.prune == par::PruneMode::kBounds &&
                      stop_k == j_size && j_size > 0;
+
+  // Checkpoint plan: fingerprint the run, validate a resume snapshot
+  // against it (a mismatch is the *caller's* instance error, so it is a
+  // typed CheckpointError, not an OVO_CHECK), and restore the fence
+  // ledgers once, at this serial point — every later charge and admit
+  // then replays the uninterrupted run's decisions bit for bit.
+  CkptPlan plan;
+  if (ckpt != nullptr && ckpt->active()) {
+    plan.opts = ckpt;
+    plan.num_terminals = base.num_terminals;
+    plan.fp = fs_fingerprint(
+        base, J, stop_k, kind,
+        prune ? par::PruneMode::kBounds : par::PruneMode::kOff);
+    if (ckpt->resume != nullptr) {
+      if (!(ckpt->resume->fingerprint == plan.fp))
+        throw rt::CheckpointError(
+            rt::CheckpointErrorKind::kWrongInstance,
+            "checkpoint: snapshot fingerprint does not match this run "
+            "(different function, block, stop layer, kind, or prune mode)");
+      if (ops != nullptr) *ops += ckpt->resume->ops;
+      if (gov != nullptr) gov->restore_work(ckpt->resume->work_charged);
+    }
+  }
+  const FsStarSnapshot* resume = plan.resume();
+
   if (prune) {
+    // A resume snapshot carries the *effective* incumbent of the original
+    // run (post self-seed), so resuming neither re-seeds nor re-runs the
+    // ascending chain — bounds and ops replay identically.
     const std::uint64_t ub =
-        prune_upper_bound != 0 ? prune_upper_bound
-                               : ascending_chain_bound(base, J, kind, ops);
+        resume != nullptr
+            ? resume->prune_upper_bound
+            : (prune_upper_bound != 0
+                   ? prune_upper_bound
+                   : ascending_chain_bound(base, J, kind, ops));
+    plan.prune_ub = ub;
     // Sparse admission counts exist only at serial layer boundaries, so
     // deterministic budget limits force the barrier engine (see
     // Budget::deterministic_limits); deadline/cancel-only budgets keep
-    // their per-chunk polling on either engine.
+    // their per-chunk polling on either engine.  Snapshot-writing runs
+    // also need the barrier engine: only its fences hold a merged,
+    // fence-consistent ledger (the pipelined engine merges shards once,
+    // after the DAG drains).
     const bool may_pipeline =
-        exec.pipeline && threads > 1 &&
+        exec.pipeline && threads > 1 && !plan.writes() &&
         !(gov != nullptr && gov->budget().deterministic_limits());
     if (may_pipeline)
       return fs_star_pruned_pipelined(base, J, stop_k, kind, ops, threads,
-                                      grain, gov, ub);
+                                      grain, gov, ub, plan);
     return fs_star_pruned_barrier(base, J, stop_k, kind, ops, threads,
-                                  grain, gov, ub);
+                                  grain, gov, ub, plan);
   }
 
-  if (exec.pipeline && threads > 1 && stop_k > 0)
+  if (exec.pipeline && threads > 1 && stop_k > 0 && !plan.writes())
     return fs_star_pipelined(base, J, stop_k, kind, ops, threads, grain,
-                             gov);
-  return fs_star_barrier(base, J, stop_k, kind, ops, threads, grain, gov);
+                             gov, plan);
+  return fs_star_barrier(base, J, stop_k, kind, ops, threads, grain, gov,
+                         plan);
 }
 
 PrefixTable fs_star_full(const PrefixTable& base, util::Mask J,
                          DiagramKind kind, OpCounter* ops,
                          std::vector<int>* block_order_bottom_up,
                          const par::ExecPolicy& exec,
-                         std::uint64_t prune_upper_bound) {
+                         std::uint64_t prune_upper_bound,
+                         const FsCheckpointOptions* ckpt) {
   FsStarResult r = fs_star(base, J, util::popcount(J), kind, ops, exec,
-                           nullptr, prune_upper_bound);
+                           nullptr, prune_upper_bound, ckpt);
   if (block_order_bottom_up != nullptr)
     *block_order_bottom_up = reconstruct_block_order(r, J);
   auto it = r.tables.find(J);

@@ -51,6 +51,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/fs_checkpoint.hpp"
 #include "core/prefix_table.hpp"
 #include "parallel/exec_policy.hpp"
 #include "rt/budget.hpp"
@@ -117,18 +118,32 @@ struct FsStarResult {
 /// "self-seed" (one ascending-order chain over J).  Ignored in dense
 /// mode.  Passing a bound below the true optimum is a contract violation
 /// (every state could be pruned) and is caught by an OVO_CHECK.
+///
+/// `ckpt` (optional) turns on durable checkpoint/resume (see
+/// fs_checkpoint.hpp): with a path (or byte hook), a snapshot of the full
+/// fence state is emitted at each qualifying layer fence and on a
+/// governor trip; with a resume snapshot, the DP restarts from that fence
+/// and replays the remaining layers bit-identically — same order, sizes,
+/// tie-breaks, ledgers (`*ops` gains the snapshot's fence totals, `gov`
+/// is credited the snapshot's charged work), at any thread count.
+/// Snapshot-writing runs take the barrier engines, whose fences hold a
+/// merged ledger; resume works on every engine.  A snapshot whose
+/// fingerprint does not match (base, J, stop_k, kind, effective prune
+/// mode) throws rt::CheckpointError(kWrongInstance).
 FsStarResult fs_star(const PrefixTable& base, util::Mask J, int stop_k,
                      DiagramKind kind, OpCounter* ops = nullptr,
                      const par::ExecPolicy& exec = {},
                      rt::Governor* gov = nullptr,
-                     std::uint64_t prune_upper_bound = 0);
+                     std::uint64_t prune_upper_bound = 0,
+                     const FsCheckpointOptions* ckpt = nullptr);
 
 /// Convenience: run to completion and return the single FS(<I, J>) table.
 PrefixTable fs_star_full(const PrefixTable& base, util::Mask J,
                          DiagramKind kind, OpCounter* ops = nullptr,
                          std::vector<int>* block_order_bottom_up = nullptr,
                          const par::ExecPolicy& exec = {},
-                         std::uint64_t prune_upper_bound = 0);
+                         std::uint64_t prune_upper_bound = 0,
+                         const FsCheckpointOptions* ckpt = nullptr);
 
 /// Recovers the optimal within-block variable order of J from the DP
 /// back-pointers: result[0] is the variable at the lowest level of the

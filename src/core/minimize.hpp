@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/fs_checkpoint.hpp"
 #include "core/prefix_table.hpp"
 #include "parallel/exec_policy.hpp"
 #include "tt/truth_table.hpp"
@@ -32,11 +33,13 @@ struct MinimizeResult {
 /// results are identical for every thread count.  With exec.prune ==
 /// PruneMode::kBounds, `prune_upper_bound` seeds the DP's pruning
 /// incumbent (0 self-seeds; see fs_star) — the result is still exact and
-/// bit-identical to the dense run.
+/// bit-identical to the dense run.  `ckpt` enables durable
+/// checkpoint/resume of the DP (see fs_star / fs_checkpoint.hpp).
 MinimizeResult fs_minimize(const tt::TruthTable& f,
                            DiagramKind kind = DiagramKind::kBdd,
                            const par::ExecPolicy& exec = {},
-                           std::uint64_t prune_upper_bound = 0);
+                           std::uint64_t prune_upper_bound = 0,
+                           const FsCheckpointOptions* ckpt = nullptr);
 
 /// Exact minimum ZDD ordering (Appendix D adaptation).
 inline MinimizeResult fs_minimize_zdd(const tt::TruthTable& f,

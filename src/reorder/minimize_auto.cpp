@@ -103,18 +103,59 @@ rt::Result<AutoMinimizeResult> minimize_auto(
   // Stage 0 (pruned mode only): seed the DP's pruning incumbent by
   // running the configured cheap heuristic through the shared governed
   // oracle.  Its order is also a salvage candidate, and its evaluations
-  // land in the memo the later heuristic stages reuse.
+  // land in the memo the later heuristic stages reuse.  A resumed run
+  // skips the stage entirely: the snapshot carries the seed order and
+  // the effective incumbent (and the governor is credited the original
+  // run's charges inside fs_star), so the replay stays bit-identical.
   PruneSeedResult seeded;
-  if (options.exec.prune == par::PruneMode::kBounds)
+  const core::FsStarSnapshot* resume = options.ckpt.resume;
+  if (resume != nullptr) {
+    seeded.order_root_first = resume->seed_order;
+    seeded.upper_bound = resume->prune_upper_bound;
+  } else if (options.exec.prune == par::PruneMode::kBounds) {
     seeded = seed_prune_bound(oracle, options.prune_seed,
                               options.sift_max_passes, options.restarts,
                               options.restart_seed, ctx);
+  }
+
+  // Snapshots written from here carry the seed provenance, so a future
+  // resume can skip stage 0 yet keep the seed order as a salvage
+  // candidate.  A resumed writing run propagates the original
+  // provenance.
+  core::FsCheckpointOptions ckpt = options.ckpt;
+  if (resume != nullptr) {
+    ckpt.seed_order = resume->seed_order;
+    ckpt.rng_seed = resume->rng_seed;
+    ckpt.seed_name = resume->seed_name;
+    ckpt.seed_stats = resume->seed_stats;
+  } else if (options.exec.prune == par::PruneMode::kBounds) {
+    ckpt.seed_order = seeded.order_root_first;
+    ckpt.rng_seed = options.restart_seed;
+    ckpt.seed_name = options.prune_seed;
+    const OracleStats after_seed = oracle.stats();
+    ckpt.seed_stats.queries = after_seed.queries;
+    ckpt.seed_stats.evals = after_seed.evals;
+    ckpt.seed_stats.memo_hits = after_seed.memo_hits;
+    ckpt.seed_stats.ops = after_seed.ops;
+  }
+
+  // The skipped seed stage's counters still belong in the reported
+  // ledger: with them restored, a resumed run's totals equal the
+  // uninterrupted run's.
+  const auto restore_seed_ledger = [&](OracleStats* st) {
+    if (resume == nullptr) return;
+    st->queries += resume->seed_stats.queries;
+    st->evals += resume->seed_stats.evals;
+    st->memo_hits += resume->seed_stats.memo_hits;
+    st->ops += resume->seed_stats.ops;
+  };
 
   // Stage 1: the exact DP, layer-admitted against the budget.
   const util::Mask all = util::full_mask(n);
   core::FsStarResult dp =
       core::fs_star(oracle.base(), all, n, options.kind, &v.ops,
-                    options.exec, &gov, seeded.upper_bound);
+                    options.exec, &gov, seeded.upper_bound,
+                    ckpt.active() ? &ckpt : nullptr);
   v.dp_layers_completed = dp.completed_layers;
 
   if (dp.completed_layers == n) {
@@ -124,6 +165,7 @@ rt::Result<AutoMinimizeResult> minimize_auto(
     v.lower_bound = v.internal_nodes;
     v.optimal = true;
     v.oracle = oracle.stats();
+    restore_seed_ledger(&v.oracle);
     v.sched = par::sched_stats() - sched_before;
     out.outcome = rt::Outcome::kComplete;
     out.stats = gov.stats();
@@ -188,6 +230,7 @@ rt::Result<AutoMinimizeResult> minimize_auto(
   }
 
   v.oracle = oracle.stats();
+  restore_seed_ledger(&v.oracle);
   v.sched = par::sched_stats() - sched_before;
   out.outcome = gov.outcome();
   out.stats = gov.stats();

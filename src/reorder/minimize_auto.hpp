@@ -46,6 +46,12 @@ struct AutoMinimizeOptions {
   /// PruneMode::kBounds (see seed_prune_bound); ignored in dense mode.
   std::string prune_seed = "sift";
   par::ExecPolicy exec{};
+  /// Checkpoint/resume for the exact DP stage (core::fs_star).  With a
+  /// resume snapshot the ladder skips its seeding stage — the snapshot
+  /// carries the seed order and the effective pruning incumbent — so the
+  /// resumed DP replays the uninterrupted run bit for bit.  Written
+  /// snapshots record the seed provenance for exactly that hand-off.
+  core::FsCheckpointOptions ckpt{};
 };
 
 struct AutoMinimizeResult {

@@ -27,8 +27,11 @@ std::vector<int> identity_order(int n) {
   return order;
 }
 
-/// Stamps the governed outcome/accounting; every strategy ends here.
+/// Stamps the governed outcome/accounting and the trivial optimality
+/// certificate; every strategy (except `auto`, which has its own
+/// partial-DP bound) ends here.
 void finish(StrategyResult* r, const EvalContext& ctx) {
+  if (r->optimal) r->lower_bound = r->internal_nodes;
   if (ctx.gov != nullptr) {
     r->outcome = ctx.gov->outcome();
     r->run = ctx.gov->stats();
@@ -40,19 +43,44 @@ StrategyResult run_fs(const tt::TruthTable& f, const StrategyOptions& o,
   StrategyResult r;
   // Bound-pruned runs seed the incumbent from the configured cheap
   // heuristic; ungoverned like the DP itself (budgets are `auto`'s job).
+  // A resumed run skips seeding — the snapshot carries the effective
+  // incumbent and the original seed's provenance.
+  core::FsCheckpointOptions ckpt = o.ckpt;
   std::uint64_t prune_ub = 0;
-  if (ctx.exec.prune == par::PruneMode::kBounds && o.prune_seed != "none") {
+  if (o.ckpt.resume != nullptr) {
+    const core::FsSeedStats& ss = o.ckpt.resume->seed_stats;
+    ckpt.seed_order = o.ckpt.resume->seed_order;
+    ckpt.rng_seed = o.ckpt.resume->rng_seed;
+    ckpt.seed_name = o.ckpt.resume->seed_name;
+    ckpt.seed_stats = ss;
+    // Report the skipped seed stage's ledger as if it had run.
+    r.oracle.queries = ss.queries;
+    r.oracle.evals = ss.evals;
+    r.oracle.memo_hits = ss.memo_hits;
+    r.oracle.ops = ss.ops;
+  } else if (ctx.exec.prune == par::PruneMode::kBounds &&
+             o.prune_seed != "none") {
     CostOracle oracle(f, o.kind);
     EvalContext seed_ctx;
     seed_ctx.exec = ctx.exec;
-    prune_ub = seed_prune_bound(oracle, o.prune_seed, o.max_passes,
-                                o.restarts, o.seed, seed_ctx)
-                   .upper_bound;
+    const PruneSeedResult seeded =
+        seed_prune_bound(oracle, o.prune_seed, o.max_passes, o.restarts,
+                         o.seed, seed_ctx);
+    prune_ub = seeded.upper_bound;
+    ckpt.seed_order = seeded.order_root_first;
+    ckpt.rng_seed = o.seed;
+    ckpt.seed_name = o.prune_seed;
     r.oracle = oracle.stats();
+    ckpt.seed_stats.queries = r.oracle.queries;
+    ckpt.seed_stats.evals = r.oracle.evals;
+    ckpt.seed_stats.memo_hits = r.oracle.memo_hits;
+    ckpt.seed_stats.ops = r.oracle.ops;
   }
   // The plain DP has no graceful degradation; `auto` is the governed
   // exact path.  A budget on ctx is ignored here by design.
-  core::MinimizeResult m = core::fs_minimize(f, o.kind, ctx.exec, prune_ub);
+  core::MinimizeResult m =
+      core::fs_minimize(f, o.kind, ctx.exec, prune_ub,
+                        ckpt.active() ? &ckpt : nullptr);
   r.order_root_first = std::move(m.order_root_first);
   r.internal_nodes = m.min_internal_nodes;
   r.optimal = true;
@@ -68,6 +96,7 @@ StrategyResult run_auto(const tt::TruthTable& f, const StrategyOptions& o,
   ao.sift_max_passes = o.max_passes;
   ao.prune_seed = o.prune_seed;
   ao.exec = ctx.exec;
+  ao.ckpt = o.ckpt;
   const rt::Result<AutoMinimizeResult> res =
       ctx.gov != nullptr ? minimize_auto(f, *ctx.gov, ao)
                          : minimize_auto(f, rt::Budget{}, ao);
@@ -75,6 +104,7 @@ StrategyResult run_auto(const tt::TruthTable& f, const StrategyOptions& o,
   r.order_root_first = res.value.order_root_first;
   r.internal_nodes = res.value.internal_nodes;
   r.optimal = res.value.optimal;
+  r.lower_bound = res.value.lower_bound;
   r.outcome = res.outcome;
   r.oracle = res.value.oracle;
   r.oracle.ops += res.value.ops;  // DP + salvage work joins the ledger

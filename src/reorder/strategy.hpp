@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "core/fs_checkpoint.hpp"
 #include "core/prefix_table.hpp"
 #include "reorder/eval_context.hpp"
 #include "rt/budget.hpp"
@@ -45,6 +46,9 @@ struct StrategyOptions {
   /// (default), "window", "restarts", "anneal", or "none" (self-seed).
   /// Ignored when pruning is off.
   std::string prune_seed = "sift";
+  /// Checkpoint/resume for the exact DP inside `fs` and `auto` (see
+  /// core::FsCheckpointOptions); ignored by every other strategy.
+  core::FsCheckpointOptions ckpt{};
 };
 
 struct StrategyResult {
@@ -54,6 +58,10 @@ struct StrategyResult {
   std::uint64_t internal_nodes = 0;
   /// True iff the order is proven optimal for the requested kind.
   bool optimal = false;
+  /// Certified lower bound on the optimal size: equals internal_nodes
+  /// when optimal; on a tripped `auto` run, the deepest completed DP
+  /// layer's proven bound; otherwise 0 (no certificate).
+  std::uint64_t lower_bound = 0;
   /// Why the run ended (kComplete unless a governor intervened).
   rt::Outcome outcome = rt::Outcome::kComplete;
   /// Unified cost-oracle counters (see eval_context.hpp).

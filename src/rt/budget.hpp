@@ -158,6 +158,13 @@ class Governor {
   /// Returns true iff hard-stopped.  Safe to call from parallel bodies.
   bool poll();
 
+  /// Credits work a *previous* run already performed (a resumed
+  /// checkpoint's ledger) without running a checkpoint, so every
+  /// subsequent admit/charge decision matches the uninterrupted run
+  /// bit for bit.  Call once, at a serial point, before the resumed
+  /// engine starts.
+  void restore_work(std::uint64_t units);
+
   /// True once a hard stop (cancel / wall deadline) has been recorded.
   bool stopped() const { return stop_.load(std::memory_order_relaxed); }
 

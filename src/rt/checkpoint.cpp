@@ -1,0 +1,273 @@
+#include "rt/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ovo::rt {
+
+namespace {
+
+constexpr char kMagic[8] = {'O', 'V', 'O', 'C', 'K', 'P', 'T', '\0'};
+constexpr std::size_t kHeaderSize = 8 + 4 + 8 + 4;
+
+[[noreturn]] void io_error(const std::string& what) {
+  throw CheckpointError(CheckpointErrorKind::kIo,
+                        what + ": " + std::strerror(errno));
+}
+
+std::string dir_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void put_u64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+const char* checkpoint_error_name(CheckpointErrorKind kind) {
+  switch (kind) {
+    case CheckpointErrorKind::kIo:
+      return "checkpoint io error";
+    case CheckpointErrorKind::kTruncated:
+      return "checkpoint truncated";
+    case CheckpointErrorKind::kBadMagic:
+      return "checkpoint bad magic";
+    case CheckpointErrorKind::kVersionSkew:
+      return "checkpoint version skew";
+    case CheckpointErrorKind::kBadLength:
+      return "checkpoint bad length";
+    case CheckpointErrorKind::kCrcMismatch:
+      return "checkpoint crc mismatch";
+    case CheckpointErrorKind::kMalformed:
+      return "checkpoint malformed";
+    case CheckpointErrorKind::kWrongInstance:
+      return "checkpoint wrong instance";
+  }
+  return "checkpoint error";
+}
+
+std::uint32_t crc32(const void* data, std::size_t len) {
+  // Table-driven CRC-32 (IEEE 802.3 reflected polynomial); the table is
+  // built once on first use.
+  struct CrcTable {
+    std::uint32_t v[256];
+  };
+  static const CrcTable table = [] {
+    CrcTable t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t.v[i] = c;
+    }
+    return t;
+  }();
+  const std::uint8_t* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i)
+    crc = table.v[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void ByteWriter::bytes(const void* data, std::size_t len) {
+  const std::uint8_t* p = static_cast<const std::uint8_t*>(data);
+  buf_.insert(buf_.end(), p, p + len);
+}
+
+void ByteWriter::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  bytes(s.data(), s.size());
+}
+
+void ByteReader::need(std::size_t n) {
+  if (len_ - pos_ < n)
+    throw CheckpointError(CheckpointErrorKind::kTruncated,
+                          "payload field runs past the end of the data");
+}
+
+std::string ByteReader::str() {
+  const std::uint32_t n = u32();
+  if (remaining() < n)
+    throw CheckpointError(CheckpointErrorKind::kBadLength,
+                          "string length exceeds remaining payload");
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+std::uint64_t ByteReader::array_count(std::size_t elem_size) {
+  const std::uint64_t count = u64();
+  // Validate before any allocation: a corrupt count must not drive a
+  // multi-gigabyte reserve.
+  if (elem_size != 0 &&
+      count > static_cast<std::uint64_t>(remaining()) / elem_size)
+    throw CheckpointError(CheckpointErrorKind::kBadLength,
+                          "array count exceeds remaining payload");
+  return count;
+}
+
+void write_file_atomic(const std::string& path, const void* data,
+                       std::size_t len) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) io_error("open '" + tmp + "'");
+  const std::uint8_t* p = static_cast<const std::uint8_t*>(data);
+  std::size_t off = 0;
+  while (off < len) {
+    const ::ssize_t w = ::write(fd, p + off, len - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      io_error("write '" + tmp + "'");
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    io_error("fsync '" + tmp + "'");
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    io_error("close '" + tmp + "'");
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    io_error("rename '" + tmp + "' -> '" + path + "'");
+  }
+  // Make the rename itself durable.  A failure here is not fatal to
+  // correctness (the rename is already atomic for readers), so ignore it.
+  const int dfd = ::open(dir_of(path).c_str(), O_RDONLY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) io_error("open '" + path + "'");
+  std::vector<std::uint8_t> out;
+  std::uint8_t buf[1 << 16];
+  for (;;) {
+    const ::ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      io_error("read '" + path + "'");
+    }
+    if (r == 0) break;
+    out.insert(out.end(), buf, buf + r);
+  }
+  ::close(fd);
+  return out;
+}
+
+void save_checkpoint(const std::string& path, std::uint32_t version,
+                     const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> framed(kHeaderSize + payload.size());
+  std::memcpy(framed.data(), kMagic, sizeof(kMagic));
+  put_u32(framed.data() + 8, version);
+  put_u64(framed.data() + 12, payload.size());
+  put_u32(framed.data() + 20, crc32(payload.data(), payload.size()));
+  if (!payload.empty())
+    std::memcpy(framed.data() + kHeaderSize, payload.data(), payload.size());
+  write_file_atomic(path, framed.data(), framed.size());
+}
+
+CheckpointData load_checkpoint(const std::string& path,
+                               std::uint32_t min_version,
+                               std::uint32_t max_version) {
+  const std::vector<std::uint8_t> framed = read_file(path);
+  if (framed.size() < kHeaderSize)
+    throw CheckpointError(CheckpointErrorKind::kTruncated,
+                          "file shorter than the checkpoint header");
+  if (std::memcmp(framed.data(), kMagic, sizeof(kMagic)) != 0)
+    throw CheckpointError(CheckpointErrorKind::kBadMagic,
+                          "'" + path + "' is not a checkpoint file");
+  CheckpointData out;
+  out.version = get_u32(framed.data() + 8);
+  if (out.version < min_version || out.version > max_version)
+    throw CheckpointError(
+        CheckpointErrorKind::kVersionSkew,
+        "payload version " + std::to_string(out.version) +
+            " outside supported [" + std::to_string(min_version) + ", " +
+            std::to_string(max_version) + "]");
+  const std::uint64_t declared = get_u64(framed.data() + 12);
+  const std::uint64_t actual =
+      static_cast<std::uint64_t>(framed.size()) - kHeaderSize;
+  // The length field must match the bytes present exactly: an oversized
+  // field means truncation-or-corruption, an undersized one means trailing
+  // garbage — both are rejected rather than guessed at.
+  if (declared != actual)
+    throw CheckpointError(CheckpointErrorKind::kBadLength,
+                          "declared payload length " +
+                              std::to_string(declared) + " != " +
+                              std::to_string(actual) + " bytes present");
+  const std::uint32_t stored_crc = get_u32(framed.data() + 20);
+  const std::uint32_t computed =
+      crc32(framed.data() + kHeaderSize, static_cast<std::size_t>(actual));
+  if (stored_crc != computed)
+    throw CheckpointError(CheckpointErrorKind::kCrcMismatch,
+                          "payload bytes fail the stored CRC-32");
+  out.payload.assign(framed.begin() + static_cast<std::ptrdiff_t>(kHeaderSize),
+                     framed.end());
+  return out;
+}
+
+AtomicFileWriter::AtomicFileWriter(std::string path)
+    : path_(std::move(path)), tmp_path_(path_ + ".tmp") {
+  file_ = std::fopen(tmp_path_.c_str(), "w");
+  if (file_ == nullptr) io_error("open '" + tmp_path_ + "'");
+}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    ::unlink(tmp_path_.c_str());
+  }
+}
+
+void AtomicFileWriter::commit() {
+  if (file_ == nullptr) return;
+  if (std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
+    std::fclose(file_);
+    file_ = nullptr;
+    ::unlink(tmp_path_.c_str());
+    io_error("flush '" + tmp_path_ + "'");
+  }
+  std::fclose(file_);
+  file_ = nullptr;
+  if (::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+    ::unlink(tmp_path_.c_str());
+    io_error("rename '" + tmp_path_ + "' -> '" + path_ + "'");
+  }
+}
+
+}  // namespace ovo::rt

@@ -1,0 +1,197 @@
+#pragma once
+// Durable checkpoint framing (ovo::rt) — the container format under every
+// snapshot the solver stack persists.
+//
+// The exact Friedman–Supowit DP is O*(3^n): at n = 13+ a run holds
+// minutes-to-hours of irreplaceable layer state, and the governor
+// (budget.hpp) can only degrade a run it is alive to observe.  A durable
+// snapshot lets a production service preempt, migrate, or crash a run and
+// resume it bit-identically.  This header owns the *container*: framing,
+// integrity, and atomic replacement.  What goes inside a payload is the
+// producer's business (core/fs_checkpoint.hpp for the DP state).
+//
+// On-disk layout (all integers little-endian):
+//
+//   [ 8 bytes ] magic "OVOCKPT\0"
+//   [ u32     ] payload format version
+//   [ u64     ] payload length in bytes (must equal file size - 24)
+//   [ u32     ] CRC-32 (IEEE) of the payload bytes
+//   [ ...     ] payload
+//
+// Load-side robustness is half the feature: every malformed input — a
+// short read, a flipped bit, a version from the future, a length field
+// pointing past the file — must surface as a typed CheckpointError, never
+// as UB or a silent wrong result.  ByteReader bounds-checks every access,
+// so payload decoders built on it inherit that guarantee; anything the
+// CRC happens to pass must still be semantically validated by the
+// decoder (kMalformed / kWrongInstance).
+//
+// Writes are crash-atomic: payload to `path + ".tmp"`, fsync, rename over
+// `path`, fsync the directory.  A reader never observes a half-written
+// snapshot — it sees the old file or the new one.
+
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ovo::rt {
+
+/// Why a checkpoint could not be read (or written).  Every failure mode
+/// in the torture corpus maps to exactly one kind.
+enum class CheckpointErrorKind : std::uint8_t {
+  kIo = 1,            ///< open/read/write/fsync/rename failed
+  kTruncated,         ///< file (or a field) ends before its declared size
+  kBadMagic,          ///< leading bytes are not the checkpoint magic
+  kVersionSkew,       ///< payload version outside the supported range
+  kBadLength,         ///< a length field disagrees with the bytes present
+  kCrcMismatch,       ///< payload bytes fail the stored CRC-32
+  kMalformed,         ///< framing valid, payload semantically inconsistent
+  kWrongInstance,     ///< snapshot fingerprint does not match this run
+};
+
+const char* checkpoint_error_name(CheckpointErrorKind kind);
+
+/// Typed checkpoint failure.  Catchable above std::exception so callers
+/// (the CLI, the resume paths) can distinguish "corrupt snapshot" from
+/// "bug" and report the kind.
+class CheckpointError : public std::runtime_error {
+ public:
+  CheckpointError(CheckpointErrorKind kind, const std::string& what)
+      : std::runtime_error(std::string(checkpoint_error_name(kind)) + ": " +
+                           what),
+        kind_(kind) {}
+  CheckpointErrorKind kind() const { return kind_; }
+
+ private:
+  CheckpointErrorKind kind_;
+};
+
+/// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) over `len` bytes.
+std::uint32_t crc32(const void* data, std::size_t len);
+
+/// Little-endian append-only payload builder.  Produced bytes are a pure
+/// function of the appended values (no map-iteration or pointer order
+/// leaks in), so identical state encodes to identical bytes — which makes
+/// snapshot files diffable and CRC-stable across runs.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void bytes(const void* data, std::size_t len);
+  /// u32 length prefix + raw bytes.
+  void str(const std::string& s);
+
+  const std::vector<std::uint8_t>& data() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian reader over a borrowed buffer.  Every
+/// read past the end throws CheckpointError(kTruncated); array counts are
+/// validated against the bytes actually remaining *before* any allocation
+/// (kBadLength), so an oversized length field cannot drive an OOM.
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t len)
+      : data_(data), len_(len) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(
+                                                       i)])
+           << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(
+                                                       i)])
+           << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+  std::string str();
+
+  /// Validates `count * elem_size <= remaining` and returns count.
+  std::uint64_t array_count(std::size_t elem_size);
+
+  std::size_t remaining() const { return len_ - pos_; }
+  bool done() const { return pos_ == len_; }
+
+ private:
+  void need(std::size_t n);
+
+  const std::uint8_t* data_;
+  std::size_t len_;
+  std::size_t pos_ = 0;
+};
+
+/// Writes `len` bytes to `path` crash-atomically: temp file in the same
+/// directory, fsync, rename, directory fsync.  Throws
+/// CheckpointError(kIo) on any failure (the temp file is removed).
+void write_file_atomic(const std::string& path, const void* data,
+                       std::size_t len);
+
+/// Whole-file read; throws CheckpointError(kIo) when the file cannot be
+/// opened or read.
+std::vector<std::uint8_t> read_file(const std::string& path);
+
+/// Frames `payload` (magic/version/length/CRC header) and writes it
+/// atomically to `path`.
+void save_checkpoint(const std::string& path, std::uint32_t version,
+                     const std::vector<std::uint8_t>& payload);
+
+struct CheckpointData {
+  std::uint32_t version = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Reads and validates a framed checkpoint: magic, version within
+/// [min_version, max_version], exact length, CRC.  Every violation is a
+/// typed CheckpointError; the returned payload is byte-verified.
+CheckpointData load_checkpoint(const std::string& path,
+                               std::uint32_t min_version,
+                               std::uint32_t max_version);
+
+/// Streaming atomic writer for text artifacts (the benches' JSON files):
+/// opens `path + ".tmp"`, exposes the FILE*, and commit() flushes,
+/// fsyncs, and renames over `path`.  Without commit() the destructor
+/// discards the temp file — an interrupted writer never leaves a
+/// half-written artifact under the real name.
+class AtomicFileWriter {
+ public:
+  explicit AtomicFileWriter(std::string path);
+  ~AtomicFileWriter();
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  std::FILE* stream() { return file_; }
+  void commit();
+
+ private:
+  std::string path_;
+  std::string tmp_path_;
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace ovo::rt

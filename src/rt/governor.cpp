@@ -60,6 +60,10 @@ bool Governor::poll() {
   return stopped();
 }
 
+void Governor::restore_work(std::uint64_t units) {
+  work_.fetch_add(units, std::memory_order_relaxed);
+}
+
 bool Governor::admit_work(std::uint64_t upcoming) {
   if (poll()) return false;
   if (budget_.work_limit != 0 &&

@@ -12,7 +12,9 @@
 #      rows carry the unified oracle ledger, the ovo::par scheduler
 #      counters, and the bound-pruning ledger (states_pruned /
 #      prune_ratio), plus the `ovo order --prune bounds` bit-identity
-#      guard against the dense default.
+#      guard against the dense default, plus the checkpoint round-trip
+#      smoke: interrupt mid-DP, resume, require byte-identical JSON, and
+#      require a corrupted snapshot to be rejected with exit 3.
 #
 # Any failure stops the script with a nonzero exit.
 #

@@ -3,7 +3,10 @@
 //   ovo order   [--zdd] [--strategy NAME] [--engine fs|bnb|quantum]
 //               [--shared] [--threads N] [--prune off|bounds]
 //               [--prune-seed NAME] [--timeout-ms N] [--node-limit N]
-//               [--mem-limit-mb N] [--work-limit N] [--json] <input>
+//               [--mem-limit-mb N] [--work-limit N] [--json]
+//               [--json-out FILE] [--checkpoint FILE]
+//               [--checkpoint-every K] [--resume FILE]
+//               [--fault-cancel-at N] <input>
 //   ovo size    --order v1,v2,... [--zdd] <input>
 //   ovo compare [--threads N] <input>   # exact vs heuristics report
 //   ovo tables  [--k K] [--iters N]     # reproduce paper Tables 1 and 2
@@ -12,12 +15,21 @@
 //
 // Every minimizer is a named strategy in the reorder::strategies()
 // registry; --strategy selects one directly, and the legacy --engine
-// flag is an alias (fs → "fs", or "auto" when budget flags are present;
-// bnb → "bnb"; quantum → "quantum").  The budget flags bound a run (see
-// docs/INTERNALS.md, "Resource governance"); every strategy then returns
-// its best incumbent plus why it stopped.  --json emits one
-// machine-readable object including the outcome and the unified oracle
-// counters (size queries / chain evaluations / memo hits).
+// flag is an alias (fs → "fs", or "auto" when budget or checkpoint flags
+// are present; bnb → "bnb"; quantum → "quantum").  The budget flags
+// bound a run (see docs/INTERNALS.md, "Resource governance"); every
+// strategy then returns its best incumbent plus why it stopped.  --json
+// emits one machine-readable object including the outcome, the certified
+// lower bound, and the unified oracle counters; --json-out additionally
+// writes that object to FILE atomically (temp file + fsync + rename), so
+// a killed run never leaves a torn artifact.
+//
+// Crash safety: --checkpoint snapshots the exact DP's state at layer
+// fences (and when a budget/cancel trips); --resume restarts from such a
+// snapshot and replays the remaining layers bit-identically.  SIGINT or
+// SIGTERM trips the run's CancelToken: the run winds down through the
+// normal cancelled path — best-so-far order, certified lower bound,
+// final snapshot — and a second signal exits immediately (status 130).
 //
 // <input> is one of:
 //   - a path ending in .pla  (Berkeley PLA; first output used unless
@@ -26,16 +38,22 @@
 //   - anything else: parsed as a Boolean formula over x1, x2, ...
 //     e.g.  ovo order "x1 & x2 | x3 & x4"
 
+#include <atomic>
 #include <cinttypes>
+#include <csignal>
+#include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <numeric>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "bdd/manager.hpp"
+#include "core/fs_checkpoint.hpp"
 #include "core/minimize.hpp"
 #include "core/multi_output.hpp"
 #include "parallel/exec_policy.hpp"
@@ -47,6 +65,8 @@
 #include "reorder/minimize_auto.hpp"
 #include "reorder/strategy.hpp"
 #include "rt/budget.hpp"
+#include "rt/checkpoint.hpp"
+#include "rt/fault.hpp"
 #include "tt/blif.hpp"
 #include "tt/expr.hpp"
 #include "tt/pla.hpp"
@@ -55,6 +75,21 @@
 namespace {
 
 using namespace ovo;
+
+/// Shared cancellation token tripped by SIGINT/SIGTERM (and by
+/// --fault-cancel-at, which simulates a signal at a deterministic
+/// governor checkpoint for tests).
+rt::CancelToken g_interrupt;
+std::atomic<int> g_signals{0};
+
+/// Async-signal-safe by construction: relaxed atomic ops and _Exit only.
+/// First signal requests a graceful stop through the governor; a second
+/// one means the user is done waiting.
+void on_signal(int) {
+  if (g_signals.fetch_add(1, std::memory_order_relaxed) > 0)
+    std::_Exit(130);
+  g_interrupt.cancel();
+}
 
 struct LoadedInput {
   std::vector<tt::TruthTable> outputs;  ///< one per output
@@ -123,37 +158,65 @@ std::uint64_t parse_u64_flag(const char* flag, const std::string& value) {
   }
 }
 
-void print_json_order(const std::string& strategy, core::DiagramKind kind,
-                      std::uint64_t nodes, bool optimal,
-                      const std::string& outcome, std::uint64_t work_units,
-                      const std::vector<int>& order,
-                      const reorder::OracleStats* oracle = nullptr) {
-  std::printf("{\"strategy\":\"%s\",\"kind\":\"%s\",\"nodes\":%" PRIu64
-              ",\"optimal\":%s,\"outcome\":\"%s\",\"work_units\":%" PRIu64,
-              strategy.c_str(),
-              kind == core::DiagramKind::kZdd ? "zdd" : "bdd", nodes,
-              optimal ? "true" : "false", outcome.c_str(), work_units);
+void appendf(std::string& s, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  s += buf;
+}
+
+/// Builds the one-object JSON report as a string, so callers can both
+/// print it and persist it atomically (--json-out).
+std::string json_order_string(const std::string& strategy,
+                              core::DiagramKind kind, std::uint64_t nodes,
+                              bool optimal, std::uint64_t lower_bound,
+                              const std::string& outcome,
+                              std::uint64_t work_units,
+                              const std::vector<int>& order,
+                              const reorder::OracleStats* oracle = nullptr) {
+  std::string s;
+  appendf(s,
+          "{\"strategy\":\"%s\",\"kind\":\"%s\",\"nodes\":%" PRIu64
+          ",\"optimal\":%s,\"lower_bound\":%" PRIu64
+          ",\"outcome\":\"%s\",\"work_units\":%" PRIu64,
+          strategy.c_str(),
+          kind == core::DiagramKind::kZdd ? "zdd" : "bdd", nodes,
+          optimal ? "true" : "false", lower_bound, outcome.c_str(),
+          work_units);
   if (oracle != nullptr) {
-    std::printf(",\"oracle_queries\":%" PRIu64 ",\"oracle_evals\":%" PRIu64
-                ",\"oracle_memo_hits\":%" PRIu64
-                ",\"oracle_table_cells\":%" PRIu64,
-                oracle->queries, oracle->evals, oracle->memo_hits,
-                oracle->ops.table_cells);
+    appendf(s,
+            ",\"oracle_queries\":%" PRIu64 ",\"oracle_evals\":%" PRIu64
+            ",\"oracle_memo_hits\":%" PRIu64
+            ",\"oracle_table_cells\":%" PRIu64,
+            oracle->queries, oracle->evals, oracle->memo_hits,
+            oracle->ops.table_cells);
     const core::PruneStats& p = oracle->ops.prune;
     if (p.states_enumerated() > 0)
-      std::printf(",\"prune_upper_bound\":%" PRIu64
-                  ",\"states_generated\":%" PRIu64
-                  ",\"states_pruned\":%" PRIu64 ",\"states_dead\":%" PRIu64
-                  ",\"states_surviving\":%" PRIu64 ",\"prune_ratio\":%.4f"
-                  ",\"dense_cells\":%" PRIu64 ",\"sparse_cells\":%" PRIu64,
-                  p.upper_bound, p.states_generated, p.states_pruned,
-                  p.states_dead, p.states_surviving, p.prune_ratio(),
-                  p.dense_cells, p.sparse_cells);
+      appendf(s,
+              ",\"prune_upper_bound\":%" PRIu64
+              ",\"states_generated\":%" PRIu64 ",\"states_pruned\":%" PRIu64
+              ",\"states_dead\":%" PRIu64 ",\"states_surviving\":%" PRIu64
+              ",\"prune_ratio\":%.4f,\"dense_cells\":%" PRIu64
+              ",\"sparse_cells\":%" PRIu64,
+              p.upper_bound, p.states_generated, p.states_pruned,
+              p.states_dead, p.states_surviving, p.prune_ratio(),
+              p.dense_cells, p.sparse_cells);
   }
-  std::printf(",\"order\":[");
+  s += ",\"order\":[";
   for (std::size_t i = 0; i < order.size(); ++i)
-    std::printf("%s%d", i == 0 ? "" : ",", order[i] + 1);
-  std::printf("]}\n");
+    appendf(s, "%s%d", i == 0 ? "" : ",", order[i] + 1);
+  s += "]}\n";
+  return s;
+}
+
+/// Prints the JSON report and, when --json-out was given, writes it to
+/// that path atomically.
+void emit_json(const std::string& text, const std::string& json_out) {
+  std::fputs(text.c_str(), stdout);
+  if (!json_out.empty())
+    rt::write_file_atomic(json_out, text.data(), text.size());
 }
 
 void print_strategy_list() {
@@ -171,6 +234,11 @@ int cmd_order(const std::vector<std::string>& args) {
   par::ExecPolicy exec;
   par::PruneMode prune = par::PruneMode::kOff;
   std::string prune_seed = "sift";
+  std::string json_out;
+  std::string checkpoint_path;
+  std::string resume_path;
+  std::uint64_t checkpoint_every = 1;
+  std::uint64_t fault_cancel_at = 0;
   std::string input;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--zdd") {
@@ -210,13 +278,45 @@ int cmd_order(const std::vector<std::string>& args) {
           parse_u64_flag("--mem-limit-mb", args[++i]) * 1024 * 1024;
     } else if (args[i] == "--work-limit" && i + 1 < args.size()) {
       budget.work_limit = parse_u64_flag("--work-limit", args[++i]);
+    } else if (args[i] == "--json-out" && i + 1 < args.size()) {
+      json_out = args[++i];
+    } else if (args[i] == "--checkpoint" && i + 1 < args.size()) {
+      checkpoint_path = args[++i];
+    } else if (args[i] == "--checkpoint-every" && i + 1 < args.size()) {
+      checkpoint_every = parse_u64_flag("--checkpoint-every", args[++i]);
+      OVO_CHECK_MSG(checkpoint_every > 0, "--checkpoint-every: must be > 0");
+    } else if (args[i] == "--resume" && i + 1 < args.size()) {
+      resume_path = args[++i];
+    } else if (args[i] == "--fault-cancel-at" && i + 1 < args.size()) {
+      fault_cancel_at = parse_u64_flag("--fault-cancel-at", args[++i]);
     } else {
       input = args[i];
     }
   }
   OVO_CHECK_MSG(!input.empty(), "order: missing input");
   exec.prune = prune;  // after the loop: --threads rebuilds ExecPolicy
+  // `budgeted` reflects the user's explicit limit flags only; the
+  // signal-driven CancelToken attached below must not reroute an
+  // unbudgeted `--engine fs` run onto the governed ladder.
   const bool budgeted = !budget.unlimited();
+  const bool checkpointing =
+      !checkpoint_path.empty() || !resume_path.empty();
+
+  // Graceful interruption: Ctrl-C / SIGTERM trips the CancelToken and
+  // the run winds down through the normal cancelled path (snapshot,
+  // best-so-far JSON).  --fault-cancel-at trips the same token at a
+  // deterministic governor checkpoint instead, for tests.
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  budget.cancel = &g_interrupt;
+  std::optional<rt::ScopedFaultPlan> fault;
+  if (fault_cancel_at > 0) {
+    rt::FaultPlan plan;
+    plan.cancel_at_checkpoint = fault_cancel_at;
+    plan.cancel = &g_interrupt;
+    fault.emplace(plan);
+  }
+
   const LoadedInput loaded = load_input(input);
   if (!json) std::printf("input: %s\n", loaded.description.c_str());
 
@@ -224,10 +324,16 @@ int cmd_order(const std::vector<std::string>& args) {
     if (budgeted)
       std::fprintf(stderr,
                    "note: budget flags are not supported with --shared\n");
+    if (checkpointing)
+      std::fprintf(
+          stderr,
+          "note: checkpoint/resume is not supported with --shared\n");
     const auto r = core::fs_minimize_shared(loaded.outputs, kind, exec);
     if (json) {
-      print_json_order("fs-shared", kind, r.min_internal_nodes, true,
-                       "complete", r.ops.table_cells, r.order_root_first);
+      emit_json(json_order_string("fs-shared", kind, r.min_internal_nodes,
+                                  true, r.min_internal_nodes, "complete",
+                                  r.ops.table_cells, r.order_root_first),
+                json_out);
       return 0;
     }
     std::printf("shared minimum: %" PRIu64 " internal nodes\norder: ",
@@ -242,10 +348,12 @@ int cmd_order(const std::vector<std::string>& args) {
                 "for all)\n",
                 loaded.outputs.size());
   // --engine is an alias into the strategy registry; --strategy wins
-  // when both are given.
+  // when both are given.  Checkpoint flags route `fs` onto the governed
+  // `auto` ladder too: only it degrades gracefully on a trip, and a
+  // snapshot's provenance (seed order, incumbent) is its contract.
   if (strategy_name.empty()) {
     if (engine == "fs") {
-      strategy_name = budgeted ? "auto" : "fs";
+      strategy_name = (budgeted || checkpointing) ? "auto" : "fs";
     } else if (engine == "bnb" || engine == "quantum") {
       strategy_name = engine;
     } else {
@@ -261,19 +369,44 @@ int cmd_order(const std::vector<std::string>& args) {
     return 2;
   }
 
+  // A resumed run must replay the original run's configuration; the
+  // snapshot's fingerprint pins the prune mode, so adopt it rather than
+  // fail on a forgotten --prune flag (an actually different instance
+  // still raises kWrongInstance inside the DP).
+  core::FsStarSnapshot snapshot;
+  if (!resume_path.empty()) {
+    snapshot = core::load_snapshot(resume_path);
+    const auto snap_prune = static_cast<par::PruneMode>(
+        snapshot.fingerprint.prune);
+    if (snap_prune != exec.prune) {
+      std::fprintf(stderr,
+                   "note: --resume snapshot was written with --prune %s; "
+                   "adopting it\n",
+                   snap_prune == par::PruneMode::kBounds ? "bounds" : "off");
+      exec.prune = snap_prune;
+    }
+  }
+
   rt::Governor gov(budget);
   reorder::EvalContext ctx;
   ctx.exec = exec;
-  if (budgeted) ctx.gov = &gov;
+  // Always governed: an "unlimited" budget still carries the signal
+  // cancel token, and work accounting is what a resumed run restores.
+  ctx.gov = &gov;
   reorder::StrategyOptions sopt;
   sopt.kind = kind;
   sopt.prune_seed = prune_seed;
+  sopt.ckpt.path = checkpoint_path;
+  sopt.ckpt.every = static_cast<int>(checkpoint_every);
+  if (!resume_path.empty()) sopt.ckpt.resume = &snapshot;
   const reorder::StrategyResult r = strategy->run(f, sopt, ctx);
   const std::string outcome = rt::outcome_name(r.outcome);
   if (json) {
-    print_json_order(strategy->name, kind, r.internal_nodes, r.optimal,
-                     outcome, r.run.work_units, r.order_root_first,
-                     &r.oracle);
+    emit_json(json_order_string(strategy->name, kind, r.internal_nodes,
+                                r.optimal, r.lower_bound, outcome,
+                                r.run.work_units, r.order_root_first,
+                                &r.oracle),
+              json_out);
     return 0;
   }
   std::printf("strategy: %s (%" PRIu64 " size queries, %" PRIu64
@@ -384,7 +517,9 @@ void usage() {
       "              [--shared] [--threads N] [--prune off|bounds]\n"
       "              [--prune-seed sift|window|restarts|anneal|none]\n"
       "              [--timeout-ms N] [--node-limit N] [--mem-limit-mb N]\n"
-      "              [--work-limit N] [--json] <input>\n"
+      "              [--work-limit N] [--json] [--json-out FILE]\n"
+      "              [--checkpoint FILE] [--checkpoint-every K]\n"
+      "              [--resume FILE] [--fault-cancel-at N] <input>\n"
       "  ovo size    --order v1,v2,... [--zdd] <input>\n"
       "  ovo compare [--threads N] <input>\n"
       "  ovo tables  [--k K] [--iters N]\n"
@@ -414,6 +549,10 @@ int main(int argc, char** argv) {
     if (cmd == "dot") return cmd_dot(args);
     usage();
     return 2;
+  } catch (const rt::CheckpointError& e) {
+    // what() is already "<kind-name>: <detail>".
+    std::fprintf(stderr, "checkpoint error: %s\n", e.what());
+    return 3;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -97,6 +97,32 @@ if [[ "${QUICK}" -eq 1 ]]; then
   # ...and the pruned CLI run must surface its ledger.
   build/tools/ovo order --strategy fs --prune bounds --json "${smoke_fn}" \
     | grep -q '"states_pruned"'
+  echo "==== quick: checkpoint round-trip smoke ===================="
+  # A run interrupted mid-DP (deterministic fault injection standing in
+  # for SIGINT) must leave a resumable snapshot, and the resumed run's
+  # JSON must be byte-identical to the uninterrupted run's — order, size,
+  # and every ledger.  Dense mode: no seed stage, so any trip lands at a
+  # DP layer fence.
+  ckpt="${smoke_dir}/smoke.ckpt"
+  build/tools/ovo order --strategy auto --prune off --json "${smoke_fn}" \
+    > "${smoke_dir}/straight.json"
+  build/tools/ovo order --strategy auto --prune off --json \
+    --checkpoint "${ckpt}" --fault-cancel-at 3 "${smoke_fn}" \
+    > "${smoke_dir}/tripped.json"
+  grep -q '"outcome":"cancelled"' "${smoke_dir}/tripped.json"
+  [[ -f "${ckpt}" ]]
+  build/tools/ovo order --strategy auto --prune off --json \
+    --resume "${ckpt}" "${smoke_fn}" > "${smoke_dir}/resumed.json"
+  diff "${smoke_dir}/straight.json" "${smoke_dir}/resumed.json"
+  # A corrupted snapshot must be rejected with a typed error (exit 3),
+  # never resumed silently.
+  printf '\xff' | dd of="${ckpt}" bs=1 seek=200 conv=notrunc 2>/dev/null
+  rc=0
+  build/tools/ovo order --strategy auto --prune off --json \
+    --resume "${ckpt}" "${smoke_fn}" >/dev/null 2>"${smoke_dir}/err.txt" \
+    || rc=$?
+  [[ "${rc}" -eq 3 ]]
+  grep -q 'checkpoint error' "${smoke_dir}/err.txt"
   echo "==== quick sweep green ====================================="
   exit 0
 fi
