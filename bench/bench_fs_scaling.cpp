@@ -25,6 +25,7 @@
 // bounded degradation instead.
 
 #include <cinttypes>
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -34,6 +35,8 @@
 
 #include "core/minimize.hpp"
 #include "ds/unique_table.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/exec_policy.hpp"
 #include "parallel/task_graph.hpp"
 #include "quantum/analysis.hpp"
@@ -46,9 +49,33 @@
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
+namespace {
+
+void appendf(std::string& s, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  s += buf;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace ovo;
   util::Xoshiro256 rng(2024);
+
+#if OVO_TRACE_ENABLED
+  // Timing-fidelity guard: span collection on the DP hot path would
+  // contaminate the growth fits, so the bench never runs traced.
+  if (obs::trace::enabled()) {
+    std::fprintf(stderr,
+                 "note: trace collection was enabled; disabling for the "
+                 "timed sweep\n");
+    obs::trace::disable();
+  }
+#endif
 
   int bench_threads = 1;
   std::string json_path;
@@ -129,45 +156,39 @@ int main(int argc, char** argv) {
       // repeated chain evaluations.
       const reorder::OracleStats& os = r.value.oracle;
       const par::SchedStats& ss = r.value.sched;
-      // The DP/salvage ledger (including the prune counters) lives in
-      // value.ops, beside the heuristic stages' oracle counters.
-      core::OpCounter ops = os.ops;
-      ops += r.value.ops;
       std::printf("%3d %12" PRIu64 " %8s %6d %10s %14" PRIu64 " %9" PRIu64
                   " %9" PRIu64 " %12.4f\n",
                   n, r.value.internal_nodes, r.value.optimal ? "yes" : "no",
                   r.value.dp_layers_completed, rt::outcome_name(r.outcome),
                   r.stats.work_units, os.queries, os.memo_hits, secs);
       if (out != nullptr) {
-        std::fprintf(out,
-                     "  {\"n\": %d, \"threads\": %d, \"nodes\": %" PRIu64
-                     ", \"optimal\": %s, \"dp_layers\": %d, "
-                     "\"outcome\": \"%s\", \"work_units\": %" PRIu64
-                     ", \"oracle_queries\": %" PRIu64
-                     ", \"oracle_evals\": %" PRIu64
-                     ", \"oracle_memo_hits\": %" PRIu64
-                     ", \"seconds\": %.6f"
-                     ", \"sched_tasks\": %" PRIu64
-                     ", \"sched_chunks\": %" PRIu64
-                     ", \"sched_ready_hwm\": %" PRIu64
-                     ", \"sched_overlap_tasks\": %" PRIu64
-                     ", \"sched_overlap_ns\": %" PRIu64
-                     ", \"sched_barrier_wait_ns\": %" PRIu64
-                     ", \"sched_pruned_chunks\": %" PRIu64
-                     ", \"prune_upper_bound\": %" PRIu64
-                     ", \"states_generated\": %" PRIu64
-                     ", \"states_pruned\": %" PRIu64
-                     ", \"states_dead\": %" PRIu64
-                     ", \"prune_ratio\": %.4f}%s\n",
-                     n, resolved_threads, r.value.internal_nodes,
-                     r.value.optimal ? "true" : "false",
-                     r.value.dp_layers_completed, rt::outcome_name(r.outcome),
-                     r.stats.work_units, os.queries, os.evals, os.memo_hits,
-                     secs, ss.tasks, ss.chunks, ss.ready_hwm,
-                     ss.overlap_tasks, ss.overlap_ns, ss.barrier_wait_ns,
-                     ss.pruned_chunks, ops.prune.upper_bound,
-                     ops.prune.states_generated, ops.prune.states_pruned,
-                     ops.prune.states_dead, ops.prune.prune_ratio(),
+        // Every counter renders through the obs shared serializer, so
+        // the row's keys are the metric table's canonical json_keys —
+        // byte-identical to the CLI's --json fields.
+        obs::Ledger l;
+        os.to_ledger(l);           // oracle counters + heuristic-stage ops
+        r.value.ops.to_ledger(l);  // DP/salvage ledger (prune included)
+        ss.to_ledger(l);
+        l.record(obs::Metric::kRtWorkCharged, r.stats.work_units);
+        std::string row = "  {";
+        appendf(row, "\"n\":%d", n);
+        appendf(row, ",\"nodes\":%" PRIu64, r.value.internal_nodes);
+        appendf(row, ",\"optimal\":%s",
+                r.value.optimal ? "true" : "false");
+        appendf(row, ",\"dp_layers\":%d", r.value.dp_layers_completed);
+        obs::append_json_str(row, "outcome", rt::outcome_name(r.outcome));
+        obs::append_metric_json(row, l, obs::Metric::kRtWorkCharged);
+        obs::append_counters_json(row, l);
+        appendf(row, ",\"seconds\":%.6f", secs);
+        obs::append_metrics_json(
+            row, l,
+            {obs::Metric::kSchedTasks, obs::Metric::kSchedChunks,
+             obs::Metric::kSchedReadyHwm, obs::Metric::kSchedOverlapTasks,
+             obs::Metric::kSchedOverlapNs, obs::Metric::kSchedBarrierWaitNs,
+             obs::Metric::kSchedPrunedChunks});
+        obs::append_run_info_json(row, resolved_threads);
+        row += "}";
+        std::fprintf(out, "%s%s\n", row.c_str(),
                      n < kGovMaxN ? "," : "");
       }
     }
@@ -412,67 +433,64 @@ int main(int argc, char** argv) {
     }
     std::FILE* out = writer->stream();
     std::fprintf(out, "[\n");
+    // The bound-pruning surface of a row, keyed by the metric table.
+    const auto append_prune_json = [](std::string& row,
+                                      const core::PruneStats& p) {
+      obs::Ledger l;
+      p.to_ledger(l);
+      obs::append_metrics_json(
+          row, l,
+          {obs::Metric::kFsPruneUpperBound, obs::Metric::kFsPruneGenerated,
+           obs::Metric::kFsPrunePruned, obs::Metric::kFsPruneDead,
+           obs::Metric::kFsPruneSurviving});
+      obs::append_json_f64(row, "prune_ratio", p.prune_ratio());
+      obs::append_metrics_json(row, l,
+                               {obs::Metric::kFsPruneSparseCells,
+                                obs::Metric::kFsPruneDenseCells});
+    };
     for (std::size_t i = 0; i < ns.size(); ++i) {
-      std::fprintf(out,
-                   "  {\"n\": %d, \"function\": \"random\", "
-                   "\"threads\": %d, \"seconds_serial\": %.6f, "
-                   "\"seconds_threads\": %.6f, \"speedup\": %.4f, "
-                   "\"table_cells\": %.0f, "
-                   "\"seconds_barrier_engine\": %.6f, "
-                   "\"sched_tasks\": %" PRIu64
-                   ", \"sched_ready_hwm\": %" PRIu64
-                   ", \"sched_overlap_tasks\": %" PRIu64
-                   ", \"sched_overlap_ns\": %" PRIu64
-                   ", \"sched_barrier_wait_ns\": %" PRIu64
-                   ", \"sched_barrier_wait_ns_barrier_engine\": %" PRIu64
-                   ", \"seconds_pruned\": %.6f"
-                   ", \"prune_upper_bound\": %" PRIu64
-                   ", \"states_generated\": %" PRIu64
-                   ", \"states_pruned\": %" PRIu64
-                   ", \"states_dead\": %" PRIu64
-                   ", \"states_surviving\": %" PRIu64
-                   ", \"prune_ratio\": %.4f"
-                   ", \"sparse_cells\": %" PRIu64
-                   ", \"dense_cells\": %" PRIu64
-                   ", \"peak_cells_pruned\": %" PRIu64
-                   ", \"peak_cells_dense_equiv\": %.0f}%s\n",
-                   ns[i], resolved_threads, serial_times[i],
-                   threaded_times[i], serial_times[i] / threaded_times[i],
-                   fs_cells[i], barrier_times[i], pipe_sched[i].tasks,
-                   pipe_sched[i].ready_hwm, pipe_sched[i].overlap_tasks,
-                   pipe_sched[i].overlap_ns, pipe_sched[i].barrier_wait_ns,
-                   barrier_sched[i].barrier_wait_ns, pruned_times[i],
-                   prune_rows[i].upper_bound, prune_rows[i].states_generated,
-                   prune_rows[i].states_pruned, prune_rows[i].states_dead,
-                   prune_rows[i].states_surviving,
-                   prune_rows[i].prune_ratio(), prune_rows[i].sparse_cells,
-                   prune_rows[i].dense_cells, pruned_peaks[i],
-                   quantum::fs_peak_cells(ns[i]), ",");
+      obs::Ledger l;
+      pipe_sched[i].to_ledger(l);
+      l.record(obs::Metric::kFsTableCells,
+               static_cast<std::uint64_t>(fs_cells[i]));
+      std::string row = "  {";
+      appendf(row, "\"n\":%d", ns[i]);
+      obs::append_json_str(row, "function", "random");
+      appendf(row, ",\"seconds_serial\":%.6f", serial_times[i]);
+      appendf(row, ",\"seconds_threads\":%.6f", threaded_times[i]);
+      appendf(row, ",\"speedup\":%.4f",
+              serial_times[i] / threaded_times[i]);
+      obs::append_metric_json(row, l, obs::Metric::kFsTableCells);
+      appendf(row, ",\"seconds_barrier_engine\":%.6f", barrier_times[i]);
+      obs::append_metrics_json(
+          row, l,
+          {obs::Metric::kSchedTasks, obs::Metric::kSchedReadyHwm,
+           obs::Metric::kSchedOverlapTasks, obs::Metric::kSchedOverlapNs,
+           obs::Metric::kSchedBarrierWaitNs});
+      appendf(row, ",\"sched_barrier_wait_ns_barrier_engine\":%" PRIu64,
+              barrier_sched[i].barrier_wait_ns);
+      appendf(row, ",\"seconds_pruned\":%.6f", pruned_times[i]);
+      append_prune_json(row, prune_rows[i]);
+      appendf(row, ",\"peak_cells_pruned\":%" PRIu64, pruned_peaks[i]);
+      appendf(row, ",\"peak_cells_dense_equiv\":%.0f",
+              quantum::fs_peak_cells(ns[i]));
+      obs::append_run_info_json(row, resolved_threads);
+      std::fprintf(out, "%s},\n", row.c_str());
     }
     // The structured-function ablation rows carry only the pruning
     // surface; scaling-fit consumers key on "function" == "random".
     for (std::size_t i = ns.size(); i < ablation.size(); ++i) {
-      const PruneRow& row = ablation[i];
-      std::fprintf(out,
-                   "  {\"n\": %d, \"function\": \"%s\", \"threads\": %d"
-                   ", \"seconds_pruned\": %.6f"
-                   ", \"prune_upper_bound\": %" PRIu64
-                   ", \"states_generated\": %" PRIu64
-                   ", \"states_pruned\": %" PRIu64
-                   ", \"states_dead\": %" PRIu64
-                   ", \"states_surviving\": %" PRIu64
-                   ", \"prune_ratio\": %.4f"
-                   ", \"sparse_cells\": %" PRIu64
-                   ", \"dense_cells\": %" PRIu64
-                   ", \"peak_cells_pruned\": %" PRIu64
-                   ", \"peak_cells_dense_equiv\": %.0f}%s\n",
-                   row.n, row.function.c_str(), resolved_threads,
-                   row.seconds, row.p.upper_bound,
-                   row.p.states_generated, row.p.states_pruned,
-                   row.p.states_dead, row.p.states_surviving,
-                   row.p.prune_ratio(), row.p.sparse_cells,
-                   row.p.dense_cells, row.peak_cells,
-                   quantum::fs_peak_cells(row.n),
+      const PruneRow& prow = ablation[i];
+      std::string row = "  {";
+      appendf(row, "\"n\":%d", prow.n);
+      obs::append_json_str(row, "function", prow.function.c_str());
+      appendf(row, ",\"seconds_pruned\":%.6f", prow.seconds);
+      append_prune_json(row, prow.p);
+      appendf(row, ",\"peak_cells_pruned\":%" PRIu64, prow.peak_cells);
+      appendf(row, ",\"peak_cells_dense_equiv\":%.0f",
+              quantum::fs_peak_cells(prow.n));
+      obs::append_run_info_json(row, resolved_threads);
+      std::fprintf(out, "%s}%s\n", row.c_str(),
                    i + 1 < ablation.size() ? "," : "");
     }
     std::fprintf(out, "]\n");

@@ -22,22 +22,39 @@
 
 #include <cinttypes>
 #include <cmath>
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "core/minimize.hpp"
+#include "obs/metrics.hpp"
 #include "parallel/exec_policy.hpp"
 #include "parallel/task_graph.hpp"
 #include "quantum/analysis.hpp"
 #include "quantum/opt_obdd.hpp"
 #include "quantum/params.hpp"
 #include "rt/budget.hpp"
+#include "rt/checkpoint.hpp"
 #include "tt/function_zoo.hpp"
 #include "util/fit.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
+
+namespace {
+
+void appendf(std::string& s, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  s += buf;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace ovo;
@@ -195,36 +212,43 @@ int main(int argc, char** argv) {
   }
 
   if (!json_path.empty()) {
-    std::FILE* out = std::fopen(json_path.c_str(), "w");
-    if (out == nullptr) {
-      std::fprintf(stderr, "cannot write '%s'\n", json_path.c_str());
+    // Same crash-atomic discipline as the FS bench: the rows stream to a
+    // temp file and only a committed run renames it over json_path.
+    std::optional<rt::AtomicFileWriter> writer;
+    try {
+      writer.emplace(json_path);
+    } catch (const rt::CheckpointError& e) {
+      std::fprintf(stderr, "cannot write '%s': %s\n", json_path.c_str(),
+                   e.what());
       return 2;
     }
+    std::FILE* out = writer->stream();
     std::fprintf(out, "[\n");
     for (std::size_t i = 0; i < sim_ns.size(); ++i) {
-      std::fprintf(out,
-                   "  {\"n\": %d, \"threads\": %d, \"seconds_serial\": %.6f, "
-                   "\"seconds_threads\": %.6f, \"speedup\": %.4f, "
-                   "\"outcome\": \"%s\", \"oracle_queries\": %" PRIu64
-                   ", \"oracle_evals\": %" PRIu64
-                   ", \"oracle_memo_hits\": %" PRIu64
-                   ", \"sched_tasks\": %" PRIu64
-                   ", \"sched_chunks\": %" PRIu64
-                   ", \"sched_ready_hwm\": %" PRIu64
-                   ", \"sched_overlap_tasks\": %" PRIu64
-                   ", \"sched_overlap_ns\": %" PRIu64
-                   ", \"sched_barrier_wait_ns\": %" PRIu64 "}%s\n",
-                   sim_ns[i], resolved_threads, sim_serial[i],
-                   sim_threaded[i], sim_serial[i] / sim_threaded[i],
-                   sim_outcomes[i].c_str(), sim_oracle[i].queries,
-                   sim_oracle[i].evals, sim_oracle[i].memo_hits,
-                   sim_sched[i].tasks, sim_sched[i].chunks,
-                   sim_sched[i].ready_hwm, sim_sched[i].overlap_tasks,
-                   sim_sched[i].overlap_ns, sim_sched[i].barrier_wait_ns,
+      // Counters render through the obs shared serializer, so the keys
+      // here are the metric table's — identical to the FS bench and CLI.
+      obs::Ledger l;
+      sim_oracle[i].to_ledger(l);
+      sim_sched[i].to_ledger(l);
+      std::string row = "  {";
+      appendf(row, "\"n\":%d", sim_ns[i]);
+      appendf(row, ",\"seconds_serial\":%.6f", sim_serial[i]);
+      appendf(row, ",\"seconds_threads\":%.6f", sim_threaded[i]);
+      appendf(row, ",\"speedup\":%.4f", sim_serial[i] / sim_threaded[i]);
+      obs::append_json_str(row, "outcome", sim_outcomes[i].c_str());
+      obs::append_metrics_json(
+          row, l,
+          {obs::Metric::kOracleQueries, obs::Metric::kOracleEvals,
+           obs::Metric::kOracleMemoHits, obs::Metric::kSchedTasks,
+           obs::Metric::kSchedChunks, obs::Metric::kSchedReadyHwm,
+           obs::Metric::kSchedOverlapTasks, obs::Metric::kSchedOverlapNs,
+           obs::Metric::kSchedBarrierWaitNs});
+      obs::append_run_info_json(row, resolved_threads);
+      std::fprintf(out, "%s}%s\n", row.c_str(),
                    i + 1 < sim_ns.size() ? "," : "");
     }
     std::fprintf(out, "]\n");
-    std::fclose(out);
+    writer->commit();
     std::printf("wrote %s\n", json_path.c_str());
   }
 

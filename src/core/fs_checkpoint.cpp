@@ -86,6 +86,61 @@ OpCounter decode_ops(ByteReader& r) {
   return o;
 }
 
+/// The v2 unified-ledger section, derived from the fence's legacy
+/// counters.  Encoding always recomputes it from those fields — there is
+/// no second accumulation path that could drift — and decoding rebuilds
+/// the same derivation from the decoded fields to cross-validate the
+/// stored section.
+obs::Ledger fence_ledger(const OpCounter& ops, const PruneStats& prune,
+                         const FsSeedStats& seed,
+                         std::uint64_t work_charged,
+                         std::uint64_t prune_upper_bound) {
+  obs::Ledger l;
+  ops.to_ledger(l);
+  prune.to_ledger(l);
+  seed.to_ledger(l);
+  l.record(obs::Metric::kRtWorkCharged, work_charged);
+  l.record(obs::Metric::kFsPruneUpperBound, prune_upper_bound);
+  return l;
+}
+
+void encode_ledger(ByteWriter& w, const obs::Ledger& l) {
+  const auto& slots = l.slots();
+  std::uint32_t nonzero = 0;
+  for (const std::uint64_t v : slots)
+    if (v != 0) ++nonzero;
+  w.u32(nonzero);
+  // (metric id, slot bits) pairs in ascending metric order: identical
+  // ledgers always encode to identical bytes.
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (slots[i] == 0) continue;
+    w.u32(static_cast<std::uint32_t>(i));
+    w.u64(slots[i]);
+  }
+}
+
+obs::Ledger decode_ledger(ByteReader& r) {
+  obs::Ledger l;
+  const std::uint32_t nonzero = r.u32();
+  if (nonzero > obs::kMetricCount)
+    malformed("ledger section has more entries than the metric registry");
+  std::uint32_t prev = 0;
+  bool first = true;
+  for (std::uint32_t i = 0; i < nonzero; ++i) {
+    const std::uint32_t id = r.u32();
+    if (id >= obs::kMetricCount)
+      malformed("ledger metric id outside the registry");
+    if (!first && id <= prev)
+      malformed("ledger metric ids not strictly ascending");
+    first = false;
+    prev = id;
+    const std::uint64_t bits = r.u64();
+    if (bits == 0) malformed("ledger section stores a zero slot");
+    l.set(static_cast<obs::Metric>(id), bits);
+  }
+  return l;
+}
+
 util::Mask spread_dense(util::Mask dense, const std::vector<int>& j_vars) {
   util::Mask K = 0;
   util::for_each_bit(dense, [&](int b) {
@@ -178,6 +233,13 @@ std::vector<std::uint8_t> encode_snapshot(const FsSnapshotView& view) {
     w.u64(mask);
     w.u64(cost);
   }
+
+  // v2: the unified obs ledger for this fence.  Recomputed from the
+  // fields above rather than passed in, so payload bytes can never carry
+  // a ledger that disagrees with the counters it summarizes.
+  encode_ledger(w, fence_ledger(view.ops != nullptr ? *view.ops : kZeroOps,
+                                *view.prune, ss, view.work_charged,
+                                view.prune_upper_bound));
   return w.take();
 }
 
@@ -305,6 +367,15 @@ FsStarSnapshot decode_snapshot(const std::uint8_t* data, std::size_t len) {
       malformed("mincost masks not strictly ascending");
     s.mincost.emplace_back(mask, cost);
   }
+
+  // v2 unified-ledger section.  The same derivation that produced it at
+  // encode time must reproduce it from the legacy fields decoded above —
+  // any divergence means the payload was tampered with or mis-written.
+  s.ledger = decode_ledger(r);
+  const obs::Ledger expected = fence_ledger(
+      s.ops, s.prune, s.seed_stats, s.work_charged, s.prune_upper_bound);
+  if (!(s.ledger == expected))
+    malformed("ledger section disagrees with the snapshot's counters");
 
   if (!r.done()) malformed("trailing bytes after the snapshot payload");
   return s;

@@ -31,14 +31,16 @@
 #include <vector>
 
 #include "core/prefix_table.hpp"
+#include "obs/metrics.hpp"
 #include "parallel/exec_policy.hpp"
 #include "rt/checkpoint.hpp"
 #include "util/bits.hpp"
 
 namespace ovo::core {
 
-/// Payload format version (the rt container carries it).
-inline constexpr std::uint32_t kFsSnapshotVersion = 1;
+/// Payload format version (the rt container carries it).  v2 appends the
+/// unified obs ledger section (see encode_snapshot) after the DP maps.
+inline constexpr std::uint32_t kFsSnapshotVersion = 2;
 
 /// Identity of the DP instance a snapshot belongs to.
 struct FsFingerprint {
@@ -67,6 +69,23 @@ struct FsSeedStats {
   std::uint64_t evals = 0;      ///< chain evaluations it performed
   std::uint64_t memo_hits = 0;  ///< queries served from its memo
   OpCounter ops;                ///< its chain-evaluation work ledger
+
+  /// Accumulates the seed-stage counters into `l` under fs.seed.*.  Only
+  /// the headline table-cell total of `ops` is projected (fs.seed.
+  /// table_cells); its dedup shards stay seed-local so they never mix
+  /// with the DP's own ds.unique.* totals.
+  void to_ledger(obs::Ledger& l) const {
+    l.record(obs::Metric::kFsSeedQueries, queries);
+    l.record(obs::Metric::kFsSeedEvals, evals);
+    l.record(obs::Metric::kFsSeedMemoHits, memo_hits);
+    l.record(obs::Metric::kFsSeedTableCells, ops.table_cells);
+  }
+  void from_ledger(const obs::Ledger& l) {
+    queries = l.get(obs::Metric::kFsSeedQueries);
+    evals = l.get(obs::Metric::kFsSeedEvals);
+    memo_hits = l.get(obs::Metric::kFsSeedMemoHits);
+    ops.table_cells = l.get(obs::Metric::kFsSeedTableCells);
+  }
 };
 
 /// One decoded layer-fence snapshot.  `dense` holds the layer's subsets
@@ -109,6 +128,11 @@ struct FsStarSnapshot {
   /// The seed stage's oracle counters, restored into the resumed run's
   /// reported ledger.
   FsSeedStats seed_stats;
+
+  /// The unified obs ledger at the fence (payload v2 section).  Always
+  /// derivable from the legacy fields above — decode_snapshot verifies
+  /// that equivalence, so a loaded snapshot's ledger is trustworthy.
+  obs::Ledger ledger;
 };
 
 /// Borrowed view of fence state for zero-copy encoding: the engines point

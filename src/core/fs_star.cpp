@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "ds/sparse_index.hpp"
+#include "obs/trace.hpp"
 #include "parallel/task_graph.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/check.hpp"
@@ -95,6 +96,8 @@ void emit_fence_snapshot(const CkptPlan& plan, int layer,
                          const std::vector<PrefixTable>& tables,
                          const FsStarResult& result, const OpCounter* ops,
                          const rt::Governor* gov) {
+  OVO_TRACE_SPAN_ARGS("fs.checkpoint", "rt", 0, "layer",
+                      static_cast<std::uint64_t>(layer), nullptr, 0);
   FsSnapshotView v;
   v.fingerprint = &plan.fp;
   v.num_terminals = plan.num_terminals;
@@ -608,6 +611,8 @@ FsStarResult fs_star_pipelined(const PrefixTable& base, util::Mask J,
       const std::uint64_t hi =
           lo + group < layer_size ? lo + group : layer_size;
       const par::TaskGraph::TaskId id = graph.add_range(lo, hi, grain, body);
+      graph.set_label(id, "fs.group", "layer",
+                      static_cast<std::uint64_t>(layer), "group", g);
       if (g == 0) L.first_group = id;
       if (layer < start_layer + 2) continue;
       for (std::uint64_t r = lo; r < hi; ++r) {
@@ -629,7 +634,8 @@ FsStarResult fs_star_pipelined(const PrefixTable& base, util::Mask J,
     // The layer fence: the one consumer that truly needs every subset of
     // the layer.  Runs the barrier engine's serial epilogue verbatim —
     // publish in rank order, account residency, charge, free layer-1.
-    graph.seq_epoch([&result, &layers, &layer_work, &fence_prev_resident,
+    const par::TaskGraph::TaskId fence_id = graph.seq_epoch(
+        [&result, &layers, &layer_work, &fence_prev_resident,
                      &j_vars, layer, layer_size, ops, gov](int) {
       Layer& cur = layers[static_cast<std::size_t>(layer)];
       std::uint64_t cur_resident = 0;
@@ -653,6 +659,8 @@ FsStarResult fs_star_pipelined(const PrefixTable& base, util::Mask J,
       std::vector<PrefixTable>().swap(
           layers[static_cast<std::size_t>(layer) - 1].tables);
     });
+    graph.set_label(fence_id, "fs.fence", "layer",
+                    static_cast<std::uint64_t>(layer));
   }
 
   graph.run(threads, gov != nullptr ? gov->stop_flag() : nullptr);
@@ -1040,6 +1048,8 @@ FsStarResult fs_star_pruned_pipelined(const PrefixTable& base, util::Mask J,
       const std::uint64_t hi =
           lo + group < layer_size ? lo + group : layer_size;
       const par::TaskGraph::TaskId id = graph.add_range(lo, hi, grain, body);
+      graph.set_label(id, "fs.group", "layer",
+                      static_cast<std::uint64_t>(layer), "group", g);
       if (g == 0) L.first_group = id;
       if (layer < start_layer + 2) continue;
       for (std::uint64_t r = lo; r < hi; ++r) {
@@ -1060,7 +1070,8 @@ FsStarResult fs_star_pruned_pipelined(const PrefixTable& base, util::Mask J,
 
     // Layer fence: publish survivors in rank order, tally the ledger and
     // the all-dead chunks, charge the actual sparse work, free layer-1.
-    graph.seq_epoch([&result, &layers, &fence_prev_resident, &j_vars, &binom,
+    const par::TaskGraph::TaskId fence_id = graph.seq_epoch(
+        [&result, &layers, &fence_prev_resident, &j_vars, &binom,
                      layer, layer_size, grain, pred_cells =
                          static_cast<std::uint64_t>(base.cells.size()) >>
                          (layer - 1),
@@ -1135,6 +1146,8 @@ FsStarResult fs_star_pruned_pipelined(const PrefixTable& base, util::Mask J,
       std::vector<PrefixTable>().swap(
           layers[static_cast<std::size_t>(layer) - 1].tables);
     });
+    graph.set_label(fence_id, "fs.fence", "layer",
+                    static_cast<std::uint64_t>(layer));
   }
 
   graph.run(threads, gov != nullptr ? gov->stop_flag() : nullptr);

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "ds/unique_table.hpp"
+#include "obs/metrics.hpp"
 #include "rt/budget.hpp"
 #include "tt/truth_table.hpp"
 #include "util/bits.hpp"
@@ -72,16 +73,34 @@ struct PruneStats {
                             static_cast<double>(total);
   }
 
-  /// Merge across runs: counts add, the incumbent keeps the loosest
-  /// (largest) bound seen.
+  /// Accumulates this struct into `l` under the fs.prune.* metric IDs
+  /// (upper_bound is a kMax metric, the counts are kSum).
+  void to_ledger(obs::Ledger& l) const {
+    l.record(obs::Metric::kFsPruneUpperBound, upper_bound);
+    l.record(obs::Metric::kFsPruneGenerated, states_generated);
+    l.record(obs::Metric::kFsPrunePruned, states_pruned);
+    l.record(obs::Metric::kFsPruneDead, states_dead);
+    l.record(obs::Metric::kFsPruneSurviving, states_surviving);
+    l.record(obs::Metric::kFsPruneDenseCells, dense_cells);
+    l.record(obs::Metric::kFsPruneSparseCells, sparse_cells);
+  }
+  void from_ledger(const obs::Ledger& l) {
+    upper_bound = l.get(obs::Metric::kFsPruneUpperBound);
+    states_generated = l.get(obs::Metric::kFsPruneGenerated);
+    states_pruned = l.get(obs::Metric::kFsPrunePruned);
+    states_dead = l.get(obs::Metric::kFsPruneDead);
+    states_surviving = l.get(obs::Metric::kFsPruneSurviving);
+    dense_cells = l.get(obs::Metric::kFsPruneDenseCells);
+    sparse_cells = l.get(obs::Metric::kFsPruneSparseCells);
+  }
+
+  /// Merge across runs, defined by the registry's policies: counts add,
+  /// the incumbent keeps the loosest (largest) bound seen.
   PruneStats& operator+=(const PruneStats& o) {
-    if (o.upper_bound > upper_bound) upper_bound = o.upper_bound;
-    states_generated += o.states_generated;
-    states_pruned += o.states_pruned;
-    states_dead += o.states_dead;
-    states_surviving += o.states_surviving;
-    dense_cells += o.dense_cells;
-    sparse_cells += o.sparse_cells;
+    obs::Ledger mine, theirs;
+    to_ledger(mine);
+    o.to_ledger(theirs);
+    from_ledger(mine.merge(theirs));
     return *this;
   }
 };
@@ -102,15 +121,32 @@ struct OpCounter {
   }
   void reset() { *this = OpCounter{}; }
 
+  /// Accumulates this counter — including its dedup and prune ledgers —
+  /// into `l` under fs.* / ds.unique.* / fs.prune.*.
+  void to_ledger(obs::Ledger& l) const {
+    l.record(obs::Metric::kFsTableCells, table_cells);
+    l.record(obs::Metric::kFsCompactions, compactions);
+    l.record(obs::Metric::kFsPeakCells, peak_cells);
+    dedup.to_ledger(l);
+    prune.to_ledger(l);
+  }
+  void from_ledger(const obs::Ledger& l) {
+    table_cells = l.get(obs::Metric::kFsTableCells);
+    compactions = l.get(obs::Metric::kFsCompactions);
+    peak_cells = l.get(obs::Metric::kFsPeakCells);
+    dedup.from_ledger(l);
+    prune.from_ledger(l);
+  }
+
   /// Merges a shard (e.g. a per-thread counter from a parallel DP layer)
-  /// into this counter: sums are added, peaks maxed.  All fields commute,
-  /// so merged totals are exact and independent of which thread did what.
+  /// into this counter under the registry's policies: sums are added,
+  /// peaks maxed.  All fields commute, so merged totals are exact and
+  /// independent of which thread did what.
   OpCounter& operator+=(const OpCounter& o) {
-    table_cells += o.table_cells;
-    compactions += o.compactions;
-    if (o.peak_cells > peak_cells) peak_cells = o.peak_cells;
-    dedup += o.dedup;
-    prune += o.prune;
+    obs::Ledger mine, theirs;
+    to_ledger(mine);
+    o.to_ledger(theirs);
+    from_ledger(mine.merge(theirs));
     return *this;
   }
 };

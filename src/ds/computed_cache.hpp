@@ -20,9 +20,12 @@
 #include <vector>
 
 #include "ds/hash.hpp"
+#include "obs/metrics.hpp"
 
 namespace ovo::ds {
 
+/// View over the obs registry's ds.cache.* metrics (see TableStats for
+/// the pattern: fields stay, merging is the ledger's).
 struct CacheStats {
   std::uint64_t lookups = 0;
   std::uint64_t hits = 0;
@@ -31,13 +34,28 @@ struct CacheStats {
   std::uint64_t resizes = 0;        ///< capacity growths
   std::uint64_t invalidations = 0;  ///< generation bumps
 
+  void to_ledger(obs::Ledger& l) const {
+    l.record(obs::Metric::kDsCacheLookups, lookups);
+    l.record(obs::Metric::kDsCacheHits, hits);
+    l.record(obs::Metric::kDsCacheStores, stores);
+    l.record(obs::Metric::kDsCacheEvictions, evictions);
+    l.record(obs::Metric::kDsCacheResizes, resizes);
+    l.record(obs::Metric::kDsCacheInvalidations, invalidations);
+  }
+  void from_ledger(const obs::Ledger& l) {
+    lookups = l.get(obs::Metric::kDsCacheLookups);
+    hits = l.get(obs::Metric::kDsCacheHits);
+    stores = l.get(obs::Metric::kDsCacheStores);
+    evictions = l.get(obs::Metric::kDsCacheEvictions);
+    resizes = l.get(obs::Metric::kDsCacheResizes);
+    invalidations = l.get(obs::Metric::kDsCacheInvalidations);
+  }
+
   CacheStats& operator+=(const CacheStats& o) {
-    lookups += o.lookups;
-    hits += o.hits;
-    stores += o.stores;
-    evictions += o.evictions;
-    resizes += o.resizes;
-    invalidations += o.invalidations;
+    obs::Ledger mine, theirs;
+    to_ledger(mine);
+    o.to_ledger(theirs);
+    from_ledger(mine.merge(theirs));
     return *this;
   }
 

@@ -19,12 +19,16 @@
 #include <vector>
 
 #include "ds/hash.hpp"
+#include "obs/metrics.hpp"
 #include "rt/fault.hpp"
 #include "util/check.hpp"
 
 namespace ovo::ds {
 
 /// Always-on instrumentation for one table (mergeable across tables).
+/// A view over the obs registry's ds.unique.* metrics: the fields keep
+/// their zero-cost hot-path increments, but merging is defined by the
+/// registry's per-metric policy via the ledger round-trip below.
 struct TableStats {
   std::uint64_t lookups = 0;  ///< find + find_or_insert calls
   std::uint64_t hits = 0;     ///< lookups that found the key
@@ -34,13 +38,36 @@ struct TableStats {
   /// Probe-length histogram: 1, 2, 3, 4, 5-8, 9-16, 17-32, >32 slots.
   std::uint64_t probe_hist[8] = {};
 
+  /// Accumulates this struct into `l` under the ds.unique.* metric IDs.
+  void to_ledger(obs::Ledger& l) const {
+    l.record(obs::Metric::kDsUniqueLookups, lookups);
+    l.record(obs::Metric::kDsUniqueHits, hits);
+    l.record(obs::Metric::kDsUniqueInserts, inserts);
+    l.record(obs::Metric::kDsUniqueResizes, resizes);
+    l.record(obs::Metric::kDsUniqueProbes, probes);
+    for (int i = 0; i < 8; ++i)  // ds.unique.probe_hist.* are contiguous
+      l.record(static_cast<obs::Metric>(
+                   static_cast<int>(obs::Metric::kDsUniqueProbeHist0) + i),
+               probe_hist[i]);
+  }
+  /// Overwrites this struct from `l`'s ds.unique.* slots.
+  void from_ledger(const obs::Ledger& l) {
+    lookups = l.get(obs::Metric::kDsUniqueLookups);
+    hits = l.get(obs::Metric::kDsUniqueHits);
+    inserts = l.get(obs::Metric::kDsUniqueInserts);
+    resizes = l.get(obs::Metric::kDsUniqueResizes);
+    probes = l.get(obs::Metric::kDsUniqueProbes);
+    for (int i = 0; i < 8; ++i)
+      probe_hist[i] = l.get(static_cast<obs::Metric>(
+          static_cast<int>(obs::Metric::kDsUniqueProbeHist0) + i));
+  }
+
+  /// Shard merge, defined by the registry's aggregation policies.
   TableStats& operator+=(const TableStats& o) {
-    lookups += o.lookups;
-    hits += o.hits;
-    inserts += o.inserts;
-    resizes += o.resizes;
-    probes += o.probes;
-    for (int i = 0; i < 8; ++i) probe_hist[i] += o.probe_hist[i];
+    obs::Ledger mine, theirs;
+    to_ledger(mine);
+    o.to_ledger(theirs);
+    from_ledger(mine.merge(theirs));
     return *this;
   }
 

@@ -1,0 +1,173 @@
+#include "obs/trace.hpp"
+
+#if OVO_TRACE_ENABLED
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <mutex>
+#include <vector>
+
+namespace ovo::obs::trace {
+
+namespace {
+
+struct Event {
+  const char* name;
+  const char* category;
+  int tid;
+  std::uint64_t start_ns;
+  std::uint64_t end_ns;
+  const char* akey;
+  std::uint64_t aval;
+  const char* bkey;
+  std::uint64_t bval;
+};
+
+/// One buffer per thread slot.  A slot is owned by one worker at a time,
+/// so its mutex is effectively uncontended; it exists for the main
+/// thread's serial spans and for to_json() racing a live region.
+struct SlotBuffer {
+  std::mutex mu;
+  std::vector<Event> events;
+};
+
+struct State {
+  std::atomic<bool> enabled{false};
+  std::chrono::steady_clock::time_point epoch{};
+  std::vector<SlotBuffer> slots;
+  std::mutex mu;  // guards slots resize (enable/disable/to_json)
+};
+
+State& state() {
+  static State s;
+  return s;
+}
+
+}  // namespace
+
+void enable(int max_slots) {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (max_slots < 1) max_slots = 1;
+  s.slots.clear();
+  s.slots = std::vector<SlotBuffer>(static_cast<std::size_t>(max_slots) + 1);
+  s.epoch = std::chrono::steady_clock::now();
+  s.enabled.store(true, std::memory_order_release);
+}
+
+void disable() { state().enabled.store(false, std::memory_order_release); }
+
+bool enabled() { return state().enabled.load(std::memory_order_relaxed); }
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - state().epoch)
+          .count());
+}
+
+void record(const char* name, const char* category, int slot,
+            std::uint64_t start_ns, std::uint64_t end_ns, const char* akey,
+            std::uint64_t aval, const char* bkey, std::uint64_t bval) {
+  State& s = state();
+  if (s.slots.empty()) return;
+  const int tid = slot < 0 ? 0 : slot + 1;
+  const std::size_t idx =
+      std::min(static_cast<std::size_t>(tid), s.slots.size() - 1);
+  SlotBuffer& buf = s.slots[idx];
+  std::lock_guard<std::mutex> lock(buf.mu);
+  buf.events.push_back(
+      Event{name, category, tid, start_ns, end_ns, akey, aval, bkey, bval});
+}
+
+std::size_t event_count() {
+  State& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::size_t n = 0;
+  for (SlotBuffer& b : s.slots) {
+    std::lock_guard<std::mutex> bl(b.mu);
+    n += b.events.size();
+  }
+  return n;
+}
+
+std::string to_json() {
+  State& s = state();
+  std::vector<Event> all;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (SlotBuffer& b : s.slots) {
+      std::lock_guard<std::mutex> bl(b.mu);
+      all.insert(all.end(), b.events.begin(), b.events.end());
+    }
+  }
+  // Chrome readers expect per-thread monotone timestamps; RAII span
+  // *end* order reverses nesting, so sort by (tid, start, longest
+  // first) to restore parent-before-child file order.
+  std::stable_sort(all.begin(), all.end(), [](const Event& a, const Event& b) {
+    if (a.tid != b.tid) return a.tid < b.tid;
+    if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+    return a.end_ns > b.end_ns;
+  });
+  std::string out = "{\"traceEvents\":[";
+  char buf[512];
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const Event& e = all[i];
+    // ts/dur are microseconds in the trace-event format; keep ns
+    // precision with a fractional part.
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                  "\"pid\":1,\"tid\":%d,\"ts\":%" PRIu64 ".%03u,"
+                  "\"dur\":%" PRIu64 ".%03u",
+                  i == 0 ? "" : ",", e.name, e.category, e.tid,
+                  e.start_ns / 1000,
+                  static_cast<unsigned>(e.start_ns % 1000),
+                  (e.end_ns - e.start_ns) / 1000,
+                  static_cast<unsigned>((e.end_ns - e.start_ns) % 1000));
+    out += buf;
+    if (e.akey != nullptr || e.bkey != nullptr) {
+      out += ",\"args\":{";
+      bool first = true;
+      if (e.akey != nullptr) {
+        std::snprintf(buf, sizeof buf, "\"%s\":%" PRIu64, e.akey, e.aval);
+        out += buf;
+        first = false;
+      }
+      if (e.bkey != nullptr) {
+        std::snprintf(buf, sizeof buf, "%s\"%s\":%" PRIu64,
+                      first ? "" : ",", e.bkey, e.bval);
+        out += buf;
+      }
+      out += "}";
+    }
+    out += "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+bool write_json(const std::string& path) {
+  const std::string text = to_json();
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool wrote =
+      std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace ovo::obs::trace
+
+#endif  // OVO_TRACE_ENABLED

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <exception>
 
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace ovo::par {
@@ -17,59 +18,29 @@ std::uint64_t now_ns() {
           .count());
 }
 
-/// Process-wide scheduler totals; relaxed atomics, read via sched_stats().
-struct GlobalSched {
-  std::atomic<std::uint64_t> graphs{0};
-  std::atomic<std::uint64_t> tasks{0};
-  std::atomic<std::uint64_t> chunks{0};
-  std::atomic<std::uint64_t> ready_hwm{0};
-  std::atomic<std::uint64_t> overlap_tasks{0};
-  std::atomic<std::uint64_t> overlap_ns{0};
-  std::atomic<std::uint64_t> barrier_wait_ns{0};
-  std::atomic<std::uint64_t> pruned_chunks{0};
-};
-
-GlobalSched& global_sched() {
-  static GlobalSched g;
-  return g;
-}
-
+/// The process-wide scheduler totals ARE the obs registry's sched.*
+/// slots — there is no second accumulator.  Per-run SchedStats fold in
+/// via the ledger path, so the registry's per-metric policy (hwm maxes,
+/// the rest sum) is the only merge definition.
 void accumulate_global(const SchedStats& s) {
-  GlobalSched& g = global_sched();
-  g.graphs.fetch_add(s.graphs, std::memory_order_relaxed);
-  g.tasks.fetch_add(s.tasks, std::memory_order_relaxed);
-  g.chunks.fetch_add(s.chunks, std::memory_order_relaxed);
-  g.overlap_tasks.fetch_add(s.overlap_tasks, std::memory_order_relaxed);
-  g.overlap_ns.fetch_add(s.overlap_ns, std::memory_order_relaxed);
-  g.barrier_wait_ns.fetch_add(s.barrier_wait_ns, std::memory_order_relaxed);
-  std::uint64_t cur = g.ready_hwm.load(std::memory_order_relaxed);
-  while (s.ready_hwm > cur &&
-         !g.ready_hwm.compare_exchange_weak(cur, s.ready_hwm,
-                                            std::memory_order_relaxed)) {
-  }
+  obs::Ledger l;
+  s.to_ledger(l);
+  obs::Registry::global().merge(l);
 }
 
 }  // namespace
 
 void charge_barrier_wait(std::uint64_t ns) {
-  global_sched().barrier_wait_ns.fetch_add(ns, std::memory_order_relaxed);
+  obs::Registry::global().record(obs::Metric::kSchedBarrierWaitNs, ns);
 }
 
 void charge_pruned_chunks(std::uint64_t n) {
-  global_sched().pruned_chunks.fetch_add(n, std::memory_order_relaxed);
+  obs::Registry::global().record(obs::Metric::kSchedPrunedChunks, n);
 }
 
 SchedStats sched_stats() {
-  const GlobalSched& g = global_sched();
   SchedStats s;
-  s.graphs = g.graphs.load(std::memory_order_relaxed);
-  s.tasks = g.tasks.load(std::memory_order_relaxed);
-  s.chunks = g.chunks.load(std::memory_order_relaxed);
-  s.ready_hwm = g.ready_hwm.load(std::memory_order_relaxed);
-  s.overlap_tasks = g.overlap_tasks.load(std::memory_order_relaxed);
-  s.overlap_ns = g.overlap_ns.load(std::memory_order_relaxed);
-  s.barrier_wait_ns = g.barrier_wait_ns.load(std::memory_order_relaxed);
-  s.pruned_chunks = g.pruned_chunks.load(std::memory_order_relaxed);
+  s.from_ledger(obs::Registry::global().snapshot());
   return s;
 }
 
@@ -115,11 +86,24 @@ TaskGraph::TaskId TaskGraph::seq_epoch(std::function<void(int)> body) {
   epoch_tasks_.clear();
   const std::int64_t prev = last_fence_;
   const TaskId id = add(std::move(body));
+  nodes_[id].label = "fence";
   for (const TaskId t : epoch) add_edge(t, id);
   if (prev >= 0) add_edge(static_cast<TaskId>(prev), id);
   last_fence_ = static_cast<std::int64_t>(id);
   epoch_tasks_.clear();  // the fence itself belongs to no epoch
   return id;
+}
+
+void TaskGraph::set_label(TaskId id, const char* label, const char* akey,
+                          std::uint64_t aval, const char* bkey,
+                          std::uint64_t bval) {
+  OVO_CHECK_MSG(id < nodes_.size(), "TaskGraph: set_label on bad id");
+  Node& n = nodes_[id];
+  n.label = label;
+  n.akey = akey;
+  n.aval = aval;
+  n.bkey = bkey;
+  n.bval = bval;
 }
 
 // ---------------------------------------------------------------------------
@@ -215,9 +199,13 @@ class GraphRegion final : public ThreadPool::RegionBase {
     return false;
   }
 
-  /// The chunk-pulling loop one ticket buys on node `id`.
+  /// The chunk-pulling loop one ticket buys on node `id`.  One trace
+  /// span per ticket: the timeline shows each worker's slice of each
+  /// node, which is exactly where cross-layer pipelining is visible.
   void drain(TaskId id, int slot) {
     Node& n = g_.nodes_[id];
+    OVO_TRACE_SPAN_ARGS(n.label, "sched", slot, n.akey, n.aval, n.bkey,
+                        n.bval);
     for (;;) {
       if (stop_ != nullptr && stop_->load(std::memory_order_relaxed)) {
         halt();
@@ -392,6 +380,8 @@ void TaskGraph::run_serial(const std::atomic<bool>* stop) {
     const TaskId id = ready.front();
     ready.pop_front();
     Node& n = nodes_[id];
+    OVO_TRACE_SPAN_ARGS(n.label, "sched", 0, n.akey, n.aval, n.bkey,
+                        n.bval);
     for (std::uint64_t lo = n.begin; lo < n.end; lo += n.grain) {
       if (stop != nullptr && stop->load(std::memory_order_relaxed)) {
         stopped = true;

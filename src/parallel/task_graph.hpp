@@ -51,6 +51,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace ovo::par {
@@ -80,15 +81,35 @@ struct SchedStats {
   /// charged (see charge_pruned_chunks); zero when pruning is off.
   std::uint64_t pruned_chunks = 0;
 
+  /// Accumulates this struct into `l` under the sched.* metric IDs
+  /// (ready_hwm is a kMax metric, everything else kSum).
+  void to_ledger(obs::Ledger& l) const {
+    l.record(obs::Metric::kSchedGraphs, graphs);
+    l.record(obs::Metric::kSchedTasks, tasks);
+    l.record(obs::Metric::kSchedChunks, chunks);
+    l.record(obs::Metric::kSchedReadyHwm, ready_hwm);
+    l.record(obs::Metric::kSchedOverlapTasks, overlap_tasks);
+    l.record(obs::Metric::kSchedOverlapNs, overlap_ns);
+    l.record(obs::Metric::kSchedBarrierWaitNs, barrier_wait_ns);
+    l.record(obs::Metric::kSchedPrunedChunks, pruned_chunks);
+  }
+  void from_ledger(const obs::Ledger& l) {
+    graphs = l.get(obs::Metric::kSchedGraphs);
+    tasks = l.get(obs::Metric::kSchedTasks);
+    chunks = l.get(obs::Metric::kSchedChunks);
+    ready_hwm = l.get(obs::Metric::kSchedReadyHwm);
+    overlap_tasks = l.get(obs::Metric::kSchedOverlapTasks);
+    overlap_ns = l.get(obs::Metric::kSchedOverlapNs);
+    barrier_wait_ns = l.get(obs::Metric::kSchedBarrierWaitNs);
+    pruned_chunks = l.get(obs::Metric::kSchedPrunedChunks);
+  }
+
+  /// Shard merge under the registry's policies (sums add, hwm maxes).
   SchedStats& operator+=(const SchedStats& o) {
-    graphs += o.graphs;
-    tasks += o.tasks;
-    chunks += o.chunks;
-    if (o.ready_hwm > ready_hwm) ready_hwm = o.ready_hwm;
-    overlap_tasks += o.overlap_tasks;
-    overlap_ns += o.overlap_ns;
-    barrier_wait_ns += o.barrier_wait_ns;
-    pruned_chunks += o.pruned_chunks;
+    obs::Ledger mine, theirs;
+    to_ledger(mine);
+    o.to_ledger(theirs);
+    from_ledger(mine.merge(theirs));
     return *this;
   }
   /// Delta between two snapshots of the process-wide totals (hwm is a
@@ -171,6 +192,15 @@ class TaskGraph {
   /// past it on their own dependency edges.
   TaskId seq_epoch(std::function<void(int)> body);
 
+  /// Labels a node for the obs trace timeline: `label` names the span
+  /// ("fs.group", "oracle.batch", …) and up to two named integer args
+  /// annotate it (layer, chunk count, …).  All strings must be literals
+  /// (or otherwise outlive the graph); they are stored as pointers.
+  /// No-op cost when tracing is disabled; safe to call unconditionally.
+  void set_label(TaskId id, const char* label, const char* akey = nullptr,
+                 std::uint64_t aval = 0, const char* bkey = nullptr,
+                 std::uint64_t bval = 0);
+
   std::size_t node_count() const { return nodes_.size(); }
 
   /// Executes the graph over at most `threads` cooperating threads
@@ -195,6 +225,12 @@ class TaskGraph {
     std::uint32_t preds = 0;   ///< static predecessor count (build time)
     std::int64_t fence = -1;   ///< fence of the preceding epoch, if any
     bool overlap = false;      ///< readied before that fence completed
+    /// Trace annotation (see set_label); literals only, not owned.
+    const char* label = "task";
+    const char* akey = nullptr;
+    std::uint64_t aval = 0;
+    const char* bkey = nullptr;
+    std::uint64_t bval = 0;
     std::atomic<std::uint64_t> cursor{0};       ///< next chunk start
     std::atomic<std::uint64_t> chunks_left{0};  ///< chunks not yet retired
     std::atomic<std::uint32_t> waiting{0};      ///< unmet predecessors

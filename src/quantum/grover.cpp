@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "quantum/statevector.hpp"
 #include "util/check.hpp"
 
@@ -49,6 +51,8 @@ std::optional<std::uint64_t> grover_search(
       if (gov->stopped() || !gov->admit_work(run_cost)) return std::nullopt;
       gov->charge(run_cost);
     }
+    OVO_TRACE_SPAN_ARGS("grover.run", "quantum", 0, "iterations", j,
+                        "qubits", q);
     psi.reset_uniform();
     for (std::uint64_t i = 0; i < j; ++i) {
       psi.apply_phase_oracle(oracle);
@@ -59,6 +63,9 @@ std::optional<std::uint64_t> grover_search(
     // of the measured candidate (counted as one query so the budget always
     // advances — j may be 0 when the schedule ceiling is 1).
     used += j + 1;
+    obs::Registry::global().record(obs::Metric::kQuantumGroverQueries,
+                                   j + 1);
+    obs::Registry::global().record(obs::Metric::kQuantumMeasurements, 1);
     if (stats != nullptr) {
       stats->oracle_queries += j + 1;
       ++stats->measurements;

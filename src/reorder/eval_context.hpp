@@ -8,6 +8,7 @@
 #include <cstdint>
 
 #include "core/prefix_table.hpp"
+#include "obs/metrics.hpp"
 #include "parallel/exec_policy.hpp"
 #include "rt/budget.hpp"
 
@@ -31,13 +32,32 @@ struct OracleStats {
   std::uint64_t min_find_calls = 0;
   double min_find_queries = 0.0;
 
+  /// Accumulates this struct into `l` under oracle.* (plus the nested
+  /// OpCounter's fs.* / ds.unique.* / fs.prune.* slots).
+  void to_ledger(obs::Ledger& l) const {
+    l.record(obs::Metric::kOracleQueries, queries);
+    l.record(obs::Metric::kOracleEvals, evals);
+    l.record(obs::Metric::kOracleMemoHits, memo_hits);
+    l.record(obs::Metric::kOracleMinFindCalls, min_find_calls);
+    l.add_f64(obs::Metric::kOracleMinFindQueries, min_find_queries);
+    ops.to_ledger(l);
+  }
+  void from_ledger(const obs::Ledger& l) {
+    queries = l.get(obs::Metric::kOracleQueries);
+    evals = l.get(obs::Metric::kOracleEvals);
+    memo_hits = l.get(obs::Metric::kOracleMemoHits);
+    min_find_calls = l.get(obs::Metric::kOracleMinFindCalls);
+    min_find_queries = l.get_f64(obs::Metric::kOracleMinFindQueries);
+    ops.from_ledger(l);
+  }
+
+  /// Shard merge under the registry's policies (all oracle.* metrics
+  /// are sums; the nested ops ledger maxes its peaks).
   OracleStats& operator+=(const OracleStats& o) {
-    queries += o.queries;
-    evals += o.evals;
-    memo_hits += o.memo_hits;
-    ops += o.ops;
-    min_find_calls += o.min_find_calls;
-    min_find_queries += o.min_find_queries;
+    obs::Ledger mine, theirs;
+    to_ledger(mine);
+    o.to_ledger(theirs);
+    from_ledger(mine.merge(theirs));
     return *this;
   }
 };

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/check.hpp"
 
@@ -58,6 +59,8 @@ std::uint64_t CostOracle::size_for_order(
       return *hit;
     }
   }
+  OVO_TRACE_SPAN_ARGS("oracle.eval", "oracle", 0, "vars",
+                      base_.n, nullptr, 0);
   const std::uint64_t s = core::diagram_size_from_base(
       base_, order_root_first, kind_, scratch_cur_, scratch_next_,
       &stats_.ops, gov);
@@ -108,6 +111,8 @@ std::vector<std::uint64_t> CostOracle::sizes_for_orders(
       std::uint64_t{0}, misses.size(), grain, threads,
       gov != nullptr ? gov->stop_flag() : nullptr,
       [&](std::uint64_t j, int slot) {
+        OVO_TRACE_SPAN_ARGS("oracle.eval", "oracle", slot, "candidate",
+                            misses[static_cast<std::size_t>(j)], nullptr, 0);
         Scratch& sc = scratch[static_cast<std::size_t>(slot)];
         const std::size_t i =
             static_cast<std::size_t>(misses[static_cast<std::size_t>(j)]);

@@ -39,6 +39,30 @@ void write_raw(const std::string& path, const std::vector<std::uint8_t>& b) {
             static_cast<std::streamsize>(b.size()));
 }
 
+/// Hand-builds a container frame from explicit header fields, so the
+/// lying-header fixtures state *which* field lies (version, length, CRC)
+/// instead of poking raw byte offsets of a saved file.
+std::vector<std::uint8_t> build_frame(
+    std::uint32_t version, std::uint64_t length_field, std::uint32_t crc,
+    const std::vector<std::uint8_t>& payload) {
+  static constexpr char kMagic[8] = {'O', 'V', 'O', 'C', 'K', 'P', 'T',
+                                     '\0'};
+  rt::ByteWriter w;
+  w.bytes(kMagic, sizeof(kMagic));
+  w.u32(version);
+  w.u64(length_field);
+  w.u32(crc);
+  w.bytes(payload.data(), payload.size());
+  return w.take();
+}
+
+/// A frame whose header tells the truth about `payload`.
+std::vector<std::uint8_t> build_valid_frame(
+    std::uint32_t version, const std::vector<std::uint8_t>& payload) {
+  return build_frame(version, payload.size(),
+                     rt::crc32(payload.data(), payload.size()), payload);
+}
+
 // ---------------------------------------------------------------------------
 // rt framing container
 
@@ -110,7 +134,8 @@ TEST(RtCheckpoint, BitFlipSweepIsAlwaysTyped) {
 
 TEST(RtCheckpoint, VersionSkewIsTyped) {
   const std::string path = temp_path("skew.bin");
-  rt::save_checkpoint(path, 9, {5, 5, 5});
+  // Honest frame, but its version sits outside the caller's [1, 8] window.
+  write_raw(path, build_valid_frame(9, {5, 5, 5}));
   try {
     rt::load_checkpoint(path, 1, 8);
     FAIL() << "expected CheckpointError";
@@ -120,14 +145,11 @@ TEST(RtCheckpoint, VersionSkewIsTyped) {
 }
 
 TEST(RtCheckpoint, LengthFieldLiesAreTyped) {
-  const std::string path = temp_path("len.bin");
   const std::string bad = temp_path("len_bad.bin");
-  rt::save_checkpoint(path, 1, {1, 2, 3, 4});
-  std::vector<std::uint8_t> framed = rt::read_file(path);
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4};
+  const std::uint32_t crc = rt::crc32(payload.data(), payload.size());
   // Zero-length field with payload bytes still present.
-  std::vector<std::uint8_t> zero = framed;
-  for (int i = 0; i < 8; ++i) zero[12 + i] = 0;
-  write_raw(bad, zero);
+  write_raw(bad, build_frame(1, 0, crc, payload));
   try {
     rt::load_checkpoint(bad, 1, 1);
     FAIL() << "expected CheckpointError";
@@ -136,10 +158,7 @@ TEST(RtCheckpoint, LengthFieldLiesAreTyped) {
   }
   // Oversized length field (declares ~1 EiB; must be rejected before any
   // allocation is attempted).
-  std::vector<std::uint8_t> huge = framed;
-  for (int i = 0; i < 8; ++i) huge[12 + i] = 0xFF;
-  huge[19] = 0x0F;
-  write_raw(bad, huge);
+  write_raw(bad, build_frame(1, 0x0FFFFFFFFFFFFFFFull, crc, payload));
   try {
     rt::load_checkpoint(bad, 1, 1);
     FAIL() << "expected CheckpointError";
@@ -503,6 +522,27 @@ TEST(FsResume, FileRoundTripAndCorruption) {
     FAIL() << "expected CheckpointError";
   } catch (const rt::CheckpointError& e) {
     EXPECT_EQ(e.kind(), rt::CheckpointErrorKind::kCrcMismatch);
+  }
+}
+
+// A snapshot written by an older encoder (container version below
+// kFsSnapshotVersion) must be refused as version skew, not misparsed —
+// the v2 payload grew a trailing ledger section that v1 files lack.
+TEST(FsResume, OldSnapshotVersionIsTyped) {
+  util::Xoshiro256 rng(26);
+  const tt::TruthTable t = tt::random_function(5, rng);
+  const CapturedRun run = capture_run(t, par::PruneMode::kOff);
+  ASSERT_FALSE(run.fences.empty());
+
+  const std::string path = temp_path("fs_snapshot_old.bin");
+  // Honest frame (correct length and CRC) carrying a current payload, but
+  // stamped with the previous container version.
+  write_raw(path, build_valid_frame(kFsSnapshotVersion - 1, run.fences.back()));
+  try {
+    load_snapshot(path);
+    FAIL() << "expected CheckpointError";
+  } catch (const rt::CheckpointError& e) {
+    EXPECT_EQ(e.kind(), rt::CheckpointErrorKind::kVersionSkew);
   }
 }
 

@@ -6,7 +6,9 @@
 #      task-graph scheduler and the pipelined FS* DP are exercised by
 #      task_graph_test / parallel_determinism_test / parallel_cancel_test
 #      on every preset), plus the README strategy-table drift check —
-#      the registry is the source of truth and drift fails the gate.
+#      the registry is the source of truth and drift fails the gate —
+#      plus the -DOVO_TRACE=OFF build's nm check that the span macros
+#      compile out of the CLI entirely.
 #   2. tools/verify.sh --quick: a governed smoke run of both scaling
 #      benches (the FS bench under --prune bounds), asserting the JSON
 #      rows carry the unified oracle ledger, the ovo::par scheduler
@@ -14,7 +16,13 @@
 #      prune_ratio), plus the `ovo order --prune bounds` bit-identity
 #      guard against the dense default, plus the checkpoint round-trip
 #      smoke: interrupt mid-DP, resume, require byte-identical JSON, and
-#      require a corrupted snapshot to be rejected with exit 3.
+#      require a corrupted snapshot to be rejected with exit 3, plus the
+#      `ovo order --trace` Chrome trace-event smoke.
+#   3. An end-to-end obs-registry counter check: one `ovo order --json`
+#      run must emit the registry's canonical keys — the table_cells /
+#      oracle_* fields and the schema_version run-info block — proving
+#      the CLI renders through the shared obs serializer, not a private
+#      formatter.
 #
 # Any failure stops the script with a nonzero exit.
 #
@@ -39,5 +47,19 @@ tools/verify.sh "${JOBS}"
 
 echo "#### ci: governed bench smoke #################################"
 tools/verify.sh --quick "${JOBS}"
+
+echo "#### ci: obs registry counter surface #########################"
+# The CLI's JSON must render through the shared obs serializer: registry
+# keys (table_cells — NOT the pre-refactor oracle_table_cells — and the
+# oracle ledger) plus the schema_version/git/build/threads run-info block.
+out="$(build/tools/ovo order --strategy sift --json 'x1 & x2 | x3')"
+echo "${out}" | grep -q '"table_cells":'
+echo "${out}" | grep -q '"oracle_queries":'
+echo "${out}" | grep -q '"oracle_memo_hits":'
+echo "${out}" | grep -q '"schema_version":'
+if echo "${out}" | grep -q '"oracle_table_cells"'; then
+  echo "FAIL: CLI emits the pre-obs key oracle_table_cells" >&2
+  exit 1
+fi
 
 echo "#### ci green #################################################"

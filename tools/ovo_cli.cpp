@@ -4,7 +4,7 @@
 //               [--shared] [--threads N] [--prune off|bounds]
 //               [--prune-seed NAME] [--timeout-ms N] [--node-limit N]
 //               [--mem-limit-mb N] [--work-limit N] [--json]
-//               [--json-out FILE] [--checkpoint FILE]
+//               [--json-out FILE] [--trace FILE] [--checkpoint FILE]
 //               [--checkpoint-every K] [--resume FILE]
 //               [--fault-cancel-at N] <input>
 //   ovo size    --order v1,v2,... [--zdd] <input>
@@ -20,9 +20,13 @@
 // bound a run (see docs/INTERNALS.md, "Resource governance"); every
 // strategy then returns its best incumbent plus why it stopped.  --json
 // emits one machine-readable object including the outcome, the certified
-// lower bound, and the unified oracle counters; --json-out additionally
-// writes that object to FILE atomically (temp file + fsync + rename), so
-// a killed run never leaves a torn artifact.
+// lower bound, and the unified oracle counters — rendered through the
+// obs shared serializer, so its field names match BENCH_fs.json /
+// BENCH_quantum.json exactly; --json-out additionally writes that object
+// to FILE atomically (temp file + fsync + rename), so a killed run never
+// leaves a torn artifact.  --trace FILE collects obs trace spans during
+// the run and writes them as Chrome trace-event JSON (open the file in
+// chrome://tracing or Perfetto; see EXPERIMENTS.md).
 //
 // Crash safety: --checkpoint snapshots the exact DP's state at layer
 // fences (and when a budget/cancel trips); --resume restarts from such a
@@ -56,6 +60,8 @@
 #include "core/fs_checkpoint.hpp"
 #include "core/minimize.hpp"
 #include "core/multi_output.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "parallel/exec_policy.hpp"
 #include "quantum/min_find.hpp"
 #include "quantum/opt_obdd.hpp"
@@ -168,48 +174,55 @@ void appendf(std::string& s, const char* fmt, ...) {
 }
 
 /// Builds the one-object JSON report as a string, so callers can both
-/// print it and persist it atomically (--json-out).
+/// print it and persist it atomically (--json-out).  Every counter field
+/// is rendered through the obs shared serializer: the keys here are the
+/// metric table's canonical json_keys, byte-identical to the ones the
+/// scaling benches emit.
 std::string json_order_string(const std::string& strategy,
                               core::DiagramKind kind, std::uint64_t nodes,
                               bool optimal, std::uint64_t lower_bound,
                               const std::string& outcome,
-                              std::uint64_t work_units,
+                              std::uint64_t work_units, int threads,
                               const std::vector<int>& order,
                               const reorder::OracleStats* oracle = nullptr) {
   std::string s;
-  appendf(s,
-          "{\"strategy\":\"%s\",\"kind\":\"%s\",\"nodes\":%" PRIu64
-          ",\"optimal\":%s,\"lower_bound\":%" PRIu64
-          ",\"outcome\":\"%s\",\"work_units\":%" PRIu64,
-          strategy.c_str(),
-          kind == core::DiagramKind::kZdd ? "zdd" : "bdd", nodes,
-          optimal ? "true" : "false", lower_bound, outcome.c_str(),
-          work_units);
+  appendf(s, "{\"strategy\":\"%s\"", strategy.c_str());
+  obs::append_json_str(s, "kind",
+                       kind == core::DiagramKind::kZdd ? "zdd" : "bdd");
+  obs::append_json_u64(s, "nodes", nodes);
+  appendf(s, ",\"optimal\":%s", optimal ? "true" : "false");
+  obs::append_json_u64(s, "lower_bound", lower_bound);
+  obs::append_json_str(s, "outcome", outcome.c_str());
+  obs::Ledger l;
+  l.record(obs::Metric::kRtWorkCharged, work_units);
+  obs::append_metric_json(s, l, obs::Metric::kRtWorkCharged);
   if (oracle != nullptr) {
-    appendf(s,
-            ",\"oracle_queries\":%" PRIu64 ",\"oracle_evals\":%" PRIu64
-            ",\"oracle_memo_hits\":%" PRIu64
-            ",\"oracle_table_cells\":%" PRIu64,
-            oracle->queries, oracle->evals, oracle->memo_hits,
-            oracle->ops.table_cells);
-    const core::PruneStats& p = oracle->ops.prune;
-    if (p.states_enumerated() > 0)
-      appendf(s,
-              ",\"prune_upper_bound\":%" PRIu64
-              ",\"states_generated\":%" PRIu64 ",\"states_pruned\":%" PRIu64
-              ",\"states_dead\":%" PRIu64 ",\"states_surviving\":%" PRIu64
-              ",\"prune_ratio\":%.4f,\"dense_cells\":%" PRIu64
-              ",\"sparse_cells\":%" PRIu64,
-              p.upper_bound, p.states_generated, p.states_pruned,
-              p.states_dead, p.states_surviving, p.prune_ratio(),
-              p.dense_cells, p.sparse_cells);
+    oracle->to_ledger(l);
+    obs::append_counters_json(s, l);
   }
+  obs::append_run_info_json(s, threads);
   s += ",\"order\":[";
   for (std::size_t i = 0; i < order.size(); ++i)
     appendf(s, "%s%d", i == 0 ? "" : ",", order[i] + 1);
   s += "]}\n";
   return s;
 }
+
+/// Stops collection and writes the Chrome trace on every exit from
+/// cmd_order (including error unwinds), so --trace never loses the spans
+/// of a run that failed late.
+struct TraceFlusher {
+  std::string path;
+  ~TraceFlusher() {
+#if OVO_TRACE_ENABLED
+    if (path.empty()) return;
+    obs::trace::disable();
+    if (!obs::trace::write_json(path))
+      std::fprintf(stderr, "warning: could not write trace to '%s'\n",
+                   path.c_str());
+#endif
+  }
+};
 
 /// Prints the JSON report and, when --json-out was given, writes it to
 /// that path atomically.
@@ -235,6 +248,7 @@ int cmd_order(const std::vector<std::string>& args) {
   par::PruneMode prune = par::PruneMode::kOff;
   std::string prune_seed = "sift";
   std::string json_out;
+  std::string trace_path;
   std::string checkpoint_path;
   std::string resume_path;
   std::uint64_t checkpoint_every = 1;
@@ -280,6 +294,8 @@ int cmd_order(const std::vector<std::string>& args) {
       budget.work_limit = parse_u64_flag("--work-limit", args[++i]);
     } else if (args[i] == "--json-out" && i + 1 < args.size()) {
       json_out = args[++i];
+    } else if (args[i] == "--trace" && i + 1 < args.size()) {
+      trace_path = args[++i];
     } else if (args[i] == "--checkpoint" && i + 1 < args.size()) {
       checkpoint_path = args[++i];
     } else if (args[i] == "--checkpoint-every" && i + 1 < args.size()) {
@@ -295,6 +311,19 @@ int cmd_order(const std::vector<std::string>& args) {
   }
   OVO_CHECK_MSG(!input.empty(), "order: missing input");
   exec.prune = prune;  // after the loop: --threads rebuilds ExecPolicy
+
+  // --trace: start span collection now so strategy setup (seeding, base
+  // construction) is on the timeline too; flushed on every exit path.
+  TraceFlusher trace_flusher;
+  if (!trace_path.empty()) {
+#if OVO_TRACE_ENABLED
+    trace_flusher.path = trace_path;
+    obs::trace::enable();
+#else
+    std::fprintf(stderr,
+                 "note: --trace ignored (built with -DOVO_TRACE=OFF)\n");
+#endif
+  }
   // `budgeted` reflects the user's explicit limit flags only; the
   // signal-driven CancelToken attached below must not reroute an
   // unbudgeted `--engine fs` run onto the governed ladder.
@@ -332,7 +361,9 @@ int cmd_order(const std::vector<std::string>& args) {
     if (json) {
       emit_json(json_order_string("fs-shared", kind, r.min_internal_nodes,
                                   true, r.min_internal_nodes, "complete",
-                                  r.ops.table_cells, r.order_root_first),
+                                  r.ops.table_cells,
+                                  exec.resolved_threads(),
+                                  r.order_root_first),
                 json_out);
       return 0;
     }
@@ -404,8 +435,8 @@ int cmd_order(const std::vector<std::string>& args) {
   if (json) {
     emit_json(json_order_string(strategy->name, kind, r.internal_nodes,
                                 r.optimal, r.lower_bound, outcome,
-                                r.run.work_units, r.order_root_first,
-                                &r.oracle),
+                                r.run.work_units, exec.resolved_threads(),
+                                r.order_root_first, &r.oracle),
               json_out);
     return 0;
   }
@@ -518,7 +549,8 @@ void usage() {
       "              [--prune-seed sift|window|restarts|anneal|none]\n"
       "              [--timeout-ms N] [--node-limit N] [--mem-limit-mb N]\n"
       "              [--work-limit N] [--json] [--json-out FILE]\n"
-      "              [--checkpoint FILE] [--checkpoint-every K]\n"
+      "              [--trace FILE] [--checkpoint FILE]\n"
+      "              [--checkpoint-every K]\n"
       "              [--resume FILE] [--fault-cancel-at N] <input>\n"
       "  ovo size    --order v1,v2,... [--zdd] <input>\n"
       "  ovo compare [--threads N] <input>\n"

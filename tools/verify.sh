@@ -6,11 +6,18 @@
 # and runs ctest (per-test timeout comes from the test registration:
 # 300 s).  Any failure stops the script.
 #
+# Full mode also builds the `notrace` preset (-DOVO_TRACE=OFF) and checks
+# with nm that the CLI binary references no obs::trace symbols — the
+# span macros must compile out completely.
+#
 # Quick mode (--quick): default preset only, plus a governed smoke run of
 # the two scaling benches so the bench JSON surface is exercised too —
 # the FS bench runs with --prune bounds and its rows must carry the
 # pruning ledger — and a CLI guard that a bound-pruned `ovo order` run
-# returns the identical order and size as the dense default.
+# returns the identical order and size as the dense default.  Quick mode
+# also smokes `ovo order --trace`: the exported Chrome trace must be
+# valid JSON with fs.group/fs.fence spans and per-thread monotone
+# timestamps.
 #
 # Both modes check that the strategy table in README.md (between the
 # `<!-- strategies:begin -->` / `<!-- strategies:end -->` markers) matches
@@ -123,11 +130,45 @@ if [[ "${QUICK}" -eq 1 ]]; then
     || rc=$?
   [[ "${rc}" -eq 3 ]]
   grep -q 'checkpoint error' "${smoke_dir}/err.txt"
+  echo "==== quick: trace-span smoke ==============================="
+  # A traced parallel run must export a loadable Chrome trace: valid
+  # JSON, complete ("X") events only, the FS* DP's fs.group / fs.fence
+  # spans present, and timestamps monotone within each thread lane.
+  build/tools/ovo order --strategy fs --threads 2 --json \
+    --trace "${smoke_dir}/trace.json" "${smoke_fn}" > /dev/null
+  python3 - "${smoke_dir}/trace.json" <<'PY'
+import json, sys
+events = json.load(open(sys.argv[1]))["traceEvents"]
+assert events, "trace is empty"
+names = {e["name"] for e in events}
+assert {"fs.group", "fs.fence"} <= names, f"missing FS spans: {names}"
+last = {}
+for e in events:
+    assert e["ph"] == "X", e
+    assert e["dur"] >= 0 and e["ts"] >= last.get(e["tid"], 0), e
+    last[e["tid"]] = e["ts"]
+print(f"trace: {len(events)} events across {len(last)} thread lanes, "
+      f"spans {sorted(names)}")
+PY
   echo "==== quick sweep green ====================================="
   exit 0
 fi
 
 run_preset asan
 run_preset tsan
+
+echo "==== notrace: -DOVO_TRACE=OFF symbol check ================="
+# The span macros must compile to nothing: an OVO_TRACE=OFF build of the
+# CLI may reference no obs::trace symbol at all, and --trace must degrade
+# to a note instead of an error.
+cmake --preset notrace
+cmake --build --preset notrace "${JOBS}" --target ovo
+if nm -C build-notrace/tools/ovo | grep -q 'obs::trace'; then
+  echo "FAIL: -DOVO_TRACE=OFF binary still references obs::trace" >&2
+  exit 1
+fi
+build-notrace/tools/ovo order --strategy fs --json \
+  --trace /dev/null "x1 & x2" > /dev/null
+echo "notrace: ovo binary carries no obs::trace symbols"
 
 echo "==== all presets green ====================================="
