@@ -1,0 +1,7 @@
+// libFuzzer/replay target: the blif input frontier (see fuzz_one.hpp).
+#include "fuzz_one.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  return ovo::fuzz::one_blif(data, size);
+}

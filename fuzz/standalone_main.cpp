@@ -1,0 +1,92 @@
+// Standalone driver for the fuzz targets when libFuzzer is unavailable
+// (the GCC toolchain): links against the same LLVMFuzzerTestOneInput the
+// Clang build fuzzes, and drives it two ways —
+//
+//   fuzz_foo FILE...            replay corpus files (regression mode)
+//   fuzz_foo --rand N --seed S  feed N deterministically generated
+//                               pseudo-random inputs (smoke mode)
+//
+// Random inputs are produced by a self-contained xorshift generator so a
+// (N, seed) pair replays the identical byte sequences on every machine —
+// a failure report is reproducible from its command line alone.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+std::uint64_t xorshift(std::uint64_t* s) {
+  std::uint64_t x = *s;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  return *s = x;
+}
+
+int replay_file(const char* path) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open '%s'\n", path);
+    return 1;
+  }
+  std::vector<std::uint8_t> data;
+  std::uint8_t buf[1 << 16];
+  std::size_t r;
+  while ((r = std::fread(buf, 1, sizeof(buf), f)) > 0)
+    data.insert(data.end(), buf, buf + r);
+  std::fclose(f);
+  LLVMFuzzerTestOneInput(data.data(), data.size());
+  std::printf("ok %s (%zu bytes)\n", path, data.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t rand_n = 0;
+  std::uint64_t seed = 1;
+  std::vector<const char*> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--rand") == 0 && i + 1 < argc) {
+      rand_n = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: %s [FILE...] [--rand N --seed S]\n", argv[0]);
+      return 0;
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  for (const char* path : files)
+    if (replay_file(path) != 0) return 1;
+  if (rand_n > 0) {
+    std::uint64_t s = seed ? seed : 1;
+    std::vector<std::uint8_t> data;
+    for (std::uint64_t i = 0; i < rand_n; ++i) {
+      data.resize(xorshift(&s) % 4096);
+      // Bias toward printable bytes so the text parsers get past their
+      // first character more often than raw noise would manage.
+      for (std::uint8_t& b : data) {
+        const std::uint64_t v = xorshift(&s);
+        b = (v & 1) != 0 ? static_cast<std::uint8_t>(0x20 + (v >> 1) % 0x5F)
+                         : static_cast<std::uint8_t>(v >> 1);
+      }
+      LLVMFuzzerTestOneInput(data.data(), data.size());
+    }
+    std::printf("ok %llu random inputs (seed %llu)\n",
+                static_cast<unsigned long long>(rand_n),
+                static_cast<unsigned long long>(seed));
+  }
+  if (files.empty() && rand_n == 0)
+    std::fprintf(stderr, "%s: nothing to do (pass FILE... or --rand N)\n",
+                 argv[0]);
+  return 0;
+}

@@ -11,7 +11,9 @@
 //   <idx> <level> <lo> <hi>     (idx dense from 2; 0/1 are terminals)
 //   root <idx>
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "bdd/manager.hpp"
 
@@ -28,5 +30,14 @@ struct LoadedBdd {
 /// Parses a diagram saved by save_bdd. Throws util::CheckError on
 /// malformed input (bad header, dangling references, level violations).
 LoadedBdd load_bdd(const std::string& text);
+
+/// Compact binary form of the same diagram (tag 'B', version 1, dense
+/// post-order node table).  The decoder goes through the checkpoint
+/// layer's bounds-checked rt::ByteReader, so every field read is
+/// length-validated before any allocation; structural violations throw
+/// rt::CheckpointError(kMalformed) and level-ordering violations surface
+/// as util::CheckError from make() — both typed, fuzz-safe failures.
+std::vector<std::uint8_t> save_bdd_binary(const Manager& m, NodeId root);
+LoadedBdd load_bdd_binary(const std::uint8_t* data, std::size_t len);
 
 }  // namespace ovo::bdd

@@ -133,7 +133,11 @@ enum class Agg : std::uint8_t {
     kSum)                                                                    \
   X(kQuantumQueries, "quantum.queries", "quantum_queries", kSumF64)          \
   X(kQuantumMinFindRounds, "quantum.min_find_rounds", "min_find_rounds",     \
-    kSum)
+    kSum)                                                                    \
+  /* rt.fault: the fault-injection framework (appended last so every     */  \
+  /* pre-existing metric id stays stable for serialized ledgers)         */  \
+  X(kRtFaultEvents, "rt.fault_events", "rt_fault_events", kSum)              \
+  X(kRtFaultsInjected, "rt.faults_injected", "rt_faults_injected", kSum)
 
 enum class Metric : std::uint16_t {
 #define OVO_OBS_ENUM(id, name, key, agg) id,

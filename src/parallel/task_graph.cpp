@@ -5,6 +5,7 @@
 #include <exception>
 
 #include "obs/trace.hpp"
+#include "rt/fault.hpp"
 #include "util/check.hpp"
 
 namespace ovo::par {
@@ -219,6 +220,9 @@ class GraphRegion final : public ThreadPool::RegionBase {
           lo + n.grain < n.end ? lo + n.grain : n.end;
       const std::uint64_t t0 = n.overlap ? now_ns() : 0;
       try {
+        // Fault site kTaskDispatch: the injected FaultInjected rides the
+        // same first-exception-wins drain as a real chunk failure.
+        rt::fault_dispatch_hook();
         n.chunk_body(lo, hi, slot);
       } catch (...) {
         fail(std::current_exception());
@@ -388,6 +392,7 @@ void TaskGraph::run_serial(const std::atomic<bool>* stop) {
         break;
       }
       const std::uint64_t hi = lo + n.grain < n.end ? lo + n.grain : n.end;
+      rt::fault_dispatch_hook();
       n.chunk_body(lo, hi, 0);
       ++s.chunks;
     }

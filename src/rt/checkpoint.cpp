@@ -1,10 +1,11 @@
 #include "rt/checkpoint.hpp"
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
+
+#include "rt/fault.hpp"
+#include "rt/file_ops.hpp"
 
 namespace ovo::rt {
 
@@ -45,6 +46,84 @@ std::uint64_t get_u64(const std::uint8_t* p) {
   for (int i = 0; i < 8; ++i)
     v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
   return v;
+}
+
+// ---------------------------------------------------------------------------
+// Hooked FileOps wrappers.  Every primary-path filesystem operation fires
+// its fault site first; an injected fault simulates EIO without touching
+// the backend, so the call site's normal error handling carries it out as
+// CheckpointError(kIo).  Cleanup operations (the unlink/close performed
+// while already unwinding from an error) deliberately bypass the hooks and
+// ignore failures: the original typed error must surface, and unwinding
+// must never throw again.
+
+int hooked_open_write(FileOps& fs, const char* path) {
+  if (fault_fileop_hook(FaultSite::kFileOpen)) {
+    errno = EIO;
+    return -1;
+  }
+  return fs.open_write(path);
+}
+
+int hooked_open_read(FileOps& fs, const char* path) {
+  if (fault_fileop_hook(FaultSite::kFileOpen)) {
+    errno = EIO;
+    return -1;
+  }
+  return fs.open_read(path);
+}
+
+::ssize_t hooked_write(FileOps& fs, int fd, const void* data,
+                       std::size_t len) {
+  if (fault_fileop_hook(FaultSite::kFileWrite)) {
+    errno = EIO;
+    return -1;
+  }
+  return fs.write(fd, data, len);
+}
+
+::ssize_t hooked_read(FileOps& fs, int fd, void* buf, std::size_t len) {
+  if (fault_fileop_hook(FaultSite::kFileRead)) {
+    errno = EIO;
+    return -1;
+  }
+  return fs.read(fd, buf, len);
+}
+
+int hooked_fsync(FileOps& fs, int fd) {
+  if (fault_fileop_hook(FaultSite::kFileFsync)) {
+    errno = EIO;
+    return -1;
+  }
+  return fs.fsync(fd);
+}
+
+/// The fd is really closed either way (leaving it open on an injected
+/// failure would leak it); injection only overrides the reported result,
+/// matching POSIX close() whose fd state is gone even on error.
+int hooked_close(FileOps& fs, int fd) {
+  int rc = fs.close(fd);
+  if (fault_fileop_hook(FaultSite::kFileClose)) {
+    errno = EIO;
+    rc = -1;
+  }
+  return rc;
+}
+
+int hooked_rename(FileOps& fs, const char* from, const char* to) {
+  if (fault_fileop_hook(FaultSite::kFileRename)) {
+    errno = EIO;
+    return -1;
+  }
+  return fs.rename(from, to);
+}
+
+/// Error-path cleanup: drop the temp file and its fd without firing hooks
+/// and without caring about the result — the caller is about to throw the
+/// real error.
+void discard_tmp(FileOps& fs, int fd, const std::string& tmp) {
+  if (fd >= 0) fs.close(fd);
+  fs.unlink(tmp.c_str());
 }
 
 }  // namespace
@@ -133,59 +212,59 @@ std::uint64_t ByteReader::array_count(std::size_t elem_size) {
 
 void write_file_atomic(const std::string& path, const void* data,
                        std::size_t len) {
+  FileOps& fs = file_ops();
   const std::string tmp = path + ".tmp";
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  const int fd = hooked_open_write(fs, tmp.c_str());
   if (fd < 0) io_error("open '" + tmp + "'");
   const std::uint8_t* p = static_cast<const std::uint8_t*>(data);
   std::size_t off = 0;
   while (off < len) {
-    const ::ssize_t w = ::write(fd, p + off, len - off);
+    const ::ssize_t w = hooked_write(fs, fd, p + off, len - off);
     if (w < 0) {
       if (errno == EINTR) continue;
-      ::close(fd);
-      ::unlink(tmp.c_str());
+      discard_tmp(fs, fd, tmp);
       io_error("write '" + tmp + "'");
     }
     off += static_cast<std::size_t>(w);
   }
-  if (::fsync(fd) != 0) {
-    ::close(fd);
-    ::unlink(tmp.c_str());
+  if (hooked_fsync(fs, fd) != 0) {
+    discard_tmp(fs, fd, tmp);
     io_error("fsync '" + tmp + "'");
   }
-  if (::close(fd) != 0) {
-    ::unlink(tmp.c_str());
+  if (hooked_close(fs, fd) != 0) {
+    discard_tmp(fs, -1, tmp);
     io_error("close '" + tmp + "'");
   }
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
-    ::unlink(tmp.c_str());
+  if (hooked_rename(fs, tmp.c_str(), path.c_str()) != 0) {
+    discard_tmp(fs, -1, tmp);
     io_error("rename '" + tmp + "' -> '" + path + "'");
   }
   // Make the rename itself durable.  A failure here is not fatal to
-  // correctness (the rename is already atomic for readers), so ignore it.
-  const int dfd = ::open(dir_of(path).c_str(), O_RDONLY);
-  if (dfd >= 0) {
-    ::fsync(dfd);
-    ::close(dfd);
-  }
+  // correctness (the rename is already atomic for readers), so ignore it
+  // — but still fire the fsync site so crash simulation can cut here.
+  if (!fault_fileop_hook(FaultSite::kFileFsync))
+    fs.fsync_dir(dir_of(path).c_str());
 }
 
 std::vector<std::uint8_t> read_file(const std::string& path) {
-  const int fd = ::open(path.c_str(), O_RDONLY);
+  FileOps& fs = file_ops();
+  const int fd = hooked_open_read(fs, path.c_str());
   if (fd < 0) io_error("open '" + path + "'");
   std::vector<std::uint8_t> out;
   std::uint8_t buf[1 << 16];
   for (;;) {
-    const ::ssize_t r = ::read(fd, buf, sizeof(buf));
+    const ::ssize_t r = hooked_read(fs, fd, buf, sizeof(buf));
     if (r < 0) {
       if (errno == EINTR) continue;
-      ::close(fd);
+      fs.close(fd);
       io_error("read '" + path + "'");
     }
     if (r == 0) break;
     out.insert(out.end(), buf, buf + r);
   }
-  ::close(fd);
+  // A close failure after a complete read cannot invalidate the bytes
+  // already in memory; report nothing (the fd really is closed).
+  hooked_close(fs, fd);
   return out;
 }
 
@@ -201,27 +280,26 @@ void save_checkpoint(const std::string& path, std::uint32_t version,
   write_file_atomic(path, framed.data(), framed.size());
 }
 
-CheckpointData load_checkpoint(const std::string& path,
-                               std::uint32_t min_version,
-                               std::uint32_t max_version) {
-  const std::vector<std::uint8_t> framed = read_file(path);
-  if (framed.size() < kHeaderSize)
+CheckpointData parse_checkpoint(const std::uint8_t* data, std::size_t len,
+                                std::uint32_t min_version,
+                                std::uint32_t max_version) {
+  if (len < kHeaderSize)
     throw CheckpointError(CheckpointErrorKind::kTruncated,
-                          "file shorter than the checkpoint header");
-  if (std::memcmp(framed.data(), kMagic, sizeof(kMagic)) != 0)
+                          "data shorter than the checkpoint header");
+  if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0)
     throw CheckpointError(CheckpointErrorKind::kBadMagic,
-                          "'" + path + "' is not a checkpoint file");
+                          "data does not start with the checkpoint magic");
   CheckpointData out;
-  out.version = get_u32(framed.data() + 8);
+  out.version = get_u32(data + 8);
   if (out.version < min_version || out.version > max_version)
     throw CheckpointError(
         CheckpointErrorKind::kVersionSkew,
         "payload version " + std::to_string(out.version) +
             " outside supported [" + std::to_string(min_version) + ", " +
             std::to_string(max_version) + "]");
-  const std::uint64_t declared = get_u64(framed.data() + 12);
+  const std::uint64_t declared = get_u64(data + 12);
   const std::uint64_t actual =
-      static_cast<std::uint64_t>(framed.size()) - kHeaderSize;
+      static_cast<std::uint64_t>(len) - kHeaderSize;
   // The length field must match the bytes present exactly: an oversized
   // field means truncation-or-corruption, an undersized one means trailing
   // garbage — both are rejected rather than guessed at.
@@ -230,44 +308,53 @@ CheckpointData load_checkpoint(const std::string& path,
                           "declared payload length " +
                               std::to_string(declared) + " != " +
                               std::to_string(actual) + " bytes present");
-  const std::uint32_t stored_crc = get_u32(framed.data() + 20);
+  const std::uint32_t stored_crc = get_u32(data + 20);
   const std::uint32_t computed =
-      crc32(framed.data() + kHeaderSize, static_cast<std::size_t>(actual));
+      crc32(data + kHeaderSize, static_cast<std::size_t>(actual));
   if (stored_crc != computed)
     throw CheckpointError(CheckpointErrorKind::kCrcMismatch,
                           "payload bytes fail the stored CRC-32");
-  out.payload.assign(framed.begin() + static_cast<std::ptrdiff_t>(kHeaderSize),
-                     framed.end());
+  out.payload.assign(data + kHeaderSize, data + len);
   return out;
 }
 
+CheckpointData load_checkpoint(const std::string& path,
+                               std::uint32_t min_version,
+                               std::uint32_t max_version) {
+  const std::vector<std::uint8_t> framed = read_file(path);
+  try {
+    return parse_checkpoint(framed.data(), framed.size(), min_version,
+                            max_version);
+  } catch (const CheckpointError& e) {
+    if (e.kind() == CheckpointErrorKind::kBadMagic)
+      throw CheckpointError(CheckpointErrorKind::kBadMagic,
+                            "'" + path + "' is not a checkpoint file");
+    throw;
+  }
+}
+
 AtomicFileWriter::AtomicFileWriter(std::string path)
-    : path_(std::move(path)), tmp_path_(path_ + ".tmp") {
-  file_ = std::fopen(tmp_path_.c_str(), "w");
-  if (file_ == nullptr) io_error("open '" + tmp_path_ + "'");
+    : path_(std::move(path)) {
+  // All content buffers in memory (g++ defines _GNU_SOURCE, so the POSIX
+  // memstream is always available); nothing touches the filesystem until
+  // commit(), which funnels through write_file_atomic — so every real
+  // syscall of the artifact write is hookable and crash-cuttable, and an
+  // uncommitted writer leaves zero on-disk state.
+  file_ = open_memstream(&buf_, &len_);
+  if (file_ == nullptr) io_error("open_memstream for '" + path_ + "'");
 }
 
 AtomicFileWriter::~AtomicFileWriter() {
-  if (file_ != nullptr) {
-    std::fclose(file_);
-    ::unlink(tmp_path_.c_str());
-  }
+  if (file_ != nullptr) std::fclose(file_);
+  std::free(buf_);
 }
 
 void AtomicFileWriter::commit() {
   if (file_ == nullptr) return;
-  if (std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
-    std::fclose(file_);
-    file_ = nullptr;
-    ::unlink(tmp_path_.c_str());
-    io_error("flush '" + tmp_path_ + "'");
-  }
-  std::fclose(file_);
+  const int rc = std::fclose(file_);  // flushes the stream into buf_/len_
   file_ = nullptr;
-  if (::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
-    ::unlink(tmp_path_.c_str());
-    io_error("rename '" + tmp_path_ + "' -> '" + path_ + "'");
-  }
+  if (rc != 0) io_error("flush buffered artifact for '" + path_ + "'");
+  write_file_atomic(path_, buf_, len_);
 }
 
 }  // namespace ovo::rt

@@ -166,18 +166,28 @@ struct CheckpointData {
   std::vector<std::uint8_t> payload;
 };
 
-/// Reads and validates a framed checkpoint: magic, version within
+/// Validates an in-memory framed checkpoint image: magic, version within
 /// [min_version, max_version], exact length, CRC.  Every violation is a
-/// typed CheckpointError; the returned payload is byte-verified.
+/// typed CheckpointError; the returned payload is byte-verified.  This
+/// is the pure decode half of load_checkpoint (and the fuzz frontier's
+/// entry point — it must hold against arbitrary bytes).
+CheckpointData parse_checkpoint(const std::uint8_t* data, std::size_t len,
+                                std::uint32_t min_version,
+                                std::uint32_t max_version);
+
+/// Reads `path` and parse_checkpoint()s it.
 CheckpointData load_checkpoint(const std::string& path,
                                std::uint32_t min_version,
                                std::uint32_t max_version);
 
 /// Streaming atomic writer for text artifacts (the benches' JSON files):
-/// opens `path + ".tmp"`, exposes the FILE*, and commit() flushes,
-/// fsyncs, and renames over `path`.  Without commit() the destructor
-/// discards the temp file — an interrupted writer never leaves a
-/// half-written artifact under the real name.
+/// exposes a FILE* that buffers in memory, and commit() persists the
+/// whole artifact through write_file_atomic (temp file, fsync, rename —
+/// every syscall through the rt::FileOps seam with fault-site hooks).
+/// Without commit() the destructor discards the buffer; on any commit
+/// failure the temp file is unlinked — an interrupted or failed writer
+/// never leaves a half-written artifact under the real name, and never
+/// leaks its `.tmp`.
 class AtomicFileWriter {
  public:
   explicit AtomicFileWriter(std::string path);
@@ -190,8 +200,9 @@ class AtomicFileWriter {
 
  private:
   std::string path_;
-  std::string tmp_path_;
-  std::FILE* file_ = nullptr;
+  std::FILE* file_ = nullptr;  ///< open_memstream over buf_/len_
+  char* buf_ = nullptr;
+  std::size_t len_ = 0;
 };
 
 }  // namespace ovo::rt

@@ -1,0 +1,79 @@
+#include "rt/fault_sweep.hpp"
+
+#include <new>
+
+#include "rt/checkpoint.hpp"
+
+namespace ovo::rt {
+
+namespace {
+
+/// The strided event indices to fail at a site with N probe events,
+/// evenly resampled down to the per-site cap when one is set.
+std::vector<std::uint64_t> sweep_indices(std::uint64_t n_events,
+                                         const SweepOptions& options) {
+  std::vector<std::uint64_t> nths;
+  const std::uint64_t stride = options.stride == 0 ? 1 : options.stride;
+  for (std::uint64_t n = 1; n <= n_events; n += stride) nths.push_back(n);
+  const std::uint64_t cap = options.max_runs_per_site;
+  if (cap == 0 || nths.size() <= cap) return nths;
+  std::vector<std::uint64_t> picked;
+  picked.reserve(static_cast<std::size_t>(cap));
+  for (std::uint64_t k = 0; k < cap; ++k) {
+    const std::size_t pos =
+        cap == 1 ? 0
+                 : static_cast<std::size_t>((nths.size() - 1) * k / (cap - 1));
+    if (picked.empty() || picked.back() != nths[pos])
+      picked.push_back(nths[pos]);
+  }
+  return picked;
+}
+
+}  // namespace
+
+SweepReport fault_sweep(const std::vector<FaultSite>& sites,
+                        const std::function<void()>& scenario,
+                        const SweepOptions& options) {
+  SweepReport report;
+  {
+    // Probe run: empty schedule, counters only.  A scenario that cannot
+    // complete cleanly with no faults installed is broken — let whatever
+    // it throws escape.
+    ScopedFaultPlan probe{FaultSchedule{}};
+    scenario();
+    for (const FaultSite site : sites)
+      report.events[static_cast<std::size_t>(site)] = probe.events_seen(site);
+  }
+  for (const FaultSite site : sites) {
+    const std::uint64_t n_events =
+        report.events[static_cast<std::size_t>(site)];
+    for (const std::uint64_t nth : sweep_indices(n_events, options)) {
+      FaultSchedule schedule;
+      schedule.fail_nth(site, nth);
+      ScopedFaultPlan plan{schedule};
+      SweepOutcome outcome;
+      outcome.site = site;
+      outcome.nth = nth;
+      try {
+        scenario();
+        outcome.completed = true;
+      } catch (const FaultInjected& e) {
+        outcome.error = e.what();
+      } catch (const CheckpointError& e) {
+        outcome.error = e.what();
+      } catch (const std::bad_alloc&) {
+        outcome.error = "std::bad_alloc";
+      }
+      outcome.injected = plan.injected(site) > 0;
+      ++report.runs;
+      if (outcome.completed)
+        ++report.completions;
+      else
+        ++report.typed_failures;
+      report.outcomes.push_back(std::move(outcome));
+    }
+  }
+  return report;
+}
+
+}  // namespace ovo::rt

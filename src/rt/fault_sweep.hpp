@@ -1,0 +1,68 @@
+#pragma once
+// Exhaustive fault-sweep driver (ovo::rt) — turns "this scenario
+// survives one injected fault" into "this scenario survives EVERY
+// injectable fault".  For each requested site the driver first runs the
+// scenario once under an empty plan to count the events the site
+// observes, then re-runs it failing event 1, 2, ..., N at that site.
+// Each injected run must end in one of exactly two ways:
+//
+//   * the scenario completes — the injection was absorbed (a governor
+//     poll turned into a clean cancelled Outcome, or the failed
+//     operation sat on an already-forgiving path), or
+//   * a *typed* failure propagates: std::bad_alloc (kAlloc),
+//     rt::FaultInjected (kTaskDispatch), or rt::CheckpointError (the
+//     kFile* sites).
+//
+// Anything else — util::CheckError, a raw std::exception, a deadlock, a
+// leak under ASan — escapes the driver and fails the test, which is the
+// point: the sweep proves each failure point unwinds cleanly, and the
+// scenario's own post-run invariant checks (no temp file left, snapshot
+// still valid) are free to throw whatever they like since the driver
+// only absorbs the typed set above.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "rt/fault.hpp"
+
+namespace ovo::rt {
+
+/// One injected run's result.
+struct SweepOutcome {
+  FaultSite site = FaultSite::kAlloc;
+  std::uint64_t nth = 0;        ///< which event at `site` was failed
+  bool injected = false;        ///< the Nth event actually occurred
+  bool completed = false;       ///< scenario returned (fault absorbed)
+  std::string error;            ///< what() of the typed failure, else ""
+};
+
+struct SweepReport {
+  std::vector<SweepOutcome> outcomes;
+  std::uint64_t runs = 0;              ///< injected runs executed
+  std::uint64_t completions = 0;       ///< runs where the scenario returned
+  std::uint64_t typed_failures = 0;    ///< runs ending in a typed error
+  /// Probe-run event count per site index (0 for sites not swept).
+  std::array<std::uint64_t, kFaultSiteCount> events{};
+};
+
+struct SweepOptions {
+  /// Fail every stride-th event instead of every event (1 = exhaustive).
+  /// For scenarios with tens of thousands of events at one site this
+  /// bounds the sweep while still crossing every phase of the run.
+  std::uint64_t stride = 1;
+  /// Hard cap on injected runs per site (0 = no cap).  When the cap
+  /// bites, the swept indices are spread evenly over [1, N] rather than
+  /// truncated at the front, so the tail of the scenario stays covered.
+  std::uint64_t max_runs_per_site = 0;
+};
+
+/// Runs `scenario` once per (site, nth) pair as described above.  The
+/// scenario must be re-runnable from scratch — the driver installs a
+/// fresh ScopedFaultPlan around every invocation.
+SweepReport fault_sweep(const std::vector<FaultSite>& sites,
+                        const std::function<void()>& scenario,
+                        const SweepOptions& options = {});
+
+}  // namespace ovo::rt

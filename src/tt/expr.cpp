@@ -104,6 +104,18 @@ class Parser {
   }
 
   ExprPtr parse_factor() {
+    // Recursive descent: each '(' and '!' adds a stack frame, so an
+    // adversarial "((((..." must hit a typed error before it hits the
+    // process stack guard.  The cap also bounds the recursion depth of
+    // the eventual shared_ptr destruction chain.
+    OVO_CHECK_MSG(depth_ < kMaxDepth, "parse_expr: nesting too deep");
+    ++depth_;
+    ExprPtr e = parse_factor_inner();
+    --depth_;
+    return e;
+  }
+
+  ExprPtr parse_factor_inner() {
     skip_ws();
     OVO_CHECK_MSG(pos_ < text_.size(), "parse_expr: unexpected end of input");
     const char c = text_[pos_];
@@ -127,6 +139,10 @@ class Parser {
       while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9')
         ++pos_;
       OVO_CHECK_MSG(pos_ > start, "parse_expr: expected variable number");
+      // Bound the digit count before std::stoi so an oversized index is
+      // a typed error, not std::out_of_range (6 digits >> 64 variables).
+      OVO_CHECK_MSG(pos_ - start <= 6,
+                    "parse_expr: variable number out of range");
       const int idx = std::stoi(text_.substr(start, pos_ - start));
       OVO_CHECK_MSG(idx >= 1, "parse_expr: variables are 1-based (x1, x2, ...)");
       return make_var(idx - 1);
@@ -136,8 +152,11 @@ class Parser {
     return nullptr;  // unreachable
   }
 
+  static constexpr int kMaxDepth = 2000;
+
   const std::string& text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -3,7 +3,9 @@
 // `ovo-zdd` header; loaded diagrams are re-interned through make(), so
 // they are zero-suppressed-canonical by construction).
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "zdd/manager.hpp"
 
@@ -17,5 +19,12 @@ struct LoadedZdd {
 };
 
 LoadedZdd load_zdd(const std::string& text);
+
+/// Compact binary form (tag 'Z', version 1); decode mirrors
+/// bdd/serialize.hpp's load_bdd_binary — every read bounds-checked via
+/// rt::ByteReader, structural violations typed as
+/// rt::CheckpointError(kMalformed) or util::CheckError.
+std::vector<std::uint8_t> save_zdd_binary(const Manager& m, NodeId root);
+LoadedZdd load_zdd_binary(const std::uint8_t* data, std::size_t len);
 
 }  // namespace ovo::zdd

@@ -4,8 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <new>
 #include <string>
+#include <vector>
 
 #include "bdd/manager.hpp"
 #include "rt/budget.hpp"
@@ -166,7 +168,100 @@ TEST(FaultInjection, CancelAtNthCheckpoint) {
 
 TEST(FaultInjection, OnePlanAtATime) {
   ScopedFaultPlan first(FaultPlan{});
-  EXPECT_THROW(ScopedFaultPlan second(FaultPlan{}), util::CheckError);
+  // Nesting is a hard typed error — and it still derives from
+  // util::CheckError so legacy catch sites keep working.
+  EXPECT_THROW(ScopedFaultPlan second(FaultPlan{}), FaultNestingError);
+  EXPECT_THROW(ScopedFaultPlan third(FaultPlan{}), util::CheckError);
+  // The failed installs must not have clobbered the active plan.
+  fault_alloc_hook();
+  EXPECT_EQ(first.allocations_seen(), 1u);
+}
+
+TEST(FaultSites, NamesRoundTrip) {
+  for (std::size_t i = 0; i < kFaultSiteCount; ++i) {
+    const FaultSite site = static_cast<FaultSite>(i);
+    FaultSite parsed = FaultSite::kCount;
+    ASSERT_TRUE(parse_fault_site(fault_site_name(site), &parsed))
+        << fault_site_name(site);
+    EXPECT_EQ(parsed, site);
+  }
+  FaultSite parsed = FaultSite::kCount;
+  EXPECT_FALSE(parse_fault_site("not_a_site", &parsed));
+}
+
+TEST(FaultSites, FailNthIsOneShotPerSite) {
+  FaultSchedule schedule;
+  schedule.fail_nth(FaultSite::kFileWrite, 2);
+  ScopedFaultPlan plan(schedule);
+  EXPECT_FALSE(fault_fileop_hook(FaultSite::kFileWrite));  // event 1
+  EXPECT_FALSE(fault_fileop_hook(FaultSite::kFileRename));  // other site
+  EXPECT_TRUE(fault_fileop_hook(FaultSite::kFileWrite));   // event 2 fails
+  EXPECT_FALSE(fault_fileop_hook(FaultSite::kFileWrite));  // one-shot
+  EXPECT_EQ(plan.events_seen(FaultSite::kFileWrite), 3u);
+  EXPECT_EQ(plan.events_seen(FaultSite::kFileRename), 1u);
+  EXPECT_EQ(plan.injected(FaultSite::kFileWrite), 1u);
+  EXPECT_EQ(plan.injected(FaultSite::kFileRename), 0u);
+  EXPECT_EQ(plan.total_events(), 4u);
+  EXPECT_EQ(plan.total_injected(), 1u);
+}
+
+TEST(FaultSites, DispatchInjectionThrowsTyped) {
+  FaultSchedule schedule;
+  schedule.fail_nth(FaultSite::kTaskDispatch, 1);
+  ScopedFaultPlan plan(schedule);
+  try {
+    fault_dispatch_hook();
+    FAIL() << "dispatch fault did not fire";
+  } catch (const FaultInjected& e) {
+    EXPECT_EQ(e.site(), FaultSite::kTaskDispatch);
+  }
+}
+
+TEST(FaultSites, PollInjectionTripsTheToken) {
+  CancelToken token;
+  FaultSchedule schedule;
+  schedule.fail_nth(FaultSite::kGovPoll, 2);
+  schedule.cancel = &token;
+  ScopedFaultPlan plan(schedule);
+  Budget b;
+  b.cancel = &token;
+  Governor gov(b);
+  EXPECT_FALSE(gov.poll());
+  EXPECT_TRUE(gov.poll());  // injected: hard stop, token tripped
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(gov.outcome(), Outcome::kCancelled);
+  // Sticky at the governor even though the site itself is one-shot.
+  EXPECT_TRUE(gov.poll());
+}
+
+TEST(FaultSites, ProbabilisticInjectionIsSeedDeterministic) {
+  const auto injected_pattern = [](std::uint64_t seed) {
+    FaultSchedule schedule;
+    schedule.probability = 0.5;
+    schedule.seed = seed;
+    schedule.prob_mask = FaultSchedule::site_bit(FaultSite::kFileWrite);
+    ScopedFaultPlan plan(schedule);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i)
+      fired.push_back(fault_fileop_hook(FaultSite::kFileWrite));
+    return fired;
+  };
+  const std::vector<bool> a = injected_pattern(42);
+  const std::vector<bool> b = injected_pattern(42);
+  const std::vector<bool> c = injected_pattern(43);
+  // Same seed -> bit-identical injection pattern; different seed -> a
+  // different pattern (64 fair coin flips colliding is 2^-64).
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  // And p=0.5 over 64 events fires at least once for any sane hash.
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+  // Sites outside prob_mask are untouched.
+  FaultSchedule masked;
+  masked.probability = 1.0;
+  masked.prob_mask = FaultSchedule::site_bit(FaultSite::kFileWrite);
+  ScopedFaultPlan plan(masked);
+  EXPECT_FALSE(fault_fileop_hook(FaultSite::kFileFsync));
+  EXPECT_TRUE(fault_fileop_hook(FaultSite::kFileWrite));
 }
 
 }  // namespace

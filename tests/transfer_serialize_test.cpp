@@ -3,8 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include "bdd/serialize.hpp"
 #include "bdd/transfer.hpp"
 #include "core/minimize.hpp"
+#include "rt/checkpoint.hpp"
 #include "tt/function_zoo.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -74,6 +76,80 @@ TEST(ZddSerialize, TerminalsAndErrors) {
   EXPECT_EQ(zdd::load_zdd(zdd::save_zdd(m, zdd::kUnit)).root, zdd::kUnit);
   EXPECT_THROW(zdd::load_zdd("ovo-bdd 1\nn 1\n"), util::CheckError);
   EXPECT_THROW(zdd::load_zdd(""), util::CheckError);
+}
+
+// --- binary forms ----------------------------------------------------------
+
+TEST(BddSerializeBinary, RoundtripPreservesFunction) {
+  util::Xoshiro256 rng(11);
+  for (int trial = 0; trial < 6; ++trial) {
+    const tt::TruthTable t = tt::random_function(7, rng);
+    bdd::Manager m(7, {3, 6, 0, 5, 1, 4, 2});
+    const bdd::NodeId f = m.from_truth_table(t);
+    const std::vector<std::uint8_t> bytes = bdd::save_bdd_binary(m, f);
+    bdd::LoadedBdd loaded = bdd::load_bdd_binary(bytes.data(), bytes.size());
+    EXPECT_EQ(loaded.manager.to_truth_table(loaded.root), t);
+    EXPECT_EQ(loaded.manager.size(loaded.root), m.size(f));
+    // Canonical: re-saving the loaded diagram is byte-identical.
+    EXPECT_EQ(bdd::save_bdd_binary(loaded.manager, loaded.root), bytes);
+  }
+}
+
+TEST(BddSerializeBinary, Terminals) {
+  bdd::Manager m(3);
+  const auto bytes = bdd::save_bdd_binary(m, bdd::kTrue);
+  EXPECT_EQ(bdd::load_bdd_binary(bytes.data(), bytes.size()).root,
+            bdd::kTrue);
+}
+
+TEST(ZddSerializeBinary, RoundtripPreservesFamily) {
+  util::Xoshiro256 rng(13);
+  const tt::TruthTable t = tt::random_sparse_function(6, 9, rng);
+  zdd::Manager m(6, {5, 0, 3, 1, 4, 2});
+  const zdd::NodeId f = m.from_truth_table(t);
+  const std::vector<std::uint8_t> bytes = zdd::save_zdd_binary(m, f);
+  zdd::LoadedZdd loaded = zdd::load_zdd_binary(bytes.data(), bytes.size());
+  EXPECT_EQ(loaded.manager.to_truth_table(loaded.root), t);
+  EXPECT_EQ(zdd::save_zdd_binary(loaded.manager, loaded.root), bytes);
+}
+
+/// The decoders must reject malformed bytes with a *typed* error —
+/// rt::CheckpointError(kMalformed) for structural violations — never
+/// crash or read out of bounds (the fuzz/corpus harnesses lean on this).
+TEST(BddSerializeBinary, MalformedBytesAreRejectedTyped) {
+  bdd::Manager m(4);
+  const bdd::NodeId f = m.from_truth_table(tt::parity(4));
+  std::vector<std::uint8_t> bytes = bdd::save_bdd_binary(m, f);
+
+  // Truncation at every prefix length.
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    EXPECT_THROW(bdd::load_bdd_binary(bytes.data(), len),
+                 rt::CheckpointError)
+        << "prefix " << len;
+  }
+  // Wrong tag ('Z' bytes fed to the BDD loader and vice versa).
+  {
+    zdd::Manager zm(2);
+    const std::vector<std::uint8_t> z = zdd::save_zdd_binary(zm, zdd::kUnit);
+    EXPECT_THROW(bdd::load_bdd_binary(z.data(), z.size()),
+                 rt::CheckpointError);
+    EXPECT_THROW(zdd::load_zdd_binary(bytes.data(), bytes.size()),
+                 rt::CheckpointError);
+  }
+  // Trailing garbage after a valid image.
+  {
+    std::vector<std::uint8_t> longer = bytes;
+    longer.push_back(0);
+    EXPECT_THROW(bdd::load_bdd_binary(longer.data(), longer.size()),
+                 rt::CheckpointError);
+  }
+  // A corrupted order byte breaks the permutation check.
+  {
+    std::vector<std::uint8_t> corrupt = bytes;
+    corrupt[6] = corrupt[7];  // duplicate one order entry
+    EXPECT_THROW(bdd::load_bdd_binary(corrupt.data(), corrupt.size()),
+                 rt::CheckpointError);
+  }
 }
 
 }  // namespace

@@ -17,7 +17,12 @@
 #      guard against the dense default, plus the checkpoint round-trip
 #      smoke: interrupt mid-DP, resume, require byte-identical JSON, and
 #      require a corrupted snapshot to be rejected with exit 3, plus the
-#      `ovo order --trace` Chrome trace-event smoke.
+#      `ovo order --trace` Chrome trace-event smoke, plus the fuzz
+#      frontier smoke (each OVO_FUZZ target: fixed-seed random inputs +
+#      regression-corpus replay) and the trimmed CLI chaos sweep
+#      (tools/chaos.sh --quick: fault-injected runs must exit with typed
+#      codes, leak no temp file, and resume byte-identically).  The full
+#      chaos grid runs at the end of step 1's full sweep.
 #   3. An end-to-end obs-registry counter check: one `ovo order --json`
 #      run must emit the registry's canonical keys — the table_cells /
 #      oracle_* fields and the schema_version run-info block — proving

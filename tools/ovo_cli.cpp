@@ -6,7 +6,9 @@
 //               [--mem-limit-mb N] [--work-limit N] [--json]
 //               [--json-out FILE] [--trace FILE] [--checkpoint FILE]
 //               [--checkpoint-every K] [--resume FILE]
-//               [--fault-cancel-at N] <input>
+//               [--fault-cancel-at N] [--fault-alloc-at N]
+//               [--fault-fileop SITE:N] [--fault-prob P]
+//               [--fault-seed S] <input>
 //   ovo size    --order v1,v2,... [--zdd] <input>
 //   ovo compare [--threads N] <input>   # exact vs heuristics report
 //   ovo tables  [--k K] [--iters N]     # reproduce paper Tables 1 and 2
@@ -35,6 +37,18 @@
 // normal cancelled path — best-so-far order, certified lower bound,
 // final snapshot — and a second signal exits immediately (status 130).
 //
+// Fault injection (deterministic chaos, see rt/fault.hpp): the --fault-*
+// flags install a FaultSchedule for the run.  --fault-cancel-at N trips
+// the cancel token at the Nth governor poll; --fault-alloc-at N fails
+// the Nth node-store allocation event (std::bad_alloc); --fault-fileop
+// SITE:N fails the Nth filesystem operation at a named site (file_open,
+// file_read, file_write, file_fsync, file_rename, file_close,
+// file_unlink); --fault-prob P (+ --fault-seed S) fails each I/O or
+// dispatch event independently with probability P, reproducibly for a
+// given seed.  Exit codes: 0 success, 1 error, 2 usage, 3 checkpoint
+// error, 4 injected fault (std::bad_alloc / rt::FaultInjected), 130
+// second signal.
+//
 // <input> is one of:
 //   - a path ending in .pla  (Berkeley PLA; first output used unless
 //     --shared, which optimizes all outputs as one shared diagram),
@@ -50,6 +64,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <new>
 #include <numeric>
 #include <optional>
 #include <sstream>
@@ -253,6 +268,8 @@ int cmd_order(const std::vector<std::string>& args) {
   std::string resume_path;
   std::uint64_t checkpoint_every = 1;
   std::uint64_t fault_cancel_at = 0;
+  rt::FaultSchedule fault_schedule;
+  bool fault_requested = false;
   std::string input;
   for (std::size_t i = 0; i < args.size(); ++i) {
     if (args[i] == "--zdd") {
@@ -305,6 +322,46 @@ int cmd_order(const std::vector<std::string>& args) {
       resume_path = args[++i];
     } else if (args[i] == "--fault-cancel-at" && i + 1 < args.size()) {
       fault_cancel_at = parse_u64_flag("--fault-cancel-at", args[++i]);
+    } else if (args[i] == "--fault-alloc-at" && i + 1 < args.size()) {
+      fault_schedule.fail_nth(rt::FaultSite::kAlloc,
+                              parse_u64_flag("--fault-alloc-at", args[++i]));
+      fault_requested = true;
+    } else if (args[i] == "--fault-fileop" && i + 1 < args.size()) {
+      // SITE:N — fail the Nth event at a named site, e.g. file_write:3.
+      const std::string spec = args[++i];
+      const std::size_t colon = spec.find(':');
+      rt::FaultSite site = rt::FaultSite::kCount;
+      if (colon == std::string::npos ||
+          !rt::parse_fault_site(spec.substr(0, colon).c_str(), &site)) {
+        std::fprintf(stderr,
+                     "--fault-fileop: expected SITE:N (sites: file_open, "
+                     "file_read, file_write, file_fsync, file_rename, "
+                     "file_close, file_unlink), got '%s'\n",
+                     spec.c_str());
+        return 2;
+      }
+      fault_schedule.fail_nth(
+          site, parse_u64_flag("--fault-fileop", spec.substr(colon + 1)));
+      fault_requested = true;
+    } else if (args[i] == "--fault-prob" && i + 1 < args.size()) {
+      fault_schedule.probability = std::atof(args[++i].c_str());
+      OVO_CHECK_MSG(fault_schedule.probability >= 0.0 &&
+                        fault_schedule.probability <= 1.0,
+                    "--fault-prob: expected a probability in [0, 1]");
+      // Probabilistic chaos targets the I/O and dispatch sites; the
+      // allocation and poll sites have dedicated deterministic flags.
+      fault_schedule.prob_mask =
+          rt::FaultSchedule::site_bit(rt::FaultSite::kTaskDispatch) |
+          rt::FaultSchedule::site_bit(rt::FaultSite::kFileOpen) |
+          rt::FaultSchedule::site_bit(rt::FaultSite::kFileRead) |
+          rt::FaultSchedule::site_bit(rt::FaultSite::kFileWrite) |
+          rt::FaultSchedule::site_bit(rt::FaultSite::kFileFsync) |
+          rt::FaultSchedule::site_bit(rt::FaultSite::kFileRename) |
+          rt::FaultSchedule::site_bit(rt::FaultSite::kFileClose) |
+          rt::FaultSchedule::site_bit(rt::FaultSite::kFileUnlink);
+      fault_requested = true;
+    } else if (args[i] == "--fault-seed" && i + 1 < args.size()) {
+      fault_schedule.seed = parse_u64_flag("--fault-seed", args[++i]);
     } else {
       input = args[i];
     }
@@ -340,11 +397,11 @@ int cmd_order(const std::vector<std::string>& args) {
   budget.cancel = &g_interrupt;
   std::optional<rt::ScopedFaultPlan> fault;
   if (fault_cancel_at > 0) {
-    rt::FaultPlan plan;
-    plan.cancel_at_checkpoint = fault_cancel_at;
-    plan.cancel = &g_interrupt;
-    fault.emplace(plan);
+    fault_schedule.cancel_at_poll = fault_cancel_at;
+    fault_schedule.cancel = &g_interrupt;
+    fault_requested = true;
   }
+  if (fault_requested) fault.emplace(fault_schedule);
 
   const LoadedInput loaded = load_input(input);
   if (!json) std::printf("input: %s\n", loaded.description.c_str());
@@ -551,7 +608,9 @@ void usage() {
       "              [--work-limit N] [--json] [--json-out FILE]\n"
       "              [--trace FILE] [--checkpoint FILE]\n"
       "              [--checkpoint-every K]\n"
-      "              [--resume FILE] [--fault-cancel-at N] <input>\n"
+      "              [--resume FILE] [--fault-cancel-at N]\n"
+      "              [--fault-alloc-at N] [--fault-fileop SITE:N]\n"
+      "              [--fault-prob P] [--fault-seed S] <input>\n"
       "  ovo size    --order v1,v2,... [--zdd] <input>\n"
       "  ovo compare [--threads N] <input>\n"
       "  ovo tables  [--k K] [--iters N]\n"
@@ -585,6 +644,13 @@ int main(int argc, char** argv) {
     // what() is already "<kind-name>: <detail>".
     std::fprintf(stderr, "checkpoint error: %s\n", e.what());
     return 3;
+  } catch (const rt::FaultInjected& e) {
+    std::fprintf(stderr, "injected fault: %s\n", e.what());
+    return 4;
+  } catch (const std::bad_alloc&) {
+    // Real OOM or --fault-alloc-at; either way the run unwound cleanly.
+    std::fprintf(stderr, "injected fault: allocation failure\n");
+    return 4;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -10,14 +10,20 @@
 # with nm that the CLI binary references no obs::trace symbols — the
 # span macros must compile out completely.
 #
+# Full mode finishes with the deep CLI chaos sweep (tools/chaos.sh): the
+# full fault-site x event grid through main()'s exit paths.
+#
 # Quick mode (--quick): default preset only, plus a governed smoke run of
 # the two scaling benches so the bench JSON surface is exercised too —
 # the FS bench runs with --prune bounds and its rows must carry the
 # pruning ledger — and a CLI guard that a bound-pruned `ovo order` run
 # returns the identical order and size as the dense default.  Quick mode
-# also smokes `ovo order --trace`: the exported Chrome trace must be
+# also smokes `ovo order --trace` (the exported Chrome trace must be
 # valid JSON with fs.group/fs.fence spans and per-thread monotone
-# timestamps.
+# timestamps), builds the OVO_FUZZ targets for a fixed-seed random smoke
+# plus corpus replay, and runs the trimmed CLI chaos sweep
+# (tools/chaos.sh --quick): torn-write/fault injection through the CLI
+# with typed exit codes and resume-to-identical-bytes checks.
 #
 # Both modes check that the strategy table in README.md (between the
 # `<!-- strategies:begin -->` / `<!-- strategies:end -->` markers) matches
@@ -150,12 +156,40 @@ for e in events:
 print(f"trace: {len(events)} events across {len(last)} thread lanes, "
       f"spans {sorted(names)}")
 PY
+  echo "==== quick: fuzz-frontier smoke ============================"
+  # Build the fuzz targets (standalone replay drivers under GCC,
+  # libFuzzer under Clang) and give each one a fixed-seed random smoke
+  # plus a replay of its regression corpus — a fast proof that the
+  # OVO_FUZZ surface still compiles and the decoders reject the corpus'
+  # malformed-input classes with typed errors.
+  cmake --preset default -DOVO_FUZZ=ON > /dev/null
+  cmake --build --preset default "${JOBS}" \
+    --target fuzz_blif fuzz_pla fuzz_expr fuzz_snapshot fuzz_diagram
+  for t in blif pla expr snapshot diagram; do
+    build/fuzz/"fuzz_${t}" --rand 3000 --seed 7 > /dev/null
+  done
+  build/fuzz/fuzz_blif tests/data/corpus/blif/* > /dev/null
+  build/fuzz/fuzz_pla tests/data/corpus/pla/* > /dev/null
+  build/fuzz/fuzz_expr tests/data/corpus/expr/* > /dev/null
+  build/fuzz/fuzz_snapshot tests/data/corpus/snapshot/* > /dev/null
+  build/fuzz/fuzz_diagram tests/data/corpus/diagram/* > /dev/null
+  echo "fuzz smoke: 5 targets, seeded random + corpus replay green"
+  echo "==== quick: CLI chaos sweep (torn writes, typed exits) ====="
+  tools/chaos.sh --quick
   echo "==== quick sweep green ====================================="
   exit 0
 fi
 
 run_preset asan
 run_preset tsan
+
+echo "==== full: CLI chaos sweep ================================="
+# The deep event grid: every checkpoint filesystem site x event 1..12,
+# allocation events along a Fibonacci ladder, five probabilistic seeds.
+# (The in-process sweeps — every syscall of the n=10 pipeline, torn
+# writes at every cut — already ran in ctest on all three presets above,
+# via fault_sweep_test and crash_sim_test.)
+tools/chaos.sh
 
 echo "==== notrace: -DOVO_TRACE=OFF symbol check ================="
 # The span macros must compile to nothing: an OVO_TRACE=OFF build of the
